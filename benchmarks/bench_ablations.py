@@ -1,0 +1,83 @@
+"""A1 — ablations of LFSC's design choices (DESIGN.md §1 extensions).
+
+Three studies:
+- Lagrangian on/off: without the duals LFSC degenerates to constraint-blind
+  Exp3.M + greedy, so its violations should rise toward vUCB levels.
+- DepRound sampling vs paper-literal deterministic greedy edge weights.
+- Hypercube granularity h_T ∈ {1, 2, 3, 5}: h=1 cannot distinguish contexts.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import (
+    ablation_adaptive_partition,
+    ablation_assignment_mode,
+    ablation_lagrangian,
+    ablation_partition_granularity,
+)
+
+_CACHE: dict = {}
+
+
+def test_ablation_lagrangian(benchmark, cfg):
+    out = benchmark.pedantic(
+        lambda: _CACHE.setdefault("lag", ablation_lagrangian(cfg, workers=0)),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n[A1] Lagrangian ablation\n" + out.table())
+    with_lag = out.results["LFSC"]
+    without = out.results["LFSC-noLagrangian"]
+    # The duals exist to curb violations.
+    assert with_lag.total_violations < without.total_violations
+
+
+def test_ablation_assignment_mode(benchmark, cfg):
+    out = benchmark.pedantic(
+        lambda: _CACHE.setdefault("mode", ablation_assignment_mode(cfg, workers=0)),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n[A1] assignment-mode ablation\n" + out.table())
+    # Both modes must be functional; DepRound keeps exploration sound, so its
+    # reward should be at least comparable (within 20%).
+    dep = out.results["LFSC-depround"].total_reward
+    det = out.results["LFSC-deterministic"].total_reward
+    assert dep > 0 and det > 0
+    assert dep > 0.8 * det
+
+
+def test_ablation_partition_granularity(benchmark, cfg):
+    out = benchmark.pedantic(
+        lambda: _CACHE.setdefault(
+            "parts", ablation_partition_granularity(cfg, parts_values=(1, 2, 3), workers=0)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n[A1] hypercube granularity ablation\n" + out.table())
+    # The context-blind partition (h=1) cannot beat the context-aware ones
+    # on the reward/violation balance.
+    from repro.metrics.ratio import performance_ratio
+
+    ratios = {k: performance_ratio(r) for k, r in out.results.items()}
+    print("  performance ratios:", {k: round(v, 3) for k, v in ratios.items()})
+    assert max(ratios["LFSC-h2"], ratios["LFSC-h3"]) >= ratios["LFSC-h1"] * 0.95
+
+
+def test_ablation_adaptive_partition(benchmark, cfg):
+    out = benchmark.pedantic(
+        lambda: _CACHE.setdefault(
+            "adaptive", ablation_adaptive_partition(cfg, split_bases=(50.0,), workers=0)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n[A1] fixed vs adaptive partition\n" + out.table())
+    fixed = out.results["LFSC-fixed"]
+    for label, res in out.results.items():
+        if label == "LFSC-fixed":
+            continue
+        # The adaptive variant must stay competitive with the tuned fixed
+        # grid (it starts coarser, so small horizons favour the fixed one).
+        assert res.total_reward > 0.75 * fixed.total_reward

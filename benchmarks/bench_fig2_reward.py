@@ -1,0 +1,57 @@
+"""E1/E2 — Fig. 2(a)/(b): cumulative and per-slot compound reward.
+
+Regenerates the series of paper Fig. 2: cumulative compound reward of
+Oracle / LFSC / vUCB / FML / Random on the same workload, plus the smoothed
+per-slot reward.  Prints the summary rows and asserts the qualitative shape
+(LFSC near Oracle; constraint-blind learners above; Random lowest).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import fig2a_cumulative_reward, fig2b_per_slot_reward
+from repro.experiments.runner import DEFAULT_POLICIES, run_experiment
+
+_CACHE: dict = {}
+
+
+def _results(cfg):
+    if "res" not in _CACHE:
+        _CACHE["res"] = run_experiment(cfg, DEFAULT_POLICIES, workers=0)
+    return _CACHE["res"]
+
+
+def test_fig2a_cumulative_reward(benchmark, cfg):
+    results = benchmark.pedantic(
+        lambda: _results(cfg), rounds=1, iterations=1
+    )
+    out = fig2a_cumulative_reward(cfg, results=results)
+    print("\n[Fig 2a] cumulative compound reward\n" + out.table())
+
+    reward = {n: r.total_reward for n, r in results.items()}
+    assert reward["LFSC"] > 0.8 * reward["Oracle"]
+    assert reward["vUCB"] > reward["Oracle"]
+    assert reward["FML"] > reward["Oracle"]
+    assert min(reward, key=reward.get) == "Random"
+
+
+def test_fig2b_per_slot_reward(benchmark, cfg):
+    results = _results(cfg)
+    out = benchmark.pedantic(
+        lambda: fig2b_per_slot_reward(cfg, results=results, window=50),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n[Fig 2b] per-slot compound reward (smoothed)\n" + out.table())
+
+    # Late-horizon per-slot reward: LFSC converges toward the Oracle.
+    lfsc_late = out.series["LFSC"][-100:].mean()
+    oracle_late = out.series["Oracle"][-100:].mean()
+    assert lfsc_late > 0.8 * oracle_late
+
+
+@pytest.mark.parametrize("policy", DEFAULT_POLICIES)
+def test_reward_series_finite(cfg, policy):
+    results = _results(cfg)
+    assert results[policy].reward.min() >= 0.0

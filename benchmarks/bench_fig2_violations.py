@@ -1,0 +1,72 @@
+"""E3/E8 — cumulative violations and the early-stage violation ratios.
+
+Regenerates the violation curves of Fig. 2 and the §5 headline numbers:
+"the total violations of LFSC are only 30%, 32% and 20% of the vUCB, FML
+and random algorithm" in the early exploration stage, decreasing over time.
+Absolute percentages depend on how much of the violation floor is inherent
+(even the Oracle violates when a slot is infeasible); the asserted shape is
+LFSC < each baseline, with the LFSC/baseline ratio shrinking over time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import fig2_violations
+from repro.experiments.runner import DEFAULT_POLICIES, run_experiment
+from repro.metrics.violations import per_slot_violation_rate, violation_series
+
+_CACHE: dict = {}
+
+
+def _results(cfg):
+    if "res" not in _CACHE:
+        _CACHE["res"] = run_experiment(cfg, DEFAULT_POLICIES, workers=0)
+    return _CACHE["res"]
+
+
+def test_fig2_violation_curves(benchmark, cfg):
+    results = benchmark.pedantic(lambda: _results(cfg), rounds=1, iterations=1)
+    out = fig2_violations(cfg, results=results)
+    print("\n[Fig 2 violations] totals and early ratios\n" + out.table())
+
+    total = {n: r.total_violations for n, r in results.items()}
+    for name in ("vUCB", "FML", "Random"):
+        assert total["LFSC"] < total[name]
+    assert total["Oracle"] <= total["LFSC"]
+
+
+def test_lfsc_violation_share_decreases_over_time(cfg):
+    """The LFSC/baseline violation ratio shrinks as LFSC learns (E8)."""
+    results = _results(cfg)
+    lfsc = violation_series(results["LFSC"])
+    t_early = max(1, results["LFSC"].horizon // 10)
+    for name in ("vUCB", "Random"):
+        base = violation_series(results[name])
+        early_ratio = lfsc[t_early - 1] / base[t_early - 1]
+        final_ratio = lfsc[-1] / base[-1]
+        assert final_ratio < early_ratio + 0.05
+
+    print("\n[E8] early vs final violation ratios")
+    for name in ("vUCB", "FML", "Random"):
+        base = violation_series(results[name])
+        print(
+            f"  LFSC/{name}: early {lfsc[t_early-1]/base[t_early-1]:.2f}"
+            f" -> final {lfsc[-1]/base[-1]:.2f}"
+        )
+
+
+def test_lfsc_per_slot_violation_rate_decreasing(cfg):
+    results = _results(cfg)
+    rate = per_slot_violation_rate(results["LFSC"], window=100)
+    early = rate[: len(rate) // 4].mean()
+    late = rate[-len(rate) // 4 :].mean()
+    print(f"\n[E3] LFSC per-slot violation rate: early {early:.2f} -> late {late:.2f}")
+    assert late < early
+
+
+def test_violations_nonnegative_and_monotone(cfg):
+    results = _results(cfg)
+    for r in results.values():
+        series = violation_series(r)
+        assert (np.diff(series) >= -1e-9).all()

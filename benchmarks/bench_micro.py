@@ -1,0 +1,62 @@
+"""Micro-benchmarks of LFSC's per-slot hot paths.
+
+These time the three inner kernels (Alg. 2 probabilities, DepRound, Alg. 4
+greedy) at paper-scale sizes (K = 100 covered tasks, M = 30 SCNs), plus one
+full simulation slot.  Useful for catching performance regressions; the
+per-slot budget at paper scale is a few milliseconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.depround import depround
+from repro.core.greedy import greedy_select
+from repro.core.probability import capped_probabilities
+from repro.experiments.runner import ExperimentConfig, build_simulation, make_policy
+
+RNG = np.random.default_rng(0)
+
+
+def test_capped_probabilities_k100(benchmark):
+    w = RNG.random(100) * 10 + 0.01
+    result = benchmark(capped_probabilities, w, 20, 0.05)
+    assert result.p.sum() == pytest.approx(20.0, rel=1e-6)
+
+
+def test_capped_probabilities_with_capping(benchmark):
+    w = np.concatenate([np.full(5, 1e6), RNG.random(95) + 0.01])
+    result = benchmark(capped_probabilities, w, 20, 0.05)
+    assert result.capped.sum() >= 5
+
+
+def test_depround_k100(benchmark):
+    p = RNG.random(100)
+    p = np.clip(p / p.sum() * 20.0, 0, 1)
+
+    def run():
+        return depround(p, RNG)
+
+    mask = benchmark(run)
+    assert mask.dtype == bool
+
+
+def test_greedy_select_paper_scale(benchmark):
+    M, n, c = 30, 1000, 20
+    coverage = [np.sort(RNG.choice(n, 70, replace=False)) for _ in range(M)]
+    weights = [RNG.random(70) for _ in range(M)]
+    a = benchmark(greedy_select, coverage, weights, c, n)
+    assert len(a) > 0
+
+
+def test_lfsc_full_slot_small_scale(benchmark):
+    cfg = ExperimentConfig.small(horizon=10)
+    sim = build_simulation(cfg)
+    policy = make_policy("LFSC", cfg, sim.truth)
+
+    def one_run():
+        return sim.run(policy, 10)
+
+    res = benchmark.pedantic(one_run, rounds=3, iterations=1)
+    assert res.horizon == 10

@@ -1,0 +1,42 @@
+"""LFSC's reward-violation operating curve vs the baselines (extension).
+
+Sweeps the dual cap λ_max to trace LFSC's trade-off frontier and checks that
+(a) larger caps cut violations, and (b) some LFSC operating point weakly
+dominates Random in the (reward, violations) plane.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.pareto import dominates, lfsc_operating_curve
+
+_CACHE: dict = {}
+
+
+def _curve(cfg):
+    if "out" not in _CACHE:
+        small = cfg.with_overrides(horizon=max(300, cfg.horizon // 2))
+        _CACHE["out"] = lfsc_operating_curve(
+            small, lambda_caps=(0.5, 5.0, 20.0), baselines=("Oracle", "vUCB", "Random"), workers=0
+        )
+    return _CACHE["out"]
+
+
+def test_operating_curve(benchmark, cfg):
+    out = benchmark.pedantic(lambda: _curve(cfg), rounds=1, iterations=1)
+    print("\n[pareto] LFSC operating curve vs baselines\n" + out.table())
+
+    viol = out.series["curve_violations"]
+    # More dual pressure -> fewer violations (monotone within noise).
+    assert viol[-1] < viol[0] * 1.05
+
+    random_pt = next(
+        (float(r["total_reward"]), float(r["total_violations"]))
+        for r in out.rows
+        if r["policy"] == "Random"
+    )
+    lfsc_pts = [
+        (float(r["total_reward"]), float(r["total_violations"]))
+        for r in out.rows
+        if str(r["policy"]).startswith("LFSC")
+    ]
+    assert any(dominates(p, random_pt) for p in lfsc_pts)

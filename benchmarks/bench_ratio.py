@@ -1,0 +1,40 @@
+"""E7 — the performance-ratio metric (paper §5).
+
+ratio = cumulative reward / (1 + cumulative violations).  The paper uses it
+to show LFSC achieves the best reward-per-violation balance.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import performance_ratio_table
+from repro.experiments.runner import DEFAULT_POLICIES, run_experiment
+from repro.metrics.ratio import performance_ratio
+
+_CACHE: dict = {}
+
+
+def _results(cfg):
+    if "res" not in _CACHE:
+        _CACHE["res"] = run_experiment(cfg, DEFAULT_POLICIES, workers=0)
+    return _CACHE["res"]
+
+
+def test_performance_ratio_table(benchmark, cfg):
+    results = benchmark.pedantic(lambda: _results(cfg), rounds=1, iterations=1)
+    out = performance_ratio_table(cfg, results=results)
+    print("\n[E7] performance ratio (reward / (1 + violations))\n" + out.table())
+
+    ratios = {n: performance_ratio(r) for n, r in results.items()}
+    assert ratios["LFSC"] > ratios["Random"]
+    # LFSC matches or beats the constraint-blind learners on balance.
+    assert ratios["LFSC"] > 0.9 * max(ratios["vUCB"], ratios["FML"])
+
+
+def test_ratio_series_improves_for_lfsc(cfg):
+    from repro.metrics.ratio import performance_ratio_series
+
+    results = _results(cfg)
+    series = performance_ratio_series(results["LFSC"])
+    q = len(series) // 4
+    print(f"\n[E7] LFSC ratio: early {series[q]:.3f} -> final {series[-1]:.3f}")
+    assert series[-1] > series[q]

@@ -1,0 +1,59 @@
+"""A2 — empirical check of Theorem 1: sub-linear regret and violations.
+
+Fits the growth exponent θ of the cumulative regret R(t) ≈ C·t^θ (and of
+the cumulative violations) over the tail of a run.  Theorem 1 predicts
+θ < 1 for LFSC; the Random baseline's regret is linear (θ ≈ 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.runner import run_experiment
+from repro.metrics.regret import regret_series, sublinearity_exponent
+from repro.metrics.violations import violation_series
+
+_CACHE: dict = {}
+
+
+def _results(cfg):
+    if "res" not in _CACHE:
+        _CACHE["res"] = run_experiment(
+            cfg, ("Oracle", "LFSC", "Random"), workers=0
+        )
+    return _CACHE["res"]
+
+
+def test_lfsc_regret_sublinear(benchmark, cfg):
+    results = benchmark.pedantic(lambda: _results(cfg), rounds=1, iterations=1)
+    lfsc = regret_series(results["LFSC"], results["Oracle"])
+    random_ = regret_series(results["Random"], results["Oracle"])
+    theta_lfsc = sublinearity_exponent(lfsc) if lfsc[-1] > 0 else 0.0
+    theta_rand = sublinearity_exponent(random_)
+    print(
+        f"\n[A2] regret growth exponents: LFSC θ={theta_lfsc:.2f}, "
+        f"Random θ={theta_rand:.2f} (θ<1 ⇒ sub-linear)"
+    )
+    assert theta_lfsc < 1.0
+    assert theta_lfsc < theta_rand
+
+
+def test_lfsc_average_regret_decreasing(cfg):
+    results = _results(cfg)
+    series = regret_series(results["LFSC"], results["Oracle"])
+    avg = series / np.arange(1, len(series) + 1)
+    q = len(avg) // 5
+    print(f"[A2] LFSC avg regret: t={q}: {avg[q]:.3f} -> t=T: {avg[-1]:.3f}")
+    assert avg[-1] < avg[q]
+
+
+def test_lfsc_excess_violation_growth_slower_than_random(cfg):
+    """LFSC's violations above the Oracle floor grow sub-linearly vs Random."""
+    results = _results(cfg)
+    oracle = violation_series(results["Oracle"])
+    lfsc_excess = violation_series(results["LFSC"]) - oracle
+    rand_excess = violation_series(results["Random"]) - oracle
+    theta_lfsc = sublinearity_exponent(np.maximum(lfsc_excess, 1e-9))
+    theta_rand = sublinearity_exponent(np.maximum(rand_excess, 1e-9))
+    print(f"[A2] excess-violation exponents: LFSC {theta_lfsc:.2f}, Random {theta_rand:.2f}")
+    assert theta_lfsc < theta_rand + 0.05

@@ -1,0 +1,44 @@
+"""Statistical robustness: the paper's orderings across independent seeds.
+
+Replicates the E1 comparison over several seeds and asserts that the key
+orderings (LFSC < vUCB violations, LFSC reward ≈ Oracle, Random worst) hold
+with a margin on the aggregated means — i.e. the reproduction's conclusions
+are not one lucky seed.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.replication import replicate, replication_rows
+from repro.metrics.summary import format_table
+
+_CACHE: dict = {}
+
+POLICIES = ("Oracle", "LFSC", "vUCB", "Random")
+
+
+def _agg(cfg):
+    if "agg" not in _CACHE:
+        small = cfg.with_overrides(horizon=max(300, cfg.horizon // 4))
+        _CACHE["agg"] = replicate(small, POLICIES, seeds=3, workers=0)
+    return _CACHE["agg"]
+
+
+def test_replicated_orderings(benchmark, cfg):
+    agg = benchmark.pedantic(lambda: _agg(cfg), rounds=1, iterations=1)
+    print("\n[replication] mean ± 95% CI over 3 seeds\n")
+    print(format_table(replication_rows(agg), precision=1))
+
+    reward = {p: agg[p]["total_reward"].mean for p in POLICIES}
+    viol = {p: agg[p]["total_violations"].mean for p in POLICIES}
+    assert reward["LFSC"] > 0.75 * reward["Oracle"]
+    assert viol["LFSC"] < viol["vUCB"]
+    assert viol["LFSC"] < viol["Random"]
+    assert reward["Random"] == min(reward.values())
+
+
+def test_replication_variance_reported(cfg):
+    agg = _agg(cfg)
+    for policy in POLICIES:
+        s = agg[policy]["total_reward"]
+        assert s.n == 3
+        assert s.ci_high >= s.ci_low

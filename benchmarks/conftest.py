@@ -1,0 +1,37 @@
+"""Shared benchmark configuration.
+
+Benchmarks default to the proportionally scaled ``small`` instance so the
+whole suite runs in minutes.  Set ``REPRO_BENCH_SCALE=paper`` to run the
+published evaluation scale (M=30, c=20, T=10,000 — minutes *per policy*),
+and ``REPRO_BENCH_HORIZON`` to override the horizon directly.
+
+Each benchmark prints the rows/series the corresponding paper artifact
+reports (run pytest with ``-s`` to see them) and records the wall-clock of
+the underlying simulation through pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig
+
+
+def bench_config(**overrides) -> ExperimentConfig:
+    """The benchmark experiment config honouring the env-var scale knobs."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small")
+    if scale == "paper":
+        cfg = ExperimentConfig.paper()
+    else:
+        cfg = ExperimentConfig.small(horizon=1200)
+    horizon = os.environ.get("REPRO_BENCH_HORIZON")
+    if horizon:
+        cfg = cfg.with_overrides(horizon=int(horizon))
+    return cfg.with_overrides(**overrides)
+
+
+@pytest.fixture(scope="session")
+def cfg() -> ExperimentConfig:
+    return bench_config()

@@ -1,0 +1,87 @@
+"""Multi-slot task execution with the priority bonus (paper §3.3, §6).
+
+Tasks need 1-3 completed slots to finish; unfinished tasks resubmit, and
+their reward is paid only on full execution.  We compare plain LFSC against
+:class:`PriorityAwareLFSC` — the paper's proposed "extra reward for
+processed tasks" — on the deferred-payout metrics: fully finished tasks,
+abandonments, and the paid (i.e. actually earned) reward.
+
+Usage:
+    python examples/multislot_execution.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ExperimentConfig, format_table
+from repro.baselines.priority import PriorityAwareLFSC
+from repro.core.lfsc import LFSCPolicy
+from repro.env.contexts import TaskFeatureModel
+from repro.env.geometry import CoverageSampler
+from repro.env.multislot import MultiSlotTracker, MultiSlotWorkload
+from repro.env.simulator import SlotFeedback
+from repro.experiments.runner import build_truth
+from repro.utils.rng import RngFactory
+
+
+def run(policy, cfg: ExperimentConfig, label: str) -> dict:
+    truth = build_truth(cfg)
+    workload = MultiSlotWorkload(
+        features=TaskFeatureModel(),
+        coverage_model=CoverageSampler(
+            num_scns=cfg.num_scns, k_min=cfg.k_min, k_max=cfg.k_max
+        ),
+        max_duration=3,
+        max_backlog=150,
+    )
+    tracker = MultiSlotTracker(patience=8)
+    network = cfg.network()
+
+    rngs = RngFactory(cfg.seed)
+    workload_rng = rngs.get("workload")
+    realize_rng = rngs.get("realizations")
+    policy.reset(network, cfg.horizon, rngs.get(f"policy.{label}"))
+    workload.reset()
+
+    for t in range(cfg.horizon):
+        slot = workload.slot(t, workload_rng)
+        assignment = policy.select(slot)
+        if len(assignment):
+            ctx = slot.tasks.contexts[assignment.task]
+            u, v, q = truth.realize(t, ctx, assignment.scn, realize_rng)
+            g = u * v / q
+        else:
+            u = v = q = g = np.empty(0)
+        feedback = SlotFeedback(assignment, u, v, q, g)
+        tracker.record(workload, slot, feedback)
+        policy.update(slot, feedback)
+
+    return {
+        "policy": label,
+        "finished_tasks": tracker.finished,
+        "abandoned_tasks": tracker.abandoned,
+        "completion_rate": tracker.completion_rate(),
+        "paid_reward": tracker.paid_reward,
+    }
+
+
+def main() -> None:
+    cfg = ExperimentConfig.small(horizon=500)
+    lfsc_cfg = cfg.lfsc_config()
+    rows = [
+        run(LFSCPolicy(lfsc_cfg), cfg, "LFSC"),
+        run(PriorityAwareLFSC(lfsc_cfg, priority_bonus=2.0), cfg, "LFSC-priority"),
+    ]
+    print("Multi-slot execution: reward paid only on full completion\n")
+    print(format_table(rows))
+    base, prio = rows
+    print(
+        f"\nThe priority bonus finishes {prio['finished_tasks'] - base['finished_tasks']:+d} "
+        f"tasks and changes paid reward by "
+        f"{(prio['paid_reward'] / base['paid_reward'] - 1):+.1%} vs plain LFSC."
+    )
+
+
+if __name__ == "__main__":
+    main()

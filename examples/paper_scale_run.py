@@ -1,0 +1,61 @@
+"""Run the full paper-scale evaluation (§5) and save the results.
+
+This regenerates every Fig. 2 series at the published scale — M=30 SCNs,
+c=20, α=15, β=27, |D_{m,t}| ∈ [35,100], T=10,000 — for all five algorithms,
+then prints the summary tables and stores the raw series under
+``results/paper_scale``.  Expect minutes of wall-clock (the Oracle solves an
+LP every slot); pass ``--horizon N`` / ``--workers W`` to scale down.
+
+Usage:
+    python examples/paper_scale_run.py [--horizon 10000] [--workers 0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments.figures import (
+    fig2_violations,
+    fig2a_cumulative_reward,
+    performance_ratio_table,
+)
+from repro.experiments.io import save_results
+from repro.experiments.runner import DEFAULT_POLICIES, ExperimentConfig, run_experiment
+from repro.metrics.violations import per_slot_violation_rate
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--horizon", type=int, default=10_000)
+    parser.add_argument("--workers", type=int, default=0, help="0 = all CPUs")
+    parser.add_argument("--out", default="results/paper_scale")
+    args = parser.parse_args()
+
+    cfg = ExperimentConfig.paper(horizon=args.horizon)
+    print(f"Running {len(DEFAULT_POLICIES)} policies at paper scale, T={args.horizon} ...")
+    t0 = time.time()
+    results = run_experiment(cfg, DEFAULT_POLICIES, workers=args.workers)
+    print(f"done in {time.time() - t0:.0f}s\n")
+
+    print("[Fig 2a] cumulative compound reward")
+    print(fig2a_cumulative_reward(cfg, results=results).table(), "\n")
+
+    print("[Fig 2 violations] totals and early-violation ratios")
+    print(fig2_violations(cfg, results=results).table(), "\n")
+
+    print("[E7] performance ratio")
+    print(performance_ratio_table(cfg, results=results).table(), "\n")
+
+    print("[E3] per-slot violation rate, first vs last quarter")
+    for name, res in results.items():
+        rate = per_slot_violation_rate(res, window=200)
+        q = len(rate) // 4
+        print(f"  {name:8s} {rate[:q].mean():8.2f} -> {rate[-q:].mean():8.2f}")
+
+    npz, js = save_results(results, args.out)
+    print(f"\nsaved: {npz} and {js}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""repro — LFSC: online learning-based task offloading for 5G small cells.
+
+A full reproduction of "An Online Learning-Based Task Offloading Framework
+for 5G Small Cell Networks" (ICPP 2020): the small-cell network simulator,
+the LFSC constrained contextual-bandit framework (Algs. 1-4), the evaluation
+baselines (Oracle / vUCB / FML / Random), the paper's metrics, and a harness
+per figure.  See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+
+Quickstart
+----------
+>>> from repro import ExperimentConfig, run_experiment, comparison_rows, format_table
+>>> cfg = ExperimentConfig.small(horizon=200)
+>>> results = run_experiment(cfg, ("Oracle", "LFSC", "Random"))
+>>> print(format_table(comparison_rows(results)))  # doctest: +SKIP
+"""
+
+from repro.core import (
+    ContextPartition,
+    LFSCConfig,
+    LFSCPolicy,
+    OffloadingPolicy,
+)
+from repro.baselines import (
+    FMLPolicy,
+    OraclePolicy,
+    RandomPolicy,
+    UnconstrainedOraclePolicy,
+    VUCBPolicy,
+)
+from repro.env import (
+    CoverageSampler,
+    GeometricCoverage,
+    NetworkConfig,
+    PiecewiseConstantTruth,
+    Simulation,
+    SimulationResult,
+    SyntheticWorkload,
+    TaskFeatureModel,
+)
+from repro.experiments import (
+    DEFAULT_POLICIES,
+    ExperimentConfig,
+    build_simulation,
+    run_experiment,
+)
+from repro.metrics import (
+    comparison_rows,
+    format_table,
+    performance_ratio,
+    regret_series,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ContextPartition",
+    "LFSCConfig",
+    "LFSCPolicy",
+    "OffloadingPolicy",
+    "FMLPolicy",
+    "OraclePolicy",
+    "RandomPolicy",
+    "UnconstrainedOraclePolicy",
+    "VUCBPolicy",
+    "CoverageSampler",
+    "GeometricCoverage",
+    "NetworkConfig",
+    "PiecewiseConstantTruth",
+    "Simulation",
+    "SimulationResult",
+    "SyntheticWorkload",
+    "TaskFeatureModel",
+    "DEFAULT_POLICIES",
+    "ExperimentConfig",
+    "build_simulation",
+    "run_experiment",
+    "comparison_rows",
+    "format_table",
+    "performance_ratio",
+    "regret_series",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Run diagnostics and terminal-friendly visualization.
+
+- :mod:`repro.analysis.convergence` — weight-concentration and multiplier
+  diagnostics for LFSC runs (has the learner settled? on what?);
+- :mod:`repro.analysis.ascii_plot` — dependency-free line/sparkline charts
+  so examples and benches can *show* the Fig. 2 curves in a terminal.
+"""
+
+from repro.analysis.ascii_plot import ascii_plot, sparkline
+from repro.analysis.convergence import (
+    multiplier_summary,
+    weight_concentration,
+    weight_entropy,
+)
+
+__all__ = [
+    "ascii_plot",
+    "sparkline",
+    "multiplier_summary",
+    "weight_concentration",
+    "weight_entropy",
+]

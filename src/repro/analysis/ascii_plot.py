@@ -1,0 +1,82 @@
+"""Dependency-free terminal charts for result series.
+
+Matplotlib is deliberately not a dependency of this reproduction; the
+figures' *data* come from :mod:`repro.experiments.figures`, and these
+helpers render quick looks directly in the terminal — enough to eyeball the
+Fig. 2 shapes (who is above whom, where curves bend).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["sparkline", "ascii_plot"]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], *, width: int = 60) -> str:
+    """A one-line unicode sparkline of ``values``, resampled to ``width``."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return ""
+    if arr.size > width:
+        # Block-mean resample to the target width.
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        arr = np.array([arr[a:b].mean() for a, b in zip(edges[:-1], edges[1:])])
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi - lo < 1e-12:
+        return _SPARK_CHARS[0] * arr.size
+    levels = ((arr - lo) / (hi - lo) * (len(_SPARK_CHARS) - 1)).round().astype(int)
+    return "".join(_SPARK_CHARS[k] for k in levels)
+
+
+def ascii_plot(
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 70,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Multi-series ASCII line chart.
+
+    Each series gets a marker letter (a, b, c, ...); overlapping points show
+    the later series' marker.  Y-axis is shared and annotated with min/max.
+
+    Parameters
+    ----------
+    series:
+        label -> 1-D values.  Series of different lengths share the x-axis
+        by fraction of their own length.
+    """
+    labeled = [(label, np.asarray(list(v), dtype=float)) for label, v in series.items()]
+    labeled = [(l, v) for l, v in labeled if v.size > 0]
+    if not labeled:
+        return "(no data)"
+    lo = min(float(v.min()) for _, v in labeled)
+    hi = max(float(v.max()) for _, v in labeled)
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "abcdefghijklmnopqrstuvwxyz"
+    for k, (_, values) in enumerate(labeled):
+        marker = markers[k % len(markers)]
+        xs = np.linspace(0, values.size - 1, width).astype(int)
+        for col, xi in enumerate(xs):
+            frac = (values[xi] - lo) / (hi - lo)
+            row = height - 1 - int(round(frac * (height - 1)))
+            grid[row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{hi:12.2f} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 12 + " │" + "".join(row))
+    lines.append(f"{lo:12.2f} ┤" + "".join(grid[-1]))
+    legend = "   ".join(
+        f"{markers[k % len(markers)]}={label}" for k, (label, _) in enumerate(labeled)
+    )
+    lines.append(" " * 14 + legend)
+    return "\n".join(lines)

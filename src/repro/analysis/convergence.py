@@ -1,0 +1,66 @@
+"""Convergence diagnostics for LFSC runs.
+
+LFSC has converged when (i) each SCN's hypercube weights concentrate on a
+small stable set and (ii) the Lagrange multipliers settle near their
+equilibria.  These helpers quantify both from a finished policy object.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.lfsc import LFSCPolicy
+from repro.utils.validation import require
+
+__all__ = ["weight_entropy", "weight_concentration", "multiplier_summary"]
+
+
+def weight_entropy(policy: LFSCPolicy, *, normalized: bool = True) -> np.ndarray:
+    """Shannon entropy of each SCN's weight distribution over cubes.
+
+    Uniform weights give entropy ln(F) (or 1.0 when ``normalized``); a fully
+    converged SCN that always prefers one cube approaches 0.
+    """
+    shares = policy.weights_snapshot()
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = np.where(shares > 0, shares * np.log(shares), 0.0)
+    entropy = -terms.sum(axis=1)
+    if normalized:
+        entropy = entropy / np.log(shares.shape[1])
+    return entropy
+
+
+def weight_concentration(policy: LFSCPolicy, *, top_k: int = 1) -> np.ndarray:
+    """Per-SCN probability mass on its ``top_k`` heaviest cubes."""
+    require(top_k >= 1, f"top_k must be >= 1, got {top_k}")
+    shares = policy.weights_snapshot()
+    k = min(top_k, shares.shape[1])
+    top = np.sort(shares, axis=1)[:, -k:]
+    return top.sum(axis=1)
+
+
+def multiplier_summary(policy: LFSCPolicy, *, tail_fraction: float = 0.25) -> dict[str, float]:
+    """Late-run statistics of the dual variables.
+
+    Reports the tail means and the tail drift (late mean minus the mean of
+    the preceding window) of λ₁ and λ₂ averaged over SCNs; drift near zero
+    indicates the duals have settled.
+    """
+    require(0.0 < tail_fraction <= 0.5, "tail_fraction must be in (0, 0.5]")
+    hist_q = policy.multiplier_history_qos
+    hist_r = policy.multiplier_history_resource
+    if hist_q is None or policy.t == 0:
+        raise RuntimeError("policy has no recorded multiplier history")
+    T = policy.t
+    tail = max(1, int(T * tail_fraction))
+    q_tail = hist_q[T - tail : T].mean()
+    r_tail = hist_r[T - tail : T].mean()
+    prev_lo = max(0, T - 2 * tail)
+    q_prev = hist_q[prev_lo : T - tail].mean() if T - tail > prev_lo else q_tail
+    r_prev = hist_r[prev_lo : T - tail].mean() if T - tail > prev_lo else r_tail
+    return {
+        "lambda_qos_tail_mean": float(q_tail),
+        "lambda_resource_tail_mean": float(r_tail),
+        "lambda_qos_drift": float(q_tail - q_prev),
+        "lambda_resource_drift": float(r_tail - r_prev),
+    }

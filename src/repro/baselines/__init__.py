@@ -1,0 +1,26 @@
+"""Benchmark policies from the paper's evaluation (§5) plus ablation extras.
+
+- :class:`OraclePolicy` — full-knowledge per-slot optimum (upper bound);
+- :class:`VUCBPolicy` — variant-UCB: UCB1 indices per hypercube + greedy;
+- :class:`FMLPolicy` — fast context-aware learning with a deterministic
+  exploration control function + greedy;
+- :class:`RandomPolicy` — uniform random conflict-free selection;
+- extras (ours, for ablations): ε-greedy, Thompson sampling, and the
+  unconstrained known-mean greedy.
+"""
+
+from repro.baselines.oracle import OraclePolicy, UnconstrainedOraclePolicy
+from repro.baselines.vucb import VUCBPolicy
+from repro.baselines.fml import FMLPolicy
+from repro.baselines.random_policy import RandomPolicy
+from repro.baselines.extras import EpsilonGreedyPolicy, ThompsonSamplingPolicy
+
+__all__ = [
+    "OraclePolicy",
+    "UnconstrainedOraclePolicy",
+    "VUCBPolicy",
+    "FMLPolicy",
+    "RandomPolicy",
+    "EpsilonGreedyPolicy",
+    "ThompsonSamplingPolicy",
+]

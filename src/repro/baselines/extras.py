@@ -1,0 +1,145 @@
+"""Additional learning baselines (ours, for ablations beyond the paper).
+
+- :class:`EpsilonGreedyPolicy` — decaying-ε exploration over hypercube
+  sample means; the simplest constraint-blind learner, anchoring how much of
+  vUCB/FML's performance comes from their smarter exploration.
+- :class:`ThompsonSamplingPolicy` — Gaussian Thompson sampling on the
+  hypercube means (posterior ~ N(mean, scale²/(N+1))), a randomized
+  exploration alternative.
+
+Both reuse the hypercube discretization and the greedy coordination, so the
+comparison isolates the exploration strategy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import OffloadingPolicy
+from repro.core.estimators import CubeStatistics
+from repro.core.greedy import greedy_select
+from repro.core.hypercube import ContextPartition
+from repro.env.network import NetworkConfig
+from repro.env.simulator import Assignment, SlotFeedback, SlotObservation
+from repro.utils.validation import check_positive, require
+
+
+__all__ = ["EpsilonGreedyPolicy", "ThompsonSamplingPolicy"]
+
+
+class _MeanLearningPolicy(OffloadingPolicy):
+    """Shared plumbing: hypercube stats + cached cube classification."""
+
+    def __init__(self, partition: ContextPartition | None = None) -> None:
+        super().__init__()
+        self.partition = partition if partition is not None else ContextPartition()
+        self.stats: CubeStatistics | None = None
+        self._cache: tuple[int, list[np.ndarray]] | None = None
+
+    def reset(self, network: NetworkConfig, horizon: int, rng: np.random.Generator) -> None:
+        super().reset(network, horizon, rng)
+        self.stats = CubeStatistics(
+            num_scns=network.num_scns, num_cubes=self.partition.num_cubes
+        )
+
+    def _classify(self, slot: SlotObservation) -> list[np.ndarray]:
+        cubes_per_scn = []
+        for cov in slot.coverage:
+            cov = np.asarray(cov, dtype=np.int64)
+            cubes_per_scn.append(
+                self.partition.assign(slot.tasks.contexts[cov]) if cov.size else cov
+            )
+        self._cache = (slot.t, cubes_per_scn)
+        return cubes_per_scn
+
+    def _update(self, slot: SlotObservation, feedback: SlotFeedback) -> None:
+        assert self.stats is not None
+        cache = self._cache
+        if cache is None or cache[0] != slot.t:
+            raise RuntimeError("update() must follow the select() of the same slot")
+        asn = feedback.assignment
+        if len(asn) == 0:
+            return
+        cubes = np.empty(len(asn), dtype=np.int64)
+        for m in np.unique(asn.scn):
+            rows = np.flatnonzero(asn.scn == m)
+            cov = np.asarray(slot.coverage[m], dtype=np.int64)
+            sorter = np.argsort(cov)
+            pos = sorter[np.searchsorted(cov, asn.task[rows], sorter=sorter)]
+            cubes[rows] = cache[1][m][pos]
+        self.stats.observe(asn.scn, cubes, feedback.g, feedback.v, feedback.q)
+        self._cache = None
+
+
+class EpsilonGreedyPolicy(_MeanLearningPolicy):
+    """Decaying-ε greedy over hypercube sample means.
+
+    With probability ε_t = min(1, epsilon0·F/max(t,1)) a SCN's edge weights
+    are uniform random (exploration slot); otherwise they are the sample
+    means (exploitation).  The decay gives the usual logarithmic exploration
+    budget for stationary means.
+    """
+
+    name = "eps-greedy"
+
+    def __init__(
+        self,
+        partition: ContextPartition | None = None,
+        *,
+        epsilon0: float = 5.0,
+    ) -> None:
+        super().__init__(partition)
+        check_positive("epsilon0", epsilon0)
+        self.epsilon0 = float(epsilon0)
+
+    def epsilon(self) -> float:
+        """Current exploration probability."""
+        return min(1.0, self.epsilon0 * self.partition.num_cubes / max(self.t, 1))
+
+    def select(self, slot: SlotObservation) -> Assignment:
+        network = self._require_reset()
+        assert self.stats is not None
+        cubes_per_scn = self._classify(slot)
+        eps = self.epsilon()
+        weights = []
+        for m, cubes in enumerate(cubes_per_scn):
+            if cubes.size == 0:
+                weights.append(np.empty(0))
+            elif self.rng.random() < eps:
+                weights.append(self.rng.random(cubes.size))
+            else:
+                weights.append(self.stats.mean_g[m, cubes])
+        return greedy_select(slot.coverage, weights, network.capacity, len(slot.tasks))
+
+
+class ThompsonSamplingPolicy(_MeanLearningPolicy):
+    """Gaussian Thompson sampling on hypercube mean rewards.
+
+    Each slot, every (SCN, cube) pair draws a plausible mean
+    ~ N(mean_g, scale²/(N+1)); the draws become the edge weights.  Unvisited
+    cubes therefore have the widest posteriors and get explored naturally.
+    """
+
+    name = "thompson"
+
+    def __init__(
+        self,
+        partition: ContextPartition | None = None,
+        *,
+        scale: float = 0.5,
+    ) -> None:
+        super().__init__(partition)
+        require(scale > 0, f"scale must be > 0, got {scale}")
+        self.scale = float(scale)
+
+    def select(self, slot: SlotObservation) -> Assignment:
+        network = self._require_reset()
+        assert self.stats is not None
+        std = self.scale / np.sqrt(self.stats.counts + 1.0)
+        draws = self.rng.normal(self.stats.mean_g, std)
+        cubes_per_scn = self._classify(slot)
+        weights = [
+            draws[m, cubes] if cubes.size else np.empty(0)
+            for m, cubes in enumerate(cubes_per_scn)
+        ]
+        return greedy_select(slot.coverage, weights, network.capacity, len(slot.tasks))

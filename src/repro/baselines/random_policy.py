@@ -1,0 +1,32 @@
+"""The Random baseline (paper §5).
+
+"This algorithm randomly picks c tasks for each SCN in each time slot, and
+each task cannot be repeatedly offloaded."  Implemented as the greedy
+coordination over i.i.d. uniform edge weights, which realizes exactly a
+uniform random conflict-free assignment: every maximal assignment honouring
+(1a)/(1b) ordering arises from some weight draw with equal probability of
+relative orderings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import OffloadingPolicy
+from repro.core.greedy import greedy_select
+from repro.env.simulator import Assignment, SlotObservation
+
+__all__ = ["RandomPolicy"]
+
+
+class RandomPolicy(OffloadingPolicy):
+    """Uniform random conflict-free task selection."""
+
+    name = "Random"
+
+    def select(self, slot: SlotObservation) -> Assignment:
+        network = self._require_reset()
+        weights = [
+            self.rng.random(len(np.asarray(cov))) for cov in slot.coverage
+        ]
+        return greedy_select(slot.coverage, weights, network.capacity, len(slot.tasks))

@@ -1,0 +1,189 @@
+"""Command-line interface: regenerate any paper artifact from the shell.
+
+Usage (module form)::
+
+    python -m repro fig2a --scale small --horizon 1000
+    python -m repro fig3 --workers 0
+    python -m repro run --policies Oracle LFSC Random --plot
+    python -m repro ablations --study lagrangian
+
+Every subcommand prints the same rows/series the paper reports (via the
+harnesses in :mod:`repro.experiments.figures`) and can render an ASCII chart
+(``--plot``) or persist raw series (``--save PATH``).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.analysis.ascii_plot import ascii_plot
+from repro.experiments.ablations import (
+    ablation_adaptive_partition,
+    ablation_assignment_mode,
+    ablation_lagrangian,
+    ablation_partition_granularity,
+)
+from repro.experiments.figures import (
+    FigureOutput,
+    fig2_violations,
+    fig2a_cumulative_reward,
+    fig2b_per_slot_reward,
+    fig3_alpha_sweep,
+    fig4_likelihood_sweep,
+    performance_ratio_table,
+)
+from repro.experiments.io import save_results
+from repro.experiments.runner import (
+    DEFAULT_POLICIES,
+    ExperimentConfig,
+    run_experiment,
+)
+from repro.metrics.summary import comparison_rows
+
+__all__ = ["main", "build_parser"]
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    cfg = (
+        ExperimentConfig.paper()
+        if args.scale == "paper"
+        else ExperimentConfig.small()
+    )
+    overrides = {}
+    if args.horizon is not None:
+        overrides["horizon"] = args.horizon
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    return cfg.with_overrides(**overrides) if overrides else cfg
+
+
+def _emit(out: FigureOutput, args: argparse.Namespace) -> None:
+    print(out.table())
+    if args.plot and out.series:
+        plot_series = {
+            k: v for k, v in out.series.items() if k != "x"
+        }
+        print()
+        print(ascii_plot(plot_series, title=out.name))
+    if args.save and out.results is not None:
+        npz, js = save_results(out.results, args.save)
+        print(f"\nsaved raw series: {npz}, {js}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--scale", choices=("small", "paper"), default="small")
+    common.add_argument("--horizon", type=int, default=None)
+    common.add_argument("--seed", type=int, default=None)
+    common.add_argument("--workers", type=int, default=0, help="0 = all CPUs, 1 = serial")
+    common.add_argument("--plot", action="store_true", help="render an ASCII chart")
+    common.add_argument("--save", default=None, help="persist raw series to PATH.{npz,json}")
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LFSC reproduction — regenerate the paper's evaluation artifacts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser(
+        "run", parents=[common], help="run a policy comparison and print the summary"
+    )
+    run_p.add_argument("--policies", nargs="+", default=list(DEFAULT_POLICIES))
+
+    for name, help_text in (
+        ("fig2a", "cumulative compound reward (Fig. 2a)"),
+        ("fig2b", "per-slot compound reward (Fig. 2b)"),
+        ("fig2-violations", "cumulative violations + early ratios"),
+        ("ratio", "performance ratio table (§5)"),
+    ):
+        sub.add_parser(name, parents=[common], help=help_text)
+
+    fig3_p = sub.add_parser("fig3", parents=[common], help="alpha sweep (Fig. 3)")
+    fig3_p.add_argument(
+        "--alpha-fractions",
+        nargs="+",
+        type=float,
+        default=[0.65, 0.70, 0.75, 0.80, 0.85],
+    )
+
+    fig4_p = sub.add_parser("fig4", parents=[common], help="likelihood-range sweep (Fig. 4)")
+    fig4_p.add_argument("--v-lows", nargs="+", type=float, default=[0.0, 0.25, 0.5, 0.75])
+
+    abl_p = sub.add_parser("ablations", parents=[common], help="LFSC design-choice ablations")
+    abl_p.add_argument(
+        "--study",
+        choices=("lagrangian", "assignment", "partition", "adaptive", "all"),
+        default="all",
+    )
+
+    rep_p = sub.add_parser(
+        "report", parents=[common], help="run the harnesses and write a markdown report"
+    )
+    rep_p.add_argument("--out", default="results/report.md")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    cfg = _config_from_args(args)
+    workers = args.workers
+
+    if args.command == "run":
+        results = run_experiment(cfg, tuple(args.policies), workers=workers)
+        out = FigureOutput(
+            name="run",
+            series={n: r.cumulative_reward for n, r in results.items()},
+            rows=comparison_rows(results),
+            results=results,
+        )
+        _emit(out, args)
+    elif args.command == "fig2a":
+        _emit(fig2a_cumulative_reward(cfg, workers=workers), args)
+    elif args.command == "fig2b":
+        _emit(fig2b_per_slot_reward(cfg, workers=workers), args)
+    elif args.command == "fig2-violations":
+        _emit(fig2_violations(cfg, workers=workers), args)
+    elif args.command == "ratio":
+        _emit(performance_ratio_table(cfg, workers=workers), args)
+    elif args.command == "fig3":
+        alphas = tuple(round(f * cfg.capacity, 3) for f in args.alpha_fractions)
+        _emit(fig3_alpha_sweep(cfg, alphas=alphas, workers=workers), args)
+    elif args.command == "fig4":
+        _emit(fig4_likelihood_sweep(cfg, v_lows=tuple(args.v_lows), workers=workers), args)
+    elif args.command == "ablations":
+        studies = {
+            "lagrangian": ablation_lagrangian,
+            "assignment": ablation_assignment_mode,
+            "partition": ablation_partition_granularity,
+            "adaptive": ablation_adaptive_partition,
+        }
+        names = list(studies) if args.study == "all" else [args.study]
+        for name in names:
+            print(f"\n=== ablation: {name} ===")
+            _emit(studies[name](cfg, workers=workers), args)
+    elif args.command == "report":
+        from pathlib import Path
+
+        from repro.experiments.report import evaluate_shapes, render_report
+
+        shared = run_experiment(cfg, DEFAULT_POLICIES, workers=workers)
+        outputs = [
+            fig2a_cumulative_reward(cfg, results=shared),
+            fig2_violations(cfg, results=shared),
+            performance_ratio_table(cfg, results=shared),
+        ]
+        checks = evaluate_shapes(outputs)
+        text = render_report(outputs, checks)
+        out_path = Path(args.out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(text)
+        print(text)
+        print(f"\nwrote {out_path}")
+    else:  # pragma: no cover - argparse enforces the choices
+        raise SystemExit(2)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

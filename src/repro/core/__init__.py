@@ -1,0 +1,38 @@
+"""LFSC — the paper's online learning framework (DESIGN.md S6-S10).
+
+- :mod:`repro.core.hypercube`   — uniform context partition (h_T)^D (§4.2);
+- :mod:`repro.core.probability` — Alg. 2, capped exponential-weights
+  selection probabilities (Exp3.M-style);
+- :mod:`repro.core.greedy`      — Alg. 4, the (c+1)-approximate greedy
+  bipartite assignment coordinating all SCNs;
+- :mod:`repro.core.multipliers` — Lagrange multipliers for constraints
+  (1c)/(1d) with projected dual ascent;
+- :mod:`repro.core.estimators`  — importance-weighted unbiased estimates and
+  per-hypercube running statistics;
+- :mod:`repro.core.update`      — Alg. 3, the weight/multiplier update;
+- :mod:`repro.core.lfsc`        — Alg. 1, the LFSC policy tying it together;
+- :mod:`repro.core.config`      — tunables incl. theorem-suggested defaults;
+- :mod:`repro.core.base`        — the policy ABC shared with the baselines.
+"""
+
+from repro.core.base import OffloadingPolicy
+from repro.core.config import LFSCConfig
+from repro.core.hypercube import ContextPartition
+from repro.core.probability import CappedProbabilities, capped_probabilities
+from repro.core.greedy import greedy_select
+from repro.core.multipliers import LagrangeMultipliers
+from repro.core.estimators import CubeStatistics, importance_weighted
+from repro.core.lfsc import LFSCPolicy
+
+__all__ = [
+    "OffloadingPolicy",
+    "LFSCConfig",
+    "ContextPartition",
+    "CappedProbabilities",
+    "capped_probabilities",
+    "greedy_select",
+    "LagrangeMultipliers",
+    "CubeStatistics",
+    "importance_weighted",
+    "LFSCPolicy",
+]

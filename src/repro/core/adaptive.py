@@ -1,0 +1,234 @@
+"""Adaptive context partitioning (extension; cf. the paper's fixed (h_T)^D grid).
+
+The paper fixes the hypercube partition up front, which wastes resolution on
+context regions that rarely occur and under-resolves busy ones.  The
+contextual-bandit literature the paper builds on refines *adaptively*: a
+cube is split into its 2^D half-side children once it has been observed
+
+    N(cube) ≥ split_base · 2^(split_rho · level)
+
+times (deeper cubes need exponentially more evidence, keeping the
+approximation/estimation balance of the fixed-grid analysis).  This module
+implements that zooming scheme:
+
+- :class:`AdaptivePartition` — a box tree over Φ = [0,1]^D that duck-types
+  :class:`~repro.core.hypercube.ContextPartition` (``assign`` +
+  ``num_cubes``), so it plugs straight into :class:`LFSCConfig`;
+- :class:`AdaptiveLFSCPolicy` — LFSC whose hypercube weights follow the
+  splits: children inherit the parent's weight, so refinement never forgets
+  what was learned at the coarser scale.
+
+``benchmarks/bench_ablations.py`` compares fixed vs adaptive partitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import LFSCConfig
+from repro.core.lfsc import LFSCPolicy
+from repro.env.network import NetworkConfig
+from repro.env.simulator import SlotFeedback, SlotObservation
+from repro.utils.validation import check_positive, require
+
+__all__ = ["AdaptivePartition", "AdaptiveLFSCPolicy"]
+
+
+@dataclass
+class AdaptivePartition:
+    """A zooming box tree over [0,1]^dims.
+
+    Parameters
+    ----------
+    dims:
+        Context dimensionality D.
+    max_leaves:
+        Hard cap on the number of leaves (also sizes the weight matrices of
+        policies using this partition — see :attr:`num_cubes`).
+    split_base, split_rho:
+        A level-l leaf splits after ``split_base · 2^(split_rho·l)``
+        observations.  ``split_rho=2`` mirrors the T^{1/(2+D)} balance of the
+        fixed grid.
+
+    Leaves carry stable integer ids in ``range(num_cubes)``; ids of split
+    (now internal) nodes are never reused, so learned per-cube state indexed
+    by id stays valid forever.
+    """
+
+    dims: int = 3
+    max_leaves: int = 256
+    split_base: float = 50.0
+    split_rho: float = 2.0
+
+    def __post_init__(self) -> None:
+        check_positive("dims", self.dims)
+        check_positive("max_leaves", self.max_leaves)
+        check_positive("split_base", self.split_base)
+        require(self.split_rho >= 0, "split_rho must be >= 0")
+        require(
+            self.max_leaves >= 2**self.dims + 1,
+            f"max_leaves must allow at least one split: >= {2**self.dims + 1}",
+        )
+        self.reset()
+
+    # -- ContextPartition interface -----------------------------------------
+
+    @property
+    def num_cubes(self) -> int:
+        """Capacity of the id space (weight matrices are sized by this).
+
+        Each split retires one leaf and allocates 2^D child ids, growing the
+        leaf count by 2^D − 1; with at most
+        S = floor((max_leaves − 1)/(2^D − 1)) splits ever possible, ids stay
+        below 1 + S·2^D.
+        """
+        kids = 2**self.dims
+        max_splits = (self.max_leaves - 1) // (kids - 1)
+        return 1 + max_splits * kids
+
+    @property
+    def num_leaves(self) -> int:
+        return int(self._leaf_ids.shape[0])
+
+    def assign(self, contexts: np.ndarray) -> np.ndarray:
+        """Leaf id for each context row (vectorized point-in-box search)."""
+        ctx = np.atleast_2d(np.asarray(contexts, dtype=float))
+        if np.any(ctx < 0.0) or np.any(ctx > 1.0):
+            raise ValueError("contexts must lie in [0,1]^D")
+        lows = self._leaf_lows  # (L, D)
+        sides = self._leaf_sides  # (L,)
+        # inside[i, l] — is context i inside leaf l?  Upper face inclusive
+        # only on the domain boundary, handled by nudging 1.0 inward.
+        pts = np.minimum(ctx, 1.0 - 1e-12)
+        ge = pts[:, None, :] >= lows[None, :, :]
+        lt = pts[:, None, :] < (lows + sides[:, None])[None, :, :]
+        inside = np.logical_and(ge, lt).all(axis=2)
+        leaf_pos = inside.argmax(axis=1)
+        if not inside[np.arange(ctx.shape[0]), leaf_pos].all():
+            raise RuntimeError("partition does not cover a context (tree bug)")
+        return self._leaf_ids[leaf_pos]
+
+    # -- tree maintenance -------------------------------------------------
+
+    def reset(self) -> None:
+        """Back to the single root leaf covering all of Φ."""
+        self._leaf_ids = np.array([0], dtype=np.int64)
+        self._leaf_lows = np.zeros((1, self.dims))
+        self._leaf_sides = np.ones(1)
+        self._leaf_levels = np.zeros(1, dtype=np.int64)
+        self._counts: dict[int, int] = {0: 0}
+        self._next_id = 1
+
+    def level_of(self, leaf_id: int) -> int:
+        pos = np.flatnonzero(self._leaf_ids == leaf_id)
+        require(pos.size == 1, f"{leaf_id} is not a live leaf")
+        return int(self._leaf_levels[pos[0]])
+
+    def split_threshold(self, level: int) -> float:
+        return self.split_base * 2.0 ** (self.split_rho * level)
+
+    def observe(self, leaf_ids: np.ndarray) -> list[tuple[int, list[int]]]:
+        """Record observations; split saturated leaves.
+
+        Parameters
+        ----------
+        leaf_ids:
+            One entry per observation (repeats allowed).
+
+        Returns
+        -------
+        A list of ``(parent_id, child_ids)`` for every split performed, in
+        order — callers migrate per-cube learned state along these edges.
+        """
+        ids, reps = np.unique(np.asarray(leaf_ids, dtype=np.int64), return_counts=True)
+        for leaf, n in zip(ids.tolist(), reps.tolist()):
+            if leaf in self._counts:
+                self._counts[leaf] += int(n)
+        splits: list[tuple[int, list[int]]] = []
+        # Iterate over a snapshot: new children start with count 0 and can't
+        # immediately re-split within the same call.
+        for leaf in ids.tolist():
+            pos = np.flatnonzero(self._leaf_ids == leaf)
+            if pos.size == 0:
+                continue
+            p = int(pos[0])
+            level = int(self._leaf_levels[p])
+            if self._counts.get(leaf, 0) < self.split_threshold(level):
+                continue
+            n_children = 2**self.dims
+            if self.num_leaves - 1 + n_children > self.max_leaves:
+                continue  # at capacity: stop refining
+            splits.append((leaf, self._split_at(p)))
+        return splits
+
+    def _split_at(self, pos: int) -> list[int]:
+        """Replace the leaf at array position ``pos`` with its 2^D children."""
+        low = self._leaf_lows[pos]
+        side = float(self._leaf_sides[pos]) / 2.0
+        level = int(self._leaf_levels[pos]) + 1
+        child_ids: list[int] = []
+        child_lows = []
+        for corner in range(2**self.dims):
+            offs = np.array(
+                [(corner >> d) & 1 for d in range(self.dims)], dtype=float
+            )
+            child_lows.append(low + offs * side)
+            child_ids.append(self._next_id)
+            self._counts[self._next_id] = 0
+            self._next_id += 1
+        parent_id = int(self._leaf_ids[pos])
+        del self._counts[parent_id]
+        keep = np.ones(self.num_leaves, dtype=bool)
+        keep[pos] = False
+        self._leaf_ids = np.concatenate(
+            [self._leaf_ids[keep], np.asarray(child_ids, dtype=np.int64)]
+        )
+        self._leaf_lows = np.vstack([self._leaf_lows[keep], np.vstack(child_lows)])
+        self._leaf_sides = np.concatenate(
+            [self._leaf_sides[keep], np.full(len(child_ids), side)]
+        )
+        self._leaf_levels = np.concatenate(
+            [self._leaf_levels[keep], np.full(len(child_ids), level, dtype=np.int64)]
+        )
+        return child_ids
+
+
+class AdaptiveLFSCPolicy(LFSCPolicy):
+    """LFSC over an adaptive partition; children inherit parental weights."""
+
+    name = "LFSC-adaptive"
+
+    def __init__(
+        self,
+        config: LFSCConfig | None = None,
+        *,
+        partition: AdaptivePartition | None = None,
+    ) -> None:
+        base = config if config is not None else LFSCConfig()
+        self.adaptive = partition if partition is not None else AdaptivePartition()
+        super().__init__(base.with_overrides(partition=self.adaptive))
+
+    def reset(self, network: NetworkConfig, horizon: int, rng: np.random.Generator) -> None:
+        self.adaptive.reset()
+        super().reset(network, horizon, rng)
+
+    def _update(self, slot: SlotObservation, feedback: SlotFeedback) -> None:
+        cache = self._cache
+        super()._update(slot, feedback)
+        assert self.log_w is not None and cache is not None
+        # Feed this slot's *processed* observations to the tree; on splits,
+        # every SCN's children start from the parent's learned weight.
+        asn = feedback.assignment
+        if len(asn) == 0:
+            return
+        observed: list[int] = []
+        for m in np.unique(asn.scn):
+            cov = cache.coverage[m]
+            sel = asn.task[asn.scn == m]
+            pos = np.searchsorted(cov, sel)
+            observed.extend(cache.cubes[m][pos].tolist())
+        for parent, children in self.adaptive.observe(np.asarray(observed)):
+            for child in children:
+                self.log_w[:, child] = self.log_w[:, parent]

@@ -1,0 +1,70 @@
+"""The offloading-policy abstract base class.
+
+Implements the contract the simulator expects (see
+:class:`repro.env.simulator.PolicyProtocol`) plus small shared conveniences.
+LFSC and every baseline derive from :class:`OffloadingPolicy`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.env.network import NetworkConfig
+from repro.env.simulator import Assignment, SlotFeedback, SlotObservation
+
+__all__ = ["OffloadingPolicy"]
+
+
+class OffloadingPolicy(ABC):
+    """Base class for task-offloading policies.
+
+    Subclasses implement :meth:`select` and (optionally) :meth:`_update`;
+    :meth:`reset` may be extended but must call ``super().reset(...)``.
+
+    Attributes available after :meth:`reset`:
+
+    - ``self.network`` — the :class:`NetworkConfig` (M, c, α, β);
+    - ``self.horizon`` — the announced number of slots T;
+    - ``self.rng``     — the policy's private random stream;
+    - ``self.t``       — the index of the slot currently being decided.
+    """
+
+    #: Human-readable policy name (used in results and plots).
+    name: str = "policy"
+
+    def __init__(self) -> None:
+        self.network: NetworkConfig | None = None
+        self.horizon: int = 0
+        self.rng: np.random.Generator = np.random.default_rng(0)
+        self.t: int = 0
+
+    def reset(self, network: NetworkConfig, horizon: int, rng: np.random.Generator) -> None:
+        """Prepare internal state for a fresh run."""
+        self.network = network
+        self.horizon = int(horizon)
+        self.rng = rng
+        self.t = 0
+
+    @abstractmethod
+    def select(self, slot: SlotObservation) -> Assignment:
+        """Return this slot's offloading assignment."""
+
+    def update(self, slot: SlotObservation, feedback: SlotFeedback) -> None:
+        """Consume feedback, then advance the slot counter."""
+        self._update(slot, feedback)
+        self.t += 1
+
+    def _update(self, slot: SlotObservation, feedback: SlotFeedback) -> None:
+        """Subclass hook; default is stateless (e.g. the Random baseline)."""
+
+    # -- shared helpers -----------------------------------------------------
+
+    def _require_reset(self) -> NetworkConfig:
+        if self.network is None:
+            raise RuntimeError(
+                f"{type(self).__name__}.select() called before reset(); "
+                "run it through Simulation.run() or call reset() first"
+            )
+        return self.network

@@ -1,0 +1,88 @@
+"""Dependent rounding (DepRound) for multiple-play bandit sampling.
+
+Exp3.M turns a marginal probability vector p ∈ [0,1]^K with Σp = c into a
+random subset of exactly c arms whose inclusion marginals are exactly p.
+DepRound does this in O(K): repeatedly take two fractional coordinates and
+move probability mass between them in the direction that keeps both in
+[0, 1], choosing the direction randomly with odds that preserve expectations;
+each step fixes at least one coordinate at 0 or 1.
+
+LFSC's default assignment mode samples each SCN's candidate set this way
+before the greedy coordination resolves conflicts (see
+:class:`repro.core.config.LFSCConfig.assignment_mode`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["depround"]
+
+_TOL = 1e-9
+
+
+def depround(p: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Sample a subset with inclusion marginals ``p`` and fixed size Σp.
+
+    Parameters
+    ----------
+    p:
+        ``(K,)`` probabilities in [0, 1].  Σp should be (nearly) integral;
+        a residual fractional coordinate due to floating-point error is
+        resolved by one final Bernoulli draw, preserving its marginal.
+    rng:
+        Random stream.
+
+    Returns
+    -------
+    ``(K,)`` boolean selection mask with ``mask.sum() ∈ {floor(Σp), ceil(Σp)}``
+    and ``E[mask] = p`` exactly.
+    """
+    work = np.asarray(p, dtype=float).copy()
+    if work.ndim != 1:
+        raise ValueError(f"p must be 1-D, got shape {work.shape}")
+    if np.any(work < -_TOL) or np.any(work > 1.0 + _TOL):
+        raise ValueError("probabilities must lie in [0, 1]")
+    np.clip(work, 0.0, 1.0, out=work)
+
+    # Hot path of every LFSC slot: run the pairing walk on Python scalars
+    # (ndarray scalar indexing costs ~100x a list access) with all uniform
+    # draws taken up front (each iteration fixes >= 1 coordinate, so at most
+    # len(fractional) draws are ever needed).
+    frac_pos = np.flatnonzero((work > _TOL) & (work < 1.0 - _TOL))
+    ids: list[int] = frac_pos.tolist()
+    vals: list[float] = work[frac_pos].tolist()
+    draws = rng.random(len(ids)).tolist() if len(ids) else []
+    draw_at = 0
+    while len(ids) >= 2:
+        pi = vals[-1]
+        pj = vals[-2]
+        alpha = 1.0 - pi if 1.0 - pi < pj else pj  # move mass j -> i
+        beta = pi if pi < 1.0 - pj else 1.0 - pj  # move mass i -> j
+        if draws[draw_at] < beta / (alpha + beta):
+            pi += alpha
+            pj -= alpha
+        else:
+            pi -= beta
+            pj += beta
+        draw_at += 1
+        i = ids.pop()
+        vals.pop()
+        j = ids.pop()
+        vals.pop()
+        if _TOL < pi < 1.0 - _TOL:
+            ids.append(i)
+            vals.append(pi)
+        else:
+            work[i] = pi
+        if _TOL < pj < 1.0 - _TOL:
+            ids.append(j)
+            vals.append(pj)
+        else:
+            work[j] = pj
+    if ids:
+        # One residual fractional coordinate (float round-off): Bernoulli.
+        value = vals[0]
+        u = draws[draw_at] if draw_at < len(draws) else rng.random()
+        work[ids[0]] = 1.0 if u < value else 0.0
+    return work > 0.5

@@ -1,0 +1,153 @@
+"""Unbiased importance-weighted estimates and per-hypercube statistics.
+
+Alg. 3 lines 2-8: after the slot's assignment is processed, each of SCN m's
+*covered* tasks i gets the unbiased estimates
+
+    ĝ_i = g_i · 1(i selected by m) / p_i,     (same for v̂_i and q̂_i)
+
+so that E[ĝ_i] = E[g_i] regardless of the randomized selection, and each
+hypercube f aggregates the estimates of its tasks present this slot:
+
+    ĝ_f = Σ_{i: f_i = f} ĝ_i / |{i: f_i = f}|.
+
+:class:`CubeStatistics` additionally maintains running sample means and
+counts per (SCN, hypercube) from *observed* feedback only — that is what the
+vUCB and FML baselines learn from, and what LFSC exposes for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+__all__ = ["importance_weighted", "aggregate_by_cube", "CubeStatistics"]
+
+
+def importance_weighted(
+    values: np.ndarray, selected: np.ndarray, probabilities: np.ndarray
+) -> np.ndarray:
+    """Per-task unbiased estimates x̂_i = x_i·1(selected)/p_i.
+
+    Parameters
+    ----------
+    values:
+        ``(K,)`` realized values; entries for unselected tasks are ignored
+        (may be anything, typically 0).
+    selected:
+        ``(K,)`` boolean mask of selection by this SCN.
+    probabilities:
+        ``(K,)`` the selection probabilities used, all in (0, 1].
+    """
+    values = np.asarray(values, dtype=float)
+    selected = np.asarray(selected, dtype=bool)
+    p = np.asarray(probabilities, dtype=float)
+    if not (values.shape == selected.shape == p.shape):
+        raise ValueError(
+            f"shape mismatch: values {values.shape}, selected {selected.shape}, p {p.shape}"
+        )
+    if np.any(p[selected] <= 0.0):
+        raise ValueError("selected tasks must have strictly positive probability")
+    out = np.zeros_like(values)
+    out[selected] = values[selected] / p[selected]
+    return out
+
+
+def aggregate_by_cube(
+    per_task: np.ndarray, cube_idx: np.ndarray, num_cubes: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Average per-task estimates over the hypercube they fall into.
+
+    Returns
+    -------
+    (mean, count):
+        ``mean[f]`` = Σ_{i: f_i=f} per_task_i / count_f (0 where count 0),
+        ``count[f]`` = number of this slot's tasks in cube f.
+    """
+    check_positive("num_cubes", num_cubes)
+    per_task = np.asarray(per_task, dtype=float)
+    cube_idx = np.asarray(cube_idx, dtype=np.int64)
+    sums = np.bincount(cube_idx, weights=per_task, minlength=num_cubes)
+    counts = np.bincount(cube_idx, minlength=num_cubes)
+    means = np.divide(sums, counts, out=np.zeros(num_cubes), where=counts > 0)
+    return means, counts
+
+
+@dataclass
+class CubeStatistics:
+    """Running sample means per (SCN, hypercube) from observed feedback.
+
+    Tracks, for every SCN m and cube f, the number of processed tasks
+    N(m, f) and the sample means of the compound reward g, the completion
+    indicator v, and the consumption q.  Updates are vectorized over the
+    batch of (scn, cube, value) observations of a slot.
+    """
+
+    num_scns: int
+    num_cubes: int
+    counts: np.ndarray = field(init=False)
+    mean_g: np.ndarray = field(init=False)
+    mean_v: np.ndarray = field(init=False)
+    mean_q: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        check_positive("num_scns", self.num_scns)
+        check_positive("num_cubes", self.num_cubes)
+        shape = (self.num_scns, self.num_cubes)
+        self.counts = np.zeros(shape, dtype=np.int64)
+        self.mean_g = np.zeros(shape)
+        self.mean_v = np.zeros(shape)
+        self.mean_q = np.zeros(shape)
+
+    def observe(
+        self,
+        scn_idx: np.ndarray,
+        cube_idx: np.ndarray,
+        g: np.ndarray,
+        v: np.ndarray,
+        q: np.ndarray,
+    ) -> None:
+        """Fold one slot's processed-task observations into the means.
+
+        Multiple observations may share one (scn, cube) pair within the
+        batch; the incremental-mean update handles that by aggregating the
+        batch per pair first.
+        """
+        scn_idx = np.asarray(scn_idx, dtype=np.int64)
+        cube_idx = np.asarray(cube_idx, dtype=np.int64)
+        if scn_idx.shape != cube_idx.shape:
+            raise ValueError("scn_idx and cube_idx must align")
+        if scn_idx.size == 0:
+            return
+        flat = scn_idx * self.num_cubes + cube_idx
+        size = self.num_scns * self.num_cubes
+        batch_counts = np.bincount(flat, minlength=size)
+        touched = np.flatnonzero(batch_counts)
+        for mean, values in ((self.mean_g, g), (self.mean_v, v), (self.mean_q, q)):
+            batch_sums = np.bincount(flat, weights=np.asarray(values, dtype=float), minlength=size)
+            flat_mean = mean.reshape(-1)
+            old_n = self.counts.reshape(-1)[touched]
+            new_n = old_n + batch_counts[touched]
+            flat_mean[touched] = (
+                flat_mean[touched] * old_n + batch_sums[touched]
+            ) / new_n
+        self.counts.reshape(-1)[touched] += batch_counts[touched]
+
+    def total_observations(self) -> int:
+        """Total number of processed-task observations so far."""
+        return int(self.counts.sum())
+
+    def ucb_index(self, t: int, *, exploration: float = 2.0) -> np.ndarray:
+        """UCB1 index per (SCN, cube): mean_g + sqrt(exploration·ln t / N).
+
+        Unvisited cubes get +inf so they are tried first (standard UCB1).
+        """
+        if t < 1:
+            t = 1
+        with np.errstate(divide="ignore", invalid="ignore"):
+            bonus = np.sqrt(exploration * np.log(t) / self.counts)
+        index = self.mean_g + bonus
+        index[self.counts == 0] = np.inf
+        return index

@@ -1,0 +1,122 @@
+"""Alg. 4 — the greedy collaborative assignment across SCNs.
+
+Input is the weighted bipartite graph G = (M, D_t, E): an edge (m, i) exists
+when task i is inside SCN m's coverage, weighted by SCN m's selection
+probability for i (Alg. 2's output, or a baseline's index).  The greedy rule
+repeatedly takes the heaviest remaining edge; the pair is accepted when SCN m
+still has spare communication capacity and task i is unassigned (constraint
+1b), otherwise the edge is discarded.
+
+The paper proves (Appendix A.2, charging argument) this is a
+(c+1)-approximation of the maximum-weight b-matching, and observes it is much
+closer to optimal in practice — our benchmarks confirm both.
+
+The hot path is a single argsort over all edges (≈ M·K ≤ 3,000 at paper
+scale) followed by a linear pass; per the HPC guides the pass itself stays in
+plain Python because each iteration is a couple of array reads — NumPy calls
+inside the loop would be slower than scalar indexing at this size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.env.simulator import Assignment
+from repro.utils.validation import check_positive
+
+__all__ = ["greedy_select", "edges_from_coverage"]
+
+
+def edges_from_coverage(
+    coverage: list[np.ndarray], weights_per_scn: list[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten per-SCN coverage lists into parallel edge arrays.
+
+    Parameters
+    ----------
+    coverage:
+        ``coverage[m]`` — task indices covered by SCN m (the paper's D_{m,t}).
+    weights_per_scn:
+        ``weights_per_scn[m]`` — edge weight for each covered task, aligned
+        with ``coverage[m]``.
+
+    Returns
+    -------
+    (edge_scn, edge_task, edge_weight):
+        Parallel 1-D arrays over all edges of the bipartite graph.
+    """
+    if len(coverage) != len(weights_per_scn):
+        raise ValueError(
+            f"coverage lists {len(coverage)} SCNs, weights list {len(weights_per_scn)}"
+        )
+    scn_parts, task_parts, weight_parts = [], [], []
+    for m, (tasks, w) in enumerate(zip(coverage, weights_per_scn)):
+        tasks = np.asarray(tasks, dtype=np.int64)
+        w = np.asarray(w, dtype=float)
+        if tasks.shape != w.shape:
+            raise ValueError(
+                f"SCN {m}: coverage has {tasks.shape[0]} tasks but {w.shape[0]} weights"
+            )
+        scn_parts.append(np.full(tasks.shape[0], m, dtype=np.int64))
+        task_parts.append(tasks)
+        weight_parts.append(w)
+    if not scn_parts:
+        return (np.empty(0, np.int64), np.empty(0, np.int64), np.empty(0))
+    return (
+        np.concatenate(scn_parts),
+        np.concatenate(task_parts),
+        np.concatenate(weight_parts),
+    )
+
+
+def greedy_select(
+    coverage: list[np.ndarray],
+    weights_per_scn: list[np.ndarray],
+    capacity: int,
+    num_tasks: int,
+) -> Assignment:
+    """Run Alg. 4 and return the collaborative assignment Ω.
+
+    Parameters
+    ----------
+    coverage, weights_per_scn:
+        The bipartite graph, per-SCN (see :func:`edges_from_coverage`).
+    capacity:
+        Communication capacity c — max tasks per SCN (constraint 1a).
+    num_tasks:
+        Total number of distinct tasks n_t this slot (sizes the
+        "already assigned" bookkeeping).
+
+    Notes
+    -----
+    Ties in edge weight are broken by edge order (stable sort), which is
+    deterministic given the inputs; callers wanting randomized tie-breaking
+    should jitter the weights.
+    """
+    check_positive("capacity", capacity)
+    edge_scn, edge_task, edge_w = edges_from_coverage(coverage, weights_per_scn)
+    if edge_scn.size == 0:
+        return Assignment.empty()
+
+    order = np.argsort(-edge_w, kind="stable")
+    edge_scn = edge_scn[order]
+    edge_task = edge_task[order]
+
+    load = np.zeros(len(coverage), dtype=np.int64)  # C(m) in Alg. 4
+    taken = np.zeros(num_tasks, dtype=bool)  # constraint (1b)
+    sel_scn: list[int] = []
+    sel_task: list[int] = []
+    # Linear pass over edges in decreasing weight (Alg. 4 lines 2-8).
+    scn_list = edge_scn.tolist()
+    task_list = edge_task.tolist()
+    for m, i in zip(scn_list, task_list):
+        if taken[i] or load[m] >= capacity:
+            continue
+        taken[i] = True
+        load[m] += 1
+        sel_scn.append(m)
+        sel_task.append(i)
+    return Assignment(
+        scn=np.asarray(sel_scn, dtype=np.int64),
+        task=np.asarray(sel_task, dtype=np.int64),
+    )

@@ -1,0 +1,267 @@
+"""Alg. 1 — the LFSC policy (the paper's primary contribution).
+
+Per slot, LFSC:
+
+1. classifies each SCN's covered tasks into context hypercubes and computes
+   the capped exponential-weights selection probabilities (Alg. 2,
+   :mod:`repro.core.probability`);
+2. coordinates all SCNs through the greedy bipartite assignment (Alg. 4,
+   :mod:`repro.core.greedy`), preventing duplicate offloading and respecting
+   the per-SCN capacity;
+3. after observing the bandit feedback (u, v, q) of the processed tasks,
+   forms importance-weighted unbiased estimates, updates hypercube weights
+   and the per-SCN Lagrange multipliers (Alg. 3, :mod:`repro.core.update`,
+   :mod:`repro.core.multipliers`).
+
+Two assignment modes are supported (``LFSCConfig.assignment_mode``): the
+default ``"depround"`` samples each SCN's candidate set with the exact
+Alg. 2 marginals (the randomization the Exp3.M regret analysis relies on)
+before the greedy resolves conflicts; ``"deterministic"`` is the
+paper-literal variant that feeds the probabilities directly to the greedy as
+edge weights.  ``benchmarks/bench_ablations.py`` compares them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import OffloadingPolicy
+from repro.core.config import LFSCConfig
+from repro.core.depround import depround
+from repro.core.estimators import CubeStatistics, aggregate_by_cube, importance_weighted
+from repro.core.greedy import greedy_select
+from repro.core.multipliers import LagrangeMultipliers
+from repro.core.probability import CappedProbabilities, capped_probabilities
+from repro.core.update import (
+    apply_weight_update,
+    lagrangian_utility,
+    recenter_log_weights,
+    weight_exponents,
+)
+from repro.env.network import NetworkConfig
+from repro.env.simulator import Assignment, SlotFeedback, SlotObservation
+
+__all__ = ["LFSCPolicy"]
+
+
+class _SlotCache:
+    """What select() must remember for the matching update() call."""
+
+    __slots__ = ("t", "coverage", "cubes", "probs")
+
+    def __init__(
+        self,
+        t: int,
+        coverage: list[np.ndarray],
+        cubes: list[np.ndarray],
+        probs: list[CappedProbabilities],
+    ) -> None:
+        self.t = t
+        self.coverage = coverage
+        self.cubes = cubes
+        self.probs = probs
+
+
+class LFSCPolicy(OffloadingPolicy):
+    """The online Learning Framework for Small Cells (LFSC).
+
+    Parameters
+    ----------
+    config:
+        Algorithm tunables; ``None`` uses :class:`LFSCConfig` defaults.
+        Use :meth:`LFSCConfig.from_theorem` for the Theorem 1 schedule.
+
+    Attributes (after ``reset``)
+    ----------------------------
+    log_w:
+        ``(M, F)`` hypercube log-weights (log of the paper's w^m_f).
+    multipliers:
+        The per-SCN dual variables (λ₁, λ₂).
+    stats:
+        Observed-feedback sample means per (SCN, cube) — diagnostics only;
+        the decisions use the weights.
+    """
+
+    name = "LFSC"
+
+    def __init__(self, config: LFSCConfig | None = None) -> None:
+        super().__init__()
+        self.config = config if config is not None else LFSCConfig()
+        self.log_w: np.ndarray | None = None
+        self.multipliers: LagrangeMultipliers | None = None
+        self.stats: CubeStatistics | None = None
+        self._cache: _SlotCache | None = None
+        self.multiplier_history_qos: np.ndarray | None = None
+        self.multiplier_history_resource: np.ndarray | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def reset(self, network: NetworkConfig, horizon: int, rng: np.random.Generator) -> None:
+        super().reset(network, horizon, rng)
+        cfg = self.config
+        F = cfg.partition.num_cubes
+        M = network.num_scns
+        self.log_w = np.zeros((M, F))  # w = 1 for every (SCN, cube), Alg. 1 init
+        self.multipliers = LagrangeMultipliers(
+            num_scns=M,
+            eta=cfg.dual_step,
+            delta=cfg.delta,
+            lambda_max=cfg.lambda_max,
+        )
+        self.stats = CubeStatistics(num_scns=M, num_cubes=F)
+        self._cache = None
+        self.multiplier_history_qos = np.zeros((horizon, M))
+        self.multiplier_history_resource = np.zeros((horizon, M))
+
+    # -- decision (Alg. 2 + Alg. 4) ------------------------------------------
+
+    def select(self, slot: SlotObservation) -> Assignment:
+        network = self._require_reset()
+        assert self.log_w is not None
+        cfg = self.config
+        M = network.num_scns
+        c = network.capacity
+
+        coverage: list[np.ndarray] = []
+        cubes_per_scn: list[np.ndarray] = []
+        probs_per_scn: list[CappedProbabilities] = []
+        scores_per_scn: list[np.ndarray] = []
+
+        for m in range(M):
+            cov = np.asarray(slot.coverage[m], dtype=np.int64)
+            if cov.size > 1 and np.any(np.diff(cov) < 0):
+                cov = np.sort(cov)
+            cubes = cfg.partition.assign(slot.tasks.contexts[cov]) if cov.size else cov
+            if cov.size:
+                # Normalize by the max over the cubes actually present so the
+                # largest weight is exactly 1 (no under/overflow regardless of
+                # how far apart the row's log-weights have drifted).
+                logs = self.log_w[m][cubes]
+                w = np.maximum(np.exp(logs - logs.max()), 1e-300)
+                cp = capped_probabilities(w, c, cfg.gamma)
+            else:
+                cp = CappedProbabilities(
+                    p=np.empty(0), capped=np.empty(0, dtype=bool), threshold=np.nan
+                )
+            coverage.append(cov)
+            cubes_per_scn.append(cubes)
+            probs_per_scn.append(cp)
+            scores_per_scn.append(self._edge_scores(cp, cov, slot))
+
+        self._cache = _SlotCache(slot.t, coverage, cubes_per_scn, probs_per_scn)
+        return greedy_select(coverage, scores_per_scn, c, len(slot.tasks))
+
+    def _edge_scores(
+        self, cp: CappedProbabilities, cov: np.ndarray, slot: SlotObservation
+    ) -> np.ndarray:
+        """Greedy edge weights for one SCN's covered tasks.
+
+        depround mode: sampled candidates get score 1 + p (ranking above
+        every unsampled edge, ordered by p within the sample); unsampled
+        edges keep score p so a SCN whose candidate was stolen by a peer can
+        refill its capacity.  deterministic mode: score = p (paper-literal).
+        A tiny uniform jitter breaks exact ties uniformly at random.
+
+        Subclasses may override to re-rank edges (e.g. the multi-slot
+        priority bonus of :class:`repro.baselines.priority.PriorityAwareLFSC`);
+        ``cov`` and ``slot`` identify which tasks the scores refer to.
+        """
+        if cp.p.size == 0:
+            return cp.p
+        if self.config.assignment_mode == "depround":
+            mask = depround(cp.p, self.rng)
+            scores = np.where(mask, 1.0 + cp.p, cp.p)
+        else:
+            scores = cp.p.copy()
+        if self.config.tie_jitter > 0:
+            scores = scores + self.rng.uniform(0.0, self.config.tie_jitter, size=scores.shape)
+        return scores
+
+    # -- learning (Alg. 3) ----------------------------------------------------
+
+    def _update(self, slot: SlotObservation, feedback: SlotFeedback) -> None:
+        network = self._require_reset()
+        assert self.log_w is not None and self.multipliers is not None and self.stats is not None
+        cfg = self.config
+        cache = self._cache
+        if cache is None or cache.t != slot.t:
+            raise RuntimeError("update() must follow the select() of the same slot")
+        M = network.num_scns
+        F = cfg.partition.num_cubes
+        asn = feedback.assignment
+
+        lam_qos = self.multipliers.qos if cfg.use_lagrangian else np.zeros(M)
+        lam_res = self.multipliers.resource if cfg.use_lagrangian else np.zeros(M)
+
+        for m in range(M):
+            cov = cache.coverage[m]
+            if cov.size == 0:
+                continue
+            cubes = cache.cubes[m]
+            cp = cache.probs[m]
+
+            pair_rows = np.flatnonzero(asn.scn == m)
+            sel_tasks = asn.task[pair_rows]
+            pos = np.searchsorted(cov, sel_tasks)
+
+            K = cov.size
+            selected = np.zeros(K, dtype=bool)
+            selected[pos] = True
+            # Per-task Lagrangian utility for the processed tasks; the α/c
+            # and β/c targets center it at the per-task constraint shares
+            # (see core.update.lagrangian_utility).
+            util_full = np.zeros(K)
+            util_full[pos] = lagrangian_utility(
+                feedback.g[pair_rows],
+                feedback.v[pair_rows],
+                feedback.q[pair_rows],
+                float(lam_qos[m]),
+                float(lam_res[m]),
+                qos_target=network.alpha / network.capacity,
+                resource_target=network.beta / network.capacity,
+            )
+            util_hat = importance_weighted(util_full, selected, cp.p)
+            util_f, counts = aggregate_by_cube(util_hat, cubes, F)
+
+            present = np.flatnonzero(counts > 0)
+            # Boolean scatter beats np.isin/np.unique on these small sets.
+            capped_mask = np.zeros(F, dtype=bool)
+            capped_mask[cubes[cp.capped]] = True
+            skip = capped_mask[present]
+            exponents = weight_exponents(
+                util_f[present], cfg.eta, max_exponent=cfg.max_exponent
+            )
+            apply_weight_update(self.log_w[m], present, exponents, skip)
+
+            if pair_rows.size:
+                self.stats.observe(
+                    np.full(pair_rows.size, m, dtype=np.int64),
+                    cubes[pos],
+                    feedback.g[pair_rows],
+                    feedback.v[pair_rows],
+                    feedback.q[pair_rows],
+                )
+
+        recenter_log_weights(self.log_w)
+
+        if cfg.use_lagrangian:
+            self.multipliers.update(
+                feedback.per_scn_completed(M),
+                feedback.per_scn_consumption(M),
+                network.alpha,
+                network.beta,
+            )
+        if self.multiplier_history_qos is not None and self.t < self.multiplier_history_qos.shape[0]:
+            self.multiplier_history_qos[self.t] = self.multipliers.qos
+            self.multiplier_history_resource[self.t] = self.multipliers.resource
+        self._cache = None
+
+    # -- diagnostics ----------------------------------------------------------
+
+    def weights_snapshot(self) -> np.ndarray:
+        """Current normalized weights per (SCN, cube) — each row sums to 1."""
+        if self.log_w is None:
+            raise RuntimeError("policy not reset yet")
+        shifted = self.log_w - self.log_w.max(axis=1, keepdims=True)
+        w = np.exp(shifted)
+        return w / w.sum(axis=1, keepdims=True)

@@ -1,0 +1,97 @@
+"""Lagrange multipliers for the QoS and resource constraints (paper §4.1).
+
+LFSC folds constraints (1c) (completed tasks ≥ α) and (1d) (consumption ≤ β)
+into the learning objective via per-SCN multipliers λ₁^m, λ₂^m.  When a
+constraint is being violated its multiplier grows, shifting weight toward
+hypercubes that help satisfy it; when it is comfortably met the multiplier
+decays toward zero.  The update (Alg. 3 lines 15-17) is projected dual
+ascent with a regularization decay δ:
+
+    λ₁ ← [ (1 − η δ) λ₁ + η (α − completed_t) ]₊
+    λ₂ ← [ (1 − η δ) λ₂ + η (consumption_t − β) ]₊
+
+Both are clipped above by λ_max (the induction bound λ ≤ 1/(η δ) from the
+regret proof) to keep the weight update's exponent bounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.validation import check_positive, require
+
+__all__ = ["LagrangeMultipliers"]
+
+
+@dataclass
+class LagrangeMultipliers:
+    """Per-SCN dual variables (λ₁, λ₂) with the Alg. 3 update rule.
+
+    Parameters
+    ----------
+    num_scns:
+        Number of SCNs M.
+    eta:
+        Dual step size η (usually LFSC's learning rate).
+    delta:
+        Regularization decay δ > 0 — keeps multipliers bounded.
+    lambda_max:
+        Hard upper clip; defaults to 1/(η δ), the proof's induction bound.
+    """
+
+    num_scns: int
+    eta: float
+    delta: float
+    lambda_max: float | None = None
+    qos: np.ndarray = field(init=False)
+    resource: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        check_positive("num_scns", self.num_scns)
+        check_positive("eta", self.eta)
+        check_positive("delta", self.delta)
+        if self.lambda_max is None:
+            self.lambda_max = 1.0 / (self.eta * self.delta)
+        require(self.lambda_max > 0, f"lambda_max must be > 0, got {self.lambda_max}")
+        self.qos = np.zeros(self.num_scns)
+        self.resource = np.zeros(self.num_scns)
+
+    def update(
+        self,
+        completed: np.ndarray,
+        consumption: np.ndarray,
+        alpha: float,
+        beta: float,
+    ) -> None:
+        """One dual-ascent step from this slot's realized per-SCN totals.
+
+        Parameters
+        ----------
+        completed:
+            ``(M,)`` — realized completed-task count Σ_i v_i per SCN.
+        consumption:
+            ``(M,)`` — realized resource use Σ_i q_i per SCN.
+        alpha, beta:
+            The constraint levels of (1c) and (1d).
+        """
+        completed = np.asarray(completed, dtype=float)
+        consumption = np.asarray(consumption, dtype=float)
+        if completed.shape != (self.num_scns,) or consumption.shape != (self.num_scns,):
+            raise ValueError(
+                f"expected per-SCN vectors of shape ({self.num_scns},), got "
+                f"{completed.shape} and {consumption.shape}"
+            )
+        decay = 1.0 - self.eta * self.delta
+        self.qos = np.clip(
+            decay * self.qos + self.eta * (alpha - completed), 0.0, self.lambda_max
+        )
+        self.resource = np.clip(
+            decay * self.resource + self.eta * (consumption - beta), 0.0, self.lambda_max
+        )
+
+    def reset(self) -> None:
+        """Zero both multiplier vectors (fresh run)."""
+        self.qos = np.zeros(self.num_scns)
+        self.resource = np.zeros(self.num_scns)

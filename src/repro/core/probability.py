@@ -1,0 +1,158 @@
+"""Alg. 2 — capped exponential-weights selection probabilities.
+
+Given the weights of the hypercubes containing SCN m's covered tasks, Alg. 2
+produces a selection probability per task, mixing exploitation (proportional
+to weight) with exploration (uniform γ/K term), exactly as in the Exp3.M
+construction for bandits with multiple plays the paper builds on:
+
+    p_i = c · [ (1−γ) · w̃_i / Σ_j w̃_j  +  γ / K ]            (Alg. 2 line 16)
+
+where K = |D_{m,t}| and c is the per-SCN communication capacity.  Because a
+probability cannot exceed 1, overly heavy tasks are *capped*: when
+max_i w_i ≥ r · Σ_j w_j with r = (1/c − γ/K)/(1−γ), Alg. 2 computes the
+threshold ê solving
+
+    ê / ( ê·|{i : w_i ≥ ê}| + Σ_{w_i < ê} w_i ) = r            (Alg. 2 line 8)
+
+and temporarily replaces every weight ≥ ê by ê, which makes p_i = 1 exactly
+for the capped set S'.  Capped hypercubes are excluded from the weight update
+(Alg. 3 line 12) — their probability was deterministic, so the importance-
+weighted estimate carries no information.
+
+The probabilities sum to c (or to K when K ≤ c, in which case every task is
+selected with certainty and no randomization is needed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_positive, require
+
+__all__ = ["CappedProbabilities", "capped_probabilities", "cap_threshold"]
+
+_EPS = 1e-15
+
+
+@dataclass(frozen=True)
+class CappedProbabilities:
+    """Result of Alg. 2 for one SCN and one slot.
+
+    Attributes
+    ----------
+    p:
+        ``(K,)`` selection probability per covered task, each in (0, 1].
+    capped:
+        ``(K,)`` boolean mask — tasks whose weight hit the cap (p == 1);
+        the paper's S' expressed per task.
+    threshold:
+        The cap value ê, or ``nan`` when no capping was necessary.
+    """
+
+    p: np.ndarray
+    capped: np.ndarray
+    threshold: float
+
+    @property
+    def expected_selected(self) -> float:
+        """Σ_i p_i — equals min(c, K) by construction."""
+        return float(self.p.sum())
+
+
+def _cap_set(w: np.ndarray, ratio: float) -> tuple[float, np.ndarray]:
+    """Solve the Exp3.M cap: the threshold ê and the exact capped index set.
+
+    Walks k = 1, 2, ... over the weights in decreasing order; for top-k
+    capped, ê_k = ratio·S_k/(1 − ratio·k) with S_k the suffix sum below the
+    top k.  ê_k decreases in k; the walk stops at the first k whose next
+    weight ws[k] no longer exceeds ê_k.  Membership is returned *by sorted
+    position* (exactly k items), never by re-comparing against ê — with
+    extreme weight spreads a float comparison can disagree with the k used
+    in the equation, which would break Σp = c.
+
+    Precondition: ``max(w) ≥ ratio·Σw`` (capping is needed).
+    """
+    order = np.argsort(-w, kind="stable")
+    ws = w[order]
+    K = len(ws)
+    # suffix[k] = Σ_{j>=k} ws_j via reverse cumsum — never by subtraction
+    # from the total, which cancels catastrophically when the tail weights
+    # are many orders of magnitude below the head.
+    suffix = np.concatenate([np.cumsum(ws[::-1])[::-1], [0.0]])
+    k = 1
+    e_hat = ratio * suffix[1] / (1.0 - ratio)
+    while k < K and ratio * (k + 1) < 1.0 - _EPS and ws[k] > e_hat:
+        k += 1
+        e_hat = ratio * suffix[k] / (1.0 - ratio * k)
+    capped = np.zeros(K, dtype=bool)
+    capped[order[:k]] = True
+    return float(e_hat), capped
+
+
+def cap_threshold(weights: np.ndarray, ratio: float) -> float:
+    """The Exp3.M cap value ê with ê/(ê·|capped| + Σ_{uncapped} w) = ratio.
+
+    See :func:`_cap_set`; this public wrapper returns just the threshold.
+    """
+    e_hat, _ = _cap_set(np.asarray(weights, dtype=float), ratio)
+    return e_hat
+
+
+def capped_probabilities(
+    weights: np.ndarray, capacity: int, gamma: float
+) -> CappedProbabilities:
+    """Compute Alg. 2's selection probabilities for one SCN.
+
+    Parameters
+    ----------
+    weights:
+        ``(K,)`` positive per-task weights — each task carries the weight of
+        the hypercube its context falls into (shared cubes repeat).
+    capacity:
+        The communication capacity c (expected number of selections).
+    gamma:
+        Exploration rate γ ∈ (0, 1].
+
+    Returns
+    -------
+    CappedProbabilities
+        with ``p.sum() == min(c, K)`` up to floating-point error.
+    """
+    w = np.asarray(weights, dtype=float)
+    require(w.ndim == 1, f"weights must be 1-D, got shape {w.shape}")
+    check_positive("capacity", capacity)
+    require(0.0 < gamma <= 1.0, f"gamma must be in (0, 1], got {gamma}")
+    K = w.shape[0]
+    if K == 0:
+        empty = np.empty(0)
+        return CappedProbabilities(p=empty, capped=np.empty(0, dtype=bool), threshold=np.nan)
+    require(np.all(w > 0.0), "weights must be strictly positive")
+
+    if K <= capacity:
+        # Fewer candidates than capacity: select everything deterministically.
+        return CappedProbabilities(
+            p=np.ones(K), capped=np.ones(K, dtype=bool), threshold=np.nan
+        )
+
+    if gamma >= 1.0:
+        # Pure exploration: uniform probabilities, no exploitation term.
+        p = np.full(K, capacity / K)
+        return CappedProbabilities(p=p, capped=np.zeros(K, dtype=bool), threshold=np.nan)
+
+    ratio = (1.0 / capacity - gamma / K) / (1.0 - gamma)
+    total = w.sum()
+    if w.max() >= ratio * total:
+        e_hat, capped = _cap_set(w, ratio)
+        w_tilde = np.where(capped, e_hat, w)
+        threshold = e_hat
+    else:
+        capped = np.zeros(K, dtype=bool)
+        w_tilde = w
+        threshold = np.nan
+
+    p = capacity * ((1.0 - gamma) * w_tilde / w_tilde.sum() + gamma / K)
+    # Guard round-off: probabilities live in (0, 1].
+    p = np.clip(p, _EPS, 1.0)
+    return CappedProbabilities(p=p, capped=capped, threshold=threshold)

@@ -1,0 +1,124 @@
+"""Alg. 3 — the exponential weight update (pure functions).
+
+After a slot's feedback, each SCN updates its hypercube log-weights by
+
+    w_f ← w_f · exp( η · ( ĝ_f + λ₁ v̂_f − λ₂ q̂_f ) )     for f ∉ S'
+
+where ĝ_f, v̂_f, q̂_f are the hypercube-averaged importance-weighted
+estimates, λ₁/λ₂ are the SCN's Lagrange multipliers for the QoS (1c) and
+resource (1d) constraints, and S' is Alg. 2's capped set (whose selection was
+deterministic, so the estimates carry no signal — paper Alg. 3 line 12).
+
+Weights are kept in log space: exponential-weights iterates overflow floats
+within a few thousand slots otherwise.  Only relative weights matter to
+Alg. 2, so each SCN's log-weight row is recentered whenever its maximum
+drifts beyond a threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "lagrangian_utility",
+    "weight_exponents",
+    "apply_weight_update",
+    "recenter_log_weights",
+]
+
+
+def lagrangian_utility(
+    g: np.ndarray,
+    v: np.ndarray,
+    q: np.ndarray,
+    lambda_qos: float,
+    lambda_resource: float,
+    *,
+    qos_target: float = 0.0,
+    resource_target: float = 0.0,
+) -> np.ndarray:
+    """Per-task Lagrangian utility  g + λ₁(v − a) − λ₂(q − b).
+
+    Signs: high completion likelihood v helps satisfy (1c), so λ₁ rewards
+    it; high consumption q hurts (1d), so λ₂ penalizes it.  The centering
+    constants a = α/c and b = β/c (the per-accepted-task constraint shares)
+    shift every task's utility equally, so the Lagrangian's argmax over
+    assignments is unchanged — but they matter for the *learning dynamics*:
+    the shift rides the selection indicator through the importance-weighted
+    estimate, making tasks that pull their SCN toward feasibility drift up
+    and tasks that push it away drift down, instead of every selected task
+    drifting down whenever λ₂q > g + λ₁v (which turns exponential weights
+    into aimless cycling).
+    """
+    return (
+        np.asarray(g, dtype=float)
+        + lambda_qos * (np.asarray(v, dtype=float) - qos_target)
+        - lambda_resource * (np.asarray(q, dtype=float) - resource_target)
+    )
+
+
+def weight_exponents(
+    utility_hat: np.ndarray,
+    eta: float,
+    *,
+    max_exponent: float = 10.0,
+) -> np.ndarray:
+    """The per-cube exponent η·û, clipped for numerical stability.
+
+    ``utility_hat`` is the hypercube-averaged importance-weighted
+    Lagrangian utility (:func:`lagrangian_utility` estimates).
+    """
+    raw = eta * np.asarray(utility_hat, dtype=float)
+    return np.clip(raw, -max_exponent, max_exponent)
+
+
+def apply_weight_update(
+    log_w_row: np.ndarray,
+    cube_indices: np.ndarray,
+    exponents: np.ndarray,
+    skip: np.ndarray,
+) -> None:
+    """Add ``exponents`` to the cubes' log-weights in place, skipping S'.
+
+    Parameters
+    ----------
+    log_w_row:
+        ``(F,)`` log-weights of one SCN, modified in place.
+    cube_indices:
+        ``(k,)`` indices of the cubes observed this slot (unique).
+    exponents:
+        ``(k,)`` update exponents aligned with ``cube_indices``.
+    skip:
+        ``(k,)`` boolean — True for cubes in the capped set S' (no update).
+    """
+    cube_indices = np.asarray(cube_indices, dtype=np.int64)
+    exponents = np.asarray(exponents, dtype=float)
+    skip = np.asarray(skip, dtype=bool)
+    if not (cube_indices.shape == exponents.shape == skip.shape):
+        raise ValueError(
+            f"aligned inputs required: cubes {cube_indices.shape}, "
+            f"exponents {exponents.shape}, skip {skip.shape}"
+        )
+    keep = ~skip
+    log_w_row[cube_indices[keep]] += exponents[keep]
+
+
+def recenter_log_weights(
+    log_w: np.ndarray, *, threshold: float = 50.0, floor: float = -200.0
+) -> None:
+    """Recenter each SCN's log-weight row and bound its spread.
+
+    Subtracting the row maximum leaves all probability computations (which
+    normalize within the row) unchanged while keeping exp() in range; the
+    floor caps how far a cube can sink below its row's best, so a cube
+    written off early can climb back within a bounded number of slots (and
+    the spread can never reach the exp() underflow regime).  Operates in
+    place on the ``(M, F)`` matrix.
+    """
+    row_max = log_w.max(axis=1)
+    drifted = np.abs(row_max) > threshold
+    if np.any(drifted):
+        log_w[drifted] -= row_max[drifted, None]
+        row_max = row_max.copy()
+        row_max[drifted] = 0.0
+    np.maximum(log_w, (row_max + floor)[:, None], out=log_w)

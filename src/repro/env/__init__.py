@@ -1,0 +1,77 @@
+"""The 5G small-cell network simulation substrate.
+
+This subpackage implements everything the paper's evaluation environment
+needs (DESIGN.md S1-S5):
+
+- :mod:`repro.env.contexts` — the task context space Φ = [0,1]^D and the
+  mapping from raw task features (input/output data size, resource type) to
+  normalized contexts.
+- :mod:`repro.env.tasks` — struct-of-arrays task batches.
+- :mod:`repro.env.geometry` — SCN/WD placement, coverage, and mobility, plus
+  the direct coverage sampler used by the paper's evaluation.
+- :mod:`repro.env.processes` — the unknown random processes U (reward),
+  V (completion likelihood), Q (resource consumption) and their ground truth.
+- :mod:`repro.env.channel` — mmWave blockage dynamics refining V.
+- :mod:`repro.env.workload` — per-slot workload generation.
+- :mod:`repro.env.network` — the small-cell network constraint configuration.
+- :mod:`repro.env.simulator` — the slot-by-slot simulation loop.
+"""
+
+from repro.env.contexts import ContextSpace, ResourceType, TaskFeatureModel
+from repro.env.tasks import TaskBatch
+from repro.env.geometry import (
+    CoverageModel,
+    CoverageSampler,
+    GeometricCoverage,
+    random_waypoint_step,
+)
+from repro.env.processes import (
+    GroundTruth,
+    PiecewiseConstantTruth,
+    SmoothTruth,
+    DriftingTruth,
+    RegimeSwitchTruth,
+)
+from repro.env.channel import BlockageChannel, MarkovBlockage
+from repro.env.mbs import MBSFallback, MBSSlotResult
+from repro.env.stats import WorkloadStatistics, workload_statistics
+from repro.env.workload import SlotWorkload, SyntheticWorkload, TraceWorkload
+from repro.env.network import NetworkConfig
+from repro.env.simulator import (
+    Assignment,
+    Simulation,
+    SimulationResult,
+    SlotFeedback,
+    SlotObservation,
+)
+
+__all__ = [
+    "ContextSpace",
+    "ResourceType",
+    "TaskFeatureModel",
+    "TaskBatch",
+    "CoverageModel",
+    "CoverageSampler",
+    "GeometricCoverage",
+    "random_waypoint_step",
+    "GroundTruth",
+    "PiecewiseConstantTruth",
+    "SmoothTruth",
+    "DriftingTruth",
+    "RegimeSwitchTruth",
+    "BlockageChannel",
+    "MarkovBlockage",
+    "MBSFallback",
+    "MBSSlotResult",
+    "SlotWorkload",
+    "SyntheticWorkload",
+    "TraceWorkload",
+    "WorkloadStatistics",
+    "workload_statistics",
+    "NetworkConfig",
+    "Assignment",
+    "Simulation",
+    "SimulationResult",
+    "SlotFeedback",
+    "SlotObservation",
+]

@@ -1,0 +1,98 @@
+"""mmWave blockage dynamics (paper §1, §3.2).
+
+5G mmWave links between SCNs and WDs are prone to blockage due to weak
+diffraction; when a link is blocked mid-execution the task is interrupted and
+yields no reward.  The baseline evaluation folds all link instability into
+the Bernoulli completion likelihood V, but the paper motivates V explicitly
+with blockage, so we also provide a *dynamic* channel layer:
+
+- :class:`MarkovBlockage` — each (SCN, everything-in-coverage) link follows a
+  two-state Gilbert-Elliott Markov chain (UP/BLOCKED).  A task assigned over
+  a blocked link fails regardless of V's draw.  This produces temporally
+  correlated failures, a strictly harsher environment than i.i.d. V, and is
+  used by the robustness example and failure-injection tests.
+
+A channel multiplies into the completion indicator: ``v_final = v · link_up``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_positive, require
+
+__all__ = ["BlockageChannel", "MarkovBlockage", "AlwaysUpChannel"]
+
+
+class BlockageChannel(ABC):
+    """Per-slot link availability between SCNs and tasks."""
+
+    @abstractmethod
+    def link_up(
+        self, t: int, scn_idx: np.ndarray, task_idx: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Return a {0.0, 1.0} array: is the (scn, task) link unblocked?"""
+
+    def advance(self, t: int, rng: np.random.Generator) -> None:
+        """Advance channel state to the next slot."""
+
+
+class AlwaysUpChannel(BlockageChannel):
+    """The identity channel: link instability lives entirely in V (default)."""
+
+    def link_up(self, t, scn_idx, task_idx, rng):
+        return np.ones(len(np.asarray(scn_idx)), dtype=float)
+
+
+@dataclass
+class MarkovBlockage(BlockageChannel):
+    """Gilbert-Elliott blockage per SCN.
+
+    Each SCN's radio environment is either UP or BLOCKED for the whole slot
+    (beam-level blockage affects all of that SCN's links similarly, e.g. a bus
+    parking in front of the pole-mounted node).
+
+    Parameters
+    ----------
+    num_scns:
+        Number of SCNs.
+    p_block:
+        P(UP -> BLOCKED) per slot.
+    p_recover:
+        P(BLOCKED -> UP) per slot.
+
+    The stationary blockage probability is ``p_block/(p_block+p_recover)``.
+    """
+
+    num_scns: int = 30
+    p_block: float = 0.05
+    p_recover: float = 0.5
+
+    def __post_init__(self) -> None:
+        check_positive("num_scns", self.num_scns)
+        require(0.0 <= self.p_block <= 1.0, f"p_block in [0,1], got {self.p_block}")
+        require(0.0 <= self.p_recover <= 1.0, f"p_recover in [0,1], got {self.p_recover}")
+        self._blocked = np.zeros(self.num_scns, dtype=bool)
+
+    @property
+    def blocked(self) -> np.ndarray:
+        """Current per-SCN blocked state (copy)."""
+        return self._blocked.copy()
+
+    def stationary_block_probability(self) -> float:
+        """Long-run fraction of slots a SCN spends blocked."""
+        denom = self.p_block + self.p_recover
+        return self.p_block / denom if denom > 0 else 0.0
+
+    def link_up(self, t, scn_idx, task_idx, rng):
+        scn = np.asarray(scn_idx, dtype=np.int64)
+        return (~self._blocked[scn]).astype(float)
+
+    def advance(self, t: int, rng: np.random.Generator) -> None:
+        draws = rng.random(self.num_scns)
+        newly_blocked = ~self._blocked & (draws < self.p_block)
+        newly_up = self._blocked & (draws < self.p_recover)
+        self._blocked = (self._blocked | newly_blocked) & ~newly_up

@@ -1,0 +1,165 @@
+"""Task context space and feature model (paper §3.2, §5).
+
+A computing task is characterized by meta information — the size of the input
+data uploaded from the wireless device (WD) to the small-cell node (SCN), the
+size of the output data returned, and the type of computation resource it
+needs (CPU, GPU, or both).  The paper summarizes this as the task's *context*
+φ_i and assumes the context space is bounded so that, w.l.o.g., Φ = [0,1]^D.
+
+The evaluation (§5) uses three dimensions:
+
+- input data size, uniform in [5, 20] Mbit,
+- output data size, uniform in [1, 4] Mbit,
+- resource type, categorical over {CPU, GPU, BOTH}.
+
+:class:`TaskFeatureModel` samples raw features and normalizes them into
+Φ = [0,1]^3.  Categorical resource types map to evenly spaced points
+{0, 1/2, 1} so that the uniform hypercube partition of the learner
+(``h_T = 3`` by default) separates the three categories exactly, matching the
+paper's "divide the input/output data size into three categories by default".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+import numpy as np
+
+from repro.utils.validation import check_interval, check_positive
+
+__all__ = ["ResourceType", "ContextSpace", "TaskFeatureModel"]
+
+
+class ResourceType(IntEnum):
+    """Computation resource a task depends on (paper §5)."""
+
+    CPU = 0
+    GPU = 1
+    BOTH = 2
+
+
+@dataclass(frozen=True)
+class ContextSpace:
+    """The bounded context space Φ = [0,1]^dims.
+
+    Parameters
+    ----------
+    dims:
+        Number of context dimensions D (the paper's evaluation uses 3).
+    names:
+        Optional human-readable dimension names (for reports).
+    """
+
+    dims: int = 3
+    names: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        check_positive("dims", self.dims)
+        if self.names and len(self.names) != self.dims:
+            raise ValueError(
+                f"names has {len(self.names)} entries but dims={self.dims}"
+            )
+
+    def contains(self, contexts: np.ndarray) -> np.ndarray:
+        """Boolean mask of rows of ``contexts`` that lie inside [0,1]^D."""
+        ctx = np.atleast_2d(np.asarray(contexts, dtype=float))
+        if ctx.shape[1] != self.dims:
+            raise ValueError(
+                f"contexts have {ctx.shape[1]} dims, space has {self.dims}"
+            )
+        return np.all((ctx >= 0.0) & (ctx <= 1.0), axis=1)
+
+    def clip(self, contexts: np.ndarray) -> np.ndarray:
+        """Clip contexts into [0,1]^D (used to guard numerical round-off)."""
+        return np.clip(np.asarray(contexts, dtype=float), 0.0, 1.0)
+
+
+@dataclass(frozen=True)
+class TaskFeatureModel:
+    """Samples raw task features and normalizes them into Φ = [0,1]^3.
+
+    Attributes
+    ----------
+    input_mbit:
+        (lo, hi) range of the input data size in Mbit (paper: (5, 20)).
+    output_mbit:
+        (lo, hi) range of the output data size in Mbit (paper: (1, 4)).
+    resource_probs:
+        Probabilities of ResourceType (CPU, GPU, BOTH); default uniform.
+    """
+
+    input_mbit: tuple[float, float] = (5.0, 20.0)
+    output_mbit: tuple[float, float] = (1.0, 4.0)
+    resource_probs: tuple[float, float, float] = (1 / 3, 1 / 3, 1 / 3)
+    space: ContextSpace = field(
+        default_factory=lambda: ContextSpace(
+            dims=3, names=("input_size", "output_size", "resource_type")
+        )
+    )
+
+    def __post_init__(self) -> None:
+        check_interval("input_mbit", self.input_mbit)
+        check_interval("output_mbit", self.output_mbit)
+        probs = np.asarray(self.resource_probs, dtype=float)
+        if probs.shape != (3,) or np.any(probs < 0) or not np.isclose(probs.sum(), 1.0):
+            raise ValueError(
+                f"resource_probs must be 3 non-negative values summing to 1, got {self.resource_probs}"
+            )
+
+    # -- sampling ---------------------------------------------------------
+
+    def sample_features(
+        self, n: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sample raw features for ``n`` tasks.
+
+        Returns
+        -------
+        (input_sizes, output_sizes, resource_types):
+            input/output sizes in Mbit (float arrays) and resource types
+            (int array of :class:`ResourceType` values).
+        """
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        inputs = rng.uniform(*self.input_mbit, size=n)
+        outputs = rng.uniform(*self.output_mbit, size=n)
+        resources = rng.choice(3, size=n, p=np.asarray(self.resource_probs))
+        return inputs, outputs, resources
+
+    def sample_contexts(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Sample ``n`` normalized contexts in Φ = [0,1]^3."""
+        inputs, outputs, resources = self.sample_features(n, rng)
+        return self.normalize(inputs, outputs, resources)
+
+    # -- normalization ----------------------------------------------------
+
+    def normalize(
+        self,
+        input_sizes: np.ndarray,
+        output_sizes: np.ndarray,
+        resource_types: np.ndarray,
+    ) -> np.ndarray:
+        """Map raw features onto Φ = [0,1]^3.
+
+        Continuous sizes are min-max scaled; the categorical resource type is
+        mapped to {0, 1/2, 1} so a 3-way uniform partition separates the
+        categories exactly.
+        """
+        in_lo, in_hi = self.input_mbit
+        out_lo, out_hi = self.output_mbit
+        x0 = (np.asarray(input_sizes, dtype=float) - in_lo) / max(in_hi - in_lo, 1e-12)
+        x1 = (np.asarray(output_sizes, dtype=float) - out_lo) / max(out_hi - out_lo, 1e-12)
+        x2 = np.asarray(resource_types, dtype=float) / 2.0
+        ctx = np.column_stack([x0, x1, x2])
+        return self.space.clip(ctx)
+
+    def denormalize(self, contexts: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Inverse of :meth:`normalize` (resource type rounded back to category)."""
+        ctx = np.atleast_2d(np.asarray(contexts, dtype=float))
+        in_lo, in_hi = self.input_mbit
+        out_lo, out_hi = self.output_mbit
+        inputs = ctx[:, 0] * (in_hi - in_lo) + in_lo
+        outputs = ctx[:, 1] * (out_hi - out_lo) + out_lo
+        resources = np.rint(ctx[:, 2] * 2.0).astype(int)
+        return inputs, outputs, resources

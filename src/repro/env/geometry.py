@@ -1,0 +1,196 @@
+"""SCN/WD placement, coverage sets, and mobility (paper §3.1, Fig. 1).
+
+The learner only ever sees, per slot t, the coverage sets D_{m,t}: which
+tasks lie inside each small-cell node's coverage area.  Two coverage models
+are provided:
+
+- :class:`CoverageSampler` matches the paper's evaluation setup directly: the
+  number of WDs appearing in each SCN's coverage area "varies randomly in
+  interval [35, 100] in each time slot", with tasks drawn from a shared pool
+  so that a WD may be covered by multiple SCNs (overlap is a parameter).
+- :class:`GeometricCoverage` implements the physical picture of Fig. 1: SCNs
+  on a grid over a service area, WDs moving by a random-waypoint process, and
+  coverage = "within radius r".  This model produces spatially correlated
+  overlap and is used by the mobility example and property tests.
+
+Both return, per slot, the number of tasks n_t and a list of M integer index
+arrays (the coverage sets).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_positive, require
+
+__all__ = [
+    "CoverageModel",
+    "CoverageSampler",
+    "GeometricCoverage",
+    "random_waypoint_step",
+]
+
+
+class CoverageModel(ABC):
+    """Produces per-slot coverage sets D_{m,t}."""
+
+    #: number of SCNs M
+    num_scns: int
+
+    @abstractmethod
+    def sample_slot(self, rng: np.random.Generator) -> tuple[int, list[np.ndarray]]:
+        """Sample one slot's coverage.
+
+        Returns
+        -------
+        (n_tasks, coverage):
+            ``n_tasks`` is the total number of distinct tasks in the network
+            this slot; ``coverage[m]`` is a sorted int array of task indices
+            in ``range(n_tasks)`` that SCN ``m`` covers.
+        """
+
+    def max_coverage_size(self) -> int:
+        """Upper bound K_m on |D_{m,t}| (needed by learning-rate formulae)."""
+        raise NotImplementedError
+
+
+@dataclass
+class CoverageSampler(CoverageModel):
+    """Direct coverage sampler matching the paper's evaluation (§5).
+
+    Each slot, SCN m draws |D_{m,t}| ~ UniformInt[k_min, k_max] and fills its
+    coverage set by sampling without replacement from a global task pool.
+    The pool size is ``round(sum_m |D_{m,t}| / overlap)`` so a task is covered
+    by ``overlap`` SCNs on average (subject to the pool being at least as
+    large as the largest single coverage set).
+
+    Parameters
+    ----------
+    num_scns:
+        Number of SCNs M (paper: 30).
+    k_min, k_max:
+        Range of per-SCN coverage sizes (paper: 35, 100).
+    overlap:
+        Mean number of SCNs covering one task; must be >= 1.  ``overlap=1``
+        makes coverage sets disjoint in expectation.
+    """
+
+    num_scns: int = 30
+    k_min: int = 35
+    k_max: int = 100
+    overlap: float = 2.0
+
+    def __post_init__(self) -> None:
+        check_positive("num_scns", self.num_scns)
+        require(0 < self.k_min <= self.k_max, f"need 0 < k_min <= k_max, got ({self.k_min}, {self.k_max})")
+        require(self.overlap >= 1.0, f"overlap must be >= 1, got {self.overlap}")
+
+    def sample_slot(self, rng: np.random.Generator) -> tuple[int, list[np.ndarray]]:
+        sizes = rng.integers(self.k_min, self.k_max + 1, size=self.num_scns)
+        n_tasks = max(int(round(sizes.sum() / self.overlap)), int(sizes.max()))
+        coverage = [
+            np.sort(rng.choice(n_tasks, size=int(k), replace=False)) for k in sizes
+        ]
+        return n_tasks, coverage
+
+    def max_coverage_size(self) -> int:
+        return self.k_max
+
+
+@dataclass
+class GeometricCoverage(CoverageModel):
+    """Physical coverage: SCNs on a grid, WDs moving in the service area.
+
+    Parameters
+    ----------
+    num_scns:
+        Number of SCNs; placed on the most-square grid covering the area.
+    num_wds:
+        Number of wireless devices, each submitting one task per slot.
+    area_km:
+        Side length of the square service area in km.
+    radius_km:
+        Coverage radius of a SCN in km (paper §1: small cells cover up to
+        ~2 km; dense urban deployments are much smaller).
+    speed_km:
+        Maximum per-slot WD displacement (random-waypoint step size).
+    """
+
+    num_scns: int = 30
+    num_wds: int = 900
+    area_km: float = 10.0
+    radius_km: float = 2.0
+    speed_km: float = 0.25
+
+    def __post_init__(self) -> None:
+        check_positive("num_scns", self.num_scns)
+        check_positive("num_wds", self.num_wds)
+        check_positive("area_km", self.area_km)
+        check_positive("radius_km", self.radius_km)
+        check_positive("speed_km", self.speed_km, strict=False)
+        self._scn_xy = _grid_positions(self.num_scns, self.area_km)
+        self._wd_xy: np.ndarray | None = None
+
+    @property
+    def scn_positions(self) -> np.ndarray:
+        """``(M, 2)`` SCN coordinates in km."""
+        return self._scn_xy.copy()
+
+    @property
+    def wd_positions(self) -> np.ndarray | None:
+        """Current ``(num_wds, 2)`` WD coordinates (None before first slot)."""
+        return None if self._wd_xy is None else self._wd_xy.copy()
+
+    def reset(self) -> None:
+        """Forget WD positions; the next slot re-initializes them uniformly."""
+        self._wd_xy = None
+
+    def sample_slot(self, rng: np.random.Generator) -> tuple[int, list[np.ndarray]]:
+        if self._wd_xy is None:
+            self._wd_xy = rng.uniform(0.0, self.area_km, size=(self.num_wds, 2))
+        else:
+            self._wd_xy = random_waypoint_step(
+                self._wd_xy, self.speed_km, self.area_km, rng
+            )
+        # Pairwise squared distances SCN x WD, vectorized via broadcasting.
+        diff = self._scn_xy[:, None, :] - self._wd_xy[None, :, :]
+        within = np.einsum("mnd,mnd->mn", diff, diff) <= self.radius_km**2
+        coverage = [np.flatnonzero(within[m]) for m in range(self.num_scns)]
+        return self.num_wds, coverage
+
+    def max_coverage_size(self) -> int:
+        return self.num_wds
+
+
+def random_waypoint_step(
+    positions: np.ndarray,
+    max_step: float,
+    area: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One random-waypoint mobility step, reflected at the area boundary.
+
+    Each WD moves a uniform-random distance in [0, max_step] in a uniform
+    random direction; positions are reflected back into [0, area]^2.
+    """
+    n = positions.shape[0]
+    angles = rng.uniform(0.0, 2.0 * np.pi, size=n)
+    steps = rng.uniform(0.0, max_step, size=n)
+    moved = positions + steps[:, None] * np.column_stack([np.cos(angles), np.sin(angles)])
+    # Reflect at boundaries: fold the coordinate line at 0 and `area`.
+    folded = np.abs(moved)
+    folded = area - np.abs(area - (folded % (2.0 * area)))
+    return folded
+
+
+def _grid_positions(count: int, area: float) -> np.ndarray:
+    """Place ``count`` points on the most-square grid covering [0, area]^2."""
+    cols = int(np.ceil(np.sqrt(count)))
+    rows = int(np.ceil(count / cols))
+    xs = (np.arange(cols) + 0.5) * (area / cols)
+    ys = (np.arange(rows) + 0.5) * (area / rows)
+    grid = np.array([(x, y) for y in ys for x in xs])
+    return grid[:count]

@@ -1,0 +1,115 @@
+"""Macrocell base station (MBS) fallback offloading (paper §3.3).
+
+"Since SCNs are deployed closer to WDs than MBS, they can provide
+low-latency services and have higher priority in task offloading.  For
+those tasks that are not selected by SCNs, they can be offloaded and
+processed by MBS."
+
+The MBS fallback is a *post-processing* layer: given a slot and the SCNs'
+assignment, every covered-but-unselected task may be served by the MBS with
+
+- an admission limit ``capacity`` (the MBS serves the whole cell and is
+  itself shared, so only so many leftovers fit per slot);
+- a reward discount ``reward_factor`` < 1 (longer backhaul + queueing means
+  the same task is worth less when served late at the macrocell);
+- a completion probability ``completion_prob`` (the sub-6 GHz macrocell
+  link is reliable — blockage does not apply — but the task may still miss
+  its deadline at the busy MBS).
+
+The fallback never interacts with the SCN constraints (1a)-(1d); it models
+the §3.3 discussion that rejected tasks are not lost, and lets experiments
+report *system-wide* served reward in addition to the SCN objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.env.processes import GroundTruth
+from repro.env.simulator import Assignment, SlotObservation
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = ["MBSFallback", "MBSSlotResult"]
+
+
+@dataclass(frozen=True)
+class MBSSlotResult:
+    """What the MBS served in one slot."""
+
+    served_tasks: np.ndarray
+    reward: float
+    completed: float
+
+    @property
+    def num_served(self) -> int:
+        return int(self.served_tasks.shape[0])
+
+
+@dataclass
+class MBSFallback:
+    """Serve covered-but-unselected tasks at the macrocell.
+
+    Parameters
+    ----------
+    capacity:
+        Max leftover tasks the MBS admits per slot (paper: the MBS handles
+        "tasks that do not restrict the latency but consume large amounts
+        of computing resources").
+    reward_factor:
+        Multiplier on the realized reward for MBS-served tasks (< 1).
+    completion_prob:
+        Per-task completion probability at the MBS (reliable link, loaded
+        server).
+    """
+
+    capacity: int = 50
+    reward_factor: float = 0.5
+    completion_prob: float = 0.95
+
+    def __post_init__(self) -> None:
+        check_positive("capacity", self.capacity)
+        check_probability("reward_factor", self.reward_factor)
+        check_probability("completion_prob", self.completion_prob)
+
+    def leftover_tasks(self, slot: SlotObservation, assignment: Assignment) -> np.ndarray:
+        """Covered tasks no SCN selected, in index order."""
+        covered = slot.covered_mask()
+        taken = np.zeros(len(slot.tasks), dtype=bool)
+        if len(assignment):
+            taken[assignment.task] = True
+        return np.flatnonzero(covered & ~taken)
+
+    def serve(
+        self,
+        slot: SlotObservation,
+        assignment: Assignment,
+        truth: GroundTruth,
+        rng: np.random.Generator,
+    ) -> MBSSlotResult:
+        """Admit up to ``capacity`` leftovers and realize their rewards.
+
+        The MBS prefers large-input tasks (they gain most from the big
+        server) when that metadata is available, else admits in index order.
+        """
+        leftovers = self.leftover_tasks(slot, assignment)
+        if leftovers.size > self.capacity:
+            inputs = slot.tasks.input_mbit
+            if inputs is not None:
+                order = np.argsort(-inputs[leftovers], kind="stable")
+                leftovers = leftovers[order[: self.capacity]]
+            else:
+                leftovers = leftovers[: self.capacity]
+        if leftovers.size == 0:
+            return MBSSlotResult(served_tasks=leftovers, reward=0.0, completed=0.0)
+
+        # The MBS sees the average over SCN-contexts: realize each task as if
+        # served by a uniformly random SCN's parameter draw, discounted.
+        scn = rng.integers(0, truth.num_scns, size=leftovers.size)
+        u, _, q = truth.realize(slot.t, slot.tasks.contexts[leftovers], scn, rng)
+        v = (rng.random(leftovers.size) < self.completion_prob).astype(float)
+        reward = float((self.reward_factor * u * v / q).sum())
+        return MBSSlotResult(
+            served_tasks=leftovers, reward=reward, completed=float(v.sum())
+        )

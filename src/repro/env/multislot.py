@@ -1,0 +1,229 @@
+"""Multi-slot task execution (paper §3.3 discussion and §6 future work).
+
+The baseline model assumes every task finishes within one slot.  The paper
+sketches the extension: a task whose execution spans several slots "can keep
+submitting offloading requests in the subsequent time slots", the reward is
+obtained only "after full execution", and a proposed mechanism "assigns an
+extra reward for processed tasks, such that they have the priority in future
+offloading decisions".
+
+This module implements that extension end to end:
+
+- :class:`MultiSlotWorkload` wraps a base coverage model and feature model;
+  each arriving task draws a duration d ∈ [1, d_max].  Unfinished tasks
+  re-enter subsequent slots (same context, same task id, remembered SCN
+  neighbourhood) with their execution progress exposed through
+  ``TaskBatch.priority`` — exactly the paper's "extra reward" hook.
+- :class:`MultiSlotTracker` does the progress accounting: an assigned AND
+  completed slot (v = 1) advances a task by one unit; the deferred reward
+  u/q is banked and paid out only when the final unit finishes.  Tasks
+  abandoned for ``patience`` consecutive slots are dropped (WD gives up).
+
+The simulator loop is unchanged — the tracker is driven from outside, see
+``examples/multislot_execution.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.env.contexts import TaskFeatureModel
+from repro.env.geometry import CoverageModel, CoverageSampler
+from repro.env.simulator import SlotFeedback
+from repro.env.tasks import TaskBatch
+from repro.env.workload import SlotWorkload, Workload
+from repro.utils.validation import check_positive, require
+
+__all__ = ["MultiSlotWorkload", "MultiSlotTracker", "PendingTask"]
+
+
+@dataclass
+class PendingTask:
+    """A task still executing (or waiting to be re-selected)."""
+
+    task_id: int
+    context: np.ndarray
+    duration: int
+    progress: int
+    banked_reward: float
+    neighbourhood: np.ndarray  # SCNs that covered it on arrival
+    idle_slots: int = 0
+
+    @property
+    def remaining(self) -> int:
+        return self.duration - self.progress
+
+
+@dataclass
+class MultiSlotWorkload(Workload):
+    """Arrivals with multi-slot durations plus the resubmission backlog.
+
+    Parameters
+    ----------
+    features, coverage_model:
+        As in :class:`~repro.env.workload.SyntheticWorkload`; the coverage
+        model drives *new* arrivals only.
+    max_duration:
+        Durations are uniform integers in [1, max_duration].
+    max_backlog:
+        Resubmission cap; beyond it the oldest pending tasks are dropped
+        (models WD queue limits).  Keeps slot sizes bounded.
+
+    The workload exposes the pending set through :attr:`pending` so the
+    tracker (and tests) can inspect it; :meth:`slot` appends the backlog
+    tasks after the new arrivals and marks their progress in
+    ``TaskBatch.priority`` (progress/duration ∈ [0, 1)).
+    """
+
+    features: TaskFeatureModel = field(default_factory=TaskFeatureModel)
+    coverage_model: CoverageModel = field(default_factory=CoverageSampler)
+    max_duration: int = 3
+    max_backlog: int = 200
+
+    def __post_init__(self) -> None:
+        check_positive("max_duration", self.max_duration)
+        check_positive("max_backlog", self.max_backlog)
+        self.num_scns = self.coverage_model.num_scns
+        self.pending: list[PendingTask] = []
+        self.dropped = 0  # backlog-cap evictions (WD queue overflow)
+        self._next_id = 0
+
+    def reset(self) -> None:
+        self.pending = []
+        self.dropped = 0
+        self._next_id = 0
+        reset = getattr(self.coverage_model, "reset", None)
+        if callable(reset):
+            reset()
+
+    def slot(self, t: int, rng: np.random.Generator) -> SlotWorkload:
+        n_new, coverage_new = self.coverage_model.sample_slot(rng)
+        inputs, outputs, resources = self.features.sample_features(n_new, rng)
+        contexts_new = self.features.normalize(inputs, outputs, resources)
+        durations = rng.integers(1, self.max_duration + 1, size=n_new)
+        ids_new = np.arange(self._next_id, self._next_id + n_new, dtype=np.int64)
+        self._next_id += n_new
+
+        # Register the new arrivals as pending work.
+        scn_of_new: dict[int, list[int]] = {int(i): [] for i in range(n_new)}
+        for m, cov in enumerate(coverage_new):
+            for i in cov:
+                scn_of_new[int(i)].append(m)
+        new_pending = [
+            PendingTask(
+                task_id=int(ids_new[i]),
+                context=contexts_new[i],
+                duration=int(durations[i]),
+                progress=0,
+                banked_reward=0.0,
+                neighbourhood=np.asarray(scn_of_new[i], dtype=np.int64),
+            )
+            for i in range(n_new)
+        ]
+        backlog = self.pending
+        self.pending = new_pending + backlog
+        if len(self.pending) > self.max_backlog + n_new:
+            # Drop the oldest beyond the cap (they are at the list's tail).
+            self.dropped += len(self.pending) - (self.max_backlog + n_new)
+            self.pending = self.pending[: self.max_backlog + n_new]
+
+        # Assemble the combined slot: new arrivals first, then backlog.
+        backlog_now = self.pending[n_new:]
+        contexts = (
+            np.vstack([contexts_new] + [p.context[None, :] for p in backlog_now])
+            if backlog_now
+            else contexts_new
+        )
+        ids = np.concatenate(
+            [ids_new, np.asarray([p.task_id for p in backlog_now], dtype=np.int64)]
+        )
+        priority = np.concatenate(
+            [
+                np.zeros(n_new),
+                np.asarray([p.progress / p.duration for p in backlog_now]),
+            ]
+        )
+        coverage = [cov.copy() for cov in coverage_new]
+        for j, p in enumerate(backlog_now):
+            idx = n_new + j
+            for m in p.neighbourhood:
+                coverage[m] = np.append(coverage[m], idx)
+        batch = TaskBatch(contexts=contexts, ids=ids, priority=priority)
+        return SlotWorkload(t=t, tasks=batch, coverage=coverage)
+
+    def max_coverage_size(self) -> int:
+        return self.coverage_model.max_coverage_size() + self.max_backlog
+
+
+@dataclass
+class MultiSlotTracker:
+    """Progress accounting and deferred reward payout.
+
+    Call :meth:`record` after each slot with the workload, the slot, and the
+    feedback.  A completed unit (assigned with v = 1) advances the task and
+    banks u/q; the banked total is paid when the last unit finishes.
+
+    Parameters
+    ----------
+    patience:
+        Pending tasks idle (not advanced) for this many consecutive slots
+        are abandoned.
+    """
+
+    patience: int = 10
+    paid_reward: float = 0.0
+    finished: int = 0
+    abandoned: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("patience", self.patience)
+
+    def record(
+        self,
+        workload: MultiSlotWorkload,
+        slot: SlotWorkload,
+        feedback: SlotFeedback,
+    ) -> list[int]:
+        """Advance progress; return the ids of tasks that fully finished."""
+        asn = feedback.assignment
+        by_id: dict[int, PendingTask] = {p.task_id: p for p in workload.pending}
+        require(
+            len(by_id) == len(workload.pending),
+            "pending task ids must be unique",
+        )
+        advanced: set[int] = set()
+        done_ids: list[int] = []
+        for j in range(len(asn)):
+            task_id = int(slot.tasks.ids[asn.task[j]])
+            pending = by_id.get(task_id)
+            if pending is None:
+                continue
+            if feedback.v[j] >= 1.0:
+                pending.progress += 1
+                pending.banked_reward += float(feedback.u[j] / feedback.q[j])
+                advanced.add(task_id)
+                if pending.progress >= pending.duration:
+                    self.paid_reward += pending.banked_reward
+                    self.finished += 1
+                    done_ids.append(task_id)
+        survivors: list[PendingTask] = []
+        for p in workload.pending:
+            if p.progress >= p.duration:
+                continue
+            if p.task_id not in advanced:
+                p.idle_slots += 1
+            else:
+                p.idle_slots = 0
+            if p.idle_slots >= self.patience:
+                self.abandoned += 1
+                continue
+            survivors.append(p)
+        workload.pending = survivors
+        return done_ids
+
+    def completion_rate(self) -> float:
+        """Finished / (finished + abandoned); nan before any terminations."""
+        total = self.finished + self.abandoned
+        return self.finished / total if total else float("nan")

@@ -1,0 +1,65 @@
+"""Small-cell network constraint configuration (paper §3.2, §5).
+
+Bundles the system constraints of ILP (1):
+
+- ``c``      — communication capacity: max tasks a SCN accepts per slot
+               (1a; RF-chain / beamforming limit; paper: 20);
+- ``alpha``  — QoS requirement: min expected completed tasks per SCN per slot
+               (1c; paper: 15);
+- ``beta``   — computation resource capacity per SCN per slot (1d; paper: 27).
+
+Constraint (1b) — a task is offloaded to at most one SCN — is structural and
+enforced by every assignment algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive, require
+
+__all__ = ["NetworkConfig"]
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Network-wide constants of the offloading ILP.
+
+    Attributes
+    ----------
+    num_scns:
+        Number of small-cell nodes M (paper evaluation: 30).
+    capacity:
+        Per-SCN communication capacity c (paper: 20).
+    alpha:
+        Minimum completed-task threshold α of constraint (1c) (paper: 15).
+    beta:
+        Computation resource capacity β of constraint (1d) (paper: 27).
+    """
+
+    num_scns: int = 30
+    capacity: int = 20
+    alpha: float = 15.0
+    beta: float = 27.0
+
+    def __post_init__(self) -> None:
+        check_positive("num_scns", self.num_scns)
+        check_positive("capacity", self.capacity)
+        check_positive("alpha", self.alpha, strict=False)
+        check_positive("beta", self.beta, strict=False)
+        require(
+            self.alpha <= self.capacity,
+            f"alpha ({self.alpha}) cannot exceed capacity ({self.capacity}): "
+            "a SCN cannot complete more tasks than it accepts",
+        )
+
+    def scaled(self, **overrides: float) -> "NetworkConfig":
+        """A copy with the given fields replaced (for parameter sweeps)."""
+        params = {
+            "num_scns": self.num_scns,
+            "capacity": self.capacity,
+            "alpha": self.alpha,
+            "beta": self.beta,
+        }
+        params.update(overrides)
+        return NetworkConfig(**params)  # type: ignore[arg-type]

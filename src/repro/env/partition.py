@@ -1,0 +1,59 @@
+"""Uniform grid partition helpers for the context space Φ = [0,1]^D.
+
+Both the environment's ground-truth parameter tables and the learner's
+hypercube partition (paper §4.2) index contexts by the uniform grid cell they
+fall into; this module holds the single canonical implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+__all__ = ["num_cells", "uniform_cell_indices", "cell_centers"]
+
+
+def num_cells(parts: int, dims: int) -> int:
+    """Total number of hypercubes (h_T)^D for ``parts`` divisions per dim."""
+    check_positive("parts", parts)
+    check_positive("dims", dims)
+    return int(parts) ** int(dims)
+
+
+def uniform_cell_indices(contexts: np.ndarray, parts: int) -> np.ndarray:
+    """Map contexts in [0,1]^D to flat cell indices of the uniform grid.
+
+    Each dimension is split into ``parts`` equal intervals; the upper boundary
+    1.0 belongs to the last interval.  Flat indices use C order (last
+    dimension fastest), i.e. ``flat = sum_d digit_d * parts**(D-1-d)``.
+
+    Parameters
+    ----------
+    contexts:
+        ``(n, D)`` array with entries in [0, 1].
+    parts:
+        Number of divisions per dimension (the paper's h_T).
+
+    Returns
+    -------
+    ``(n,)`` int array of flat cell indices in ``range(parts**D)``.
+    """
+    check_positive("parts", parts)
+    ctx = np.atleast_2d(np.asarray(contexts, dtype=float))
+    if np.any(ctx < 0.0) or np.any(ctx > 1.0):
+        raise ValueError("contexts must lie in [0,1]^D")
+    digits = np.minimum((ctx * parts).astype(np.int64), parts - 1)
+    dims = ctx.shape[1]
+    weights = parts ** np.arange(dims - 1, -1, -1, dtype=np.int64)
+    return digits @ weights
+
+
+def cell_centers(parts: int, dims: int) -> np.ndarray:
+    """Centers of all cells, shape ``(parts**D, D)``, in flat-index order."""
+    check_positive("parts", parts)
+    check_positive("dims", dims)
+    axes = [np.arange(parts, dtype=np.int64)] * dims
+    mesh = np.meshgrid(*axes, indexing="ij")
+    digits = np.column_stack([m.ravel() for m in mesh])
+    return (digits + 0.5) / parts

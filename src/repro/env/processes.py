@@ -1,0 +1,350 @@
+"""The unknown random processes U, V, Q and their ground truth (paper §3.2).
+
+For SCN m and task context φ the paper posits three independent random
+processes, observed only *after* a task is offloaded and processed:
+
+- ``U^m_φ(t)`` — the reward for completing the task (task value /
+  computation rate), realization u ∈ [0, 1];
+- ``V^m_φ(t)`` — the likelihood the task completes, capturing mmWave link
+  instability; realization v ∈ {0, 1} (completed or interrupted);
+- ``Q^m_φ(t)`` — the resource consumption, realization q (evaluation §5
+  samples it uniformly in [1, 2]).
+
+The compound (effective) reward is ``g = u·v / q``.  V and Q are stationary;
+U need not be — :class:`DriftingTruth` and :class:`RegimeSwitchTruth`
+implement the non-stationary variants the paper allows.
+
+The ground truth lives on a uniform grid over Φ (independent of, and possibly
+finer than, the learner's hypercube partition), matching the evaluation's
+"reward and likelihood ... uniformly distributed in [0,1]" per category, and
+satisfying the similarity hypothesis of §4.2 (similar contexts → similar
+feedback) exactly within a cell.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.env.partition import cell_centers, num_cells, uniform_cell_indices
+from repro.utils.validation import check_interval, check_positive, require
+
+__all__ = [
+    "GroundTruth",
+    "PiecewiseConstantTruth",
+    "SmoothTruth",
+    "DriftingTruth",
+    "RegimeSwitchTruth",
+]
+
+_EPS = 1e-9
+
+
+class GroundTruth(ABC):
+    """Ground-truth parameters of U, V, Q — hidden from all learners.
+
+    Only the Oracle baseline and the regret metric may query
+    :meth:`expected_compound`; learning policies interact with the
+    environment solely through realized feedback.
+    """
+
+    num_scns: int
+    dims: int
+
+    @abstractmethod
+    def means(self, t: int, contexts: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Expected values (E[u], P[v=1], E[q]) per (SCN, task).
+
+        Returns three ``(M, n)`` arrays for the ``n`` given contexts.
+        """
+
+    @abstractmethod
+    def expected_compound(self, t: int, contexts: np.ndarray) -> np.ndarray:
+        """``(M, n)`` array of E[g] = E[u]·P[v=1]·E[1/q] (independence)."""
+
+    @abstractmethod
+    def realize(
+        self,
+        t: int,
+        contexts: np.ndarray,
+        scn_idx: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sample (u, v, q) for each (scn_idx[j], contexts[j]) pair."""
+
+    def advance(self, t: int, rng: np.random.Generator) -> None:
+        """Advance any internal non-stationary state to slot ``t+1``."""
+        # Stationary truths have nothing to do.
+
+    def reward_bound(self) -> float:
+        """An upper bound on the compound reward g (for normalization)."""
+        return 1.0
+
+
+@dataclass
+class PiecewiseConstantTruth(GroundTruth):
+    """Stationary ground truth, constant within each grid cell (paper §5).
+
+    Per (SCN, cell) the parameters are drawn once at construction:
+
+    - mean reward       ``mu_u ~ Uniform[u_range]``          (paper: [0,1])
+    - completion prob.  ``p_v  ~ Uniform[v_range]``          (paper: [0,1])
+    - consumption band  ``[q_lo, q_hi] ⊂ q_range`` of width ``q_band``
+      centered uniformly at random                            (paper: [1,2])
+
+    Realizations: ``u ~ Beta`` with mean mu_u and concentration
+    ``u_concentration`` (set ``u_concentration=inf`` for deterministic
+    u = mu_u); ``v ~ Bernoulli(p_v)``; ``q ~ Uniform[q_lo, q_hi]``.
+
+    ``E[1/q]`` for the uniform band is ``ln(q_hi/q_lo)/(q_hi - q_lo)``
+    (exactly, so the Oracle and the regret metric are unbiased).
+    """
+
+    num_scns: int = 30
+    dims: int = 3
+    cells_per_dim: int = 3
+    u_range: tuple[float, float] = (0.0, 1.0)
+    v_range: tuple[float, float] = (0.0, 1.0)
+    q_range: tuple[float, float] = (1.0, 2.0)
+    q_band: float = 0.5
+    u_concentration: float = 10.0
+    seed: int | np.random.Generator | None = 0
+
+    def __post_init__(self) -> None:
+        check_positive("num_scns", self.num_scns)
+        check_positive("dims", self.dims)
+        check_positive("cells_per_dim", self.cells_per_dim)
+        check_interval("u_range", self.u_range)
+        check_interval("v_range", self.v_range)
+        check_interval("q_range", self.q_range)
+        require(self.q_range[0] > 0, f"q_range must be positive, got {self.q_range}")
+        require(
+            0 < self.q_band <= self.q_range[1] - self.q_range[0] or np.isclose(self.q_band, 0),
+            f"q_band must be in (0, {self.q_range[1] - self.q_range[0]}], got {self.q_band}",
+        )
+        require(self.u_concentration > 0, "u_concentration must be > 0")
+        rng = np.random.default_rng(self.seed) if not isinstance(self.seed, np.random.Generator) else self.seed
+        n_cells = num_cells(self.cells_per_dim, self.dims)
+        shape = (self.num_scns, n_cells)
+        self.mu_u = rng.uniform(*self.u_range, size=shape)
+        self.p_v = rng.uniform(*self.v_range, size=shape)
+        q_lo, q_hi = self.q_range
+        band = min(self.q_band, q_hi - q_lo)
+        centers = rng.uniform(q_lo + band / 2.0, q_hi - band / 2.0, size=shape) if q_hi - q_lo > band else np.full(shape, (q_lo + q_hi) / 2.0)
+        self.q_lo = centers - band / 2.0
+        self.q_hi = centers + band / 2.0
+
+    # -- table lookups ------------------------------------------------------
+
+    def _cells(self, contexts: np.ndarray) -> np.ndarray:
+        return uniform_cell_indices(contexts, self.cells_per_dim)
+
+    def means(self, t: int, contexts: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        cells = self._cells(contexts)
+        mean_q = (self.q_lo[:, cells] + self.q_hi[:, cells]) / 2.0
+        return self.mu_u[:, cells], self.p_v[:, cells], mean_q
+
+    def expected_inverse_q(self, contexts: np.ndarray) -> np.ndarray:
+        """Exact E[1/q] per (SCN, task) for the uniform consumption band."""
+        cells = self._cells(contexts)
+        lo, hi = self.q_lo[:, cells], self.q_hi[:, cells]
+        width = hi - lo
+        # Degenerate band (width 0) -> 1/lo; otherwise ln(hi/lo)/(hi-lo).
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = np.where(width > _EPS, np.log(hi / lo) / np.where(width > _EPS, width, 1.0), 1.0 / lo)
+        return out
+
+    def expected_compound(self, t: int, contexts: np.ndarray) -> np.ndarray:
+        cells = self._cells(contexts)
+        return self.mu_u[:, cells] * self.p_v[:, cells] * self.expected_inverse_q(contexts)
+
+    # -- sampling ------------------------------------------------------------
+
+    def realize(
+        self,
+        t: int,
+        contexts: np.ndarray,
+        scn_idx: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        scn = np.asarray(scn_idx, dtype=np.int64)
+        cells = self._cells(contexts)
+        if scn.shape != cells.shape:
+            raise ValueError(
+                f"scn_idx has shape {scn.shape} but contexts give {cells.shape}"
+            )
+        mu = np.clip(self.mu_u[scn, cells], _EPS, 1.0 - _EPS)
+        if np.isinf(self.u_concentration):
+            u = self.mu_u[scn, cells].copy()
+        else:
+            kappa = self.u_concentration
+            u = rng.beta(kappa * mu, kappa * (1.0 - mu))
+        v = (rng.random(size=cells.shape) < self.p_v[scn, cells]).astype(float)
+        q = rng.uniform(self.q_lo[scn, cells], self.q_hi[scn, cells])
+        return u, v, q
+
+    def reward_bound(self) -> float:
+        # g = u·v/q <= 1·1/q_min over all bands.
+        return 1.0 / float(self.q_lo.min())
+
+
+@dataclass
+class SmoothTruth(GroundTruth):
+    """Stationary ground truth with smooth (Lipschitz) mean functions.
+
+    Satisfies the Hölder continuity of Assumption 1 with a controllable
+    Lipschitz constant: each mean function is a random low-frequency cosine
+    mixture squashed through a logistic into its valid range.  Used by
+    property tests and the granularity (h_T) ablation, where piecewise-
+    constant truth would make one particular partition trivially optimal.
+    """
+
+    num_scns: int = 30
+    dims: int = 3
+    n_features: int = 8
+    frequency: float = 1.0
+    q_range: tuple[float, float] = (1.0, 2.0)
+    u_noise: float = 0.1
+    seed: int | np.random.Generator | None = 0
+
+    def __post_init__(self) -> None:
+        check_positive("num_scns", self.num_scns)
+        check_positive("dims", self.dims)
+        check_positive("n_features", self.n_features)
+        check_interval("q_range", self.q_range)
+        require(self.q_range[0] > 0, "q_range must be positive")
+        rng = np.random.default_rng(self.seed) if not isinstance(self.seed, np.random.Generator) else self.seed
+        shape = (3, self.num_scns, self.n_features)  # one bank per process U,V,Q
+        self._omega = rng.normal(0.0, self.frequency, size=shape + (self.dims,))
+        self._phase = rng.uniform(0.0, 2.0 * np.pi, size=shape)
+        self._coef = rng.normal(0.0, 1.0, size=shape) / np.sqrt(self.n_features)
+
+    def _field(self, bank: int, contexts: np.ndarray) -> np.ndarray:
+        """Evaluate the random cosine field: (M, n) values squashed to (0,1)."""
+        ctx = np.atleast_2d(np.asarray(contexts, dtype=float))
+        # (M, F, n) phases -> cosine mixture -> logistic squash.
+        proj = np.einsum("mfd,nd->mfn", self._omega[bank], ctx) * 2.0 * np.pi
+        waves = np.cos(proj + self._phase[bank][:, :, None])
+        raw = np.einsum("mf,mfn->mn", self._coef[bank], waves)
+        return 1.0 / (1.0 + np.exp(-3.0 * raw))
+
+    def means(self, t: int, contexts: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        q_lo, q_hi = self.q_range
+        mu_u = self._field(0, contexts)
+        p_v = self._field(1, contexts)
+        mu_q = q_lo + (q_hi - q_lo) * self._field(2, contexts)
+        return mu_u, p_v, mu_q
+
+    def expected_compound(self, t: int, contexts: np.ndarray) -> np.ndarray:
+        mu_u, p_v, mu_q = self.means(t, contexts)
+        # q is deterministic given the context here, so E[1/q] = 1/mu_q.
+        return mu_u * p_v / mu_q
+
+    def realize(
+        self,
+        t: int,
+        contexts: np.ndarray,
+        scn_idx: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        scn = np.asarray(scn_idx, dtype=np.int64)
+        mu_u, p_v, mu_q = self.means(t, contexts)
+        rows = np.arange(len(scn))
+        mu_u, p_v, mu_q = mu_u[scn, rows], p_v[scn, rows], mu_q[scn, rows]
+        u = np.clip(mu_u + rng.uniform(-self.u_noise, self.u_noise, size=mu_u.shape), 0.0, 1.0)
+        v = (rng.random(size=p_v.shape) < p_v).astype(float)
+        return u, v, mu_q.copy()
+
+    def reward_bound(self) -> float:
+        return 1.0 / float(self.q_range[0])
+
+
+@dataclass
+class DriftingTruth(GroundTruth):
+    """Non-stationary U: the mean-reward table follows a bounded random walk.
+
+    Wraps a :class:`PiecewiseConstantTruth`; each :meth:`advance` perturbs
+    ``mu_u`` by N(0, drift²) per (SCN, cell) and reflects it back into
+    ``u_range``.  V and Q stay stationary, as §3.2 requires.
+    """
+
+    base: PiecewiseConstantTruth = field(default_factory=PiecewiseConstantTruth)
+    drift: float = 0.01
+
+    def __post_init__(self) -> None:
+        check_positive("drift", self.drift, strict=False)
+        self.num_scns = self.base.num_scns
+        self.dims = self.base.dims
+
+    def means(self, t, contexts):
+        return self.base.means(t, contexts)
+
+    def expected_compound(self, t, contexts):
+        return self.base.expected_compound(t, contexts)
+
+    def realize(self, t, contexts, scn_idx, rng):
+        return self.base.realize(t, contexts, scn_idx, rng)
+
+    def advance(self, t: int, rng: np.random.Generator) -> None:
+        lo, hi = self.base.u_range
+        walked = self.base.mu_u + rng.normal(0.0, self.drift, size=self.base.mu_u.shape)
+        # Reflect into [lo, hi].
+        span = max(hi - lo, _EPS)
+        folded = np.abs((walked - lo) % (2.0 * span))
+        self.base.mu_u = lo + (span - np.abs(span - folded))
+
+    def reward_bound(self) -> float:
+        return self.base.reward_bound()
+
+
+@dataclass
+class RegimeSwitchTruth(GroundTruth):
+    """Non-stationary U: mean rewards switch between two regimes.
+
+    Holds two independent :class:`PiecewiseConstantTruth` parameter sets that
+    share V and Q (copied from regime A); each slot the active regime flips
+    with probability ``switch_prob``.
+    """
+
+    regime_a: PiecewiseConstantTruth = field(default_factory=lambda: PiecewiseConstantTruth(seed=0))
+    regime_b: PiecewiseConstantTruth = field(default_factory=lambda: PiecewiseConstantTruth(seed=1))
+    switch_prob: float = 0.001
+
+    def __post_init__(self) -> None:
+        require(0.0 <= self.switch_prob <= 1.0, "switch_prob must be in [0,1]")
+        require(
+            self.regime_a.num_scns == self.regime_b.num_scns
+            and self.regime_a.dims == self.regime_b.dims
+            and self.regime_a.cells_per_dim == self.regime_b.cells_per_dim,
+            "regimes must share (num_scns, dims, cells_per_dim)",
+        )
+        # Share the stationary processes V and Q between regimes (§3.2).
+        self.regime_b.p_v = self.regime_a.p_v
+        self.regime_b.q_lo = self.regime_a.q_lo
+        self.regime_b.q_hi = self.regime_a.q_hi
+        self.num_scns = self.regime_a.num_scns
+        self.dims = self.regime_a.dims
+        self._active = self.regime_a
+
+    @property
+    def active_regime(self) -> str:
+        """'a' or 'b' — which regime currently generates rewards."""
+        return "a" if self._active is self.regime_a else "b"
+
+    def means(self, t, contexts):
+        return self._active.means(t, contexts)
+
+    def expected_compound(self, t, contexts):
+        return self._active.expected_compound(t, contexts)
+
+    def realize(self, t, contexts, scn_idx, rng):
+        return self._active.realize(t, contexts, scn_idx, rng)
+
+    def advance(self, t: int, rng: np.random.Generator) -> None:
+        if rng.random() < self.switch_prob:
+            self._active = self.regime_b if self._active is self.regime_a else self.regime_a
+
+    def reward_bound(self) -> float:
+        return max(self.regime_a.reward_bound(), self.regime_b.reward_bound())

@@ -1,0 +1,382 @@
+"""The slot-by-slot offloading simulation loop (paper §3, §5).
+
+Per slot t the loop is:
+
+1. the workload emits the tasks present in the network and the coverage
+   sets D_{m,t};
+2. the policy (LFSC or a baseline) returns an :class:`Assignment` — which
+   SCN, if any, each task is offloaded to — honouring the structural
+   constraints (1a) capacity and (1b) no duplicate offloading;
+3. the environment realizes the hidden processes (u, v, q) for the assigned
+   pairs only (bandit feedback), applies the optional blockage channel, and
+   computes the compound rewards g = u·v/q;
+4. the recorder logs the slot's reward and the realized violations of the
+   QoS constraint (1c) and the resource constraint (1d);
+5. the policy receives the feedback and updates its internal state.
+
+The policies never see the ground truth; the Oracle baseline receives a
+:class:`GroundTruth` handle explicitly at construction, and the regret metric
+uses the expected-reward series recorded here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.env.channel import BlockageChannel
+from repro.env.network import NetworkConfig
+from repro.env.processes import GroundTruth
+from repro.env.workload import SlotWorkload, Workload
+from repro.utils.rng import RngFactory
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "Assignment",
+    "SlotFeedback",
+    "SlotObservation",
+    "PolicyProtocol",
+    "Simulation",
+    "SimulationResult",
+]
+
+# A policy observes exactly the public slot information.
+SlotObservation = SlotWorkload
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """An offloading decision: ``task[j]`` is offloaded to ``scn[j]``.
+
+    Invariants (validated by :meth:`validate`):
+
+    - each task index appears at most once (constraint 1b);
+    - each SCN index appears at most ``capacity`` times (constraint 1a);
+    - every pair lies in the coverage relation.
+    """
+
+    scn: np.ndarray
+    task: np.ndarray
+
+    def __post_init__(self) -> None:
+        scn = np.asarray(self.scn, dtype=np.int64).ravel()
+        task = np.asarray(self.task, dtype=np.int64).ravel()
+        if scn.shape != task.shape:
+            raise ValueError(f"scn and task differ in length: {scn.shape} vs {task.shape}")
+        object.__setattr__(self, "scn", scn)
+        object.__setattr__(self, "task", task)
+
+    def __len__(self) -> int:
+        return int(self.scn.shape[0])
+
+    @staticmethod
+    def empty() -> "Assignment":
+        return Assignment(scn=np.empty(0, dtype=np.int64), task=np.empty(0, dtype=np.int64))
+
+    def validate(self, slot: SlotWorkload, capacity: int) -> None:
+        """Raise ValueError if the assignment breaks (1a), (1b) or coverage."""
+        if len(self) == 0:
+            return
+        n = len(slot.tasks)
+        if self.task.min() < 0 or self.task.max() >= n:
+            raise ValueError("assignment references task index outside the slot")
+        if self.scn.min() < 0 or self.scn.max() >= slot.num_scns:
+            raise ValueError("assignment references SCN index outside the network")
+        if np.unique(self.task).size != self.task.size:
+            raise ValueError("constraint (1b) violated: a task assigned to multiple SCNs")
+        counts = np.bincount(self.scn, minlength=slot.num_scns)
+        if counts.max(initial=0) > capacity:
+            worst = int(np.argmax(counts))
+            raise ValueError(
+                f"constraint (1a) violated: SCN {worst} assigned {counts[worst]} > c={capacity}"
+            )
+        for m in np.unique(self.scn):
+            assigned = self.task[self.scn == m]
+            if not np.isin(assigned, slot.coverage[m]).all():
+                raise ValueError(f"SCN {m} assigned a task outside its coverage")
+
+    def tasks_of(self, m: int) -> np.ndarray:
+        """Task indices assigned to SCN ``m``."""
+        return self.task[self.scn == m]
+
+
+@dataclass(frozen=True)
+class SlotFeedback:
+    """Bandit feedback for one slot's assignment.
+
+    Arrays are aligned with the assignment's pairs: ``u[j]``, ``v[j]``,
+    ``q[j]`` are the realizations for pair ``(scn[j], task[j])`` and
+    ``g = u·v/q`` is the realized compound reward.
+    """
+
+    assignment: Assignment
+    u: np.ndarray
+    v: np.ndarray
+    q: np.ndarray
+    g: np.ndarray
+
+    def per_scn_completed(self, num_scns: int) -> np.ndarray:
+        """Σ_i v_i per SCN — realized completed-task counts (for (1c))."""
+        return np.bincount(self.assignment.scn, weights=self.v, minlength=num_scns)
+
+    def per_scn_consumption(self, num_scns: int) -> np.ndarray:
+        """Σ_i q_i per SCN — realized resource consumption (for (1d))."""
+        return np.bincount(self.assignment.scn, weights=self.q, minlength=num_scns)
+
+    def per_scn_reward(self, num_scns: int) -> np.ndarray:
+        """Σ_i g_i per SCN — realized compound reward."""
+        return np.bincount(self.assignment.scn, weights=self.g, minlength=num_scns)
+
+
+@runtime_checkable
+class PolicyProtocol(Protocol):
+    """Structural interface every offloading policy implements."""
+
+    name: str
+
+    def reset(self, network: NetworkConfig, horizon: int, rng: np.random.Generator) -> None:
+        """Prepare for a fresh run of ``horizon`` slots."""
+
+    def select(self, slot: SlotObservation) -> Assignment:
+        """Choose the slot's offloading assignment."""
+
+    def update(self, slot: SlotObservation, feedback: SlotFeedback) -> None:
+        """Consume bandit feedback for the assignment returned by select()."""
+
+
+@dataclass
+class SimulationResult:
+    """Per-slot time series recorded by :class:`Simulation.run`.
+
+    All series have length T (the horizon); per-SCN series have shape (T, M).
+
+    Violations come in two bases:
+
+    - ``violation_qos`` / ``violation_resource`` — the paper's V1/V2: per
+      §3.2 these measure the *expected* completed-task count Σ v̄ and the
+      expected consumption Σ q̄ of the selected set against α and β, so an
+      Oracle meeting the constraints in expectation scores ~0 regardless of
+      Bernoulli noise.  Available when ``record_expected=True`` (default).
+    - ``violation_qos_realized`` / ``violation_resource_realized`` — the
+      same shortfalls/excesses computed from the realized draws (Σ v_i,
+      Σ q_i); these include irreducible realization noise and are what an
+      operator would observe slot by slot.
+    """
+
+    policy_name: str
+    horizon: int
+    num_scns: int
+    reward: np.ndarray
+    expected_reward: np.ndarray
+    completed: np.ndarray
+    consumption: np.ndarray
+    accepted: np.ndarray
+    violation_qos: np.ndarray
+    violation_resource: np.ndarray
+    violation_qos_realized: np.ndarray = None  # type: ignore[assignment]
+    violation_resource_realized: np.ndarray = None  # type: ignore[assignment]
+    has_expected: bool = True
+
+    def __post_init__(self) -> None:
+        if self.violation_qos_realized is None:
+            self.violation_qos_realized = self.violation_qos
+        if self.violation_resource_realized is None:
+            self.violation_resource_realized = self.violation_resource
+
+    @property
+    def cumulative_reward(self) -> np.ndarray:
+        """Running total of realized compound reward (Fig. 2a series)."""
+        return np.cumsum(self.reward)
+
+    @property
+    def cumulative_expected_reward(self) -> np.ndarray:
+        """Running total of expected compound reward (regret input)."""
+        return np.cumsum(self.expected_reward)
+
+    @property
+    def cumulative_violation_qos(self) -> np.ndarray:
+        """Running total of Σ_m [α − E(completed)_m]₊ — the paper's V1."""
+        return np.cumsum(self.violation_qos)
+
+    @property
+    def cumulative_violation_resource(self) -> np.ndarray:
+        """Running total of Σ_m [E(consumption)_m − β]₊ — the paper's V2."""
+        return np.cumsum(self.violation_resource)
+
+    @property
+    def total_reward(self) -> float:
+        return float(self.reward.sum())
+
+    @property
+    def total_violations(self) -> float:
+        """V1(T) + V2(T) on the paper's expected basis."""
+        return float(self.violation_qos.sum() + self.violation_resource.sum())
+
+    @property
+    def total_violations_realized(self) -> float:
+        """V1(T) + V2(T) computed from realized draws."""
+        return float(
+            self.violation_qos_realized.sum() + self.violation_resource_realized.sum()
+        )
+
+    def summary(self) -> dict[str, float]:
+        """Headline scalars for tables and EXPERIMENTS.md."""
+        total_viol = self.total_violations
+        return {
+            "total_reward": self.total_reward,
+            "total_expected_reward": float(self.expected_reward.sum()),
+            "violation_qos": float(self.violation_qos.sum()),
+            "violation_resource": float(self.violation_resource.sum()),
+            "total_violations": total_viol,
+            "total_violations_realized": self.total_violations_realized,
+            "performance_ratio": self.total_reward / (1.0 + total_viol),
+            "mean_accepted_per_scn": float(self.accepted.mean()),
+            "mean_completed_per_scn": float(self.completed.mean()),
+        }
+
+
+@dataclass
+class Simulation:
+    """Binds a network, a workload, the hidden truth, and an optional channel.
+
+    Parameters
+    ----------
+    network:
+        Constraint constants (M, c, α, β).
+    workload:
+        Task/coverage generator; must agree with ``network.num_scns``.
+    truth:
+        Hidden ground truth of U, V, Q.
+    channel:
+        Optional dynamic blockage layer multiplying into v.
+    seed:
+        Root seed; independent named streams are derived for the workload,
+        the realizations, the channel, and the policy.
+    validate_assignments:
+        When True (default) every assignment is checked against (1a), (1b)
+        and coverage — catching buggy policies at the slot they misbehave.
+    """
+
+    network: NetworkConfig
+    workload: Workload
+    truth: GroundTruth
+    channel: BlockageChannel | None = None
+    seed: int | None = 0
+    validate_assignments: bool = True
+
+    def __post_init__(self) -> None:
+        if self.workload.num_scns != self.network.num_scns:
+            raise ValueError(
+                f"workload has {self.workload.num_scns} SCNs, network expects {self.network.num_scns}"
+            )
+        if self.truth.num_scns != self.network.num_scns:
+            raise ValueError(
+                f"truth has {self.truth.num_scns} SCNs, network expects {self.network.num_scns}"
+            )
+
+    def run(
+        self,
+        policy: PolicyProtocol,
+        horizon: int,
+        *,
+        record_expected: bool = True,
+    ) -> SimulationResult:
+        """Run ``policy`` for ``horizon`` slots and record per-slot metrics.
+
+        The same ``Simulation`` object can run several policies; each run
+        re-derives its random streams from the root seed, so two policies
+        face identical workload randomness (realization draws still depend
+        on which tasks each policy selects — standard bandit semantics).
+        """
+        check_positive("horizon", horizon)
+        rngs = RngFactory(self.seed)
+        workload_rng = rngs.get("workload")
+        realize_rng = rngs.get("realizations")
+        channel_rng = rngs.get("channel")
+        policy_rng = rngs.get(f"policy.{policy.name}")
+
+        reset = getattr(self.workload, "reset", None)
+        if callable(reset):
+            reset()
+        policy.reset(self.network, horizon, policy_rng)
+
+        M = self.network.num_scns
+        alpha, beta = self.network.alpha, self.network.beta
+        reward = np.zeros(horizon)
+        expected_reward = np.zeros(horizon)
+        completed = np.zeros((horizon, M))
+        consumption = np.zeros((horizon, M))
+        accepted = np.zeros((horizon, M), dtype=np.int64)
+        viol_qos_real = np.zeros(horizon)
+        viol_res_real = np.zeros(horizon)
+        viol_qos_exp = np.zeros(horizon)
+        viol_res_exp = np.zeros(horizon)
+
+        for t in range(horizon):
+            slot = self.workload.slot(t, workload_rng)
+            assignment = policy.select(slot)
+            if self.validate_assignments:
+                assignment.validate(slot, self.network.capacity)
+
+            if len(assignment) > 0:
+                pair_contexts = slot.tasks.contexts[assignment.task]
+                u, v, q = self.truth.realize(t, pair_contexts, assignment.scn, realize_rng)
+                if self.channel is not None:
+                    v = v * self.channel.link_up(t, assignment.scn, assignment.task, channel_rng)
+                g = u * v / q
+            else:
+                u = v = q = g = np.empty(0)
+
+            feedback = SlotFeedback(assignment=assignment, u=u, v=v, q=q, g=g)
+
+            reward[t] = g.sum()
+            comp = feedback.per_scn_completed(M)
+            cons = feedback.per_scn_consumption(M)
+            completed[t] = comp
+            consumption[t] = cons
+            accepted[t] = np.bincount(assignment.scn, minlength=M)
+            viol_qos_real[t] = np.maximum(alpha - comp, 0.0).sum()
+            viol_res_real[t] = np.maximum(cons - beta, 0.0).sum()
+
+            if record_expected:
+                # The paper's V1/V2 use the expected completed count Σ v̄
+                # and expected consumption Σ q̄ of the selected set (§3.2).
+                if len(assignment) > 0:
+                    rows = np.arange(len(assignment))
+                    exp_g = self.truth.expected_compound(t, pair_contexts)
+                    expected_reward[t] = exp_g[assignment.scn, rows].sum()
+                    _, p_v, mu_q = self.truth.means(t, pair_contexts)
+                    exp_comp = np.bincount(
+                        assignment.scn, weights=p_v[assignment.scn, rows], minlength=M
+                    )
+                    exp_cons = np.bincount(
+                        assignment.scn, weights=mu_q[assignment.scn, rows], minlength=M
+                    )
+                else:
+                    exp_comp = np.zeros(M)
+                    exp_cons = np.zeros(M)
+                viol_qos_exp[t] = np.maximum(alpha - exp_comp, 0.0).sum()
+                viol_res_exp[t] = np.maximum(exp_cons - beta, 0.0).sum()
+
+            policy.update(slot, feedback)
+            self.truth.advance(t, realize_rng)
+            if self.channel is not None:
+                self.channel.advance(t, channel_rng)
+
+        return SimulationResult(
+            policy_name=policy.name,
+            horizon=horizon,
+            num_scns=M,
+            reward=reward,
+            expected_reward=expected_reward,
+            completed=completed,
+            consumption=consumption,
+            accepted=accepted,
+            violation_qos=viol_qos_exp if record_expected else viol_qos_real,
+            violation_resource=viol_res_exp if record_expected else viol_res_real,
+            violation_qos_realized=viol_qos_real,
+            violation_resource_realized=viol_res_real,
+            has_expected=record_expected,
+        )

@@ -1,0 +1,112 @@
+"""Workload statistics — verify a generated environment matches §5's spec.
+
+When substituting synthetic workloads for the paper's data (DESIGN.md §2),
+the substitution is only valid if the generated streams actually follow the
+declared distributions.  :func:`workload_statistics` measures, over a sample
+of slots: the per-SCN coverage-size distribution (paper: Uniform[35,100]),
+the mean coverage overlap (how many SCNs cover a task), the raw feature
+ranges, and the resource-type mix.  ``tests/env/test_stats.py`` pins the §5
+values; experiment scripts can print the same numbers for any custom
+workload before trusting results on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.env.workload import Workload
+from repro.utils.validation import check_positive
+
+__all__ = ["WorkloadStatistics", "workload_statistics"]
+
+
+@dataclass(frozen=True)
+class WorkloadStatistics:
+    """Empirical summary of a workload over a sampled window."""
+
+    slots_sampled: int
+    coverage_size_min: float
+    coverage_size_mean: float
+    coverage_size_max: float
+    overlap_mean: float
+    covered_fraction: float
+    tasks_per_slot_mean: float
+    input_mbit_range: tuple[float, float] | None
+    output_mbit_range: tuple[float, float] | None
+    resource_mix: tuple[float, float, float] | None
+
+    def rows(self) -> list[dict[str, float | str]]:
+        """One-column-per-metric row (for format_table)."""
+        row: dict[str, float | str] = {
+            "slots": self.slots_sampled,
+            "|D| min/mean/max": (
+                f"{self.coverage_size_min:.0f}/{self.coverage_size_mean:.1f}/"
+                f"{self.coverage_size_max:.0f}"
+            ),
+            "overlap": self.overlap_mean,
+            "covered_frac": self.covered_fraction,
+            "tasks_per_slot": self.tasks_per_slot_mean,
+        }
+        return [row]
+
+
+def workload_statistics(
+    workload: Workload,
+    *,
+    slots: int = 50,
+    rng: np.random.Generator | None = None,
+) -> WorkloadStatistics:
+    """Sample ``slots`` slots and summarize the workload's empirical shape."""
+    check_positive("slots", slots)
+    rng = rng if rng is not None else np.random.default_rng(0)
+    reset = getattr(workload, "reset", None)
+    if callable(reset):
+        reset()
+
+    sizes: list[int] = []
+    overlaps: list[float] = []
+    covered_fracs: list[float] = []
+    task_counts: list[int] = []
+    in_lo = out_lo = np.inf
+    in_hi = out_hi = -np.inf
+    resource_counts = np.zeros(3)
+    have_features = False
+
+    for t in range(slots):
+        slot = workload.slot(t, rng)
+        n = len(slot.tasks)
+        task_counts.append(n)
+        degree = np.zeros(n, dtype=np.int64)
+        for cov in slot.coverage:
+            cov = np.asarray(cov)
+            sizes.append(int(cov.size))
+            degree[cov] += 1
+        covered = degree > 0
+        covered_fracs.append(float(covered.mean()) if n else 1.0)
+        if covered.any():
+            overlaps.append(float(degree[covered].mean()))
+        if slot.tasks.input_mbit is not None:
+            have_features = True
+            in_lo = min(in_lo, float(slot.tasks.input_mbit.min()))
+            in_hi = max(in_hi, float(slot.tasks.input_mbit.max()))
+            out_lo = min(out_lo, float(slot.tasks.output_mbit.min()))
+            out_hi = max(out_hi, float(slot.tasks.output_mbit.max()))
+            resource_counts += np.bincount(slot.tasks.resource_type, minlength=3)
+
+    mix = None
+    if have_features and resource_counts.sum() > 0:
+        mix = tuple(resource_counts / resource_counts.sum())  # type: ignore[assignment]
+    return WorkloadStatistics(
+        slots_sampled=slots,
+        coverage_size_min=float(np.min(sizes)) if sizes else 0.0,
+        coverage_size_mean=float(np.mean(sizes)) if sizes else 0.0,
+        coverage_size_max=float(np.max(sizes)) if sizes else 0.0,
+        overlap_mean=float(np.mean(overlaps)) if overlaps else 0.0,
+        covered_fraction=float(np.mean(covered_fracs)),
+        tasks_per_slot_mean=float(np.mean(task_counts)),
+        input_mbit_range=(in_lo, in_hi) if have_features else None,
+        output_mbit_range=(out_lo, out_hi) if have_features else None,
+        resource_mix=mix,
+    )

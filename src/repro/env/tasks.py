@@ -1,0 +1,103 @@
+"""Struct-of-arrays task batches.
+
+Up to M·K_m ≈ 3,000 candidate tasks appear per slot at paper scale, and the
+simulation runs for 10,000 slots, so per-task Python objects would dominate
+the run time.  Following the HPC guides we keep tasks in a struct-of-arrays
+:class:`TaskBatch` — one NumPy array per field — so the learner's per-slot
+math stays fully vectorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TaskBatch"]
+
+
+@dataclass(frozen=True)
+class TaskBatch:
+    """A batch of tasks present in one time slot.
+
+    Attributes
+    ----------
+    contexts:
+        ``(n, D)`` float array of normalized contexts in Φ = [0,1]^D.
+    ids:
+        ``(n,)`` int array of globally unique task identifiers.
+    input_mbit, output_mbit:
+        ``(n,)`` float arrays of raw data sizes (for reporting; the learner
+        only sees ``contexts``).
+    resource_type:
+        ``(n,)`` int array of :class:`repro.env.contexts.ResourceType` values.
+    priority:
+        Optional ``(n,)`` float array of scheduling priorities in [0, 1]
+        (e.g. execution progress of multi-slot tasks, §3.3); policies may
+        use it as a tie-breaking bonus, the plain evaluation leaves it None.
+    """
+
+    contexts: np.ndarray
+    ids: np.ndarray = field(default=None)  # type: ignore[assignment]
+    input_mbit: np.ndarray = field(default=None)  # type: ignore[assignment]
+    output_mbit: np.ndarray = field(default=None)  # type: ignore[assignment]
+    resource_type: np.ndarray = field(default=None)  # type: ignore[assignment]
+    priority: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        ctx = np.atleast_2d(np.asarray(self.contexts, dtype=float))
+        object.__setattr__(self, "contexts", ctx)
+        n = ctx.shape[0]
+        if self.ids is None:
+            object.__setattr__(self, "ids", np.arange(n, dtype=np.int64))
+        else:
+            ids = np.asarray(self.ids, dtype=np.int64)
+            if ids.shape != (n,):
+                raise ValueError(f"ids shape {ids.shape} != ({n},)")
+            object.__setattr__(self, "ids", ids)
+        for name in ("input_mbit", "output_mbit", "priority"):
+            arr = getattr(self, name)
+            if arr is not None:
+                arr = np.asarray(arr, dtype=float)
+                if arr.shape != (n,):
+                    raise ValueError(f"{name} shape {arr.shape} != ({n},)")
+                object.__setattr__(self, name, arr)
+        if self.resource_type is not None:
+            rt = np.asarray(self.resource_type, dtype=np.int64)
+            if rt.shape != (n,):
+                raise ValueError(f"resource_type shape {rt.shape} != ({n},)")
+            object.__setattr__(self, "resource_type", rt)
+
+    def __len__(self) -> int:
+        return self.contexts.shape[0]
+
+    @property
+    def n(self) -> int:
+        """Number of tasks in the batch."""
+        return self.contexts.shape[0]
+
+    @property
+    def dims(self) -> int:
+        """Context dimensionality D."""
+        return self.contexts.shape[1]
+
+    def subset(self, indices: np.ndarray) -> "TaskBatch":
+        """A new batch containing the tasks at ``indices`` (in that order)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        return TaskBatch(
+            contexts=self.contexts[idx],
+            ids=self.ids[idx],
+            input_mbit=None if self.input_mbit is None else self.input_mbit[idx],
+            output_mbit=None if self.output_mbit is None else self.output_mbit[idx],
+            resource_type=None if self.resource_type is None else self.resource_type[idx],
+            priority=None if self.priority is None else self.priority[idx],
+        )
+
+    @staticmethod
+    def from_contexts(contexts: np.ndarray, start_id: int = 0) -> "TaskBatch":
+        """Build a minimal batch from a context matrix alone."""
+        ctx = np.atleast_2d(np.asarray(contexts, dtype=float))
+        return TaskBatch(
+            contexts=ctx,
+            ids=np.arange(start_id, start_id + ctx.shape[0], dtype=np.int64),
+        )

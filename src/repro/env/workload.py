@@ -1,0 +1,154 @@
+"""Per-slot workload generation (paper §5 setup).
+
+A workload produces, for every time slot, the tasks present in the network
+(a :class:`~repro.env.tasks.TaskBatch`) together with the coverage sets
+D_{m,t}.  :class:`SyntheticWorkload` combines a
+:class:`~repro.env.contexts.TaskFeatureModel` (input 5-20 Mbit, output
+1-4 Mbit, resource type) with a :class:`~repro.env.geometry.CoverageModel`
+(|D_{m,t}| ~ U[35,100] by default).  :class:`TraceWorkload` replays recorded
+slots, so real traces can be substituted without touching the simulator.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.env.contexts import TaskFeatureModel
+from repro.env.geometry import CoverageModel, CoverageSampler
+from repro.env.tasks import TaskBatch
+
+__all__ = ["SlotWorkload", "Workload", "SyntheticWorkload", "TraceWorkload"]
+
+
+@dataclass(frozen=True)
+class SlotWorkload:
+    """Everything observable about one slot before any offloading decision.
+
+    Attributes
+    ----------
+    t:
+        The slot index.
+    tasks:
+        The batch of n_t distinct tasks present in the network.
+    coverage:
+        ``coverage[m]`` is an int array of task indices (into ``tasks``)
+        inside SCN m's coverage area — the paper's D_{m,t}.
+    """
+
+    t: int
+    tasks: TaskBatch
+    coverage: list[np.ndarray]
+
+    @property
+    def num_scns(self) -> int:
+        return len(self.coverage)
+
+    def covered_mask(self) -> np.ndarray:
+        """Boolean mask over tasks: covered by at least one SCN."""
+        mask = np.zeros(len(self.tasks), dtype=bool)
+        for idx in self.coverage:
+            mask[idx] = True
+        return mask
+
+    def coverage_matrix(self) -> np.ndarray:
+        """Dense ``(M, n)`` boolean coverage matrix (small-instance tooling)."""
+        mat = np.zeros((self.num_scns, len(self.tasks)), dtype=bool)
+        for m, idx in enumerate(self.coverage):
+            mat[m, idx] = True
+        return mat
+
+
+class Workload(ABC):
+    """Produces an infinite (or finite, for traces) sequence of slots."""
+
+    num_scns: int
+
+    @abstractmethod
+    def slot(self, t: int, rng: np.random.Generator) -> SlotWorkload:
+        """Generate slot ``t``."""
+
+    def max_coverage_size(self) -> int:
+        """Upper bound K_m on |D_{m,t}| (drives learning-rate defaults)."""
+        raise NotImplementedError
+
+
+@dataclass
+class SyntheticWorkload(Workload):
+    """The paper's synthetic workload: sampled features + sampled coverage."""
+
+    features: TaskFeatureModel = field(default_factory=TaskFeatureModel)
+    coverage_model: CoverageModel = field(default_factory=CoverageSampler)
+
+    def __post_init__(self) -> None:
+        self.num_scns = self.coverage_model.num_scns
+        self._next_id = 0
+
+    def reset(self) -> None:
+        """Restart id numbering and any stateful coverage (e.g. mobility)."""
+        self._next_id = 0
+        reset = getattr(self.coverage_model, "reset", None)
+        if callable(reset):
+            reset()
+
+    def slot(self, t: int, rng: np.random.Generator) -> SlotWorkload:
+        n_tasks, coverage = self.coverage_model.sample_slot(rng)
+        inputs, outputs, resources = self.features.sample_features(n_tasks, rng)
+        contexts = self.features.normalize(inputs, outputs, resources)
+        ids = np.arange(self._next_id, self._next_id + n_tasks, dtype=np.int64)
+        self._next_id += n_tasks
+        batch = TaskBatch(
+            contexts=contexts,
+            ids=ids,
+            input_mbit=inputs,
+            output_mbit=outputs,
+            resource_type=resources,
+        )
+        return SlotWorkload(t=t, tasks=batch, coverage=coverage)
+
+    def max_coverage_size(self) -> int:
+        return self.coverage_model.max_coverage_size()
+
+
+@dataclass
+class TraceWorkload(Workload):
+    """Replays a pre-recorded sequence of slots (e.g. a real-world trace).
+
+    Parameters
+    ----------
+    slots:
+        The recorded slots, replayed cyclically if the simulation horizon
+        exceeds the trace length.
+    """
+
+    slots: Sequence[SlotWorkload] = ()
+
+    def __post_init__(self) -> None:
+        if not self.slots:
+            raise ValueError("TraceWorkload needs at least one recorded slot")
+        scns = {s.num_scns for s in self.slots}
+        if len(scns) != 1:
+            raise ValueError(f"all trace slots must agree on num_scns, got {scns}")
+        self.num_scns = scns.pop()
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    def slot(self, t: int, rng: np.random.Generator) -> SlotWorkload:
+        recorded = self.slots[t % len(self.slots)]
+        if recorded.t == t:
+            return recorded
+        return SlotWorkload(t=t, tasks=recorded.tasks, coverage=recorded.coverage)
+
+    def max_coverage_size(self) -> int:
+        return max(
+            (int(len(idx)) for s in self.slots for idx in s.coverage), default=0
+        )
+
+    @staticmethod
+    def record(workload: Workload, horizon: int, rng: np.random.Generator) -> "TraceWorkload":
+        """Materialize ``horizon`` slots of another workload into a trace."""
+        return TraceWorkload(slots=[workload.slot(t, rng) for t in range(horizon)])

@@ -1,0 +1,76 @@
+"""Experiment orchestration: configs, runners, sweeps, and figure harnesses.
+
+Every figure/table of the paper's evaluation (§5) has a harness here (see
+DESIGN.md §3 for the experiment index).  The harnesses return plain data —
+per-algorithm series and summary rows — and can render plain-text tables, so
+benchmarks and examples print exactly what the paper plots.
+"""
+
+from repro.experiments.runner import (
+    DEFAULT_POLICIES,
+    ExperimentConfig,
+    build_simulation,
+    build_truth,
+    build_workload,
+    make_policy,
+    run_experiment,
+)
+from repro.experiments.figures import (
+    FigureOutput,
+    fig2a_cumulative_reward,
+    fig2b_per_slot_reward,
+    fig2_violations,
+    fig3_alpha_sweep,
+    fig4_likelihood_sweep,
+    performance_ratio_table,
+)
+from repro.experiments.ablations import (
+    ablation_assignment_mode,
+    ablation_lagrangian,
+    ablation_partition_granularity,
+)
+from repro.experiments.io import load_results, save_results
+from repro.experiments.pareto import dominates, lfsc_operating_curve, pareto_front
+from repro.experiments.replication import (
+    ReplicatedSummary,
+    replicate,
+    replication_rows,
+)
+from repro.experiments.report import (
+    ShapeCheck,
+    evaluate_shapes,
+    render_report,
+    standard_checks,
+)
+
+__all__ = [
+    "DEFAULT_POLICIES",
+    "ExperimentConfig",
+    "build_simulation",
+    "build_truth",
+    "build_workload",
+    "make_policy",
+    "run_experiment",
+    "FigureOutput",
+    "fig2a_cumulative_reward",
+    "fig2b_per_slot_reward",
+    "fig2_violations",
+    "fig3_alpha_sweep",
+    "fig4_likelihood_sweep",
+    "performance_ratio_table",
+    "ablation_assignment_mode",
+    "ablation_lagrangian",
+    "ablation_partition_granularity",
+    "load_results",
+    "save_results",
+    "ReplicatedSummary",
+    "replicate",
+    "replication_rows",
+    "ShapeCheck",
+    "evaluate_shapes",
+    "render_report",
+    "standard_checks",
+    "dominates",
+    "lfsc_operating_curve",
+    "pareto_front",
+]

@@ -1,0 +1,149 @@
+"""Ablations of LFSC's design choices (DESIGN.md A1).
+
+Three studies isolate the components the paper's design discussion (§4.1)
+motivates:
+
+- :func:`ablation_lagrangian` — multipliers on vs. off.  Off reduces LFSC to
+  a constraint-blind Exp3.M + greedy; its violations should approach
+  vUCB/FML levels while the full LFSC stays low.
+- :func:`ablation_assignment_mode` — DepRound-sampled vs. paper-literal
+  deterministic greedy edge weights (exploration soundness).
+- :func:`ablation_partition_granularity` — the h_T trade-off: too-coarse
+  cubes mix heterogeneous contexts, too-fine cubes starve each cube of
+  samples.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.config import LFSCConfig
+from repro.core.hypercube import ContextPartition
+from repro.env.simulator import SimulationResult
+from repro.experiments.figures import FigureOutput
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.metrics.summary import comparison_rows
+from repro.utils.parallel import parallel_map
+
+__all__ = [
+    "ablation_lagrangian",
+    "ablation_assignment_mode",
+    "ablation_partition_granularity",
+    "ablation_adaptive_partition",
+]
+
+
+def _run_variant(args: tuple[ExperimentConfig, str]) -> SimulationResult:
+    cfg, label = args
+    results = run_experiment(cfg, ("LFSC",), workers=None)
+    res = results["LFSC"]
+    res.policy_name = label
+    return res
+
+
+def _collect(variants: list[tuple[ExperimentConfig, str]], name: str, workers) -> FigureOutput:
+    results = parallel_map(_run_variant, variants, workers=workers)
+    by_label = {r.policy_name: r for r in results}
+    return FigureOutput(
+        name=name,
+        series={label: r.cumulative_reward for label, r in by_label.items()},
+        rows=comparison_rows(by_label, oracle_name="(none)"),
+        results=by_label,
+    )
+
+
+def ablation_lagrangian(
+    cfg: ExperimentConfig, *, workers: int | None = None
+) -> FigureOutput:
+    """LFSC with and without the Lagrangian constraint coupling."""
+    base = cfg.lfsc_config()
+    variants = [
+        (cfg.with_overrides(lfsc=base.with_overrides(use_lagrangian=True)), "LFSC"),
+        (
+            cfg.with_overrides(lfsc=base.with_overrides(use_lagrangian=False)),
+            "LFSC-noLagrangian",
+        ),
+    ]
+    return _collect(variants, "ablation_lagrangian", workers)
+
+
+def ablation_assignment_mode(
+    cfg: ExperimentConfig, *, workers: int | None = None
+) -> FigureOutput:
+    """DepRound-sampled vs. deterministic greedy assignment."""
+    base = cfg.lfsc_config()
+    variants = [
+        (
+            cfg.with_overrides(lfsc=base.with_overrides(assignment_mode="depround")),
+            "LFSC-depround",
+        ),
+        (
+            cfg.with_overrides(
+                lfsc=base.with_overrides(assignment_mode="deterministic")
+            ),
+            "LFSC-deterministic",
+        ),
+    ]
+    return _collect(variants, "ablation_assignment_mode", workers)
+
+
+def _run_adaptive(args: tuple[ExperimentConfig, float]) -> SimulationResult:
+    """Worker for the adaptive-partition variant (needs its own policy)."""
+    from repro.core.adaptive import AdaptiveLFSCPolicy, AdaptivePartition
+    from repro.experiments.runner import build_simulation
+
+    cfg, split_base = args
+    sim = build_simulation(cfg)
+    policy = AdaptiveLFSCPolicy(
+        cfg.lfsc_config(),
+        partition=AdaptivePartition(
+            dims=cfg.dims, max_leaves=256, split_base=split_base, split_rho=1.0
+        ),
+    )
+    res = sim.run(policy, cfg.horizon)
+    res.policy_name = f"LFSC-adaptive(b={split_base:g})"
+    return res
+
+
+def ablation_adaptive_partition(
+    cfg: ExperimentConfig,
+    split_bases: Sequence[float] = (30.0, 100.0),
+    *,
+    workers: int | None = None,
+) -> FigureOutput:
+    """Fixed (h_T)^D grid vs the zooming adaptive partition (extension).
+
+    The adaptive variant starts from a single cube and refines where tasks
+    actually arrive; ``split_base`` controls how much evidence a cube needs
+    before splitting.
+    """
+    fixed = _run_variant((cfg, "LFSC-fixed"))
+    adaptive = parallel_map(
+        _run_adaptive, [(cfg, float(b)) for b in split_bases], workers=workers
+    )
+    by_label = {r.policy_name: r for r in [fixed, *adaptive]}
+    return FigureOutput(
+        name="ablation_adaptive",
+        series={label: r.cumulative_reward for label, r in by_label.items()},
+        rows=comparison_rows(by_label, oracle_name="(none)"),
+        results=by_label,
+    )
+
+
+def ablation_partition_granularity(
+    cfg: ExperimentConfig,
+    parts_values: Sequence[int] = (1, 2, 3, 5),
+    *,
+    workers: int | None = None,
+) -> FigureOutput:
+    """Sweep the hypercube granularity h_T."""
+    base = cfg.lfsc_config()
+    variants = []
+    for parts in parts_values:
+        lfsc = base.with_overrides(
+            partition=ContextPartition(dims=cfg.dims, parts=int(parts))
+        )
+        variants.append(
+            (cfg.with_overrides(lfsc=lfsc, parts=int(parts)), f"LFSC-h{parts}")
+        )
+    return _collect(variants, "ablation_partition", workers)

@@ -1,0 +1,84 @@
+"""Result persistence: save/load experiment runs for later analysis.
+
+Each run set is stored as one ``.npz`` (all per-slot arrays, keys namespaced
+by policy) plus a sibling ``.json`` with the scalar summaries — so headline
+numbers are inspectable without NumPy and full series reload losslessly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from repro.env.simulator import SimulationResult
+
+__all__ = ["save_results", "load_results"]
+
+_ARRAY_FIELDS = (
+    "reward",
+    "expected_reward",
+    "completed",
+    "consumption",
+    "accepted",
+    "violation_qos",
+    "violation_resource",
+    "violation_qos_realized",
+    "violation_resource_realized",
+)
+
+
+def save_results(
+    results: Mapping[str, SimulationResult], path: str | Path
+) -> tuple[Path, Path]:
+    """Write results to ``<path>.npz`` and ``<path>.json``.
+
+    Returns the two paths written.
+    """
+    base = Path(path)
+    base.parent.mkdir(parents=True, exist_ok=True)
+    arrays: dict[str, np.ndarray] = {}
+    meta: dict[str, dict] = {}
+    for name, res in results.items():
+        for f in _ARRAY_FIELDS:
+            arrays[f"{name}/{f}"] = getattr(res, f)
+        meta[name] = {
+            "policy_name": res.policy_name,
+            "horizon": res.horizon,
+            "num_scns": res.num_scns,
+            "has_expected": res.has_expected,
+            "summary": res.summary(),
+        }
+    npz_path = base.with_suffix(".npz")
+    json_path = base.with_suffix(".json")
+    np.savez_compressed(npz_path, **arrays)
+    json_path.write_text(json.dumps(meta, indent=2, sort_keys=True))
+    return npz_path, json_path
+
+
+def load_results(path: str | Path) -> dict[str, SimulationResult]:
+    """Load a result set written by :func:`save_results`."""
+    base = Path(path)
+    npz_path = base.with_suffix(".npz")
+    json_path = base.with_suffix(".json")
+    if not npz_path.exists() or not json_path.exists():
+        raise FileNotFoundError(f"missing {npz_path} or {json_path}")
+    meta = json.loads(json_path.read_text())
+    with np.load(npz_path) as data:
+        out: dict[str, SimulationResult] = {}
+        for name, info in meta.items():
+            fields = {
+                f: data[f"{name}/{f}"]
+                for f in _ARRAY_FIELDS
+                if f"{name}/{f}" in data
+            }
+            out[name] = SimulationResult(
+                policy_name=info["policy_name"],
+                horizon=int(info["horizon"]),
+                num_scns=int(info["num_scns"]),
+                has_expected=bool(info.get("has_expected", True)),
+                **fields,
+            )
+    return out

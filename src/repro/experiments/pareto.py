@@ -1,0 +1,92 @@
+"""The reward-violation trade-off frontier of LFSC (extension).
+
+LFSC's λ_max caps how hard the duals can push toward feasibility: small caps
+chase reward (vUCB-like), large caps chase feasibility (Oracle-like
+violations, lower reward).  Sweeping λ_max traces LFSC's *operating curve*
+in the (total reward, total violations) plane; the baselines are single
+points in that plane.  A well-designed LFSC should (a) trace a monotone
+frontier and (b) dominate Random and weakly dominate vUCB/FML somewhere on
+the curve — that is the quantitative version of "balances reward and
+violations" (paper §4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.env.simulator import SimulationResult
+from repro.experiments.figures import FigureOutput
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.utils.parallel import parallel_map
+
+__all__ = ["lfsc_operating_curve", "pareto_front", "dominates"]
+
+
+def dominates(a: tuple[float, float], b: tuple[float, float]) -> bool:
+    """Does point a = (reward, violations) weakly dominate b?
+
+    Higher reward is better, lower violations are better; domination is
+    weak in both coordinates and strict in at least one.
+    """
+    (ra, va), (rb, vb) = a, b
+    return ra >= rb and va <= vb and (ra > rb or va < vb)
+
+
+def pareto_front(points: Sequence[tuple[float, float]]) -> list[int]:
+    """Indices of the non-dominated points, sorted by reward descending."""
+    idx = sorted(range(len(points)), key=lambda i: -points[i][0])
+    front: list[int] = []
+    best_viol = np.inf
+    for i in idx:
+        if points[i][1] < best_viol - 1e-12:
+            front.append(i)
+            best_viol = points[i][1]
+    return front
+
+
+def _run_point(args: tuple[ExperimentConfig, float]) -> SimulationResult:
+    cfg, lam = args
+    lfsc = cfg.lfsc_config().with_overrides(lambda_max=lam)
+    res = run_experiment(cfg.with_overrides(lfsc=lfsc), ("LFSC",), workers=None)["LFSC"]
+    res.policy_name = f"LFSC(λmax={lam:g})"
+    return res
+
+
+def lfsc_operating_curve(
+    cfg: ExperimentConfig,
+    lambda_caps: Sequence[float] = (0.5, 2.0, 5.0, 10.0, 25.0),
+    baselines: Sequence[str] = ("Oracle", "vUCB", "Random"),
+    *,
+    workers: int | None = None,
+) -> FigureOutput:
+    """Sweep λ_max and plot LFSC's curve against the baseline points."""
+    curve = parallel_map(
+        _run_point, [(cfg, float(l)) for l in lambda_caps], workers=workers
+    )
+    base = run_experiment(cfg, baselines, workers=workers) if baselines else {}
+    results = {r.policy_name: r for r in curve}
+    results.update(base)
+
+    points = {
+        name: (res.total_reward, res.total_violations) for name, res in results.items()
+    }
+    labels = list(points)
+    front = {labels[i] for i in pareto_front([points[l] for l in labels])}
+    rows = [
+        {
+            "policy": name,
+            "total_reward": reward,
+            "total_violations": viol,
+            "on_front": "yes" if name in front else "",
+        }
+        for name, (reward, viol) in points.items()
+    ]
+    rows.sort(key=lambda r: -float(r["total_reward"]))
+    series = {
+        "lambda_caps": np.asarray(list(lambda_caps), dtype=float),
+        "curve_reward": np.asarray([r.total_reward for r in curve]),
+        "curve_violations": np.asarray([r.total_violations for r in curve]),
+    }
+    return FigureOutput(name="pareto", series=series, rows=rows, results=results)

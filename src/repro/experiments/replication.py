@@ -1,0 +1,127 @@
+"""Multi-seed replication with confidence intervals.
+
+A single simulation run is one sample of the random environment; headline
+comparisons (LFSC vs baselines) should be robust across seeds.
+:func:`replicate` runs an experiment at several seeds and aggregates every
+summary scalar into mean, standard deviation, and a normal-approximation
+confidence interval; :func:`replication_rows` renders the comparison table
+with ``value ± half_width`` strings.  Used by ``benchmarks/bench_replication.py``
+to assert the paper's orderings hold with statistical margin, not by luck of
+one seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+from scipy import stats
+
+from repro.env.simulator import SimulationResult
+from repro.experiments.runner import DEFAULT_POLICIES, ExperimentConfig, run_experiment
+from repro.utils.parallel import parallel_map
+from repro.utils.validation import check_positive, require
+
+__all__ = ["ReplicatedSummary", "replicate", "replication_rows"]
+
+
+@dataclass(frozen=True)
+class ReplicatedSummary:
+    """Aggregate of one scalar metric across seeds."""
+
+    metric: str
+    policy: str
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+    n: int
+
+    @property
+    def half_width(self) -> float:
+        return (self.ci_high - self.ci_low) / 2.0
+
+    def formatted(self, precision: int = 1) -> str:
+        return f"{self.mean:.{precision}f} ± {self.half_width:.{precision}f}"
+
+
+def _run_seed(args: tuple[ExperimentConfig, Sequence[str], int]) -> dict[str, dict[str, float]]:
+    cfg, policies, seed = args
+    results = run_experiment(cfg.with_overrides(seed=seed), policies, workers=None)
+    return {name: res.summary() for name, res in results.items()}
+
+
+def replicate(
+    cfg: ExperimentConfig,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    *,
+    seeds: Sequence[int] | int = 5,
+    confidence: float = 0.95,
+    workers: int | None = None,
+) -> dict[str, dict[str, ReplicatedSummary]]:
+    """Run the experiment at several seeds and aggregate the summaries.
+
+    Parameters
+    ----------
+    seeds:
+        Either an explicit seed list or a count n (uses cfg.seed + 0..n-1).
+    confidence:
+        Two-sided CI level; the interval uses the t-distribution with n-1
+        degrees of freedom.
+
+    Returns
+    -------
+    ``{policy: {metric: ReplicatedSummary}}``.
+    """
+    require(0.0 < confidence < 1.0, f"confidence in (0,1), got {confidence}")
+    if isinstance(seeds, int):
+        check_positive("seeds", seeds)
+        seed_list = [cfg.seed + k for k in range(seeds)]
+    else:
+        seed_list = list(seeds)
+        require(len(seed_list) >= 1, "need at least one seed")
+    per_seed = parallel_map(
+        _run_seed, [(cfg, policies, s) for s in seed_list], workers=workers
+    )
+    n = len(seed_list)
+    out: dict[str, dict[str, ReplicatedSummary]] = {}
+    for policy in policies:
+        metrics = per_seed[0][policy].keys()
+        out[policy] = {}
+        for metric in metrics:
+            samples = np.array([run[policy][metric] for run in per_seed], dtype=float)
+            mean = float(samples.mean())
+            std = float(samples.std(ddof=1)) if n > 1 else 0.0
+            if n > 1 and std > 0:
+                t_crit = float(stats.t.ppf(0.5 + confidence / 2.0, df=n - 1))
+                half = t_crit * std / np.sqrt(n)
+            else:
+                half = 0.0
+            out[policy][metric] = ReplicatedSummary(
+                metric=metric,
+                policy=policy,
+                mean=mean,
+                std=std,
+                ci_low=mean - half,
+                ci_high=mean + half,
+                n=n,
+            )
+    return out
+
+
+def replication_rows(
+    aggregated: Mapping[str, Mapping[str, ReplicatedSummary]],
+    *,
+    metrics: Sequence[str] = ("total_reward", "total_violations", "performance_ratio"),
+    precision: int = 1,
+) -> list[dict[str, str]]:
+    """Table rows with ``mean ± ci`` strings for the chosen metrics."""
+    rows = []
+    for policy, summaries in aggregated.items():
+        row: dict[str, str] = {"policy": policy}
+        for metric in metrics:
+            if metric in summaries:
+                row[metric] = summaries[metric].formatted(precision)
+        rows.append(row)
+    return rows

@@ -1,0 +1,141 @@
+"""Markdown experiment-report generation (EXPERIMENTS.md automation).
+
+Given the outputs of the figure harnesses, render the paper-vs-measured
+report: one section per experiment id with the measured table, the expected
+qualitative shape from DESIGN.md, and a pass/fail verdict per shape check.
+``examples/generate_report.py`` regenerates EXPERIMENTS.md from a fresh run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.env.simulator import SimulationResult
+from repro.experiments.figures import FigureOutput
+from repro.metrics.ratio import performance_ratio
+from repro.metrics.summary import format_table
+from repro.metrics.violations import per_slot_violation_rate
+
+__all__ = ["ShapeCheck", "evaluate_shapes", "render_report", "standard_checks"]
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One qualitative claim from the paper and how to verify it."""
+
+    experiment: str
+    claim: str
+    passed: bool
+    detail: str = ""
+
+    def as_row(self) -> dict[str, str]:
+        return {
+            "experiment": self.experiment,
+            "claim": self.claim,
+            "verdict": "PASS" if self.passed else "DIVERGES",
+            "detail": self.detail,
+        }
+
+
+def standard_checks(results: Mapping[str, SimulationResult]) -> list[ShapeCheck]:
+    """The DESIGN.md §3 shape expectations evaluated on one E1-style run."""
+    checks: list[ShapeCheck] = []
+    oracle = results.get("Oracle")
+    lfsc = results.get("LFSC")
+    if oracle is None or lfsc is None:
+        return checks
+
+    ratio = lfsc.total_reward / oracle.total_reward
+    checks.append(
+        ShapeCheck(
+            "E1",
+            "LFSC cumulative reward close to Oracle",
+            ratio > 0.8,
+            f"LFSC/Oracle = {ratio:.2f}",
+        )
+    )
+    for name in ("vUCB", "FML"):
+        if name in results:
+            above = results[name].total_reward > oracle.total_reward
+            checks.append(
+                ShapeCheck(
+                    "E1",
+                    f"{name} out-earns Oracle (constraint-blind)",
+                    above,
+                    f"{name}/Oracle = {results[name].total_reward / oracle.total_reward:.2f}",
+                )
+            )
+    if "Random" in results:
+        lowest = min(results.values(), key=lambda r: r.total_reward).policy_name
+        checks.append(
+            ShapeCheck("E1", "Random earns the least reward", lowest == "Random", f"lowest = {lowest}")
+        )
+    for name in ("vUCB", "FML", "Random"):
+        if name in results:
+            below = lfsc.total_violations < results[name].total_violations
+            checks.append(
+                ShapeCheck(
+                    "E3",
+                    f"LFSC total violations below {name}",
+                    below,
+                    f"LFSC {lfsc.total_violations:.0f} vs {name} {results[name].total_violations:.0f}",
+                )
+            )
+    rate = per_slot_violation_rate(lfsc, window=max(10, lfsc.horizon // 20))
+    early = float(rate[: max(1, len(rate) // 4)].mean())
+    late = float(rate[-max(1, len(rate) // 4):].mean())
+    checks.append(
+        ShapeCheck(
+            "E3",
+            "LFSC per-slot violation rate decreases",
+            late < early,
+            f"{early:.2f} -> {late:.2f}",
+        )
+    )
+    ratios = {n: performance_ratio(r) for n, r in results.items() if n != "Oracle"}
+    if ratios:
+        best = max(ratios, key=ratios.get)
+        checks.append(
+            ShapeCheck(
+                "E7",
+                "LFSC best performance ratio among learners",
+                best == "LFSC",
+                ", ".join(f"{n}={v:.2f}" for n, v in sorted(ratios.items())),
+            )
+        )
+    return checks
+
+
+def evaluate_shapes(
+    outputs: Sequence[FigureOutput],
+    extra_checks: Sequence[ShapeCheck] = (),
+) -> list[ShapeCheck]:
+    """Collect standard checks from any output that carries an E1-style run."""
+    checks: list[ShapeCheck] = list(extra_checks)
+    for out in outputs:
+        if out.results and "Oracle" in out.results and "LFSC" in out.results:
+            checks.extend(standard_checks(out.results))
+            break
+    return checks
+
+
+def render_report(
+    outputs: Sequence[FigureOutput],
+    checks: Sequence[ShapeCheck],
+    *,
+    title: str = "EXPERIMENTS — paper vs. measured",
+    preamble: str = "",
+) -> str:
+    """Render a complete markdown report."""
+    lines: list[str] = [f"# {title}", ""]
+    if preamble:
+        lines += [preamble.strip(), ""]
+    if checks:
+        lines += ["## Shape-check summary", ""]
+        lines += ["```", format_table([c.as_row() for c in checks]), "```", ""]
+    for out in outputs:
+        lines += [f"## {out.name}", ""]
+        if out.rows:
+            lines += ["```", out.table(), "```", ""]
+    return "\n".join(lines)

@@ -1,0 +1,248 @@
+"""Experiment configuration and the policy-comparison runner.
+
+:class:`ExperimentConfig` captures every environment and constraint
+parameter of the paper's evaluation setup (§5).  Two preset scales:
+
+- :meth:`ExperimentConfig.paper` — the published numbers (M=30, c=20, α=15,
+  β=27, |D_{m,t}| ∈ [35,100], T=10,000).  Minutes per policy on a laptop.
+- :meth:`ExperimentConfig.small` — a proportionally scaled instance
+  (M=8, c=6, α=4.5, β=8.1, |D| ∈ [10,30], T=400) preserving the ratios that
+  drive the qualitative behaviour (K/c, α/c, β/(c·E[q])).  Seconds per
+  policy; the default for tests and benchmarks.
+
+:func:`run_experiment` runs a set of policies on the *same* workload
+randomness (each run re-derives identical named streams from the config
+seed) and optionally fans the runs out over processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from repro.baselines.extras import EpsilonGreedyPolicy, ThompsonSamplingPolicy
+from repro.baselines.fml import FMLPolicy
+from repro.baselines.oracle import OraclePolicy, UnconstrainedOraclePolicy
+from repro.baselines.random_policy import RandomPolicy
+from repro.baselines.vucb import VUCBPolicy
+from repro.core.config import LFSCConfig
+from repro.core.hypercube import ContextPartition
+from repro.core.lfsc import LFSCPolicy
+from repro.env.contexts import TaskFeatureModel
+from repro.env.geometry import CoverageSampler
+from repro.env.network import NetworkConfig
+from repro.env.processes import GroundTruth, PiecewiseConstantTruth
+from repro.env.simulator import PolicyProtocol, Simulation, SimulationResult
+from repro.env.workload import SyntheticWorkload
+from repro.utils.parallel import parallel_map
+from repro.utils.validation import check_positive, require
+
+__all__ = [
+    "DEFAULT_POLICIES",
+    "ExperimentConfig",
+    "build_truth",
+    "build_workload",
+    "build_simulation",
+    "make_policy",
+    "run_experiment",
+]
+
+#: The paper's Fig. 2 line-up.
+DEFAULT_POLICIES: tuple[str, ...] = ("Oracle", "LFSC", "vUCB", "FML", "Random")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Full specification of one simulation experiment.
+
+    Environment fields mirror §5's setup; ``lfsc`` fields override the
+    Theorem 1 schedule when set.
+    """
+
+    # Network constraints (ILP (1)).
+    num_scns: int = 30
+    capacity: int = 20
+    alpha: float = 15.0
+    beta: float = 27.0
+    # Workload / coverage.
+    k_min: int = 35
+    k_max: int = 100
+    overlap: float = 2.0
+    # Ground-truth processes.
+    u_range: tuple[float, float] = (0.0, 1.0)
+    v_range: tuple[float, float] = (0.0, 1.0)
+    q_range: tuple[float, float] = (1.0, 2.0)
+    q_band: float = 0.5
+    u_concentration: float = 10.0
+    cells_per_dim: int = 3
+    # Learner discretization.
+    dims: int = 3
+    parts: int = 3
+    # Run control.
+    horizon: int = 10_000
+    seed: int = 0
+    truth_seed: int = 7
+    oracle_mode: str = "lp"
+    lfsc: LFSCConfig | None = None
+
+    def __post_init__(self) -> None:
+        check_positive("horizon", self.horizon)
+        require(self.oracle_mode in ("lp", "ilp", "greedy"), f"bad oracle_mode {self.oracle_mode!r}")
+
+    # -- presets -------------------------------------------------------------
+
+    @staticmethod
+    def paper(**overrides) -> "ExperimentConfig":
+        """The published evaluation scale (expensive: minutes per policy)."""
+        return ExperimentConfig().with_overrides(**overrides)
+
+    @staticmethod
+    def small(**overrides) -> "ExperimentConfig":
+        """A proportionally scaled instance for tests/benchmarks (seconds)."""
+        cfg = ExperimentConfig(
+            num_scns=8,
+            capacity=6,
+            alpha=4.5,
+            beta=8.1,
+            k_min=10,
+            k_max=30,
+            horizon=400,
+        )
+        return cfg.with_overrides(**overrides)
+
+    @staticmethod
+    def tiny(**overrides) -> "ExperimentConfig":
+        """The smallest meaningful instance (unit tests, exact-ILP oracle)."""
+        cfg = ExperimentConfig(
+            num_scns=3,
+            capacity=3,
+            alpha=1.5,
+            beta=4.5,
+            k_min=4,
+            k_max=8,
+            horizon=50,
+            cells_per_dim=2,
+            parts=2,
+        )
+        return cfg.with_overrides(**overrides)
+
+    def with_overrides(self, **changes) -> "ExperimentConfig":
+        return replace(self, **changes)
+
+    # -- derived objects -------------------------------------------------------
+
+    @property
+    def partition(self) -> ContextPartition:
+        return ContextPartition(dims=self.dims, parts=self.parts)
+
+    def lfsc_config(self) -> LFSCConfig:
+        """The LFSC configuration: explicit override or Theorem 1 schedule."""
+        if self.lfsc is not None:
+            return self.lfsc
+        return LFSCConfig.from_theorem(
+            max_coverage=self.k_max,
+            capacity=self.capacity,
+            horizon=self.horizon,
+            dims=self.dims,
+            parts=self.parts,
+        )
+
+    def network(self) -> NetworkConfig:
+        return NetworkConfig(
+            num_scns=self.num_scns,
+            capacity=self.capacity,
+            alpha=self.alpha,
+            beta=self.beta,
+        )
+
+
+def build_truth(cfg: ExperimentConfig) -> GroundTruth:
+    """The hidden stationary ground truth for this experiment."""
+    return PiecewiseConstantTruth(
+        num_scns=cfg.num_scns,
+        dims=cfg.dims,
+        cells_per_dim=cfg.cells_per_dim,
+        u_range=cfg.u_range,
+        v_range=cfg.v_range,
+        q_range=cfg.q_range,
+        q_band=cfg.q_band,
+        u_concentration=cfg.u_concentration,
+        seed=cfg.truth_seed,
+    )
+
+
+def build_workload(cfg: ExperimentConfig) -> SyntheticWorkload:
+    """The §5 synthetic workload (features + coverage sampler)."""
+    return SyntheticWorkload(
+        features=TaskFeatureModel(),
+        coverage_model=CoverageSampler(
+            num_scns=cfg.num_scns,
+            k_min=cfg.k_min,
+            k_max=cfg.k_max,
+            overlap=cfg.overlap,
+        ),
+    )
+
+
+def build_simulation(cfg: ExperimentConfig) -> Simulation:
+    """Simulation bound to this config's network, workload, and truth."""
+    return Simulation(
+        network=cfg.network(),
+        workload=build_workload(cfg),
+        truth=build_truth(cfg),
+        seed=cfg.seed,
+    )
+
+
+def make_policy(name: str, cfg: ExperimentConfig, truth: GroundTruth) -> PolicyProtocol:
+    """Instantiate a policy of the evaluation line-up by name."""
+    partition = cfg.partition
+    if name == "Oracle":
+        return OraclePolicy(truth, mode=cfg.oracle_mode)
+    if name == "Oracle-unconstrained":
+        return UnconstrainedOraclePolicy(truth)
+    if name == "LFSC":
+        return LFSCPolicy(cfg.lfsc_config())
+    if name == "vUCB":
+        return VUCBPolicy(partition)
+    if name == "FML":
+        return FMLPolicy(partition)
+    if name == "Random":
+        return RandomPolicy()
+    if name == "eps-greedy":
+        return EpsilonGreedyPolicy(partition)
+    if name == "thompson":
+        return ThompsonSamplingPolicy(partition)
+    raise ValueError(f"unknown policy name {name!r}")
+
+
+def _run_one(args: tuple[ExperimentConfig, str]) -> SimulationResult:
+    """Worker: rebuild the (deterministic) experiment and run one policy."""
+    cfg, name = args
+    sim = build_simulation(cfg)
+    policy = make_policy(name, cfg, sim.truth)
+    return sim.run(policy, cfg.horizon)
+
+
+def run_experiment(
+    cfg: ExperimentConfig,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    *,
+    workers: int | None = None,
+) -> dict[str, SimulationResult]:
+    """Run each named policy on identical workload randomness.
+
+    Parameters
+    ----------
+    workers:
+        ``None``/``1`` — serial; ``0`` — one process per CPU (minus one);
+        n — at most n processes.
+
+    Returns
+    -------
+    Mapping policy name → :class:`SimulationResult`, in the given order.
+    """
+    results = parallel_map(
+        _run_one, [(cfg, name) for name in policies], workers=workers
+    )
+    return {name: res for name, res in zip(policies, results)}

@@ -1,0 +1,30 @@
+"""Performance metrics of the paper (§3.2, §5): regret, violations, ratio.
+
+All metrics operate on :class:`repro.env.simulator.SimulationResult` time
+series, so any recorded run — fresh or loaded from disk — can be analyzed.
+"""
+
+from repro.metrics.regret import regret_series, average_regret, sublinearity_exponent
+from repro.metrics.violations import (
+    violation_series,
+    early_violation_ratio,
+    per_slot_violation_rate,
+)
+from repro.metrics.ratio import performance_ratio, performance_ratio_series
+from repro.metrics.fairness import fairness_summary, jain_index
+from repro.metrics.summary import comparison_rows, format_table
+
+__all__ = [
+    "regret_series",
+    "average_regret",
+    "sublinearity_exponent",
+    "violation_series",
+    "early_violation_ratio",
+    "per_slot_violation_rate",
+    "performance_ratio",
+    "performance_ratio_series",
+    "fairness_summary",
+    "jain_index",
+    "comparison_rows",
+    "format_table",
+]

@@ -1,0 +1,30 @@
+"""The performance ratio metric (paper §5).
+
+Defined as the cumulative compound reward divided by (1 + cumulative
+violations) — "the ratio between total reward and violations".  The +1
+regularizes the denominator so violation-free runs are well-defined.  It
+rewards exactly the balance LFSC targets: reward-hungry but constraint-blind
+baselines (vUCB/FML) are penalized by their violation totals; Random is
+penalized on both counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.env.simulator import SimulationResult
+from repro.metrics.violations import violation_series
+
+__all__ = ["performance_ratio", "performance_ratio_series"]
+
+
+def performance_ratio(result: SimulationResult) -> float:
+    """Final-horizon performance ratio: total reward / (1 + total violations)."""
+    return float(result.total_reward / (1.0 + result.total_violations))
+
+
+def performance_ratio_series(result: SimulationResult) -> np.ndarray:
+    """The ratio at every prefix horizon t = 1..T (for convergence plots)."""
+    reward = result.cumulative_reward
+    violations = violation_series(result, kind="total")
+    return reward / (1.0 + violations)

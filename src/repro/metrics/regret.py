@@ -1,0 +1,68 @@
+"""Regret R(T) and its sub-linearity diagnostics (paper §3.2, Theorem 1).
+
+The regret compares the *expected* compound reward collected by a policy
+against the Oracle's on the same workload:
+
+    R(t) = Σ_{s ≤ t} E[reward of Oracle at s] − Σ_{s ≤ t} E[reward of policy at s].
+
+Theorem 1 proves R(T) = o(T); empirically we verify this by estimating the
+growth exponent θ in R(t) ≈ C·t^θ over the tail of the run and checking
+θ < 1 (``benchmarks/bench_regret_sublinear.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.env.simulator import SimulationResult
+from repro.utils.validation import require
+
+__all__ = ["regret_series", "average_regret", "sublinearity_exponent"]
+
+
+def regret_series(
+    policy: SimulationResult, oracle: SimulationResult
+) -> np.ndarray:
+    """Cumulative regret R(t) for t = 1..T against an oracle run.
+
+    Both runs must share the horizon (and, for the number to be meaningful,
+    the workload seed).  Uses the expected-reward series recorded by the
+    simulator, which removes realization noise from the comparison.
+    """
+    require(
+        policy.horizon == oracle.horizon,
+        f"horizons differ: policy {policy.horizon} vs oracle {oracle.horizon}",
+    )
+    return np.cumsum(oracle.expected_reward) - np.cumsum(policy.expected_reward)
+
+
+def average_regret(policy: SimulationResult, oracle: SimulationResult) -> np.ndarray:
+    """Per-slot average regret R(t)/t — converges to 0 iff R is sub-linear."""
+    series = regret_series(policy, oracle)
+    return series / np.arange(1, len(series) + 1)
+
+
+def sublinearity_exponent(
+    series: np.ndarray, *, tail_fraction: float = 0.5
+) -> float:
+    """Estimate θ in series(t) ≈ C·t^θ by log-log least squares on the tail.
+
+    Only the final ``tail_fraction`` of the horizon enters the fit (the early
+    transient is not informative about asymptotics).  Non-positive values are
+    clamped to a tiny epsilon before the log — a regret series that dips
+    negative (policy beating the oracle through constraint violations) is
+    trivially sub-linear.
+
+    Returns
+    -------
+    The fitted exponent; < 1 indicates sub-linear growth.
+    """
+    require(0.0 < tail_fraction <= 1.0, f"tail_fraction in (0,1], got {tail_fraction}")
+    series = np.asarray(series, dtype=float)
+    T = series.shape[0]
+    require(T >= 10, f"need at least 10 points to fit an exponent, got {T}")
+    start = int(T * (1.0 - tail_fraction))
+    t = np.arange(1, T + 1)[start:]
+    y = np.maximum(series[start:], 1e-12)
+    slope, _ = np.polyfit(np.log(t), np.log(y), 1)
+    return float(slope)

@@ -1,0 +1,86 @@
+"""Comparison tables over sets of runs (for benches and EXPERIMENTS.md).
+
+Turns a collection of :class:`SimulationResult` objects into the row format
+the paper's evaluation reports — total reward, V1, V2, performance ratio,
+reward relative to the Oracle — and renders plain-text tables so every
+benchmark can print the series/rows it regenerates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.env.simulator import SimulationResult
+from repro.metrics.ratio import performance_ratio
+
+__all__ = ["comparison_rows", "format_table"]
+
+
+def comparison_rows(
+    results: Mapping[str, SimulationResult] | Iterable[SimulationResult],
+    *,
+    oracle_name: str = "Oracle",
+) -> list[dict[str, float | str]]:
+    """One summary row per run.
+
+    Columns: policy, total_reward, reward_vs_oracle (ratio; 1.0 for the
+    oracle itself, nan if no oracle run present), violation_qos (V1),
+    violation_resource (V2), total_violations, performance_ratio.
+    """
+    if isinstance(results, Mapping):
+        items = list(results.items())
+    else:
+        items = [(r.policy_name, r) for r in results]
+    oracle_reward = None
+    for name, res in items:
+        if name == oracle_name:
+            oracle_reward = res.total_reward
+    rows: list[dict[str, float | str]] = []
+    for name, res in items:
+        vs_oracle = (
+            res.total_reward / oracle_reward
+            if oracle_reward not in (None, 0.0)
+            else float("nan")
+        )
+        rows.append(
+            {
+                "policy": name,
+                "total_reward": res.total_reward,
+                "reward_vs_oracle": vs_oracle,
+                "violation_qos": float(res.violation_qos.sum()),
+                "violation_resource": float(res.violation_resource.sum()),
+                "total_violations": res.total_violations,
+                "performance_ratio": performance_ratio(res),
+            }
+        )
+    return rows
+
+
+def format_table(
+    rows: Sequence[Mapping[str, float | str]],
+    *,
+    columns: Sequence[str] | None = None,
+    precision: int = 2,
+) -> str:
+    """Render rows as an aligned plain-text table.
+
+    Column order follows ``columns`` when given, else the first row's keys.
+    Floats are fixed-point with ``precision`` digits; other values are str().
+    """
+    if not rows:
+        return "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+
+    def cell(value: float | str) -> str:
+        if isinstance(value, float):
+            return f"{value:.{precision}f}"
+        return str(value)
+
+    table = [[cell(row.get(c, "")) for c in cols] for row in rows]
+    widths = [
+        max(len(c), *(len(r[j]) for r in table)) for j, c in enumerate(cols)
+    ]
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    rule = "  ".join("-" * w for w in widths)
+    body = "\n".join("  ".join(v.rjust(w) for v, w in zip(r, widths)) for r in table)
+    return "\n".join([header, rule, body])

@@ -1,0 +1,25 @@
+"""Per-slot optimization solvers used by the Oracle baseline and the tests.
+
+- :mod:`repro.solvers.lp`  — the LP relaxation of ILP (1) (paper §3.2) via
+  ``scipy.optimize.linprog`` (HiGHS), with sparse constraint assembly;
+- :mod:`repro.solvers.ilp` — the exact integer program via
+  ``scipy.optimize.milp``, plus a feasibility-aware two-stage variant;
+- :mod:`repro.solvers.matching` — maximum-weight b-matching references used
+  to validate the greedy assignment's (c+1)-approximation empirically.
+"""
+
+from repro.solvers.lp import SlotProblem, solve_lp_relaxation
+from repro.solvers.ilp import solve_ilp, solve_two_stage_ilp
+from repro.solvers.lagrangian import DualSolution, solve_dual_decomposition
+from repro.solvers.matching import max_weight_b_matching, total_weight
+
+__all__ = [
+    "SlotProblem",
+    "solve_lp_relaxation",
+    "solve_ilp",
+    "solve_two_stage_ilp",
+    "DualSolution",
+    "solve_dual_decomposition",
+    "max_weight_b_matching",
+    "total_weight",
+]

@@ -1,0 +1,30 @@
+"""Shared utilities: deterministic RNG plumbing, validation, timing, parallel sweeps.
+
+Everything stochastic in :mod:`repro` draws from a :class:`numpy.random.Generator`
+handed down from a single root seed via :class:`RngFactory`, so that every
+simulation, policy, and experiment is exactly reproducible.
+"""
+
+from repro.utils.rng import RngFactory, as_generator, spawn_generators
+from repro.utils.validation import (
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_shape,
+    require,
+)
+from repro.utils.timing import Stopwatch
+from repro.utils.parallel import parallel_map
+
+__all__ = [
+    "RngFactory",
+    "as_generator",
+    "spawn_generators",
+    "check_in_range",
+    "check_positive",
+    "check_probability",
+    "check_shape",
+    "require",
+    "Stopwatch",
+    "parallel_map",
+]

@@ -1,0 +1,94 @@
+"""Deterministic random-number plumbing.
+
+The simulator, the random processes, the workload generator, and every
+learning policy each need their own independent stream so that, e.g.,
+swapping the policy does not perturb the environment's randomness.  We
+derive all streams from one root :class:`numpy.random.SeedSequence` using
+the ``spawn`` mechanism, which guarantees statistical independence.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["RngFactory", "as_generator", "spawn_generators"]
+
+
+def as_generator(
+    seed: int | None | np.random.Generator | np.random.SeedSequence,
+) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts an integer seed, ``None`` (fresh OS entropy), an existing
+    generator (returned unchanged), or a ``SeedSequence``.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(
+    seed: int | None | np.random.SeedSequence, n: int
+) -> list[np.random.Generator]:
+    """Spawn ``n`` statistically independent generators from one root seed."""
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of generators: {n}")
+    root = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(s) for s in root.spawn(n)]
+
+
+class RngFactory:
+    """Hands out named, independent random streams derived from one seed.
+
+    Streams are keyed by string name; requesting the same name twice returns
+    the *same* generator object, so components can share a stream explicitly
+    while distinct names never collide.
+
+    Example
+    -------
+    >>> fac = RngFactory(42)
+    >>> env_rng = fac.get("environment")
+    >>> policy_rng = fac.get("policy.lfsc")
+    >>> fac.get("environment") is env_rng
+    True
+    """
+
+    def __init__(self, seed: int | None | np.random.SeedSequence = None) -> None:
+        self._root = (
+            seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+        )
+        self._streams: dict[str, np.random.Generator] = {}
+
+    @property
+    def root_entropy(self) -> int | Sequence[int] | None:
+        """The root seed entropy (useful for logging experiment provenance)."""
+        return self._root.entropy
+
+    def get(self, name: str) -> np.random.Generator:
+        """Return the generator for stream ``name``, creating it on first use.
+
+        The stream's seed is derived from the root seed and a stable hash of
+        the name, so the mapping name -> stream does not depend on the order
+        in which streams are requested.
+        """
+        if name not in self._streams:
+            # Derive a per-name child key from the UTF-8 bytes of the name so
+            # the assignment is order-independent and collision-resistant.
+            name_key = list(name.encode("utf-8"))
+            child = np.random.SeedSequence(
+                entropy=self._root.entropy, spawn_key=tuple(name_key)
+            )
+            self._streams[name] = np.random.default_rng(child)
+        return self._streams[name]
+
+    def spawn(self, n: int) -> list[np.random.Generator]:
+        """Spawn ``n`` anonymous independent generators (for worker pools)."""
+        return [np.random.default_rng(s) for s in self._root.spawn(n)]
+
+    def stream_names(self) -> Iterable[str]:
+        """Names of all streams created so far (for diagnostics)."""
+        return tuple(self._streams)

@@ -1,0 +1,67 @@
+"""Simple wall-clock instrumentation for experiment runs.
+
+The experiment runner records per-phase timings so that long parameter sweeps
+report where the time went (simulation vs. oracle solve vs. metric reduction),
+following the profile-before-optimizing workflow of the HPC guides.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named wall-clock durations.
+
+    Use as a context manager factory::
+
+        sw = Stopwatch()
+        with sw.measure("simulate"):
+            run_simulation()
+        sw.totals()["simulate"]  # seconds
+    """
+
+    _totals: dict[str, float] = field(default_factory=dict)
+    _counts: dict[str, int] = field(default_factory=dict)
+
+    def measure(self, name: str) -> "_Timer":
+        return _Timer(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        self._totals[name] = self._totals.get(name, 0.0) + seconds
+        self._counts[name] = self._counts.get(name, 0) + 1
+
+    def totals(self) -> dict[str, float]:
+        """Total seconds accumulated per name."""
+        return dict(self._totals)
+
+    def counts(self) -> dict[str, int]:
+        """Number of measured intervals per name."""
+        return dict(self._counts)
+
+    def report(self) -> str:
+        """Human-readable one-line-per-phase timing summary."""
+        lines = []
+        for name in sorted(self._totals, key=self._totals.get, reverse=True):
+            total = self._totals[name]
+            count = self._counts[name]
+            lines.append(f"{name:<30s} {total:10.3f}s  ({count} calls)")
+        return "\n".join(lines)
+
+
+class _Timer:
+    def __init__(self, watch: Stopwatch, name: str) -> None:
+        self._watch = watch
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._watch.add(self._name, time.perf_counter() - self._start)

@@ -1,0 +1,87 @@
+"""Lightweight argument validation helpers.
+
+These raise early, with messages that name the offending parameter, so
+configuration errors surface at construction time rather than deep inside a
+10,000-slot simulation loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "require",
+    "check_positive",
+    "check_in_range",
+    "check_probability",
+    "check_shape",
+]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> float:
+    """Validate that a scalar is positive (or non-negative if ``strict=False``)."""
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    lo: float,
+    hi: float,
+    *,
+    inclusive: tuple[bool, bool] = (True, True),
+) -> float:
+    """Validate that ``lo (<|<=) value (<|<=) hi``."""
+    lo_ok = value >= lo if inclusive[0] else value > lo
+    hi_ok = value <= hi if inclusive[1] else value < hi
+    if not (lo_ok and hi_ok):
+        lb = "[" if inclusive[0] else "("
+        rb = "]" if inclusive[1] else ")"
+        raise ValueError(f"{name} must be in {lb}{lo}, {hi}{rb}, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate that ``value`` lies in [0, 1]."""
+    return check_in_range(name, value, 0.0, 1.0)
+
+
+def check_shape(name: str, array: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Validate an array's shape; ``-1`` in ``shape`` matches any extent."""
+    arr = np.asarray(array)
+    if arr.ndim != len(shape):
+        raise ValueError(f"{name} must have {len(shape)} dims, got shape {arr.shape}")
+    for axis, (got, want) in enumerate(zip(arr.shape, shape)):
+        if want != -1 and got != want:
+            raise ValueError(
+                f"{name} has shape {arr.shape}; expected {shape} (mismatch on axis {axis})"
+            )
+    return arr
+
+
+def check_interval(name: str, interval: tuple[float, float]) -> tuple[float, float]:
+    """Validate a (lo, hi) pair with lo <= hi."""
+    lo, hi = float(interval[0]), float(interval[1])
+    if lo > hi:
+        raise ValueError(f"{name} must satisfy lo <= hi, got ({lo}, {hi})")
+    return lo, hi
+
+
+def check_dtype_any(name: str, value: Any, *types: type) -> Any:
+    """Validate that ``value`` is an instance of one of ``types``."""
+    if not isinstance(value, types):
+        names = ", ".join(t.__name__ for t in types)
+        raise TypeError(f"{name} must be one of ({names}), got {type(value).__name__}")
+    return value

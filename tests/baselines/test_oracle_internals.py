@@ -1,0 +1,110 @@
+"""Unit tests for the Oracle's internal machinery on hand-built problems."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.oracle import OraclePolicy, _greedy_round
+from repro.solvers.lp import SlotProblem
+
+
+def two_scn_problem(**kw) -> SlotProblem:
+    params = dict(
+        edge_scn=np.array([0, 0, 0, 1, 1]),
+        edge_task=np.array([0, 1, 2, 3, 4]),
+        g=np.array([0.9, 0.6, 0.3, 0.8, 0.2]),
+        v=np.array([0.9, 0.8, 0.7, 0.6, 0.5]),
+        q=np.array([1.0, 1.5, 2.0, 1.2, 1.8]),
+        num_scns=2,
+        num_tasks=5,
+        capacity=2,
+        alpha=0.0,
+        beta=10.0,
+    )
+    params.update(kw)
+    return SlotProblem(**params)
+
+
+class TestGreedyRound:
+    def test_takes_fractional_support(self):
+        p = two_scn_problem()
+        x = np.array([1.0, 0.5, 0.0, 1.0, 0.0])
+        assignment = _greedy_round(p, x)
+        pairs = set(zip(assignment.scn.tolist(), assignment.task.tolist()))
+        assert (0, 0) in pairs and (1, 3) in pairs
+        assert (0, 2) not in pairs  # x == 0 edges never enter
+
+    def test_respects_capacity(self):
+        p = two_scn_problem(capacity=1)
+        x = np.ones(5)
+        assignment = _greedy_round(p, x)
+        assert np.bincount(assignment.scn, minlength=2).max() <= 1
+
+    def test_beta_pruning_drops_worst_density(self):
+        # SCN 0 with all three tasks exceeds beta=2.5 (q: 1.0+1.5+2.0);
+        # pruning removes lowest g/q first: task 2 (0.3/2.0), then task 1.
+        p = two_scn_problem(beta=2.5)
+        x = np.array([1.0, 1.0, 1.0, 0.0, 0.0])
+        assignment = _greedy_round(p, x)
+        tasks0 = set(assignment.tasks_of(0).tolist())
+        assert 0 in tasks0
+        assert 2 not in tasks0
+        # Remaining expected consumption within beta.
+        kept_q = sum(q for t, q in zip([0, 1, 2], [1.0, 1.5, 2.0]) if t in tasks0)
+        assert kept_q <= 2.5 + 1e-9
+
+    def test_empty_solution(self):
+        p = two_scn_problem()
+        assignment = _greedy_round(p, np.zeros(5))
+        assert len(assignment) == 0
+
+
+class TestTwoPassGreedy:
+    def test_reliability_pass_prioritizes_v(self):
+        # alpha binding: the first pass must pick the reliable task even
+        # though it has a lower reward than the flashy unreliable one.
+        p = SlotProblem(
+            edge_scn=np.array([0, 0]),
+            edge_task=np.array([0, 1]),
+            g=np.array([0.9, 0.1]),
+            v=np.array([0.1, 0.9]),
+            q=np.array([1.0, 1.0]),
+            num_scns=1,
+            num_tasks=2,
+            capacity=1,
+            alpha=0.5,
+            beta=10.0,
+        )
+        assignment = OraclePolicy._two_pass_greedy(p)
+        assert assignment.task.tolist() == [1]
+
+    def test_reward_pass_fills_capacity(self):
+        p = two_scn_problem(alpha=0.0)
+        assignment = OraclePolicy._two_pass_greedy(p)
+        assert np.bincount(assignment.scn, minlength=2)[0] == 2
+
+    def test_beta_respected_in_both_passes(self):
+        p = two_scn_problem(alpha=1.5, beta=1.0)
+        assignment = OraclePolicy._two_pass_greedy(p)
+        for m in (0, 1):
+            tasks = assignment.tasks_of(m)
+            rows = [
+                e
+                for e in range(p.num_edges)
+                if p.edge_scn[e] == m and p.edge_task[e] in tasks
+            ]
+            assert p.q[rows].sum() <= 1.0 + 1e-9
+
+    def test_empty_problem(self):
+        p = SlotProblem(
+            edge_scn=np.empty(0, np.int64),
+            edge_task=np.empty(0, np.int64),
+            g=np.empty(0),
+            v=np.empty(0),
+            q=np.empty(0),
+            num_scns=1,
+            num_tasks=0,
+            capacity=1,
+            alpha=0.0,
+            beta=1.0,
+        )
+        assert len(OraclePolicy._two_pass_greedy(p)) == 0

@@ -1,0 +1,44 @@
+"""Shared fixtures and builders for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.env.network import NetworkConfig
+from repro.env.simulator import SlotObservation
+from repro.env.tasks import TaskBatch
+from repro.env.workload import SlotWorkload
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def make_slot(
+    contexts: np.ndarray,
+    coverage: list[list[int]],
+    t: int = 0,
+) -> SlotObservation:
+    """Build a SlotWorkload from raw contexts and coverage index lists."""
+    batch = TaskBatch.from_contexts(np.asarray(contexts, dtype=float))
+    cov = [np.asarray(c, dtype=np.int64) for c in coverage]
+    return SlotWorkload(t=t, tasks=batch, coverage=cov)
+
+
+def uniform_contexts(n: int, dims: int, rng: np.random.Generator) -> np.ndarray:
+    return rng.random((n, dims))
+
+
+@pytest.fixture
+def tiny_network() -> NetworkConfig:
+    return NetworkConfig(num_scns=3, capacity=2, alpha=1.0, beta=3.0)
+
+
+@pytest.fixture
+def simple_slot(rng) -> SlotObservation:
+    """3 SCNs, 6 tasks, overlapping coverage."""
+    contexts = uniform_contexts(6, 3, rng)
+    coverage = [[0, 1, 2, 3], [2, 3, 4, 5], [0, 4, 5]]
+    return make_slot(contexts, coverage)

@@ -1,0 +1,143 @@
+"""Tests for repro.core.adaptive — zooming partition + adaptive LFSC."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import AdaptiveLFSCPolicy, AdaptivePartition
+from repro.core.config import LFSCConfig
+from repro.experiments.runner import ExperimentConfig, build_simulation
+
+
+def make_partition(**kw) -> AdaptivePartition:
+    params = dict(dims=2, max_leaves=64, split_base=10.0, split_rho=1.0)
+    params.update(kw)
+    return AdaptivePartition(**params)
+
+
+class TestAdaptivePartition:
+    def test_root_covers_everything(self, rng):
+        part = make_partition()
+        ids = part.assign(rng.random((50, 2)))
+        assert (ids == 0).all()
+
+    def test_boundary_points_assigned(self):
+        part = make_partition()
+        ids = part.assign(np.array([[0.0, 0.0], [1.0, 1.0], [0.5, 1.0]]))
+        assert ids.shape == (3,)
+
+    def test_split_after_threshold(self):
+        part = make_partition(split_base=5.0)
+        splits = part.observe(np.zeros(5, dtype=np.int64))
+        assert len(splits) == 1
+        parent, children = splits[0]
+        assert parent == 0
+        assert len(children) == 4  # 2^2
+        assert part.num_leaves == 4
+
+    def test_no_split_below_threshold(self):
+        part = make_partition(split_base=5.0)
+        assert part.observe(np.zeros(4, dtype=np.int64)) == []
+        assert part.num_leaves == 1
+
+    def test_children_partition_parent_exactly(self, rng):
+        part = make_partition(split_base=1.0)
+        part.observe(np.zeros(2, dtype=np.int64))
+        ctx = rng.random((200, 2))
+        ids = part.assign(ctx)
+        # Each context lands in exactly one child, and quadrants match.
+        for i, (x, y) in enumerate(ctx):
+            expected_corner = (1 if x >= 0.5 else 0) + (2 if y >= 0.5 else 0)
+            # child ids are allocated in corner order 1..4
+            assert ids[i] == 1 + expected_corner
+
+    def test_deeper_levels_need_more_evidence(self):
+        part = make_partition(split_base=4.0, split_rho=2.0)
+        assert part.split_threshold(0) == 4.0
+        assert part.split_threshold(1) == 16.0
+        assert part.split_threshold(2) == 64.0
+
+    def test_second_level_split(self):
+        part = make_partition(split_base=2.0, split_rho=0.0)
+        part.observe(np.zeros(2, dtype=np.int64))  # split root
+        child = part.assign(np.array([[0.1, 0.1]]))[0]
+        part.observe(np.full(2, child, dtype=np.int64))
+        assert part.num_leaves == 7  # 4 - 1 + 4
+        assert part.level_of(part.assign(np.array([[0.05, 0.05]]))[0]) == 2
+
+    def test_max_leaves_respected(self):
+        part = make_partition(max_leaves=5, split_base=1.0)
+        part.observe(np.zeros(1, dtype=np.int64))  # 4 leaves
+        child = part.assign(np.array([[0.9, 0.9]]))[0]
+        part.observe(np.array([child]))  # would need 4+3=7 > 5
+        assert part.num_leaves == 4
+
+    def test_ids_never_reused(self):
+        part = make_partition(split_base=1.0)
+        splits = part.observe(np.zeros(1, dtype=np.int64))
+        _, children = splits[0]
+        assert 0 not in children
+        assert max(children) < part.num_cubes
+
+    def test_reset(self):
+        part = make_partition(split_base=1.0)
+        part.observe(np.zeros(1, dtype=np.int64))
+        part.reset()
+        assert part.num_leaves == 1
+
+    def test_out_of_domain_rejected(self):
+        with pytest.raises(ValueError):
+            make_partition().assign(np.array([[1.5, 0.5]]))
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            AdaptivePartition(dims=3, max_leaves=4)
+
+
+class TestAdaptiveLFSC:
+    def test_runs_and_refines(self):
+        cfg = ExperimentConfig.small(horizon=200)
+        sim = build_simulation(cfg)
+        policy = AdaptiveLFSCPolicy(
+            cfg.lfsc_config(),
+            partition=AdaptivePartition(dims=3, max_leaves=128, split_base=30.0, split_rho=1.0),
+        )
+        res = sim.run(policy, 200)
+        assert res.total_reward > 0
+        assert policy.adaptive.num_leaves > 1  # refinement actually happened
+
+    def test_children_inherit_weights(self):
+        cfg = ExperimentConfig.small(horizon=150)
+        sim = build_simulation(cfg)
+        policy = AdaptiveLFSCPolicy(
+            cfg.lfsc_config(),
+            partition=AdaptivePartition(dims=3, max_leaves=64, split_base=20.0, split_rho=0.0),
+        )
+        sim.run(policy, 150)
+        assert np.isfinite(policy.log_w).all()
+
+    def test_reset_restores_root(self):
+        cfg = ExperimentConfig.small(horizon=100)
+        sim = build_simulation(cfg)
+        policy = AdaptiveLFSCPolicy(
+            cfg.lfsc_config(),
+            partition=AdaptivePartition(dims=3, max_leaves=64, split_base=10.0, split_rho=0.0),
+        )
+        sim.run(policy, 100)
+        assert policy.adaptive.num_leaves > 1
+        sim.run(policy, 50)  # run() calls reset()
+        assert np.isfinite(policy.log_w).all()
+
+    def test_comparable_reward_to_fixed_partition(self):
+        from repro.core.lfsc import LFSCPolicy
+
+        cfg = ExperimentConfig.small(horizon=400)
+        sim = build_simulation(cfg)
+        fixed = sim.run(LFSCPolicy(cfg.lfsc_config()), 400)
+        adaptive = sim.run(
+            AdaptiveLFSCPolicy(
+                cfg.lfsc_config(),
+                partition=AdaptivePartition(dims=3, max_leaves=128, split_base=40.0, split_rho=1.0),
+            ),
+            400,
+        )
+        assert adaptive.total_reward > 0.7 * fixed.total_reward

@@ -1,0 +1,115 @@
+"""Tests for repro.analysis — diagnostics and ASCII plotting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii_plot import ascii_plot, sparkline
+from repro.analysis.convergence import (
+    multiplier_summary,
+    weight_concentration,
+    weight_entropy,
+)
+from repro.core.config import LFSCConfig
+from repro.core.lfsc import LFSCPolicy
+from repro.env.network import NetworkConfig
+
+
+def fresh_policy(M=3, parts=2) -> LFSCPolicy:
+    from repro.core.hypercube import ContextPartition
+
+    policy = LFSCPolicy(LFSCConfig(partition=ContextPartition(dims=3, parts=parts)))
+    policy.reset(
+        NetworkConfig(num_scns=M, capacity=2, alpha=1.0, beta=3.0),
+        horizon=50,
+        rng=np.random.default_rng(0),
+    )
+    return policy
+
+
+class TestWeightDiagnostics:
+    def test_uniform_weights_max_entropy(self):
+        policy = fresh_policy()
+        np.testing.assert_allclose(weight_entropy(policy), 1.0)
+
+    def test_concentrated_weights_low_entropy(self):
+        policy = fresh_policy()
+        policy.log_w[0, 0] = 50.0
+        assert weight_entropy(policy)[0] < 0.1
+        assert weight_entropy(policy)[1] == pytest.approx(1.0)
+
+    def test_unnormalized_entropy_is_log_f(self):
+        policy = fresh_policy()
+        raw = weight_entropy(policy, normalized=False)
+        np.testing.assert_allclose(raw, np.log(8))
+
+    def test_concentration_uniform(self):
+        policy = fresh_policy()
+        np.testing.assert_allclose(weight_concentration(policy, top_k=2), 2 / 8)
+
+    def test_concentration_top_k_clamped(self):
+        policy = fresh_policy()
+        np.testing.assert_allclose(weight_concentration(policy, top_k=100), 1.0)
+
+    def test_concentration_validates(self):
+        with pytest.raises(ValueError):
+            weight_concentration(fresh_policy(), top_k=0)
+
+
+class TestMultiplierSummary:
+    def test_reports_tail_means(self):
+        policy = fresh_policy()
+        policy.t = 40
+        policy.multiplier_history_qos[:40] = 2.0
+        policy.multiplier_history_resource[:40] = 1.0
+        s = multiplier_summary(policy)
+        assert s["lambda_qos_tail_mean"] == pytest.approx(2.0)
+        assert s["lambda_resource_tail_mean"] == pytest.approx(1.0)
+        assert s["lambda_qos_drift"] == pytest.approx(0.0)
+
+    def test_detects_drift(self):
+        policy = fresh_policy()
+        policy.t = 40
+        policy.multiplier_history_qos[:40] = np.linspace(0, 4, 40)[:, None]
+        s = multiplier_summary(policy)
+        assert s["lambda_qos_drift"] > 0
+
+    def test_requires_history(self):
+        policy = fresh_policy()
+        with pytest.raises(RuntimeError):
+            multiplier_summary(policy)  # t == 0
+
+
+class TestSparkline:
+    def test_length_capped_at_width(self):
+        assert len(sparkline(np.arange(1000), width=40)) == 40
+
+    def test_short_series_kept(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_monotone_series_monotone_blocks(self):
+        s = sparkline(np.arange(8))
+        assert s == "▁▂▃▄▅▆▇█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestAsciiPlot:
+    def test_contains_legend_and_bounds(self):
+        chart = ascii_plot({"up": np.arange(10), "down": np.arange(10)[::-1]})
+        assert "a=up" in chart and "b=down" in chart
+        assert "9.00" in chart and "0.00" in chart
+
+    def test_title_rendered(self):
+        chart = ascii_plot({"x": [0, 1]}, title="hello")
+        assert chart.splitlines()[0] == "hello"
+
+    def test_no_data(self):
+        assert ascii_plot({}) == "(no data)"
+        assert ascii_plot({"empty": []}) == "(no data)"
+
+    def test_flat_series_does_not_crash(self):
+        ascii_plot({"flat": [2.0, 2.0, 2.0]})

@@ -1,0 +1,63 @@
+"""Tests for repro.core.depround — dependent rounding."""
+
+import numpy as np
+import pytest
+
+from repro.core.depround import depround
+
+
+class TestDepRound:
+    def test_integral_input_unchanged(self, rng):
+        p = np.array([1.0, 0.0, 1.0, 0.0])
+        mask = depround(p, rng)
+        np.testing.assert_array_equal(mask, [True, False, True, False])
+
+    def test_cardinality_exact(self, rng):
+        for _ in range(50):
+            p = rng.random(10)
+            p = p / p.sum() * 4.0  # sums to 4
+            p = np.clip(p, 0, 1)
+            total = p.sum()
+            mask = depround(p.copy(), rng)
+            assert mask.sum() in (int(np.floor(total)), int(np.ceil(total)))
+
+    def test_cardinality_when_sum_integral(self, rng):
+        p = np.full(8, 0.5)  # sums to 4 exactly
+        for _ in range(20):
+            assert depround(p, rng).sum() == 4
+
+    def test_marginals_preserved(self, rng):
+        p = np.array([0.9, 0.6, 0.5, 0.5, 0.3, 0.2])  # sums to 3
+        counts = np.zeros(6)
+        n = 20000
+        for _ in range(n):
+            counts += depround(p, rng)
+        np.testing.assert_allclose(counts / n, p, atol=0.02)
+
+    def test_input_not_mutated(self, rng):
+        p = np.array([0.5, 0.5])
+        orig = p.copy()
+        depround(p, rng)
+        np.testing.assert_array_equal(p, orig)
+
+    def test_single_fractional_bernoulli(self, rng):
+        hits = sum(depround(np.array([0.3]), rng)[0] for _ in range(10000))
+        assert abs(hits / 10000 - 0.3) < 0.02
+
+    def test_tiny_tolerance_clipping(self, rng):
+        p = np.array([1.0 + 5e-10, -5e-10, 0.5, 0.5])
+        mask = depround(p, rng)
+        assert mask[0] and not mask[1]
+
+    def test_out_of_range_rejected(self, rng):
+        with pytest.raises(ValueError):
+            depround(np.array([1.5]), rng)
+        with pytest.raises(ValueError):
+            depround(np.array([-0.5]), rng)
+
+    def test_2d_rejected(self, rng):
+        with pytest.raises(ValueError):
+            depround(np.ones((2, 2)) * 0.5, rng)
+
+    def test_empty(self, rng):
+        assert depround(np.empty(0), rng).size == 0

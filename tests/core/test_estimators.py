@@ -1,0 +1,135 @@
+"""Tests for repro.core.estimators — IW estimates and cube statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import (
+    CubeStatistics,
+    aggregate_by_cube,
+    importance_weighted,
+)
+
+
+class TestImportanceWeighted:
+    def test_unselected_are_zero(self):
+        out = importance_weighted(
+            values=np.array([0.5, 0.7]),
+            selected=np.array([False, True]),
+            probabilities=np.array([0.5, 0.7]),
+        )
+        assert out[0] == 0.0
+        assert out[1] == pytest.approx(1.0)
+
+    def test_unbiasedness(self, rng):
+        # E[x * 1(sel)/p] == x when P(sel) == p.
+        p = 0.3
+        x = 0.8
+        n = 40000
+        sel = rng.random(n) < p
+        est = importance_weighted(
+            np.full(n, x), sel, np.full(n, p)
+        )
+        assert est.mean() == pytest.approx(x, abs=0.02)
+
+    def test_zero_probability_selected_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            importance_weighted(
+                np.array([1.0]), np.array([True]), np.array([0.0])
+            )
+
+    def test_zero_probability_unselected_ok(self):
+        out = importance_weighted(
+            np.array([1.0]), np.array([False]), np.array([0.0])
+        )
+        assert out[0] == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            importance_weighted(np.ones(3), np.ones(2, dtype=bool), np.ones(3))
+
+
+class TestAggregateByCube:
+    def test_means_per_cube(self):
+        means, counts = aggregate_by_cube(
+            per_task=np.array([1.0, 3.0, 10.0]),
+            cube_idx=np.array([0, 0, 2]),
+            num_cubes=4,
+        )
+        np.testing.assert_allclose(means, [2.0, 0.0, 10.0, 0.0])
+        np.testing.assert_array_equal(counts, [2, 0, 1, 0])
+
+    def test_empty(self):
+        means, counts = aggregate_by_cube(np.empty(0), np.empty(0, np.int64), 3)
+        np.testing.assert_array_equal(means, np.zeros(3))
+
+    def test_negative_values_ok(self):
+        means, _ = aggregate_by_cube(np.array([-2.0, 4.0]), np.array([1, 1]), 2)
+        assert means[1] == pytest.approx(1.0)
+
+
+class TestCubeStatistics:
+    def test_initial_state(self):
+        stats = CubeStatistics(num_scns=2, num_cubes=3)
+        assert stats.total_observations() == 0
+        assert stats.counts.shape == (2, 3)
+
+    def test_observe_updates_means(self):
+        stats = CubeStatistics(num_scns=2, num_cubes=3)
+        stats.observe(
+            scn_idx=np.array([0, 0]),
+            cube_idx=np.array([1, 1]),
+            g=np.array([0.2, 0.4]),
+            v=np.array([1.0, 0.0]),
+            q=np.array([1.0, 2.0]),
+        )
+        assert stats.mean_g[0, 1] == pytest.approx(0.3)
+        assert stats.mean_v[0, 1] == pytest.approx(0.5)
+        assert stats.mean_q[0, 1] == pytest.approx(1.5)
+        assert stats.counts[0, 1] == 2
+
+    def test_incremental_mean_matches_batch(self, rng):
+        stats = CubeStatistics(num_scns=1, num_cubes=2)
+        values = rng.random(100)
+        for chunk in np.array_split(values, 7):
+            k = len(chunk)
+            stats.observe(
+                np.zeros(k, np.int64), np.zeros(k, np.int64), chunk, chunk, chunk
+            )
+        assert stats.mean_g[0, 0] == pytest.approx(values.mean())
+        assert stats.counts[0, 0] == 100
+
+    def test_distinct_pairs_tracked_separately(self):
+        stats = CubeStatistics(num_scns=2, num_cubes=2)
+        stats.observe(
+            np.array([0, 1]), np.array([0, 1]),
+            np.array([1.0, 3.0]), np.array([1.0, 0.0]), np.array([1.0, 2.0]),
+        )
+        assert stats.mean_g[0, 0] == 1.0
+        assert stats.mean_g[1, 1] == 3.0
+        assert stats.mean_g[0, 1] == 0.0
+
+    def test_empty_observe_noop(self):
+        stats = CubeStatistics(num_scns=1, num_cubes=1)
+        stats.observe(np.empty(0, np.int64), np.empty(0, np.int64), np.empty(0), np.empty(0), np.empty(0))
+        assert stats.total_observations() == 0
+
+    def test_misaligned_rejected(self):
+        stats = CubeStatistics(num_scns=1, num_cubes=1)
+        with pytest.raises(ValueError):
+            stats.observe(np.zeros(2, np.int64), np.zeros(3, np.int64), np.zeros(2), np.zeros(2), np.zeros(2))
+
+    def test_ucb_index_unvisited_infinite(self):
+        stats = CubeStatistics(num_scns=1, num_cubes=2)
+        stats.observe(np.array([0]), np.array([0]), np.array([0.5]), np.array([1.0]), np.array([1.0]))
+        idx = stats.ucb_index(10)
+        assert np.isinf(idx[0, 1])
+        assert np.isfinite(idx[0, 0])
+
+    def test_ucb_bonus_shrinks_with_count(self):
+        stats = CubeStatistics(num_scns=1, num_cubes=1)
+        stats.observe(np.array([0]), np.array([0]), np.array([0.5]), np.array([1.0]), np.array([1.0]))
+        early = stats.ucb_index(100)[0, 0]
+        for _ in range(50):
+            stats.observe(np.array([0]), np.array([0]), np.array([0.5]), np.array([1.0]), np.array([1.0]))
+        late = stats.ucb_index(100)[0, 0]
+        assert late < early

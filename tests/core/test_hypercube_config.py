@@ -1,0 +1,101 @@
+"""Tests for repro.core.hypercube and repro.core.config."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LFSCConfig
+from repro.core.hypercube import ContextPartition
+
+
+class TestContextPartition:
+    def test_paper_default_27_cubes(self):
+        part = ContextPartition()
+        assert part.num_cubes == 27
+        assert part.cube_side == pytest.approx(1 / 3)
+
+    def test_assign_matches_grid(self, rng):
+        part = ContextPartition(dims=2, parts=4)
+        ctx = rng.random((100, 2))
+        idx = part.assign(ctx)
+        assert idx.min() >= 0 and idx.max() < 16
+
+    def test_similar_contexts_same_cube(self):
+        part = ContextPartition(dims=2, parts=3)
+        a = part.assign(np.array([[0.40, 0.40]]))
+        b = part.assign(np.array([[0.45, 0.45]]))
+        assert a[0] == b[0]
+
+    def test_centers_shape(self):
+        assert ContextPartition(dims=3, parts=2).centers().shape == (8, 3)
+
+    def test_theorem_parts_growth(self):
+        # h_T = ceil(T^{1/(2+D)}) grows with T.
+        small = ContextPartition.theorem_parts(100, 3)
+        big = ContextPartition.theorem_parts(100000, 3)
+        assert big > small
+        assert small >= 1
+
+    def test_theorem_parts_value(self):
+        assert ContextPartition.theorem_parts(32, 3) == int(np.ceil(32 ** (1 / 5)))
+
+
+class TestLFSCConfig:
+    def test_defaults_valid(self):
+        cfg = LFSCConfig()
+        assert cfg.dual_step == cfg.eta  # eta_dual None falls back
+
+    def test_eta_dual_override(self):
+        cfg = LFSCConfig(eta_dual=0.5)
+        assert cfg.dual_step == 0.5
+
+    def test_with_overrides(self):
+        cfg = LFSCConfig().with_overrides(gamma=0.2)
+        assert cfg.gamma == 0.2
+
+    def test_from_theorem_schedule(self):
+        cfg = LFSCConfig.from_theorem(max_coverage=100, capacity=20, horizon=10000)
+        e = np.e
+        K = 100
+        gamma = min(1.0, np.sqrt(K * np.log(K / 20) / ((e - 1) * 20 * 10000)))
+        assert cfg.gamma == pytest.approx(gamma)
+        assert cfg.eta == pytest.approx(gamma / K)
+        assert cfg.delta == pytest.approx(1 / 100.0)
+        assert cfg.eta_dual == pytest.approx(1 / 100.0)
+
+    def test_from_theorem_gamma_capped_at_one(self):
+        cfg = LFSCConfig.from_theorem(max_coverage=1000, capacity=2, horizon=2)
+        assert cfg.gamma == 1.0
+
+    def test_from_theorem_tiny_coverage_guard(self):
+        # K <= c would make ln(K/c) <= 0; the guard keeps gamma positive.
+        cfg = LFSCConfig.from_theorem(max_coverage=2, capacity=5, horizon=100)
+        assert 0 < cfg.gamma <= 1.0
+
+    def test_from_theorem_overrides(self):
+        cfg = LFSCConfig.from_theorem(50, 10, 1000, gamma=0.3)
+        assert cfg.gamma == 0.3
+
+    def test_from_theorem_partition(self):
+        cfg = LFSCConfig.from_theorem(50, 10, 1000, dims=2, parts=5)
+        assert cfg.partition.dims == 2
+        assert cfg.partition.parts == 5
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"gamma": 0.0},
+            {"gamma": 1.5},
+            {"eta": -0.1},
+            {"delta": 0.0},
+            {"assignment_mode": "magic"},
+            {"tie_jitter": -1e-9},
+            {"lambda_max": 0.0},
+        ],
+    )
+    def test_invalid(self, bad):
+        with pytest.raises(ValueError):
+            LFSCConfig(**bad)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            LFSCConfig().gamma = 0.5  # type: ignore[misc]

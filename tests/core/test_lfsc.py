@@ -1,0 +1,206 @@
+"""Tests for repro.core.lfsc — the LFSC policy end to end."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LFSCConfig
+from repro.core.hypercube import ContextPartition
+from repro.core.lfsc import LFSCPolicy
+from repro.env.contexts import TaskFeatureModel
+from repro.env.geometry import CoverageSampler
+from repro.env.network import NetworkConfig
+from repro.env.processes import PiecewiseConstantTruth
+from repro.env.simulator import Simulation
+from repro.env.workload import SyntheticWorkload
+
+from tests.conftest import make_slot
+
+
+def make_policy(**overrides) -> LFSCPolicy:
+    cfg = LFSCConfig(
+        partition=ContextPartition(dims=3, parts=2),
+        gamma=0.1,
+        eta=0.05,
+        delta=0.05,
+    ).with_overrides(**overrides)
+    policy = LFSCPolicy(cfg)
+    policy.reset(
+        NetworkConfig(num_scns=2, capacity=2, alpha=1.0, beta=3.0),
+        horizon=100,
+        rng=np.random.default_rng(0),
+    )
+    return policy
+
+
+def run_sim(policy_cfg=None, horizon=300, seed=0):
+    network = NetworkConfig(num_scns=3, capacity=3, alpha=1.5, beta=4.5)
+    sim = Simulation(
+        network=network,
+        workload=SyntheticWorkload(
+            features=TaskFeatureModel(),
+            coverage_model=CoverageSampler(num_scns=3, k_min=6, k_max=12),
+        ),
+        truth=PiecewiseConstantTruth(num_scns=3, dims=3, cells_per_dim=2, seed=5),
+        seed=seed,
+    )
+    policy = LFSCPolicy(policy_cfg) if policy_cfg else LFSCPolicy(
+        LFSCConfig.from_theorem(12, 3, horizon, parts=2)
+    )
+    return sim.run(policy, horizon), policy
+
+
+class TestLifecycle:
+    def test_reset_initializes_uniform_weights(self):
+        policy = make_policy()
+        assert policy.log_w.shape == (2, 8)
+        assert (policy.log_w == 0).all()
+
+    def test_select_before_reset_raises(self, rng):
+        policy = LFSCPolicy()
+        slot = make_slot(rng.random((3, 3)), [[0, 1], [1, 2]])
+        with pytest.raises(RuntimeError, match="reset"):
+            policy.select(slot)
+
+    def test_update_without_select_raises(self, rng):
+        policy = make_policy()
+        slot = make_slot(rng.random((3, 3)), [[0, 1], [1, 2]])
+        assignment = policy.select(slot)
+        from repro.env.simulator import SlotFeedback
+
+        k = len(assignment)
+        fb = SlotFeedback(assignment, np.ones(k), np.ones(k), np.ones(k), np.ones(k))
+        policy.update(slot, fb)
+        with pytest.raises(RuntimeError, match="select"):
+            policy.update(slot, fb)  # cache consumed
+
+
+class TestSelect:
+    def test_assignment_valid(self, rng):
+        policy = make_policy()
+        slot = make_slot(rng.random((6, 3)), [[0, 1, 2, 3], [2, 3, 4, 5]])
+        assignment = policy.select(slot)
+        assignment.validate(slot, capacity=2)
+
+    def test_fills_capacity_when_possible(self, rng):
+        policy = make_policy()
+        slot = make_slot(rng.random((8, 3)), [[0, 1, 2, 3], [4, 5, 6, 7]])
+        assignment = policy.select(slot)
+        assert len(assignment) == 4  # both SCNs filled to c=2
+
+    def test_handles_empty_coverage(self, rng):
+        policy = make_policy()
+        slot = make_slot(rng.random((3, 3)), [[], [0, 1, 2]])
+        assignment = policy.select(slot)
+        assignment.validate(slot, capacity=2)
+        assert (assignment.scn == 1).all()
+
+    def test_deterministic_mode_repeatable(self, rng):
+        ctx = rng.random((6, 3))
+        picks = []
+        for _ in range(2):
+            policy = make_policy(assignment_mode="deterministic", tie_jitter=0.0)
+            slot = make_slot(ctx, [[0, 1, 2], [3, 4, 5]])
+            picks.append(policy.select(slot).task.tolist())
+        assert picks[0] == picks[1]
+
+
+class TestUpdate:
+    def _roundtrip(self, policy, slot):
+        from repro.env.simulator import SlotFeedback
+
+        assignment = policy.select(slot)
+        k = len(assignment)
+        fb = SlotFeedback(
+            assignment,
+            u=np.full(k, 0.8),
+            v=np.ones(k),
+            q=np.full(k, 1.2),
+            g=np.full(k, 0.8 / 1.2),
+        )
+        policy.update(slot, fb)
+        return assignment
+
+    def test_weights_change_after_update(self, rng):
+        policy = make_policy()
+        slot = make_slot(rng.random((6, 3)), [[0, 1, 2, 3], [2, 3, 4, 5]])
+        before = policy.log_w.copy()
+        self._roundtrip(policy, slot)
+        assert not np.array_equal(policy.log_w, before)
+
+    def test_stats_observe_assigned_tasks(self, rng):
+        policy = make_policy()
+        slot = make_slot(rng.random((6, 3)), [[0, 1, 2, 3], [2, 3, 4, 5]])
+        assignment = self._roundtrip(policy, slot)
+        assert policy.stats.total_observations() == len(assignment)
+
+    def test_multipliers_move_under_violation(self, rng):
+        # alpha=1.0 but v=0 everywhere -> QoS multiplier must grow.
+        from repro.env.simulator import SlotFeedback
+
+        policy = make_policy()
+        slot = make_slot(rng.random((6, 3)), [[0, 1, 2], [3, 4, 5]])
+        assignment = policy.select(slot)
+        k = len(assignment)
+        fb = SlotFeedback(assignment, np.zeros(k), np.zeros(k), np.full(k, 2.0), np.zeros(k))
+        policy.update(slot, fb)
+        assert (policy.multipliers.qos > 0).all()
+        assert (policy.multipliers.resource > 0).all()  # 2q per task > beta share
+
+    def test_lagrangian_off_freezes_multipliers(self, rng):
+        from repro.env.simulator import SlotFeedback
+
+        policy = make_policy(use_lagrangian=False)
+        slot = make_slot(rng.random((6, 3)), [[0, 1, 2], [3, 4, 5]])
+        assignment = policy.select(slot)
+        k = len(assignment)
+        fb = SlotFeedback(assignment, np.zeros(k), np.zeros(k), np.full(k, 2.0), np.zeros(k))
+        policy.update(slot, fb)
+        assert (policy.multipliers.qos == 0).all()
+
+    def test_slot_counter_advances(self, rng):
+        policy = make_policy()
+        slot = make_slot(rng.random((4, 3)), [[0, 1], [2, 3]])
+        assert policy.t == 0
+        self._roundtrip(policy, slot)
+        assert policy.t == 1
+
+    def test_multiplier_history_recorded(self, rng):
+        policy = make_policy()
+        slot = make_slot(rng.random((4, 3)), [[0, 1], [2, 3]])
+        self._roundtrip(policy, slot)
+        assert policy.multiplier_history_qos.shape == (100, 2)
+
+
+class TestLearning:
+    def test_weights_concentrate_on_better_cube(self):
+        """With one clearly superior cube, its weight share must grow."""
+        res, policy = run_sim(horizon=400)
+        shares = policy.weights_snapshot()
+        # At least one SCN should have a dominant cube by now.
+        assert shares.max() > 2.0 / policy.config.partition.num_cubes
+
+    def test_weights_snapshot_rows_normalized(self):
+        _, policy = run_sim(horizon=50)
+        np.testing.assert_allclose(policy.weights_snapshot().sum(axis=1), 1.0)
+
+    def test_reward_improves_over_time(self):
+        res, _ = run_sim(horizon=600)
+        third = len(res.reward) // 3
+        assert res.reward[-third:].mean() > res.reward[:third].mean() * 0.95
+
+    def test_log_weights_stay_finite(self):
+        _, policy = run_sim(horizon=400)
+        assert np.isfinite(policy.log_w).all()
+
+    def test_run_deterministic(self):
+        r1, _ = run_sim(horizon=100, seed=3)
+        r2, _ = run_sim(horizon=100, seed=3)
+        np.testing.assert_array_equal(r1.reward, r2.reward)
+
+    def test_depround_and_deterministic_modes_both_run(self):
+        for mode in ("depround", "deterministic"):
+            cfg = LFSCConfig.from_theorem(12, 3, 100, parts=2).with_overrides(
+                assignment_mode=mode
+            )
+            res, _ = run_sim(policy_cfg=cfg, horizon=100)
+            assert res.total_reward > 0

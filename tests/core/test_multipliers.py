@@ -1,0 +1,83 @@
+"""Tests for repro.core.multipliers — Lagrangian dual dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.core.multipliers import LagrangeMultipliers
+
+
+def make(eta=0.1, delta=0.1, lam_max=None, M=3) -> LagrangeMultipliers:
+    return LagrangeMultipliers(num_scns=M, eta=eta, delta=delta, lambda_max=lam_max)
+
+
+class TestLagrangeMultipliers:
+    def test_starts_at_zero(self):
+        lm = make()
+        assert (lm.qos == 0).all() and (lm.resource == 0).all()
+
+    def test_qos_grows_under_shortfall(self):
+        lm = make()
+        lm.update(completed=np.zeros(3), consumption=np.zeros(3), alpha=2.0, beta=5.0)
+        assert (lm.qos > 0).all()
+        assert (lm.resource == 0).all()  # consumption below beta
+
+    def test_resource_grows_under_overuse(self):
+        lm = make()
+        lm.update(completed=np.full(3, 5.0), consumption=np.full(3, 9.0), alpha=2.0, beta=5.0)
+        assert (lm.resource > 0).all()
+        assert (lm.qos == 0).all()
+
+    def test_projection_at_zero(self):
+        lm = make()
+        # Constraint over-satisfied -> gradient negative -> clipped at 0.
+        lm.update(np.full(3, 10.0), np.zeros(3), alpha=2.0, beta=5.0)
+        assert (lm.qos == 0).all()
+
+    def test_decay_pulls_down_when_satisfied(self):
+        lm = make(eta=0.5, delta=0.5)
+        lm.update(np.zeros(3), np.zeros(3), alpha=2.0, beta=5.0)
+        high = lm.qos.copy()
+        lm.update(np.full(3, 2.0), np.zeros(3), alpha=2.0, beta=5.0)  # exactly met
+        assert (lm.qos < high).all()
+
+    def test_clip_at_lambda_max(self):
+        lm = make(eta=10.0, delta=0.001, lam_max=1.5)
+        for _ in range(50):
+            lm.update(np.zeros(3), np.full(3, 100.0), alpha=2.0, beta=5.0)
+        assert (lm.qos <= 1.5).all()
+        assert (lm.resource <= 1.5).all()
+
+    def test_default_lambda_max_is_induction_bound(self):
+        lm = make(eta=0.2, delta=0.5)
+        assert lm.lambda_max == pytest.approx(1.0 / (0.2 * 0.5))
+
+    def test_per_scn_independence(self):
+        lm = make()
+        completed = np.array([0.0, 5.0, 0.0])
+        lm.update(completed, np.zeros(3), alpha=2.0, beta=5.0)
+        assert lm.qos[0] > 0 and lm.qos[1] == 0 and lm.qos[2] > 0
+
+    def test_equilibrium_value(self):
+        # Constant shortfall s: fixed point lambda* = s/delta.
+        lm = make(eta=0.2, delta=0.1, lam_max=1e9)
+        for _ in range(3000):
+            lm.update(np.full(3, 1.0), np.zeros(3), alpha=2.0, beta=5.0)
+        np.testing.assert_allclose(lm.qos, 1.0 / 0.1, rtol=1e-3)
+
+    def test_reset(self):
+        lm = make()
+        lm.update(np.zeros(3), np.full(3, 9.0), alpha=2.0, beta=5.0)
+        lm.reset()
+        assert (lm.qos == 0).all() and (lm.resource == 0).all()
+
+    def test_shape_validated(self):
+        lm = make()
+        with pytest.raises(ValueError):
+            lm.update(np.zeros(2), np.zeros(3), alpha=1.0, beta=1.0)
+
+    @pytest.mark.parametrize("bad", [{"eta": 0}, {"delta": -1.0}, {"lam_max": -2.0}])
+    def test_invalid_params(self, bad):
+        kw = dict(eta=0.1, delta=0.1, lam_max=None)
+        kw.update(bad)
+        with pytest.raises(ValueError):
+            make(**kw)

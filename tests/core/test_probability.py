@@ -1,0 +1,112 @@
+"""Tests for repro.core.probability — Alg. 2's capped probabilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.probability import cap_threshold, capped_probabilities
+
+
+class TestCappedProbabilities:
+    def test_sum_equals_capacity(self, rng):
+        w = rng.random(20) + 0.01
+        cp = capped_probabilities(w, capacity=5, gamma=0.1)
+        assert cp.p.sum() == pytest.approx(5.0, abs=1e-9)
+
+    def test_probabilities_in_unit_interval(self, rng):
+        for _ in range(20):
+            w = rng.random(15) * rng.choice([1e-6, 1.0, 1e6]) + 1e-9
+            cp = capped_probabilities(w, capacity=4, gamma=0.05)
+            assert cp.p.min() > 0.0
+            assert cp.p.max() <= 1.0 + 1e-12
+
+    def test_uniform_weights_uniform_probs(self):
+        cp = capped_probabilities(np.ones(10), capacity=4, gamma=0.2)
+        np.testing.assert_allclose(cp.p, 0.4)
+        assert not cp.capped.any()
+
+    def test_monotone_in_weight(self, rng):
+        w = np.sort(rng.random(12)) + 0.01
+        cp = capped_probabilities(w, capacity=3, gamma=0.1)
+        assert (np.diff(cp.p) >= -1e-12).all()
+
+    def test_heavy_weight_capped_at_one(self):
+        w = np.array([100.0, 1.0, 1.0, 1.0, 1.0, 1.0])
+        cp = capped_probabilities(w, capacity=2, gamma=0.1)
+        assert cp.capped[0]
+        assert cp.p[0] == pytest.approx(1.0, abs=1e-9)
+        assert cp.p.sum() == pytest.approx(2.0, abs=1e-9)
+
+    def test_multiple_capped(self):
+        w = np.array([50.0, 50.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0])
+        cp = capped_probabilities(w, capacity=3, gamma=0.1)
+        assert cp.capped[:2].all()
+        np.testing.assert_allclose(cp.p[:2], 1.0, atol=1e-9)
+        assert cp.p.sum() == pytest.approx(3.0, abs=1e-9)
+
+    def test_fewer_tasks_than_capacity_all_selected(self):
+        cp = capped_probabilities(np.array([3.0, 1.0]), capacity=5, gamma=0.1)
+        np.testing.assert_array_equal(cp.p, [1.0, 1.0])
+        assert cp.capped.all()
+
+    def test_gamma_one_pure_exploration(self):
+        w = np.array([10.0, 1.0, 1.0, 1.0])
+        cp = capped_probabilities(w, capacity=2, gamma=1.0)
+        np.testing.assert_allclose(cp.p, 0.5)
+
+    def test_exploration_floor(self, rng):
+        # Every task retains at least gamma*c/K probability.
+        w = rng.random(30) * 1000 + 1e-9
+        gamma, c = 0.2, 6
+        cp = capped_probabilities(w, capacity=c, gamma=gamma)
+        assert cp.p.min() >= gamma * c / 30 - 1e-12
+
+    def test_empty_input(self):
+        cp = capped_probabilities(np.empty(0), capacity=3, gamma=0.1)
+        assert cp.p.size == 0
+
+    def test_extreme_weight_spread_no_nan(self):
+        # Regression: subnormal tails used to cancel to a zero threshold.
+        w = np.array([1.0, 1.0, 2e-18, 3e-18, 1e-18, 5e-18, 4e-18, 2.5e-18, 1.5e-18, 1e-18])
+        cp = capped_probabilities(w, capacity=6, gamma=0.05)
+        assert np.isfinite(cp.p).all()
+        assert cp.p.sum() == pytest.approx(6.0, abs=1e-6)
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            capped_probabilities(np.array([1.0, 0.0]), capacity=1, gamma=0.1)
+
+    def test_bad_gamma_rejected(self):
+        with pytest.raises(ValueError):
+            capped_probabilities(np.ones(3), capacity=1, gamma=0.0)
+
+    def test_2d_weights_rejected(self):
+        with pytest.raises(ValueError):
+            capped_probabilities(np.ones((2, 2)), capacity=1, gamma=0.1)
+
+
+class TestCapThreshold:
+    def test_threshold_equation_holds(self, rng):
+        for _ in range(50):
+            w = rng.random(12) * 10 + 0.01
+            K, c, gamma = len(w), 4, 0.1
+            ratio = (1.0 / c - gamma / K) / (1.0 - gamma)
+            if w.max() < ratio * w.sum():
+                continue
+            e = cap_threshold(w, ratio)
+            capped = w >= e * (1 - 1e-12)
+            denom = e * capped.sum() + w[~capped].sum()
+            assert e / denom == pytest.approx(ratio, rel=1e-6)
+
+    def test_flat_weights_tie(self):
+        # All weights equal at exactly the cap boundary: the threshold must
+        # coincide with the common weight (capping is then a no-op).
+        e = cap_threshold(np.ones(4), ratio=0.25)
+        assert e == pytest.approx(1.0)
+
+    def test_exact_membership_under_extreme_spread(self):
+        # Regression for the tolerance bug: a mid-magnitude weight close to
+        # the k=1 threshold must not be double-counted into the capped set.
+        w = np.array([1.0e-3, 3.07692301e11] + [1e-12] * 9)
+        cp = capped_probabilities(w, capacity=4, gamma=0.5)
+        assert cp.p.sum() == pytest.approx(4.0, rel=1e-9)
+        assert np.isfinite(cp.p).all() and cp.p.max() <= 1.0 + 1e-12

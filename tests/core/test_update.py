@@ -1,0 +1,105 @@
+"""Tests for repro.core.update — the weight update machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.update import (
+    apply_weight_update,
+    lagrangian_utility,
+    recenter_log_weights,
+    weight_exponents,
+)
+
+
+class TestLagrangianUtility:
+    def test_zero_multipliers_is_reward(self):
+        g = np.array([0.3, 0.7])
+        out = lagrangian_utility(g, np.ones(2), np.ones(2), 0.0, 0.0)
+        np.testing.assert_allclose(out, g)
+
+    def test_qos_term_rewards_completion(self):
+        high_v = lagrangian_utility(np.zeros(1), np.array([0.9]), np.ones(1), 2.0, 0.0)
+        low_v = lagrangian_utility(np.zeros(1), np.array([0.1]), np.ones(1), 2.0, 0.0)
+        assert high_v[0] > low_v[0]
+
+    def test_resource_term_penalizes_consumption(self):
+        cheap = lagrangian_utility(np.zeros(1), np.zeros(1), np.array([1.0]), 0.0, 2.0)
+        costly = lagrangian_utility(np.zeros(1), np.zeros(1), np.array([2.0]), 0.0, 2.0)
+        assert cheap[0] > costly[0]
+
+    def test_targets_shift_uniformly(self):
+        g, v, q = np.array([0.5, 0.1]), np.array([0.9, 0.2]), np.array([1.1, 1.9])
+        plain = lagrangian_utility(g, v, q, 1.5, 2.5)
+        centered = lagrangian_utility(
+            g, v, q, 1.5, 2.5, qos_target=0.75, resource_target=1.35
+        )
+        diffs = plain - centered
+        assert diffs[0] == pytest.approx(diffs[1])  # same shift for every task
+
+    def test_feasible_helpful_task_positive_when_centered(self):
+        # v above the per-task QoS share, q below the resource share.
+        out = lagrangian_utility(
+            np.array([0.2]), np.array([0.95]), np.array([1.1]),
+            3.0, 3.0, qos_target=0.75, resource_target=1.35,
+        )
+        assert out[0] > 0
+
+
+class TestWeightExponents:
+    def test_scaling_by_eta(self):
+        out = weight_exponents(np.array([2.0, -3.0]), eta=0.1)
+        np.testing.assert_allclose(out, [0.2, -0.3])
+
+    def test_clipping(self):
+        out = weight_exponents(np.array([1e9, -1e9]), eta=1.0, max_exponent=5.0)
+        np.testing.assert_allclose(out, [5.0, -5.0])
+
+
+class TestApplyWeightUpdate:
+    def test_in_place_addition(self):
+        row = np.zeros(5)
+        apply_weight_update(
+            row, np.array([1, 3]), np.array([0.5, -0.2]), np.array([False, False])
+        )
+        np.testing.assert_allclose(row, [0, 0.5, 0, -0.2, 0])
+
+    def test_skip_mask_respected(self):
+        row = np.zeros(4)
+        apply_weight_update(
+            row, np.array([0, 1]), np.array([1.0, 1.0]), np.array([True, False])
+        )
+        np.testing.assert_allclose(row, [0, 1.0, 0, 0])
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            apply_weight_update(np.zeros(3), np.array([0]), np.array([1.0, 2.0]), np.array([False]))
+
+
+class TestRecenterLogWeights:
+    def test_no_change_below_threshold(self):
+        log_w = np.array([[1.0, 2.0], [0.0, -3.0]])
+        before = log_w.copy()
+        recenter_log_weights(log_w, threshold=50.0)
+        np.testing.assert_allclose(log_w, before)
+
+    def test_recenters_drifted_rows(self):
+        log_w = np.array([[100.0, 99.0], [0.0, 1.0]])
+        recenter_log_weights(log_w, threshold=50.0)
+        np.testing.assert_allclose(log_w[0], [0.0, -1.0])
+        np.testing.assert_allclose(log_w[1], [0.0, 1.0])
+
+    def test_relative_order_preserved(self, rng):
+        log_w = rng.normal(80, 5, size=(3, 6))
+        order_before = np.argsort(log_w, axis=1)
+        recenter_log_weights(log_w, threshold=50.0)
+        np.testing.assert_array_equal(np.argsort(log_w, axis=1), order_before)
+
+    def test_floor_bounds_spread(self):
+        log_w = np.array([[0.0, -1000.0]])
+        recenter_log_weights(log_w, threshold=50.0, floor=-200.0)
+        assert log_w[0, 1] == -200.0
+
+    def test_floor_relative_to_row_max(self):
+        log_w = np.array([[30.0, -300.0]])
+        recenter_log_weights(log_w, threshold=50.0, floor=-200.0)
+        assert log_w[0, 1] == pytest.approx(30.0 - 200.0)

@@ -1,0 +1,55 @@
+"""Tests for repro.env.channel — mmWave blockage dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.env.channel import AlwaysUpChannel, MarkovBlockage
+
+
+class TestAlwaysUpChannel:
+    def test_all_links_up(self, rng):
+        ch = AlwaysUpChannel()
+        up = ch.link_up(0, np.array([0, 1, 2]), np.array([5, 6, 7]), rng)
+        np.testing.assert_array_equal(up, [1.0, 1.0, 1.0])
+
+
+class TestMarkovBlockage:
+    def test_starts_unblocked(self, rng):
+        ch = MarkovBlockage(num_scns=4)
+        assert not ch.blocked.any()
+        up = ch.link_up(0, np.arange(4), np.arange(4), rng)
+        np.testing.assert_array_equal(up, np.ones(4))
+
+    def test_blockage_affects_whole_scn(self, rng):
+        ch = MarkovBlockage(num_scns=3, p_block=1.0, p_recover=0.0)
+        ch.advance(0, rng)
+        assert ch.blocked.all()
+        up = ch.link_up(1, np.array([0, 1, 2, 2]), np.array([0, 1, 2, 3]), rng)
+        np.testing.assert_array_equal(up, np.zeros(4))
+
+    def test_recovery(self, rng):
+        ch = MarkovBlockage(num_scns=2, p_block=1.0, p_recover=1.0)
+        ch.advance(0, rng)  # all blocked
+        assert ch.blocked.all()
+        ch.advance(1, rng)  # all recover (p_recover applies to blocked)
+        assert not ch.blocked.any()
+
+    def test_stationary_probability_formula(self):
+        ch = MarkovBlockage(p_block=0.1, p_recover=0.4)
+        assert ch.stationary_block_probability() == pytest.approx(0.2)
+
+    def test_stationary_probability_empirical(self, rng):
+        ch = MarkovBlockage(num_scns=50, p_block=0.05, p_recover=0.2)
+        samples = []
+        for t in range(4000):
+            ch.advance(t, rng)
+            samples.append(ch.blocked.mean())
+        assert abs(np.mean(samples[500:]) - 0.2) < 0.03
+
+    def test_degenerate_probabilities(self):
+        assert MarkovBlockage(p_block=0.0, p_recover=0.0).stationary_block_probability() == 0.0
+
+    @pytest.mark.parametrize("bad", [{"p_block": -0.1}, {"p_recover": 1.2}])
+    def test_invalid_params(self, bad):
+        with pytest.raises(ValueError):
+            MarkovBlockage(**bad)

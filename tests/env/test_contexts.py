@@ -1,0 +1,96 @@
+"""Tests for repro.env.contexts — the context space and feature model."""
+
+import numpy as np
+import pytest
+
+from repro.env.contexts import ContextSpace, ResourceType, TaskFeatureModel
+
+
+class TestContextSpace:
+    def test_contains_inside(self):
+        space = ContextSpace(dims=2)
+        mask = space.contains(np.array([[0.5, 0.5], [0.0, 1.0]]))
+        assert mask.tolist() == [True, True]
+
+    def test_contains_outside(self):
+        space = ContextSpace(dims=2)
+        mask = space.contains(np.array([[1.5, 0.5], [-0.1, 0.5]]))
+        assert mask.tolist() == [False, False]
+
+    def test_dim_mismatch_raises(self):
+        with pytest.raises(ValueError, match="dims"):
+            ContextSpace(dims=3).contains(np.zeros((2, 2)))
+
+    def test_clip(self):
+        space = ContextSpace(dims=1)
+        out = space.clip(np.array([[-0.5], [2.0]]))
+        np.testing.assert_array_equal(out, [[0.0], [1.0]])
+
+    def test_names_length_validated(self):
+        with pytest.raises(ValueError):
+            ContextSpace(dims=2, names=("a",))
+
+    def test_zero_dims_rejected(self):
+        with pytest.raises(ValueError):
+            ContextSpace(dims=0)
+
+
+class TestTaskFeatureModel:
+    def test_sample_features_ranges(self, rng):
+        model = TaskFeatureModel()
+        inputs, outputs, resources = model.sample_features(500, rng)
+        assert inputs.min() >= 5.0 and inputs.max() <= 20.0
+        assert outputs.min() >= 1.0 and outputs.max() <= 4.0
+        assert set(np.unique(resources)) <= {0, 1, 2}
+
+    def test_sample_contexts_in_unit_cube(self, rng):
+        model = TaskFeatureModel()
+        ctx = model.sample_contexts(200, rng)
+        assert ctx.shape == (200, 3)
+        assert ctx.min() >= 0.0 and ctx.max() <= 1.0
+
+    def test_normalize_endpoints(self):
+        model = TaskFeatureModel()
+        ctx = model.normalize(
+            np.array([5.0, 20.0]), np.array([1.0, 4.0]), np.array([0, 2])
+        )
+        np.testing.assert_allclose(ctx[0], [0.0, 0.0, 0.0])
+        np.testing.assert_allclose(ctx[1], [1.0, 1.0, 1.0])
+
+    def test_resource_maps_to_three_levels(self):
+        model = TaskFeatureModel()
+        ctx = model.normalize(
+            np.full(3, 10.0), np.full(3, 2.0), np.array([0, 1, 2])
+        )
+        np.testing.assert_allclose(ctx[:, 2], [0.0, 0.5, 1.0])
+
+    def test_denormalize_roundtrip(self, rng):
+        model = TaskFeatureModel()
+        inputs, outputs, resources = model.sample_features(100, rng)
+        ctx = model.normalize(inputs, outputs, resources)
+        back_in, back_out, back_res = model.denormalize(ctx)
+        np.testing.assert_allclose(back_in, inputs, rtol=1e-12)
+        np.testing.assert_allclose(back_out, outputs, rtol=1e-12)
+        np.testing.assert_array_equal(back_res, resources)
+
+    def test_sample_zero(self, rng):
+        model = TaskFeatureModel()
+        inputs, outputs, resources = model.sample_features(0, rng)
+        assert len(inputs) == len(outputs) == len(resources) == 0
+
+    def test_negative_count_raises(self, rng):
+        with pytest.raises(ValueError):
+            TaskFeatureModel().sample_features(-1, rng)
+
+    def test_invalid_probs_rejected(self):
+        with pytest.raises(ValueError, match="resource_probs"):
+            TaskFeatureModel(resource_probs=(0.5, 0.5, 0.5))
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ValueError):
+            TaskFeatureModel(input_mbit=(20.0, 5.0))
+
+    def test_resource_probs_respected(self, rng):
+        model = TaskFeatureModel(resource_probs=(1.0, 0.0, 0.0))
+        _, _, resources = model.sample_features(50, rng)
+        assert (resources == ResourceType.CPU).all()

@@ -1,0 +1,116 @@
+"""Tests for repro.env.geometry — coverage models and mobility."""
+
+import numpy as np
+import pytest
+
+from repro.env.geometry import (
+    CoverageSampler,
+    GeometricCoverage,
+    random_waypoint_step,
+)
+
+
+class TestCoverageSampler:
+    def test_coverage_sizes_in_range(self, rng):
+        sampler = CoverageSampler(num_scns=5, k_min=10, k_max=20)
+        n, cov = sampler.sample_slot(rng)
+        assert len(cov) == 5
+        for c in cov:
+            assert 10 <= len(c) <= 20
+
+    def test_indices_valid_and_unique(self, rng):
+        sampler = CoverageSampler(num_scns=4, k_min=5, k_max=15)
+        n, cov = sampler.sample_slot(rng)
+        for c in cov:
+            assert c.min() >= 0 and c.max() < n
+            assert len(np.unique(c)) == len(c)
+
+    def test_coverage_sorted(self, rng):
+        sampler = CoverageSampler(num_scns=3, k_min=5, k_max=10)
+        _, cov = sampler.sample_slot(rng)
+        for c in cov:
+            assert (np.diff(c) > 0).all()
+
+    def test_overlap_controls_pool_size(self, rng):
+        lo = CoverageSampler(num_scns=10, k_min=20, k_max=20, overlap=1.0)
+        hi = CoverageSampler(num_scns=10, k_min=20, k_max=20, overlap=4.0)
+        n_lo, _ = lo.sample_slot(rng)
+        n_hi, _ = hi.sample_slot(rng)
+        assert n_lo == 200
+        assert n_hi == 50
+
+    def test_pool_at_least_max_coverage(self, rng):
+        # huge overlap would shrink the pool below k_max; it must be clamped.
+        sampler = CoverageSampler(num_scns=2, k_min=30, k_max=30, overlap=100.0)
+        n, cov = sampler.sample_slot(rng)
+        assert n >= 30
+
+    def test_max_coverage_size(self):
+        assert CoverageSampler(k_min=35, k_max=100).max_coverage_size() == 100
+
+    def test_paper_defaults(self):
+        s = CoverageSampler()
+        assert (s.num_scns, s.k_min, s.k_max) == (30, 35, 100)
+
+    @pytest.mark.parametrize("bad", [{"k_min": 0}, {"k_min": 10, "k_max": 5}, {"overlap": 0.5}])
+    def test_invalid_params(self, bad):
+        with pytest.raises(ValueError):
+            CoverageSampler(**bad)
+
+
+class TestGeometricCoverage:
+    def test_coverage_matches_distance(self, rng):
+        geo = GeometricCoverage(num_scns=4, num_wds=50, area_km=4.0, radius_km=1.5)
+        n, cov = geo.sample_slot(rng)
+        assert n == 50
+        scn_xy = geo.scn_positions
+        wd_xy = geo.wd_positions
+        for m, c in enumerate(cov):
+            dists = np.linalg.norm(wd_xy - scn_xy[m], axis=1)
+            np.testing.assert_array_equal(np.flatnonzero(dists <= 1.5), c)
+
+    def test_positions_persist_between_slots(self, rng):
+        geo = GeometricCoverage(num_scns=2, num_wds=10, speed_km=0.0)
+        geo.sample_slot(rng)
+        first = geo.wd_positions
+        geo.sample_slot(rng)
+        np.testing.assert_allclose(geo.wd_positions, first)  # zero speed
+
+    def test_mobility_moves_wds(self, rng):
+        geo = GeometricCoverage(num_scns=2, num_wds=10, speed_km=1.0)
+        geo.sample_slot(rng)
+        first = geo.wd_positions
+        geo.sample_slot(rng)
+        assert not np.allclose(geo.wd_positions, first)
+
+    def test_reset_forgets_positions(self, rng):
+        geo = GeometricCoverage(num_scns=2, num_wds=10)
+        geo.sample_slot(rng)
+        geo.reset()
+        assert geo.wd_positions is None
+
+    def test_scn_grid_inside_area(self):
+        geo = GeometricCoverage(num_scns=7, area_km=5.0)
+        xy = geo.scn_positions
+        assert xy.shape == (7, 2)
+        assert xy.min() >= 0.0 and xy.max() <= 5.0
+
+    def test_max_coverage_size(self):
+        assert GeometricCoverage(num_wds=123).max_coverage_size() == 123
+
+
+class TestRandomWaypointStep:
+    def test_positions_stay_in_area(self, rng):
+        pos = rng.uniform(0, 10, size=(100, 2))
+        for _ in range(20):
+            pos = random_waypoint_step(pos, 3.0, 10.0, rng)
+            assert pos.min() >= 0.0 and pos.max() <= 10.0
+
+    def test_step_bounded(self, rng):
+        pos = np.full((50, 2), 5.0)
+        moved = random_waypoint_step(pos, 0.5, 10.0, rng)
+        assert np.linalg.norm(moved - pos, axis=1).max() <= 0.5 + 1e-12
+
+    def test_zero_step_is_identity(self, rng):
+        pos = rng.uniform(0, 10, size=(10, 2))
+        np.testing.assert_allclose(random_waypoint_step(pos, 0.0, 10.0, rng), pos)

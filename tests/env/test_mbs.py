@@ -1,0 +1,81 @@
+"""Tests for repro.env.mbs — the macrocell fallback (§3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.env.mbs import MBSFallback
+from repro.env.processes import PiecewiseConstantTruth
+from repro.env.simulator import Assignment
+from repro.env.tasks import TaskBatch
+from repro.env.workload import SlotWorkload
+
+from tests.conftest import make_slot
+
+
+def truth():
+    return PiecewiseConstantTruth(num_scns=2, dims=3, cells_per_dim=2, seed=0)
+
+
+class TestLeftoverTasks:
+    def test_unselected_covered_tasks(self, rng):
+        slot = make_slot(rng.random((5, 3)), [[0, 1, 2], [2, 3]])
+        assignment = Assignment(scn=np.array([0]), task=np.array([1]))
+        mbs = MBSFallback()
+        leftovers = mbs.leftover_tasks(slot, assignment)
+        np.testing.assert_array_equal(leftovers, [0, 2, 3])  # 4 uncovered, 1 taken
+
+    def test_uncovered_tasks_excluded(self, rng):
+        slot = make_slot(rng.random((4, 3)), [[0], [1]])
+        leftovers = MBSFallback().leftover_tasks(slot, Assignment.empty())
+        np.testing.assert_array_equal(leftovers, [0, 1])
+
+    def test_everything_selected_leaves_nothing(self, rng):
+        slot = make_slot(rng.random((2, 3)), [[0], [1]])
+        assignment = Assignment(scn=np.array([0, 1]), task=np.array([0, 1]))
+        assert MBSFallback().leftover_tasks(slot, assignment).size == 0
+
+
+class TestServe:
+    def test_serves_up_to_capacity(self, rng):
+        slot = make_slot(rng.random((30, 3)), [list(range(30))])
+        mbs = MBSFallback(capacity=5)
+        result = mbs.serve(slot, Assignment.empty(), truth(), rng)
+        assert result.num_served == 5
+
+    def test_prefers_large_inputs(self, rng):
+        contexts = rng.random((6, 3))
+        inputs = np.array([1.0, 9.0, 2.0, 8.0, 3.0, 7.0])
+        batch = TaskBatch(contexts=contexts, input_mbit=inputs)
+        slot = SlotWorkload(t=0, tasks=batch, coverage=[np.arange(6)])
+        mbs = MBSFallback(capacity=3)
+        result = mbs.serve(slot, Assignment.empty(), truth(), rng)
+        np.testing.assert_array_equal(np.sort(result.served_tasks), [1, 3, 5])
+
+    def test_reward_discounted(self, rng):
+        slot = make_slot(rng.random((20, 3)), [list(range(20))])
+        full = MBSFallback(capacity=20, reward_factor=1.0, completion_prob=1.0)
+        half = MBSFallback(capacity=20, reward_factor=0.5, completion_prob=1.0)
+        r_full = full.serve(slot, Assignment.empty(), truth(), np.random.default_rng(1))
+        r_half = half.serve(slot, Assignment.empty(), truth(), np.random.default_rng(1))
+        assert r_half.reward == pytest.approx(0.5 * r_full.reward)
+
+    def test_completion_prob_zero_no_reward(self, rng):
+        slot = make_slot(rng.random((10, 3)), [list(range(10))])
+        mbs = MBSFallback(completion_prob=0.0)
+        result = mbs.serve(slot, Assignment.empty(), truth(), rng)
+        assert result.reward == 0.0
+        assert result.completed == 0.0
+
+    def test_empty_leftovers(self, rng):
+        slot = make_slot(rng.random((1, 3)), [[0]])
+        assignment = Assignment(scn=np.array([0]), task=np.array([0]))
+        result = MBSFallback().serve(slot, assignment, truth(), rng)
+        assert result.num_served == 0
+        assert result.reward == 0.0
+
+    @pytest.mark.parametrize(
+        "bad", [{"capacity": 0}, {"reward_factor": 1.5}, {"completion_prob": -0.1}]
+    )
+    def test_invalid_params(self, bad):
+        with pytest.raises(ValueError):
+            MBSFallback(**bad)

@@ -1,0 +1,190 @@
+"""Tests for repro.env.multislot and the priority-aware policy."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.priority import PriorityAwareLFSC
+from repro.core.config import LFSCConfig
+from repro.core.lfsc import LFSCPolicy
+from repro.env.contexts import TaskFeatureModel
+from repro.env.geometry import CoverageSampler
+from repro.env.multislot import MultiSlotTracker, MultiSlotWorkload
+from repro.env.network import NetworkConfig
+from repro.env.simulator import Assignment, SlotFeedback
+
+
+def make_workload(**kw) -> MultiSlotWorkload:
+    params = dict(
+        features=TaskFeatureModel(),
+        coverage_model=CoverageSampler(num_scns=3, k_min=4, k_max=8),
+        max_duration=3,
+        max_backlog=50,
+    )
+    params.update(kw)
+    return MultiSlotWorkload(**params)
+
+
+def feedback_for(slot, assignment, v_value=1.0):
+    k = len(assignment)
+    u = np.full(k, 0.8)
+    v = np.full(k, v_value)
+    q = np.full(k, 1.6)
+    return SlotFeedback(assignment, u, v, q, u * v / q)
+
+
+class TestMultiSlotWorkload:
+    def test_first_slot_all_fresh(self, rng):
+        wl = make_workload()
+        slot = wl.slot(0, rng)
+        assert (slot.tasks.priority == 0).all()
+        assert len(wl.pending) == len(slot.tasks)
+
+    def test_unserved_tasks_resubmit(self, rng):
+        wl = make_workload()
+        s0 = wl.slot(0, rng)
+        n0 = len(s0.tasks)
+        s1 = wl.slot(1, rng)
+        # Slot 1 contains its own arrivals plus all of slot 0's tasks.
+        resubmitted = set(s0.tasks.ids.tolist()) & set(s1.tasks.ids.tolist())
+        assert len(resubmitted) == n0
+
+    def test_resubmitted_tasks_keep_neighbourhood(self, rng):
+        wl = make_workload()
+        s0 = wl.slot(0, rng)
+        covered_by = {
+            int(s0.tasks.ids[i]): {m for m, c in enumerate(s0.coverage) if i in c}
+            for i in range(len(s0.tasks))
+        }
+        s1 = wl.slot(1, rng)
+        id_to_idx = {int(tid): i for i, tid in enumerate(s1.tasks.ids)}
+        for tid, scns in covered_by.items():
+            idx = id_to_idx[tid]
+            now = {m for m, c in enumerate(s1.coverage) if idx in c}
+            assert now == scns
+
+    def test_backlog_capped(self, rng):
+        wl = make_workload(max_backlog=5)
+        for t in range(10):
+            wl.slot(t, rng)  # nothing ever served
+        # Pending is at most the cap plus the latest slot's fresh arrivals
+        # (bounded by the pool size of the coverage sampler).
+        max_new = wl.coverage_model.k_max * wl.num_scns
+        assert len(wl.pending) <= 5 + max_new
+        assert wl.dropped > 0
+
+    def test_progress_reflected_in_priority(self, rng):
+        wl = make_workload()
+        slot = wl.slot(0, rng)
+        # Manually advance one pending task.
+        p = wl.pending[0]
+        p.duration = 2
+        p.progress = 1
+        s1 = wl.slot(1, rng)
+        idx = np.flatnonzero(s1.tasks.ids == p.task_id)[0]
+        assert s1.tasks.priority[idx] == pytest.approx(0.5)
+
+    def test_reset_clears_state(self, rng):
+        wl = make_workload()
+        wl.slot(0, rng)
+        wl.reset()
+        assert wl.pending == [] and wl.dropped == 0
+
+
+class TestMultiSlotTracker:
+    def test_completion_pays_banked_reward(self, rng):
+        wl = make_workload()
+        tracker = MultiSlotTracker(patience=5)
+        slot = wl.slot(0, rng)
+        # Serve the first covered task with certainty until it finishes.
+        target_idx = int(wl.pending[0].task_id)
+        duration = wl.pending[0].duration
+        paid_before = tracker.paid_reward
+        for t in range(duration):
+            idx = np.flatnonzero(slot.tasks.ids == target_idx)[0]
+            owner = next(m for m, c in enumerate(slot.coverage) if idx in c)
+            asn = Assignment(scn=np.array([owner]), task=np.array([idx]))
+            done = tracker.record(wl, slot, feedback_for(slot, asn))
+            if t < duration - 1:
+                assert target_idx not in done
+                slot = wl.slot(t + 1, rng)
+        assert tracker.finished == 1
+        expected = duration * 0.8 / 1.6
+        assert tracker.paid_reward - paid_before == pytest.approx(expected)
+
+    def test_failed_slot_does_not_advance(self, rng):
+        wl = make_workload()
+        tracker = MultiSlotTracker()
+        slot = wl.slot(0, rng)
+        idx = 0
+        owner = next(m for m, c in enumerate(slot.coverage) if idx in c)
+        asn = Assignment(scn=np.array([owner]), task=np.array([idx]))
+        tracker.record(wl, slot, feedback_for(slot, asn, v_value=0.0))
+        assert wl.pending[0].progress == 0
+        assert tracker.finished == 0
+
+    def test_patience_abandons_idle_tasks(self, rng):
+        wl = make_workload()
+        tracker = MultiSlotTracker(patience=3)
+        slot = wl.slot(0, rng)
+        n0 = len(wl.pending)
+        for t in range(1, 4):
+            tracker.record(wl, slot, feedback_for(slot, Assignment.empty()))
+            slot = wl.slot(t, rng)
+        assert tracker.abandoned >= n0
+
+    def test_completion_rate_nan_before_terminations(self):
+        assert np.isnan(MultiSlotTracker().completion_rate())
+
+
+class TestPriorityAwareLFSC:
+    def _setup_policy(self, cls, **kw):
+        policy = cls(LFSCConfig.from_theorem(60, 3, 100, parts=2), **kw)
+        policy.reset(
+            NetworkConfig(num_scns=3, capacity=3, alpha=1.0, beta=4.5),
+            horizon=100,
+            rng=np.random.default_rng(0),
+        )
+        return policy
+
+    def test_prefers_in_progress_tasks(self, rng):
+        from tests.conftest import make_slot
+        from repro.env.tasks import TaskBatch
+        from repro.env.workload import SlotWorkload
+
+        contexts = rng.random((10, 3))
+        priority = np.zeros(10)
+        priority[7] = 0.9  # one almost-finished task
+        batch = TaskBatch(contexts=contexts, priority=priority)
+        slot = SlotWorkload(
+            t=0, tasks=batch, coverage=[np.arange(10), np.arange(10), np.arange(10)]
+        )
+        hits = 0
+        for trial in range(20):
+            policy = self._setup_policy(PriorityAwareLFSC, priority_bonus=5.0)
+            policy.rng = np.random.default_rng(trial)
+            asn = policy.select(slot)
+            if 7 in asn.task:
+                hits += 1
+        assert hits == 20  # the bonus dominates every draw
+
+    def test_without_priority_field_identical_to_lfsc(self, rng):
+        from tests.conftest import make_slot
+
+        slot = make_slot(rng.random((8, 3)), [[0, 1, 2], [3, 4, 5], [6, 7]])
+        base = self._setup_policy(LFSCPolicy.__mro__[0]) if False else None
+        plain = LFSCPolicy(LFSCConfig.from_theorem(60, 3, 100, parts=2))
+        plain.reset(
+            NetworkConfig(num_scns=3, capacity=3, alpha=1.0, beta=4.5),
+            100,
+            np.random.default_rng(5),
+        )
+        prio = self._setup_policy(PriorityAwareLFSC)
+        prio.rng = np.random.default_rng(5)
+        a = plain.select(slot)
+        b = prio.select(slot)
+        np.testing.assert_array_equal(a.task, b.task)
+        np.testing.assert_array_equal(a.scn, b.scn)
+
+    def test_bonus_validated(self):
+        with pytest.raises(ValueError):
+            PriorityAwareLFSC(priority_bonus=0.0)

@@ -1,0 +1,48 @@
+"""Tests for repro.env.network — constraint configuration."""
+
+import pytest
+
+from repro.env.network import NetworkConfig
+
+
+class TestNetworkConfig:
+    def test_paper_defaults(self):
+        cfg = NetworkConfig()
+        assert cfg.num_scns == 30
+        assert cfg.capacity == 20
+        assert cfg.alpha == 15.0
+        assert cfg.beta == 27.0
+
+    def test_alpha_cannot_exceed_capacity(self):
+        with pytest.raises(ValueError, match="alpha"):
+            NetworkConfig(capacity=5, alpha=6.0)
+
+    def test_alpha_equal_capacity_allowed(self):
+        NetworkConfig(capacity=5, alpha=5.0)
+
+    def test_scaled_overrides(self):
+        cfg = NetworkConfig().scaled(alpha=13.0)
+        assert cfg.alpha == 13.0
+        assert cfg.capacity == 20  # untouched
+
+    def test_scaled_returns_new_object(self):
+        base = NetworkConfig()
+        assert base.scaled(beta=30.0) is not base
+        assert base.beta == 27.0
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            NetworkConfig().alpha = 1.0  # type: ignore[misc]
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"num_scns": 0},
+            {"capacity": 0},
+            {"alpha": -1.0},
+            {"beta": -0.5},
+        ],
+    )
+    def test_invalid(self, bad):
+        with pytest.raises(ValueError):
+            NetworkConfig(**bad)

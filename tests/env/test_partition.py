@@ -1,0 +1,71 @@
+"""Tests for repro.env.partition — uniform grid indexing."""
+
+import numpy as np
+import pytest
+
+from repro.env.partition import cell_centers, num_cells, uniform_cell_indices
+
+
+class TestNumCells:
+    def test_basic(self):
+        assert num_cells(3, 3) == 27
+        assert num_cells(2, 4) == 16
+        assert num_cells(1, 5) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            num_cells(0, 3)
+
+
+class TestUniformCellIndices:
+    def test_corners(self):
+        ctx = np.array([[0.0, 0.0], [1.0, 1.0]])
+        idx = uniform_cell_indices(ctx, 2)
+        assert idx[0] == 0
+        assert idx[1] == 3  # last cell of a 2x2 grid
+
+    def test_upper_boundary_belongs_to_last_cell(self):
+        idx = uniform_cell_indices(np.array([[1.0]]), 4)
+        assert idx[0] == 3
+
+    def test_interior_boundary_belongs_to_upper_cell(self):
+        # 0.5 with 2 parts lands in the second interval [0.5, 1].
+        idx = uniform_cell_indices(np.array([[0.5]]), 2)
+        assert idx[0] == 1
+
+    def test_c_order_flattening(self):
+        # digits (1, 0) with parts=3 -> flat = 1*3 + 0 = 3.
+        idx = uniform_cell_indices(np.array([[0.4, 0.1]]), 3)
+        assert idx[0] == 3
+
+    def test_all_indices_in_range(self, rng):
+        ctx = rng.random((1000, 3))
+        idx = uniform_cell_indices(ctx, 3)
+        assert idx.min() >= 0 and idx.max() < 27
+
+    def test_out_of_bounds_raises(self):
+        with pytest.raises(ValueError, match=r"\[0,1\]"):
+            uniform_cell_indices(np.array([[1.2]]), 3)
+        with pytest.raises(ValueError):
+            uniform_cell_indices(np.array([[-0.2]]), 3)
+
+    def test_single_part_everything_in_cell_zero(self, rng):
+        idx = uniform_cell_indices(rng.random((50, 2)), 1)
+        assert (idx == 0).all()
+
+
+class TestCellCenters:
+    def test_count_and_range(self):
+        centers = cell_centers(3, 2)
+        assert centers.shape == (9, 2)
+        assert centers.min() > 0.0 and centers.max() < 1.0
+
+    def test_centers_map_back_to_own_cell(self):
+        parts, dims = 4, 3
+        centers = cell_centers(parts, dims)
+        idx = uniform_cell_indices(centers, parts)
+        np.testing.assert_array_equal(idx, np.arange(parts**dims))
+
+    def test_one_cell(self):
+        centers = cell_centers(1, 2)
+        np.testing.assert_allclose(centers, [[0.5, 0.5]])

@@ -1,0 +1,204 @@
+"""Tests for repro.env.processes — the ground-truth random processes."""
+
+import numpy as np
+import pytest
+
+from repro.env.processes import (
+    DriftingTruth,
+    PiecewiseConstantTruth,
+    RegimeSwitchTruth,
+    SmoothTruth,
+)
+
+
+def small_truth(**kw):
+    params = dict(num_scns=4, dims=2, cells_per_dim=2, seed=0)
+    params.update(kw)
+    return PiecewiseConstantTruth(**params)
+
+
+class TestPiecewiseConstantTruth:
+    def test_table_shapes(self):
+        truth = small_truth()
+        assert truth.mu_u.shape == (4, 4)
+        assert truth.p_v.shape == (4, 4)
+        assert truth.q_lo.shape == (4, 4)
+
+    def test_parameter_ranges(self):
+        truth = small_truth(u_range=(0.2, 0.8), v_range=(0.5, 1.0))
+        assert truth.mu_u.min() >= 0.2 and truth.mu_u.max() <= 0.8
+        assert truth.p_v.min() >= 0.5 and truth.p_v.max() <= 1.0
+        assert truth.q_lo.min() >= 1.0 and truth.q_hi.max() <= 2.0
+        np.testing.assert_allclose(truth.q_hi - truth.q_lo, 0.5)
+
+    def test_means_constant_within_cell(self, rng):
+        truth = small_truth()
+        # Both contexts fall in the same cell of the 2x2 grid.
+        ctx = np.array([[0.1, 0.1], [0.2, 0.3]])
+        mu_u, p_v, mu_q = truth.means(0, ctx)
+        np.testing.assert_allclose(mu_u[:, 0], mu_u[:, 1])
+        np.testing.assert_allclose(p_v[:, 0], p_v[:, 1])
+        np.testing.assert_allclose(mu_q[:, 0], mu_q[:, 1])
+
+    def test_realize_ranges(self, rng):
+        truth = small_truth()
+        ctx = rng.random((100, 2))
+        scn = rng.integers(0, 4, size=100)
+        u, v, q = truth.realize(0, ctx, scn, rng)
+        assert u.min() >= 0.0 and u.max() <= 1.0
+        assert set(np.unique(v)) <= {0.0, 1.0}
+        assert q.min() >= 1.0 and q.max() <= 2.0
+
+    def test_realize_unbiased_u(self, rng):
+        truth = small_truth(u_concentration=10.0)
+        ctx = np.tile([[0.1, 0.1]], (20000, 1))
+        scn = np.zeros(20000, dtype=int)
+        u, _, _ = truth.realize(0, ctx, scn, rng)
+        mu = truth.means(0, ctx[:1])[0][0, 0]
+        assert abs(u.mean() - mu) < 0.02
+
+    def test_realize_bernoulli_v_matches_p(self, rng):
+        truth = small_truth()
+        ctx = np.tile([[0.9, 0.9]], (20000, 1))
+        scn = np.full(20000, 2, dtype=int)
+        _, v, _ = truth.realize(0, ctx, scn, rng)
+        p = truth.means(0, ctx[:1])[1][2, 0]
+        assert abs(v.mean() - p) < 0.02
+
+    def test_deterministic_u_mode(self, rng):
+        truth = small_truth(u_concentration=np.inf)
+        ctx = np.tile([[0.1, 0.1]], (10, 1))
+        u, _, _ = truth.realize(0, ctx, np.zeros(10, dtype=int), rng)
+        assert np.allclose(u, u[0])
+
+    def test_expected_inverse_q_closed_form(self, rng):
+        truth = small_truth()
+        ctx = rng.random((5, 2))
+        inv = truth.expected_inverse_q(ctx)
+        # Monte-Carlo check against the analytic value for one (scn, ctx).
+        scn = np.zeros(50000, dtype=int)
+        big_ctx = np.tile(ctx[:1], (50000, 1))
+        _, _, q = truth.realize(0, big_ctx, scn, rng)
+        assert abs((1.0 / q).mean() - inv[0, 0]) < 0.005
+
+    def test_expected_compound_product_form(self, rng):
+        truth = small_truth()
+        ctx = rng.random((7, 2))
+        expected = truth.expected_compound(0, ctx)
+        mu_u, p_v, _ = truth.means(0, ctx)
+        np.testing.assert_allclose(expected, mu_u * p_v * truth.expected_inverse_q(ctx))
+
+    def test_same_seed_same_truth(self):
+        a, b = small_truth(seed=3), small_truth(seed=3)
+        np.testing.assert_array_equal(a.mu_u, b.mu_u)
+
+    def test_different_seed_different_truth(self):
+        a, b = small_truth(seed=3), small_truth(seed=4)
+        assert not np.array_equal(a.mu_u, b.mu_u)
+
+    def test_reward_bound(self):
+        truth = small_truth()
+        assert truth.reward_bound() >= 0.5  # 1/q_max at least
+        assert truth.reward_bound() <= 1.0  # 1/q_min at most
+
+    def test_scn_context_shape_mismatch(self, rng):
+        truth = small_truth()
+        with pytest.raises(ValueError):
+            truth.realize(0, rng.random((3, 2)), np.zeros(2, dtype=int), rng)
+
+    def test_invalid_q_range(self):
+        with pytest.raises(ValueError):
+            small_truth(q_range=(0.0, 2.0))
+
+
+class TestSmoothTruth:
+    def test_means_in_range(self, rng):
+        truth = SmoothTruth(num_scns=3, dims=2, seed=1)
+        ctx = rng.random((50, 2))
+        mu_u, p_v, mu_q = truth.means(0, ctx)
+        assert mu_u.min() > 0.0 and mu_u.max() < 1.0
+        assert p_v.min() > 0.0 and p_v.max() < 1.0
+        assert mu_q.min() >= 1.0 and mu_q.max() <= 2.0
+
+    def test_lipschitz_like_continuity(self, rng):
+        truth = SmoothTruth(num_scns=2, dims=2, frequency=0.5, seed=1)
+        base = rng.random((20, 2)) * 0.9
+        bumped = base + 1e-4
+        g1 = truth.expected_compound(0, base)
+        g2 = truth.expected_compound(0, bumped)
+        assert np.abs(g1 - g2).max() < 1e-2
+
+    def test_realize_shapes_and_ranges(self, rng):
+        truth = SmoothTruth(num_scns=3, dims=2, seed=1)
+        ctx = rng.random((30, 2))
+        scn = rng.integers(0, 3, size=30)
+        u, v, q = truth.realize(0, ctx, scn, rng)
+        assert u.shape == v.shape == q.shape == (30,)
+        assert u.min() >= 0 and u.max() <= 1
+        assert set(np.unique(v)) <= {0.0, 1.0}
+
+
+class TestDriftingTruth:
+    def test_advance_changes_mu_u_only(self, rng):
+        truth = DriftingTruth(base=small_truth(), drift=0.1)
+        before_u = truth.base.mu_u.copy()
+        before_v = truth.base.p_v.copy()
+        truth.advance(0, rng)
+        assert not np.array_equal(truth.base.mu_u, before_u)
+        np.testing.assert_array_equal(truth.base.p_v, before_v)
+
+    def test_mu_u_stays_in_range(self, rng):
+        truth = DriftingTruth(base=small_truth(), drift=0.5)
+        for t in range(200):
+            truth.advance(t, rng)
+        assert truth.base.mu_u.min() >= 0.0
+        assert truth.base.mu_u.max() <= 1.0
+
+    def test_zero_drift_nearly_static(self, rng):
+        truth = DriftingTruth(base=small_truth(), drift=0.0)
+        before = truth.base.mu_u.copy()
+        truth.advance(0, rng)
+        np.testing.assert_allclose(truth.base.mu_u, before)
+
+
+class TestRegimeSwitchTruth:
+    def make(self, p=1.0):
+        return RegimeSwitchTruth(
+            regime_a=small_truth(seed=0),
+            regime_b=small_truth(seed=1),
+            switch_prob=p,
+        )
+
+    def test_regimes_share_v_and_q(self):
+        truth = self.make()
+        assert truth.regime_b.p_v is truth.regime_a.p_v
+        assert truth.regime_b.q_lo is truth.regime_a.q_lo
+
+    def test_switch_flips_active(self, rng):
+        truth = self.make(p=1.0)
+        assert truth.active_regime == "a"
+        truth.advance(0, rng)
+        assert truth.active_regime == "b"
+        truth.advance(1, rng)
+        assert truth.active_regime == "a"
+
+    def test_no_switch_with_zero_prob(self, rng):
+        truth = self.make(p=0.0)
+        for t in range(20):
+            truth.advance(t, rng)
+        assert truth.active_regime == "a"
+
+    def test_expected_compound_follows_regime(self, rng):
+        truth = self.make(p=1.0)
+        ctx = rng.random((5, 2))
+        g_a = truth.expected_compound(0, ctx)
+        truth.advance(0, rng)
+        g_b = truth.expected_compound(1, ctx)
+        assert not np.allclose(g_a, g_b)
+
+    def test_mismatched_regimes_rejected(self):
+        with pytest.raises(ValueError):
+            RegimeSwitchTruth(
+                regime_a=small_truth(num_scns=2),
+                regime_b=small_truth(num_scns=3),
+            )

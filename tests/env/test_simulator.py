@@ -1,0 +1,202 @@
+"""Tests for repro.env.simulator — assignments, feedback, and the loop."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.random_policy import RandomPolicy
+from repro.core.base import OffloadingPolicy
+from repro.env.channel import MarkovBlockage
+from repro.env.contexts import TaskFeatureModel
+from repro.env.geometry import CoverageSampler
+from repro.env.network import NetworkConfig
+from repro.env.processes import PiecewiseConstantTruth
+from repro.env.simulator import Assignment, Simulation, SlotFeedback
+from repro.env.workload import SyntheticWorkload
+
+from tests.conftest import make_slot
+
+
+def tiny_sim(**kw) -> Simulation:
+    params = dict(
+        network=NetworkConfig(num_scns=3, capacity=2, alpha=1.0, beta=3.0),
+        workload=SyntheticWorkload(
+            features=TaskFeatureModel(),
+            coverage_model=CoverageSampler(num_scns=3, k_min=4, k_max=8),
+        ),
+        truth=PiecewiseConstantTruth(num_scns=3, dims=3, cells_per_dim=2, seed=1),
+        seed=0,
+    )
+    params.update(kw)
+    return Simulation(**params)
+
+
+class TestAssignment:
+    def test_empty(self):
+        a = Assignment.empty()
+        assert len(a) == 0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Assignment(scn=np.array([0]), task=np.array([0, 1]))
+
+    def test_tasks_of(self):
+        a = Assignment(scn=np.array([0, 1, 0]), task=np.array([3, 4, 5]))
+        np.testing.assert_array_equal(a.tasks_of(0), [3, 5])
+        np.testing.assert_array_equal(a.tasks_of(2), [])
+
+    def test_validate_accepts_legal(self, rng):
+        slot = make_slot(rng.random((4, 3)), [[0, 1], [2, 3], [1, 2]])
+        Assignment(scn=np.array([0, 1]), task=np.array([0, 2])).validate(slot, 2)
+
+    def test_validate_duplicate_task(self, rng):
+        slot = make_slot(rng.random((4, 3)), [[0, 1], [0, 3], [1, 2]])
+        with pytest.raises(ValueError, match="1b"):
+            Assignment(scn=np.array([0, 1]), task=np.array([0, 0])).validate(slot, 2)
+
+    def test_validate_capacity(self, rng):
+        slot = make_slot(rng.random((4, 3)), [[0, 1, 2], [2, 3], [1, 2]])
+        with pytest.raises(ValueError, match="1a"):
+            Assignment(scn=np.array([0, 0, 0]), task=np.array([0, 1, 2])).validate(slot, 2)
+
+    def test_validate_coverage(self, rng):
+        slot = make_slot(rng.random((4, 3)), [[0, 1], [2, 3], [1, 2]])
+        with pytest.raises(ValueError, match="coverage"):
+            Assignment(scn=np.array([0]), task=np.array([3])).validate(slot, 2)
+
+    def test_validate_out_of_range_indices(self, rng):
+        slot = make_slot(rng.random((4, 3)), [[0, 1], [2, 3], [1, 2]])
+        with pytest.raises(ValueError, match="task index"):
+            Assignment(scn=np.array([0]), task=np.array([9])).validate(slot, 2)
+        with pytest.raises(ValueError, match="SCN index"):
+            Assignment(scn=np.array([7]), task=np.array([0])).validate(slot, 2)
+
+
+class TestSlotFeedback:
+    def test_per_scn_aggregates(self):
+        a = Assignment(scn=np.array([0, 0, 2]), task=np.array([1, 2, 3]))
+        fb = SlotFeedback(
+            assignment=a,
+            u=np.array([1.0, 0.5, 0.2]),
+            v=np.array([1.0, 0.0, 1.0]),
+            q=np.array([1.5, 1.0, 2.0]),
+            g=np.array([0.66, 0.0, 0.1]),
+        )
+        np.testing.assert_allclose(fb.per_scn_completed(3), [1.0, 0.0, 1.0])
+        np.testing.assert_allclose(fb.per_scn_consumption(3), [2.5, 0.0, 2.0])
+        np.testing.assert_allclose(fb.per_scn_reward(3), [0.66, 0.0, 0.1])
+
+
+class TestSimulation:
+    def test_result_shapes(self):
+        sim = tiny_sim()
+        res = sim.run(RandomPolicy(), 10)
+        assert res.horizon == 10
+        assert res.reward.shape == (10,)
+        assert res.completed.shape == (10, 3)
+        assert res.accepted.shape == (10, 3)
+
+    def test_deterministic_given_seed(self):
+        r1 = tiny_sim().run(RandomPolicy(), 20)
+        r2 = tiny_sim().run(RandomPolicy(), 20)
+        np.testing.assert_array_equal(r1.reward, r2.reward)
+
+    def test_same_sim_reruns_identically(self):
+        sim = tiny_sim()
+        r1 = sim.run(RandomPolicy(), 15)
+        r2 = sim.run(RandomPolicy(), 15)
+        np.testing.assert_array_equal(r1.reward, r2.reward)
+
+    def test_realized_violations_consistent_with_counts(self):
+        sim = tiny_sim()
+        res = sim.run(RandomPolicy(), 25)
+        expect_qos = np.maximum(1.0 - res.completed, 0.0).sum(axis=1)
+        np.testing.assert_allclose(res.violation_qos_realized, expect_qos)
+        expect_res = np.maximum(res.consumption - 3.0, 0.0).sum(axis=1)
+        np.testing.assert_allclose(res.violation_resource_realized, expect_res)
+
+    def test_expected_violations_recorded_and_less_noisy(self):
+        sim = tiny_sim()
+        res = sim.run(RandomPolicy(), 200)
+        assert res.has_expected
+        # Expected-basis series differ from realized and have lower variance
+        # (the Bernoulli noise is integrated out).
+        assert not np.allclose(res.violation_qos, res.violation_qos_realized)
+        assert res.violation_qos.std() < res.violation_qos_realized.std() + 1e-9
+
+    def test_record_expected_false_falls_back_to_realized(self):
+        res = tiny_sim().run(RandomPolicy(), 10, record_expected=False)
+        assert not res.has_expected
+        np.testing.assert_array_equal(res.violation_qos, res.violation_qos_realized)
+
+    def test_reward_nonnegative(self):
+        res = tiny_sim().run(RandomPolicy(), 25)
+        assert (res.reward >= 0.0).all()
+
+    def test_accepted_within_capacity(self):
+        res = tiny_sim().run(RandomPolicy(), 25)
+        assert res.accepted.max() <= 2
+
+    def test_expected_reward_recorded(self):
+        res = tiny_sim().run(RandomPolicy(), 25)
+        assert res.expected_reward.sum() > 0.0
+
+    def test_record_expected_off(self):
+        res = tiny_sim().run(RandomPolicy(), 10, record_expected=False)
+        assert res.expected_reward.sum() == 0.0
+
+    def test_channel_reduces_completions(self):
+        base = tiny_sim().run(RandomPolicy(), 200)
+        blocked = tiny_sim(
+            channel=MarkovBlockage(num_scns=3, p_block=0.9, p_recover=0.1)
+        ).run(RandomPolicy(), 200)
+        assert blocked.completed.sum() < base.completed.sum()
+
+    def test_invalid_policy_caught(self):
+        class Cheater(OffloadingPolicy):
+            name = "cheater"
+
+            def select(self, slot):
+                # Assign the same task to two SCNs (violates 1b) when possible.
+                for i in range(len(slot.tasks)):
+                    owners = [m for m, cov in enumerate(slot.coverage) if i in cov]
+                    if len(owners) >= 2:
+                        return Assignment(
+                            scn=np.array(owners[:2]), task=np.array([i, i])
+                        )
+                return Assignment.empty()
+
+        sim = tiny_sim(
+            workload=SyntheticWorkload(
+                coverage_model=CoverageSampler(num_scns=3, k_min=6, k_max=8, overlap=3.0)
+            )
+        )
+        with pytest.raises(ValueError, match="1b"):
+            sim.run(Cheater(), 5)
+
+    def test_mismatched_scn_counts_rejected(self):
+        with pytest.raises(ValueError, match="SCNs"):
+            tiny_sim(
+                workload=SyntheticWorkload(
+                    coverage_model=CoverageSampler(num_scns=5, k_min=4, k_max=8)
+                )
+            )
+
+    def test_summary_keys(self):
+        res = tiny_sim().run(RandomPolicy(), 10)
+        s = res.summary()
+        for key in (
+            "total_reward",
+            "violation_qos",
+            "violation_resource",
+            "performance_ratio",
+        ):
+            assert key in s
+
+    def test_cumulative_properties_monotone(self):
+        res = tiny_sim().run(RandomPolicy(), 30)
+        assert (np.diff(res.cumulative_reward) >= -1e-12).all()
+        assert (np.diff(res.cumulative_violation_qos) >= -1e-12).all()
+
+    def test_horizon_validated(self):
+        with pytest.raises(ValueError):
+            tiny_sim().run(RandomPolicy(), 0)

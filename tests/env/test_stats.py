@@ -1,0 +1,69 @@
+"""Tests for repro.env.stats — the workload matches the paper's §5 spec."""
+
+import numpy as np
+import pytest
+
+from repro.env.contexts import TaskFeatureModel
+from repro.env.geometry import CoverageSampler
+from repro.env.stats import workload_statistics
+from repro.env.workload import SyntheticWorkload
+
+
+def paper_workload() -> SyntheticWorkload:
+    return SyntheticWorkload(
+        features=TaskFeatureModel(),
+        coverage_model=CoverageSampler(num_scns=10, k_min=35, k_max=100, overlap=2.0),
+    )
+
+
+class TestWorkloadStatistics:
+    @pytest.fixture(scope="class")
+    def stats(self):
+        return workload_statistics(paper_workload(), slots=60)
+
+    def test_coverage_sizes_match_section5(self, stats):
+        assert stats.coverage_size_min >= 35
+        assert stats.coverage_size_max <= 100
+        assert 55 <= stats.coverage_size_mean <= 80  # mean of U[35,100] ≈ 67.5
+
+    def test_overlap_near_configured(self, stats):
+        assert 1.5 <= stats.overlap_mean <= 2.5
+
+    def test_feature_ranges_match_section5(self, stats):
+        in_lo, in_hi = stats.input_mbit_range
+        out_lo, out_hi = stats.output_mbit_range
+        assert in_lo >= 5.0 and in_hi <= 20.0
+        assert out_lo >= 1.0 and out_hi <= 4.0
+
+    def test_resource_mix_roughly_uniform(self, stats):
+        mix = np.asarray(stats.resource_mix)
+        assert mix.sum() == pytest.approx(1.0)
+        assert (np.abs(mix - 1 / 3) < 0.1).all()
+
+    def test_most_tasks_covered(self, stats):
+        assert stats.covered_fraction > 0.8
+
+    def test_rows_render(self, stats):
+        from repro.metrics.summary import format_table
+
+        text = format_table(stats.rows())
+        assert "overlap" in text
+
+    def test_contexts_only_workload(self, rng):
+        # A workload without raw features (e.g. a minimal trace) still works.
+        from repro.env.tasks import TaskBatch
+        from repro.env.workload import SlotWorkload, TraceWorkload
+
+        slot = SlotWorkload(
+            t=0,
+            tasks=TaskBatch.from_contexts(rng.random((5, 3))),
+            coverage=[np.arange(5)],
+        )
+        stats = workload_statistics(TraceWorkload(slots=[slot]), slots=3)
+        assert stats.input_mbit_range is None
+        assert stats.resource_mix is None
+        assert stats.tasks_per_slot_mean == 5.0
+
+    def test_slots_validated(self):
+        with pytest.raises(ValueError):
+            workload_statistics(paper_workload(), slots=0)

@@ -1,0 +1,59 @@
+"""Tests for repro.env.tasks — struct-of-arrays task batches."""
+
+import numpy as np
+import pytest
+
+from repro.env.tasks import TaskBatch
+
+
+class TestTaskBatch:
+    def test_from_contexts_defaults(self):
+        batch = TaskBatch.from_contexts(np.zeros((4, 3)))
+        assert batch.n == 4
+        assert batch.dims == 3
+        np.testing.assert_array_equal(batch.ids, [0, 1, 2, 3])
+
+    def test_from_contexts_start_id(self):
+        batch = TaskBatch.from_contexts(np.zeros((2, 3)), start_id=10)
+        np.testing.assert_array_equal(batch.ids, [10, 11])
+
+    def test_len(self):
+        assert len(TaskBatch.from_contexts(np.zeros((7, 2)))) == 7
+
+    def test_single_row_promoted(self):
+        batch = TaskBatch(contexts=np.zeros(3))
+        assert batch.contexts.shape == (1, 3)
+
+    def test_id_shape_validated(self):
+        with pytest.raises(ValueError, match="ids"):
+            TaskBatch(contexts=np.zeros((3, 2)), ids=np.array([1, 2]))
+
+    def test_aux_shape_validated(self):
+        with pytest.raises(ValueError, match="input_mbit"):
+            TaskBatch(contexts=np.zeros((3, 2)), input_mbit=np.zeros(2))
+
+    def test_resource_shape_validated(self):
+        with pytest.raises(ValueError, match="resource_type"):
+            TaskBatch(contexts=np.zeros((3, 2)), resource_type=np.zeros(4))
+
+    def test_subset_orders_and_filters(self):
+        contexts = np.arange(12, dtype=float).reshape(4, 3)
+        batch = TaskBatch(
+            contexts=contexts,
+            ids=np.array([10, 11, 12, 13]),
+            input_mbit=np.array([1.0, 2.0, 3.0, 4.0]),
+            output_mbit=np.array([5.0, 6.0, 7.0, 8.0]),
+            resource_type=np.array([0, 1, 2, 0]),
+        )
+        sub = batch.subset(np.array([2, 0]))
+        assert sub.n == 2
+        np.testing.assert_array_equal(sub.ids, [12, 10])
+        np.testing.assert_array_equal(sub.contexts, contexts[[2, 0]])
+        np.testing.assert_array_equal(sub.input_mbit, [3.0, 1.0])
+        np.testing.assert_array_equal(sub.resource_type, [2, 0])
+
+    def test_subset_without_aux_fields(self):
+        batch = TaskBatch.from_contexts(np.zeros((3, 2)))
+        sub = batch.subset(np.array([1]))
+        assert sub.input_mbit is None
+        assert sub.resource_type is None

@@ -1,0 +1,106 @@
+"""Tests for repro.env.workload — slot generation and traces."""
+
+import numpy as np
+import pytest
+
+from repro.env.contexts import TaskFeatureModel
+from repro.env.geometry import CoverageSampler, GeometricCoverage
+from repro.env.workload import SlotWorkload, SyntheticWorkload, TraceWorkload
+
+
+def make_workload(**cov_kw) -> SyntheticWorkload:
+    params = dict(num_scns=4, k_min=5, k_max=10)
+    params.update(cov_kw)
+    return SyntheticWorkload(
+        features=TaskFeatureModel(), coverage_model=CoverageSampler(**params)
+    )
+
+
+class TestSyntheticWorkload:
+    def test_slot_structure(self, rng):
+        wl = make_workload()
+        slot = wl.slot(0, rng)
+        assert slot.t == 0
+        assert slot.num_scns == 4
+        assert slot.tasks.contexts.shape[1] == 3
+        for cov in slot.coverage:
+            assert cov.max() < len(slot.tasks)
+
+    def test_ids_unique_across_slots(self, rng):
+        wl = make_workload()
+        s0 = wl.slot(0, rng)
+        s1 = wl.slot(1, rng)
+        assert set(s0.tasks.ids).isdisjoint(set(s1.tasks.ids))
+
+    def test_reset_restarts_ids(self, rng):
+        wl = make_workload()
+        first = wl.slot(0, rng).tasks.ids.copy()
+        wl.reset()
+        again = wl.slot(0, np.random.default_rng(12345)).tasks.ids
+        np.testing.assert_array_equal(first, again)
+
+    def test_reset_forwards_to_geometric_coverage(self, rng):
+        wl = SyntheticWorkload(
+            coverage_model=GeometricCoverage(num_scns=2, num_wds=10)
+        )
+        wl.slot(0, rng)
+        assert wl.coverage_model.wd_positions is not None
+        wl.reset()
+        assert wl.coverage_model.wd_positions is None
+
+    def test_max_coverage_size_forwarded(self):
+        assert make_workload(k_max=17).max_coverage_size() == 17
+
+
+class TestSlotWorkload:
+    def test_covered_mask(self, rng):
+        wl = make_workload()
+        slot = wl.slot(0, rng)
+        mask = slot.covered_mask()
+        union = np.unique(np.concatenate(slot.coverage))
+        np.testing.assert_array_equal(np.flatnonzero(mask), union)
+
+    def test_coverage_matrix_matches_lists(self, rng):
+        slot = make_workload().slot(0, rng)
+        mat = slot.coverage_matrix()
+        assert mat.shape == (4, len(slot.tasks))
+        for m, cov in enumerate(slot.coverage):
+            np.testing.assert_array_equal(np.flatnonzero(mat[m]), np.sort(cov))
+
+
+class TestTraceWorkload:
+    def test_record_and_replay(self, rng):
+        wl = make_workload()
+        trace = TraceWorkload.record(wl, 5, rng)
+        assert len(trace) == 5
+        slot = trace.slot(2, rng)
+        assert slot.t == 2
+
+    def test_cyclic_replay(self, rng):
+        trace = TraceWorkload.record(make_workload(), 3, rng)
+        s4 = trace.slot(4, rng)
+        np.testing.assert_array_equal(
+            s4.tasks.contexts, trace.slots[1].tasks.contexts
+        )
+        assert s4.t == 4  # re-stamped with the requested slot index
+
+    def test_replay_is_deterministic(self, rng):
+        trace = TraceWorkload.record(make_workload(), 3, rng)
+        a = trace.slot(1, np.random.default_rng(0))
+        b = trace.slot(1, np.random.default_rng(99))
+        np.testing.assert_array_equal(a.tasks.contexts, b.tasks.contexts)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TraceWorkload(slots=[])
+
+    def test_inconsistent_scns_rejected(self, rng):
+        a = make_workload(num_scns=2).slot(0, rng)
+        b = make_workload(num_scns=3).slot(1, rng)
+        with pytest.raises(ValueError, match="num_scns"):
+            TraceWorkload(slots=[a, b])
+
+    def test_max_coverage_size(self, rng):
+        trace = TraceWorkload.record(make_workload(), 4, rng)
+        expected = max(len(c) for s in trace.slots for c in s.coverage)
+        assert trace.max_coverage_size() == expected

@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.command == "run"
+        assert args.scale == "small"
+        assert "LFSC" in args.policies
+
+    def test_common_flags_after_subcommand(self):
+        args = build_parser().parse_args(["fig2a", "--horizon", "50", "--plot"])
+        assert args.horizon == 50
+        assert args.plot
+
+    def test_fig3_fractions(self):
+        args = build_parser().parse_args(["fig3", "--alpha-fractions", "0.5", "0.9"])
+        assert args.alpha_fractions == [0.5, 0.9]
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+
+class TestMain:
+    def test_run_prints_table(self, capsys):
+        rc = main(["run", "--horizon", "20", "--workers", "1", "--policies", "Random", "LFSC"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Random" in out and "LFSC" in out
+        assert "total_reward" in out
+
+    def test_run_with_plot(self, capsys):
+        rc = main(
+            ["run", "--horizon", "15", "--workers", "1", "--policies", "Random", "--plot"]
+        )
+        assert rc == 0
+        assert "a=Random" in capsys.readouterr().out
+
+    def test_run_with_save(self, capsys, tmp_path):
+        base = tmp_path / "cli_run"
+        rc = main(
+            [
+                "run",
+                "--horizon",
+                "15",
+                "--workers",
+                "1",
+                "--policies",
+                "Random",
+                "--save",
+                str(base),
+            ]
+        )
+        assert rc == 0
+        assert base.with_suffix(".npz").exists()
+        from repro.experiments.io import load_results
+
+        loaded = load_results(base)
+        assert "Random" in loaded
+
+    def test_fig2a_small(self, capsys):
+        rc = main(["fig2a", "--horizon", "15", "--workers", "1"])
+        assert rc == 0
+        assert "reward_vs_oracle" in capsys.readouterr().out
+
+    def test_ratio_small(self, capsys):
+        rc = main(["ratio", "--horizon", "15", "--workers", "1"])
+        assert rc == 0
+        assert "performance_ratio" in capsys.readouterr().out
+
+    def test_seed_changes_results(self, capsys):
+        main(["run", "--horizon", "15", "--workers", "1", "--policies", "Random", "--seed", "1"])
+        out1 = capsys.readouterr().out
+        main(["run", "--horizon", "15", "--workers", "1", "--policies", "Random", "--seed", "2"])
+        out2 = capsys.readouterr().out
+        assert out1 != out2
+
+
+class TestReportCommand:
+    def test_report_writes_markdown(self, capsys, tmp_path):
+        out = tmp_path / "rep.md"
+        rc = main(
+            ["report", "--horizon", "15", "--workers", "1", "--out", str(out)]
+        )
+        assert rc == 0
+        text = out.read_text()
+        assert text.startswith("# EXPERIMENTS")
+        assert "Shape-check summary" in text
+
+    def test_ablations_single_study(self, capsys):
+        rc = main(["ablations", "--horizon", "15", "--workers", "1", "--study", "lagrangian"])
+        assert rc == 0
+        assert "LFSC-noLagrangian" in capsys.readouterr().out

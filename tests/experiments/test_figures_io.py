@@ -1,0 +1,128 @@
+"""Tests for the figure harnesses, ablations, and result IO."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import (
+    ablation_assignment_mode,
+    ablation_lagrangian,
+    ablation_partition_granularity,
+)
+from repro.experiments.figures import (
+    fig2a_cumulative_reward,
+    fig2b_per_slot_reward,
+    fig2_violations,
+    fig3_alpha_sweep,
+    fig4_likelihood_sweep,
+    performance_ratio_table,
+)
+from repro.experiments.io import load_results, save_results
+from repro.experiments.runner import ExperimentConfig, run_experiment
+
+CFG = ExperimentConfig.tiny(horizon=25)
+POLICIES = ("Oracle", "LFSC", "Random")
+
+
+@pytest.fixture(scope="module")
+def shared_results():
+    return run_experiment(CFG, POLICIES)
+
+
+class TestFig2Harnesses:
+    def test_fig2a_series_and_rows(self, shared_results):
+        out = fig2a_cumulative_reward(CFG, POLICIES, results=shared_results)
+        assert set(out.series) == set(POLICIES)
+        assert len(out.series["LFSC"]) == 25
+        assert (np.diff(out.series["Oracle"]) >= -1e-12).all()
+        assert len(out.rows) == 3
+        assert "policy" in out.rows[0]
+
+    def test_fig2b_smoothing(self, shared_results):
+        out = fig2b_per_slot_reward(CFG, POLICIES, window=5, results=shared_results)
+        assert len(out.series["LFSC"]) == 25 - 5 + 1
+
+    def test_fig2_violations_keys(self, shared_results):
+        out = fig2_violations(CFG, POLICIES, results=shared_results)
+        assert "LFSC/qos" in out.series
+        assert "Random/total" in out.series
+        labels = [r["policy"] for r in out.rows]
+        assert any("early-violation ratio" in str(l) for l in labels)
+
+    def test_table_renders(self, shared_results):
+        out = fig2a_cumulative_reward(CFG, POLICIES, results=shared_results)
+        text = out.table()
+        assert "LFSC" in text and "Oracle" in text
+
+    def test_ratio_table_sorted(self, shared_results):
+        out = performance_ratio_table(CFG, POLICIES, results=shared_results)
+        vals = [float(r["performance_ratio"]) for r in out.rows]
+        assert vals == sorted(vals, reverse=True)
+
+
+class TestSweeps:
+    def test_fig3_alpha_sweep(self):
+        out = fig3_alpha_sweep(
+            CFG, alphas=(1.0, 2.0), policies=("Oracle", "Random")
+        )
+        np.testing.assert_array_equal(out.series["x"], [1.0, 2.0])
+        assert out.series["Oracle/reward"].shape == (2,)
+        assert len(out.rows) == 4  # 2 policies x 2 alphas
+
+    def test_fig3_violation_monotone_in_alpha_for_random(self):
+        out = fig3_alpha_sweep(
+            CFG, alphas=(0.5, 2.5), policies=("Random",)
+        )
+        v = out.series["Random/violation_qos"]
+        assert v[1] >= v[0]
+
+    def test_fig4_likelihood_sweep(self):
+        out = fig4_likelihood_sweep(
+            CFG, v_lows=(0.0, 0.5), policies=("Random",)
+        )
+        assert out.series["Random/reward"].shape == (2,)
+        # More reliable links -> more reward for the same policy.
+        assert out.series["Random/reward"][1] > out.series["Random/reward"][0]
+
+
+class TestAblations:
+    def test_lagrangian_ablation_runs(self):
+        out = ablation_lagrangian(CFG)
+        assert set(out.results) == {"LFSC", "LFSC-noLagrangian"}
+
+    def test_assignment_mode_ablation_runs(self):
+        out = ablation_assignment_mode(CFG)
+        assert set(out.results) == {"LFSC-depround", "LFSC-deterministic"}
+
+    def test_partition_ablation_runs(self):
+        out = ablation_partition_granularity(CFG, parts_values=(1, 2))
+        assert set(out.results) == {"LFSC-h1", "LFSC-h2"}
+
+
+class TestIO:
+    def test_roundtrip(self, shared_results, tmp_path):
+        base = tmp_path / "run"
+        npz, js = save_results(shared_results, base)
+        assert npz.exists() and js.exists()
+        loaded = load_results(base)
+        assert set(loaded) == set(shared_results)
+        for name in shared_results:
+            np.testing.assert_array_equal(
+                loaded[name].reward, shared_results[name].reward
+            )
+            assert loaded[name].horizon == shared_results[name].horizon
+
+    def test_summary_preserved_in_json(self, shared_results, tmp_path):
+        import json
+
+        _, js = save_results(shared_results, tmp_path / "x")
+        meta = json.loads(js.read_text())
+        assert meta["LFSC"]["summary"]["total_reward"] == pytest.approx(
+            shared_results["LFSC"].total_reward
+        )
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_results(tmp_path / "absent")
+
+    def test_creates_parent_dirs(self, shared_results, tmp_path):
+        save_results(shared_results, tmp_path / "deep" / "nested" / "run")

@@ -1,0 +1,80 @@
+"""Tests for the Pareto operating-curve tooling."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.pareto import dominates, lfsc_operating_curve, pareto_front
+from repro.experiments.runner import ExperimentConfig
+
+
+class TestDominates:
+    def test_strictly_better(self):
+        assert dominates((10.0, 1.0), (5.0, 2.0))
+
+    def test_equal_not_dominating(self):
+        assert not dominates((5.0, 1.0), (5.0, 1.0))
+
+    def test_tradeoff_not_dominating(self):
+        assert not dominates((10.0, 5.0), (5.0, 1.0))
+        assert not dominates((5.0, 1.0), (10.0, 5.0))
+
+    def test_weak_in_one_coordinate(self):
+        assert dominates((10.0, 1.0), (10.0, 2.0))
+        assert dominates((10.0, 1.0), (9.0, 1.0))
+
+
+class TestParetoFront:
+    def test_single_point(self):
+        assert pareto_front([(1.0, 1.0)]) == [0]
+
+    def test_dominated_point_excluded(self):
+        pts = [(10.0, 1.0), (5.0, 2.0), (8.0, 0.5)]
+        front = pareto_front(pts)
+        assert 1 not in front
+        assert set(front) == {0, 2}
+
+    def test_chain(self):
+        pts = [(10.0, 10.0), (8.0, 5.0), (6.0, 2.0), (4.0, 1.0)]
+        assert set(pareto_front(pts)) == {0, 1, 2, 3}
+
+    def test_front_sorted_by_reward(self):
+        pts = [(4.0, 1.0), (10.0, 10.0), (8.0, 5.0)]
+        front = pareto_front(pts)
+        rewards = [pts[i][0] for i in front]
+        assert rewards == sorted(rewards, reverse=True)
+
+
+class TestOperatingCurve:
+    @pytest.fixture(scope="class")
+    def output(self):
+        cfg = ExperimentConfig.tiny(horizon=40)
+        return lfsc_operating_curve(
+            cfg, lambda_caps=(0.5, 10.0), baselines=("Random",)
+        )
+
+    def test_curve_points_present(self, output):
+        names = {r["policy"] for r in output.rows}
+        assert "LFSC(λmax=0.5)" in names
+        assert "LFSC(λmax=10)" in names
+        assert "Random" in names
+
+    def test_series_shapes(self, output):
+        assert output.series["curve_reward"].shape == (2,)
+        assert output.series["curve_violations"].shape == (2,)
+
+    def test_front_marked(self, output):
+        marks = [r["on_front"] for r in output.rows]
+        assert "yes" in marks
+
+    def test_some_lfsc_point_dominates_random(self, output):
+        random_pt = next(
+            (float(r["total_reward"]), float(r["total_violations"]))
+            for r in output.rows
+            if r["policy"] == "Random"
+        )
+        lfsc_pts = [
+            (float(r["total_reward"]), float(r["total_violations"]))
+            for r in output.rows
+            if str(r["policy"]).startswith("LFSC")
+        ]
+        assert any(dominates(p, random_pt) for p in lfsc_pts)

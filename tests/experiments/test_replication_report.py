@@ -1,0 +1,98 @@
+"""Tests for replication statistics and the report generator."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import fig2a_cumulative_reward
+from repro.experiments.replication import (
+    ReplicatedSummary,
+    replicate,
+    replication_rows,
+)
+from repro.experiments.report import (
+    ShapeCheck,
+    evaluate_shapes,
+    render_report,
+    standard_checks,
+)
+from repro.experiments.runner import ExperimentConfig, run_experiment
+
+CFG = ExperimentConfig.tiny(horizon=25)
+
+
+class TestReplicate:
+    def test_aggregates_across_seeds(self):
+        agg = replicate(CFG, ("Random",), seeds=3)
+        summary = agg["Random"]["total_reward"]
+        assert summary.n == 3
+        assert summary.std >= 0.0
+        assert summary.ci_low <= summary.mean <= summary.ci_high
+
+    def test_explicit_seed_list(self):
+        agg = replicate(CFG, ("Random",), seeds=[7, 8])
+        assert agg["Random"]["total_reward"].n == 2
+
+    def test_single_seed_zero_width(self):
+        agg = replicate(CFG, ("Random",), seeds=1)
+        s = agg["Random"]["total_reward"]
+        assert s.half_width == 0.0
+
+    def test_mean_matches_manual(self):
+        agg = replicate(CFG, ("Random",), seeds=[0, 1])
+        manual = []
+        for seed in (0, 1):
+            res = run_experiment(CFG.with_overrides(seed=seed), ("Random",))
+            manual.append(res["Random"].total_reward)
+        assert agg["Random"]["total_reward"].mean == pytest.approx(np.mean(manual))
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            replicate(CFG, ("Random",), seeds=2, confidence=1.5)
+
+    def test_rows_formatting(self):
+        agg = replicate(CFG, ("Random",), seeds=2)
+        rows = replication_rows(agg)
+        assert rows[0]["policy"] == "Random"
+        assert "±" in rows[0]["total_reward"]
+
+
+class TestReplicatedSummary:
+    def test_formatted(self):
+        s = ReplicatedSummary("m", "p", mean=10.0, std=1.0, ci_low=9.0, ci_high=11.0, n=3)
+        assert s.formatted() == "10.0 ± 1.0"
+        assert s.half_width == 1.0
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_experiment(CFG, ("Oracle", "LFSC", "vUCB", "Random"))
+
+    def test_standard_checks_cover_claims(self, results):
+        checks = standard_checks(results)
+        experiments = {c.experiment for c in checks}
+        assert {"E1", "E3", "E7"} <= experiments
+        assert all(isinstance(c.passed, bool) for c in checks)
+
+    def test_standard_checks_need_oracle_and_lfsc(self, results):
+        assert standard_checks({"Random": results["Random"]}) == []
+
+    def test_evaluate_shapes_finds_run(self, results):
+        out = fig2a_cumulative_reward(CFG, results=results)
+        checks = evaluate_shapes([out])
+        assert len(checks) > 0
+
+    def test_render_report_structure(self, results):
+        out = fig2a_cumulative_reward(CFG, results=results)
+        checks = evaluate_shapes([out], extra_checks=[ShapeCheck("X", "custom", True, "ok")])
+        text = render_report([out], checks, preamble="intro text")
+        assert text.startswith("# EXPERIMENTS")
+        assert "intro text" in text
+        assert "## Shape-check summary" in text
+        assert "## fig2a" in text
+        assert "custom" in text
+
+    def test_verdict_strings(self):
+        good = ShapeCheck("E1", "c", True).as_row()["verdict"]
+        bad = ShapeCheck("E1", "c", False).as_row()["verdict"]
+        assert good == "PASS" and bad == "DIVERGES"

@@ -1,0 +1,119 @@
+"""Tests for repro.experiments.runner — configs and the comparison runner."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import (
+    DEFAULT_POLICIES,
+    ExperimentConfig,
+    build_simulation,
+    build_truth,
+    build_workload,
+    make_policy,
+    run_experiment,
+)
+
+
+class TestExperimentConfig:
+    def test_paper_preset_matches_section5(self):
+        cfg = ExperimentConfig.paper()
+        assert cfg.num_scns == 30
+        assert cfg.capacity == 20
+        assert cfg.alpha == 15.0
+        assert cfg.beta == 27.0
+        assert (cfg.k_min, cfg.k_max) == (35, 100)
+        assert cfg.horizon == 10_000
+        assert cfg.parts == 3  # three categories per dimension
+
+    def test_small_preset_preserves_ratios(self):
+        paper, small = ExperimentConfig.paper(), ExperimentConfig.small()
+        assert small.alpha / small.capacity == pytest.approx(
+            paper.alpha / paper.capacity
+        )
+        assert small.beta / small.capacity == pytest.approx(
+            paper.beta / paper.capacity
+        )
+
+    def test_with_overrides(self):
+        cfg = ExperimentConfig.small(alpha=3.0)
+        assert cfg.alpha == 3.0
+
+    def test_lfsc_config_defaults_to_theorem(self):
+        cfg = ExperimentConfig.small()
+        lfsc = cfg.lfsc_config()
+        assert 0 < lfsc.gamma <= 1
+
+    def test_lfsc_config_explicit_override(self):
+        from repro.core.config import LFSCConfig
+
+        override = LFSCConfig(gamma=0.42)
+        cfg = ExperimentConfig.small(lfsc=override)
+        assert cfg.lfsc_config().gamma == 0.42
+
+    def test_network_built_from_fields(self):
+        net = ExperimentConfig.tiny().network()
+        assert net.num_scns == 3
+
+    def test_invalid_oracle_mode(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig.small(oracle_mode="bogus")
+
+
+class TestBuilders:
+    def test_build_truth_dimensions(self):
+        cfg = ExperimentConfig.tiny()
+        truth = build_truth(cfg)
+        assert truth.num_scns == cfg.num_scns
+        assert truth.mu_u.shape == (3, cfg.cells_per_dim**cfg.dims)
+
+    def test_build_truth_deterministic(self):
+        cfg = ExperimentConfig.tiny()
+        np.testing.assert_array_equal(build_truth(cfg).mu_u, build_truth(cfg).mu_u)
+
+    def test_build_workload(self):
+        wl = build_workload(ExperimentConfig.tiny())
+        assert wl.num_scns == 3
+
+    def test_build_simulation(self):
+        sim = build_simulation(ExperimentConfig.tiny())
+        assert sim.network.num_scns == 3
+
+    @pytest.mark.parametrize("name", DEFAULT_POLICIES + ("eps-greedy", "thompson", "Oracle-unconstrained"))
+    def test_make_policy_all_names(self, name):
+        cfg = ExperimentConfig.tiny()
+        policy = make_policy(name, cfg, build_truth(cfg))
+        assert hasattr(policy, "select")
+
+    def test_make_policy_unknown(self):
+        cfg = ExperimentConfig.tiny()
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy("nope", cfg, build_truth(cfg))
+
+
+class TestRunExperiment:
+    def test_runs_all_policies_on_shared_workload(self):
+        cfg = ExperimentConfig.tiny(horizon=20)
+        res = run_experiment(cfg, ("Oracle", "LFSC", "Random"))
+        assert set(res) == {"Oracle", "LFSC", "Random"}
+        for r in res.values():
+            assert r.horizon == 20
+
+    def test_serial_and_parallel_agree(self):
+        cfg = ExperimentConfig.tiny(horizon=15)
+        serial = run_experiment(cfg, ("Random", "vUCB"), workers=1)
+        parallel = run_experiment(cfg, ("Random", "vUCB"), workers=2)
+        for name in serial:
+            np.testing.assert_array_equal(
+                serial[name].reward, parallel[name].reward
+            )
+
+    def test_repeatable(self):
+        cfg = ExperimentConfig.tiny(horizon=15)
+        a = run_experiment(cfg, ("LFSC",))
+        b = run_experiment(cfg, ("LFSC",))
+        np.testing.assert_array_equal(a["LFSC"].reward, b["LFSC"].reward)
+
+    def test_different_seed_changes_workload(self):
+        a = run_experiment(ExperimentConfig.tiny(horizon=15, seed=0), ("Random",))
+        b = run_experiment(ExperimentConfig.tiny(horizon=15, seed=1), ("Random",))
+        assert not np.array_equal(a["Random"].reward, b["Random"].reward)

@@ -1,0 +1,104 @@
+"""Integration tests: the paper's qualitative claims on a small instance.
+
+These assert the *shape* of the evaluation results (who wins, in which
+direction metrics move), not absolute numbers — see EXPERIMENTS.md.
+Marked module-scope so the (seconds-long) simulations run once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.metrics.ratio import performance_ratio
+from repro.metrics.regret import regret_series, sublinearity_exponent
+from repro.metrics.violations import per_slot_violation_rate
+
+CFG = ExperimentConfig.small(horizon=1500)
+POLICIES = ("Oracle", "LFSC", "vUCB", "FML", "Random")
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_experiment(CFG, POLICIES, workers=None)
+
+
+class TestFig2Shape:
+    def test_lfsc_reward_close_to_oracle(self, results):
+        """Fig 2(a): LFSC's cumulative reward approaches the Oracle's."""
+        ratio = results["LFSC"].total_reward / results["Oracle"].total_reward
+        assert ratio > 0.8
+
+    def test_constraint_blind_baselines_exceed_oracle_reward(self, results):
+        """vUCB and FML out-earn the Oracle because they ignore α and β."""
+        for name in ("vUCB", "FML"):
+            assert results[name].total_reward > results["Oracle"].total_reward
+
+    def test_random_lowest_reward(self, results):
+        rewards = {n: r.total_reward for n, r in results.items()}
+        assert min(rewards, key=rewards.get) == "Random"
+
+    def test_lfsc_violations_below_all_learning_baselines(self, results):
+        for name in ("vUCB", "FML", "Random"):
+            assert (
+                results["LFSC"].total_violations < results[name].total_violations
+            )
+
+    def test_lfsc_violation_rate_decreases(self, results):
+        """LFSC learns to respect constraints: late rate < early rate."""
+        rate = per_slot_violation_rate(results["LFSC"], window=100)
+        early = rate[: len(rate) // 4].mean()
+        late = rate[-len(rate) // 4 :].mean()
+        assert late < early * 0.85
+
+    def test_random_violation_rate_flat(self, results):
+        rate = per_slot_violation_rate(results["Random"], window=100)
+        early = rate[: len(rate) // 4].mean()
+        late = rate[-len(rate) // 4 :].mean()
+        assert abs(late - early) < 0.15 * early
+
+    def test_lfsc_late_reward_approaches_oracle(self, results):
+        window = 300
+        lfsc = results["LFSC"].reward[-window:].mean()
+        oracle = results["Oracle"].reward[-window:].mean()
+        assert lfsc > 0.85 * oracle
+
+
+class TestRegret:
+    def test_lfsc_average_regret_decreases(self, results):
+        series = regret_series(results["LFSC"], results["Oracle"])
+        avg = series / np.arange(1, len(series) + 1)
+        assert avg[-1] < avg[len(avg) // 5]
+
+    def test_lfsc_regret_sublinear(self, results):
+        series = regret_series(results["LFSC"], results["Oracle"])
+        if series[-1] > 0:
+            assert sublinearity_exponent(series) < 1.0
+
+    def test_random_regret_linear(self, results):
+        series = regret_series(results["Random"], results["Oracle"])
+        assert sublinearity_exponent(series) > 0.9
+
+
+class TestPerformanceRatio:
+    def test_lfsc_ratio_beats_random(self, results):
+        assert performance_ratio(results["LFSC"]) > performance_ratio(
+            results["Random"]
+        )
+
+    def test_lfsc_ratio_competitive_with_reward_chasers(self, results):
+        """LFSC's reward/violation balance matches or beats vUCB's and FML's."""
+        lfsc = performance_ratio(results["LFSC"])
+        for name in ("vUCB", "FML"):
+            assert lfsc > 0.9 * performance_ratio(results[name])
+
+
+class TestDeterminism:
+    def test_full_experiment_reproducible(self):
+        cfg = ExperimentConfig.tiny(horizon=30)
+        a = run_experiment(cfg, ("LFSC", "Random"))
+        b = run_experiment(cfg, ("LFSC", "Random"))
+        for name in a:
+            np.testing.assert_array_equal(a[name].reward, b[name].reward)
+            np.testing.assert_array_equal(
+                a[name].violation_qos, b[name].violation_qos
+            )

@@ -1,0 +1,217 @@
+"""Tests for repro.metrics — regret, violations, ratio, summary."""
+
+import numpy as np
+import pytest
+
+from repro.env.simulator import SimulationResult
+from repro.metrics.ratio import performance_ratio, performance_ratio_series
+from repro.metrics.regret import average_regret, regret_series, sublinearity_exponent
+from repro.metrics.summary import comparison_rows, format_table
+from repro.metrics.violations import (
+    early_violation_ratio,
+    per_slot_violation_rate,
+    violation_series,
+)
+
+
+def make_result(
+    name="p",
+    reward=None,
+    expected=None,
+    viol_qos=None,
+    viol_res=None,
+    T=10,
+    M=2,
+) -> SimulationResult:
+    zeros = np.zeros(T)
+    return SimulationResult(
+        policy_name=name,
+        horizon=T,
+        num_scns=M,
+        reward=zeros if reward is None else np.asarray(reward, dtype=float),
+        expected_reward=zeros if expected is None else np.asarray(expected, dtype=float),
+        completed=np.zeros((T, M)),
+        consumption=np.zeros((T, M)),
+        accepted=np.zeros((T, M), dtype=np.int64),
+        violation_qos=zeros if viol_qos is None else np.asarray(viol_qos, dtype=float),
+        violation_resource=zeros if viol_res is None else np.asarray(viol_res, dtype=float),
+    )
+
+
+class TestRegret:
+    def test_regret_series_definition(self):
+        oracle = make_result(expected=np.full(10, 2.0))
+        policy = make_result(expected=np.full(10, 1.5))
+        series = regret_series(policy, oracle)
+        np.testing.assert_allclose(series, 0.5 * np.arange(1, 11))
+
+    def test_average_regret_converges_for_shrinking_gap(self):
+        T = 1000
+        gap = 1.0 / np.sqrt(np.arange(1, T + 1))  # sub-linear cumulative regret
+        oracle = make_result(expected=np.ones(T) + gap, T=T)
+        policy = make_result(expected=np.ones(T), T=T)
+        avg = average_regret(policy, oracle)
+        assert avg[-1] < avg[10]
+
+    def test_horizon_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            regret_series(make_result(T=5), make_result(T=6))
+
+    def test_sublinearity_exponent_sqrt(self):
+        t = np.arange(1, 5001)
+        series = 3.0 * np.sqrt(t)
+        assert sublinearity_exponent(series) == pytest.approx(0.5, abs=0.02)
+
+    def test_sublinearity_exponent_linear(self):
+        t = np.arange(1, 5001)
+        assert sublinearity_exponent(2.0 * t) == pytest.approx(1.0, abs=0.02)
+
+    def test_negative_series_trivially_sublinear(self):
+        series = -np.ones(100)
+        assert sublinearity_exponent(series) < 0.5
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            sublinearity_exponent(np.ones(5))
+
+
+class TestViolations:
+    def test_series_kinds(self):
+        r = make_result(viol_qos=np.ones(10), viol_res=np.full(10, 2.0))
+        np.testing.assert_allclose(violation_series(r, kind="qos")[-1], 10.0)
+        np.testing.assert_allclose(violation_series(r, kind="resource")[-1], 20.0)
+        np.testing.assert_allclose(violation_series(r, kind="total")[-1], 30.0)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            violation_series(make_result(), kind="bogus")
+
+    def test_per_slot_rate_detects_decrease(self):
+        qos = np.concatenate([np.full(50, 4.0), np.full(50, 1.0)])
+        r = make_result(viol_qos=qos, T=100)
+        rate = per_slot_violation_rate(r, window=10, kind="qos")
+        assert rate[0] == pytest.approx(4.0)
+        assert rate[-1] == pytest.approx(1.0)
+
+    def test_rate_window_larger_than_series_clamped(self):
+        r = make_result(viol_qos=np.ones(10))
+        rate = per_slot_violation_rate(r, window=100)
+        assert rate.shape == (1,)
+
+    def test_early_ratio(self):
+        ours = make_result(viol_qos=np.ones(100), T=100)
+        theirs = make_result(viol_qos=np.full(100, 4.0), T=100)
+        ratio = early_violation_ratio(ours, theirs)
+        assert ratio == pytest.approx(0.25)
+
+    def test_early_ratio_nan_when_baseline_clean(self):
+        ours = make_result(viol_qos=np.ones(100), T=100)
+        theirs = make_result(T=100)
+        assert np.isnan(early_violation_ratio(ours, theirs))
+
+    def test_early_ratio_custom_window(self):
+        ours = make_result(viol_qos=np.concatenate([np.zeros(50), np.ones(50)]), T=100)
+        theirs = make_result(viol_qos=np.ones(100), T=100)
+        assert early_violation_ratio(ours, theirs, early_slots=50) == 0.0
+
+
+class TestRatio:
+    def test_performance_ratio(self):
+        r = make_result(reward=np.full(10, 2.0), viol_qos=np.ones(10))
+        assert performance_ratio(r) == pytest.approx(20.0 / 11.0)
+
+    def test_series_last_matches_scalar(self):
+        r = make_result(reward=np.full(10, 2.0), viol_qos=np.ones(10))
+        series = performance_ratio_series(r)
+        assert series[-1] == pytest.approx(performance_ratio(r))
+
+    def test_no_violations_ratio_is_reward_over_one(self):
+        r = make_result(reward=np.ones(10))
+        assert performance_ratio(r) == pytest.approx(10.0)
+
+
+class TestSummary:
+    def test_rows_vs_oracle(self):
+        res = {
+            "Oracle": make_result("Oracle", reward=np.full(10, 2.0)),
+            "LFSC": make_result("LFSC", reward=np.full(10, 1.0)),
+        }
+        rows = comparison_rows(res)
+        lfsc = next(r for r in rows if r["policy"] == "LFSC")
+        assert lfsc["reward_vs_oracle"] == pytest.approx(0.5)
+
+    def test_rows_without_oracle_nan(self):
+        rows = comparison_rows({"A": make_result("A", reward=np.ones(10))})
+        assert np.isnan(rows[0]["reward_vs_oracle"])
+
+    def test_rows_accepts_iterable(self):
+        rows = comparison_rows([make_result("X", reward=np.ones(10))])
+        assert rows[0]["policy"] == "X"
+
+    def test_format_table_alignment(self):
+        rows = [{"a": 1.0, "b": "hello"}, {"a": 22.5, "b": "x"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert "22.50" in text
+
+    def test_format_table_column_selection(self):
+        rows = [{"a": 1.0, "b": 2.0}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_format_empty(self):
+        assert format_table([]) == "(no rows)"
+
+
+class TestFairness:
+    def test_jain_even_allocation(self):
+        from repro.metrics.fairness import jain_index
+
+        assert jain_index(np.full(5, 3.0)) == pytest.approx(1.0)
+
+    def test_jain_single_winner(self):
+        from repro.metrics.fairness import jain_index
+
+        assert jain_index(np.array([10.0, 0, 0, 0, 0])) == pytest.approx(0.2)
+
+    def test_jain_zero_allocation(self):
+        from repro.metrics.fairness import jain_index
+
+        assert jain_index(np.zeros(4)) == 1.0
+
+    def test_jain_bounds(self):
+        from repro.metrics.fairness import jain_index
+
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            x = rng.random(8) * 10
+            j = jain_index(x)
+            assert 1.0 / 8 - 1e-12 <= j <= 1.0 + 1e-12
+
+    def test_jain_validates(self):
+        from repro.metrics.fairness import jain_index
+
+        with pytest.raises(ValueError):
+            jain_index(np.array([-1.0, 2.0]))
+
+    def test_fairness_summary_keys(self):
+        from repro.metrics.fairness import fairness_summary
+
+        r = make_result(T=5, M=3)
+        r.completed[:] = 1.0
+        r.accepted[:] = 2
+        r.consumption[:] = 1.5
+        s = fairness_summary(r)
+        assert s["jain_completed"] == pytest.approx(1.0)
+        assert s["jain_accepted"] == pytest.approx(1.0)
+        assert s["jain_consumption"] == pytest.approx(1.0)
+
+    def test_fairness_on_simulation(self):
+        from repro.experiments.runner import ExperimentConfig, run_experiment
+        from repro.metrics.fairness import fairness_summary
+
+        res = run_experiment(ExperimentConfig.tiny(horizon=30), ("Random",))
+        s = fairness_summary(res["Random"])
+        # A symmetric environment with random selection is near-fair.
+        assert s["jain_accepted"] > 0.9

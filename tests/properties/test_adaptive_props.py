@@ -1,0 +1,66 @@
+"""Property-based tests: the adaptive partition is always a true partition."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+def _refined_partition(seed: int, dims: int, n_obs: int):
+    from repro.core.adaptive import AdaptivePartition
+
+    rng = np.random.default_rng(seed)
+    part = AdaptivePartition(
+        dims=dims, max_leaves=200, split_base=3.0, split_rho=0.5
+    )
+    for _ in range(6):
+        ctx = rng.random((n_obs, dims))
+        ids = part.assign(ctx)
+        part.observe(ids)
+    return part
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    dims=st.integers(min_value=1, max_value=3),
+    n_obs=st.integers(min_value=1, max_value=30),
+)
+@settings(max_examples=40, deadline=None)
+def test_leaves_tile_the_domain(seed, dims, n_obs):
+    """After arbitrary refinement, leaf volumes sum to 1 (exact tiling)."""
+    part = _refined_partition(seed, dims, n_obs)
+    volumes = part._leaf_sides**dims
+    np.testing.assert_allclose(volumes.sum(), 1.0, rtol=1e-9)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    dims=st.integers(min_value=1, max_value=3),
+    n_obs=st.integers(min_value=1, max_value=30),
+)
+@settings(max_examples=40, deadline=None)
+def test_every_context_has_exactly_one_leaf(seed, dims, n_obs):
+    """assign() never fails and each point is inside exactly one leaf box."""
+    part = _refined_partition(seed, dims, n_obs)
+    rng = np.random.default_rng(seed + 1)
+    ctx = rng.random((50, dims))
+    ids = part.assign(ctx)  # raises if zero boxes match
+    # Count matching boxes directly.
+    pts = np.minimum(ctx, 1.0 - 1e-12)
+    ge = pts[:, None, :] >= part._leaf_lows[None, :, :]
+    lt = pts[:, None, :] < (part._leaf_lows + part._leaf_sides[:, None])[None, :, :]
+    inside = np.logical_and(ge, lt).all(axis=2)
+    np.testing.assert_array_equal(inside.sum(axis=1), 1)
+    assert np.isin(ids, part._leaf_ids).all()
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    dims=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=40, deadline=None)
+def test_ids_unique_and_bounded(seed, dims):
+    part = _refined_partition(seed, dims, 25)
+    ids = part._leaf_ids
+    assert len(np.unique(ids)) == len(ids)
+    assert ids.max() < part.num_cubes
+    assert part.num_leaves <= part.max_leaves

@@ -1,0 +1,119 @@
+"""Property-based tests for DepRound and the greedy assignment."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+
+@given(
+    p=arrays(
+        dtype=np.float64,
+        shape=st.integers(min_value=1, max_value=30),
+        elements=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    ),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=300, deadline=None)
+def test_depround_cardinality(p, seed):
+    """|selected| is always floor or ceil of sum(p)."""
+    from repro.core.depround import depround
+
+    rng = np.random.default_rng(seed)
+    mask = depround(p, rng)
+    total = p.sum()
+    assert mask.sum() in {int(np.floor(total + 1e-9)), int(np.ceil(total - 1e-9))}
+
+
+@given(
+    p=arrays(
+        dtype=np.float64,
+        shape=st.integers(min_value=1, max_value=30),
+        elements=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    ),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=200, deadline=None)
+def test_depround_respects_deterministic_entries(p, seed):
+    """Entries at exactly 0 or 1 are never flipped."""
+    from repro.core.depround import depround
+
+    mask = depround(p, np.random.default_rng(seed))
+    assert mask[p >= 1.0].all()
+    assert not mask[p <= 0.0].any()
+
+
+def _random_graph(data_rng, M, n, deg):
+    coverage = [
+        np.sort(data_rng.choice(n, size=min(deg, n), replace=False))
+        for _ in range(M)
+    ]
+    weights = [data_rng.random(len(c)) for c in coverage]
+    return coverage, weights
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    M=st.integers(min_value=1, max_value=5),
+    n=st.integers(min_value=1, max_value=20),
+    deg=st.integers(min_value=1, max_value=10),
+    capacity=st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=300, deadline=None)
+def test_greedy_structural_invariants(seed, M, n, deg, capacity):
+    """Greedy output always satisfies (1a), (1b), and coverage membership."""
+    from repro.core.greedy import greedy_select
+
+    rng = np.random.default_rng(seed)
+    coverage, weights = _random_graph(rng, M, n, deg)
+    a = greedy_select(coverage, weights, capacity, n)
+    if len(a) == 0:
+        return
+    assert np.bincount(a.scn, minlength=M).max() <= capacity
+    assert np.unique(a.task).size == a.task.size
+    for m, i in zip(a.scn, a.task):
+        assert i in coverage[m]
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    M=st.integers(min_value=1, max_value=4),
+    n=st.integers(min_value=1, max_value=12),
+    capacity=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=100, deadline=None)
+def test_greedy_within_approximation_bound(seed, M, n, capacity):
+    """weight(greedy) >= weight(optimal) / (c+1) — the paper's Lemma 2."""
+    from repro.core.greedy import greedy_select
+    from repro.solvers.matching import max_weight_b_matching, total_weight
+
+    rng = np.random.default_rng(seed)
+    coverage, weights = _random_graph(rng, M, n, min(6, n))
+    greedy = greedy_select(coverage, weights, capacity, n)
+    opt_scn, opt_task = max_weight_b_matching(coverage, weights, capacity, n)
+    g_val = total_weight(greedy.scn, greedy.task, coverage, weights)
+    o_val = total_weight(opt_scn, opt_task, coverage, weights)
+    assert g_val >= o_val / (capacity + 1) - 1e-9
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    M=st.integers(min_value=1, max_value=4),
+    n=st.integers(min_value=4, max_value=12),
+)
+@settings(max_examples=100, deadline=None)
+def test_greedy_maximal(seed, M, n):
+    """No discarded edge could still be added (maximality of the matching)."""
+    from repro.core.greedy import greedy_select
+
+    rng = np.random.default_rng(seed)
+    coverage, weights = _random_graph(rng, M, n, 4)
+    capacity = 2
+    a = greedy_select(coverage, weights, capacity, n)
+    load = np.bincount(a.scn, minlength=M)
+    taken = np.zeros(n, dtype=bool)
+    taken[a.task] = True
+    for m, cov in enumerate(coverage):
+        for i in cov:
+            # An addable edge must not exist.
+            assert taken[i] or load[m] >= capacity

@@ -1,0 +1,115 @@
+"""Property-based tests for the context partition and estimators."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+
+@given(
+    ctx=arrays(
+        dtype=np.float64,
+        shape=st.tuples(
+            st.integers(min_value=1, max_value=50),
+            st.integers(min_value=1, max_value=4),
+        ),
+        elements=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    ),
+    parts=st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=300, deadline=None)
+def test_partition_assign_total_and_range(ctx, parts):
+    """Every context maps to exactly one valid cube index."""
+    from repro.env.partition import uniform_cell_indices
+
+    idx = uniform_cell_indices(ctx, parts)
+    assert idx.shape == (ctx.shape[0],)
+    assert idx.min() >= 0
+    assert idx.max() < parts ** ctx.shape[1]
+
+
+@given(
+    parts=st.integers(min_value=1, max_value=5),
+    dims=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=100, deadline=None)
+def test_partition_cells_are_consistent_with_centers(parts, dims, seed):
+    """A context and its cube's center always share the cube."""
+    from repro.env.partition import cell_centers, uniform_cell_indices
+
+    rng = np.random.default_rng(seed)
+    ctx = rng.random((20, dims))
+    idx = uniform_cell_indices(ctx, parts)
+    centers = cell_centers(parts, dims)
+    idx_of_center = uniform_cell_indices(centers[idx], parts)
+    np.testing.assert_array_equal(idx, idx_of_center)
+
+
+@given(
+    values=arrays(
+        dtype=np.float64,
+        shape=st.integers(min_value=1, max_value=40),
+        elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+    ),
+    num_cubes=st.integers(min_value=1, max_value=10),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=200, deadline=None)
+def test_aggregate_by_cube_conserves_mass(values, num_cubes, seed):
+    """sum(mean_f * count_f) == sum(values)."""
+    from repro.core.estimators import aggregate_by_cube
+
+    rng = np.random.default_rng(seed)
+    cubes = rng.integers(0, num_cubes, size=len(values))
+    means, counts = aggregate_by_cube(values, cubes, num_cubes)
+    np.testing.assert_allclose((means * counts).sum(), values.sum(), atol=1e-8)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    batches=st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=100, deadline=None)
+def test_cube_statistics_match_flat_means(seed, batches):
+    """Incremental per-(SCN,cube) means equal the batch-computed means."""
+    from repro.core.estimators import CubeStatistics
+
+    rng = np.random.default_rng(seed)
+    M, F = 2, 3
+    stats = CubeStatistics(num_scns=M, num_cubes=F)
+    all_obs: list[tuple[int, int, float]] = []
+    for _ in range(batches):
+        k = int(rng.integers(1, 10))
+        scn = rng.integers(0, M, size=k)
+        cube = rng.integers(0, F, size=k)
+        g = rng.random(k)
+        stats.observe(scn, cube, g, g, g)
+        all_obs.extend(zip(scn.tolist(), cube.tolist(), g.tolist()))
+    for m in range(M):
+        for f in range(F):
+            vals = [g for (s, c, g) in all_obs if s == m and c == f]
+            if vals:
+                assert np.isclose(stats.mean_g[m, f], np.mean(vals))
+                assert stats.counts[m, f] == len(vals)
+            else:
+                assert stats.counts[m, f] == 0
+
+
+@given(
+    p_sel=st.floats(min_value=0.05, max_value=1.0),
+    value=st.floats(min_value=0.0, max_value=10.0),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=50, deadline=None)
+def test_importance_weighting_unbiased(p_sel, value, seed):
+    """Monte-Carlo unbiasedness of x·1(sel)/p across the parameter space."""
+    from repro.core.estimators import importance_weighted
+
+    rng = np.random.default_rng(seed)
+    n = 4000
+    sel = rng.random(n) < p_sel
+    est = importance_weighted(np.full(n, value), sel, np.full(n, p_sel))
+    # Standard error of the estimator mean: value*sqrt((1-p)/(n p)).
+    se = value * np.sqrt((1 - p_sel) / (n * p_sel)) + 1e-9
+    assert abs(est.mean() - value) < 6 * se + 1e-6

@@ -1,0 +1,76 @@
+"""Property-based tests for Alg. 2's capped probabilities (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+weights_strategy = arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=40),
+    elements=st.floats(min_value=1e-12, max_value=1e12, allow_nan=False),
+)
+
+
+@given(
+    w=weights_strategy,
+    capacity=st.integers(min_value=1, max_value=10),
+    gamma=st.floats(min_value=0.001, max_value=1.0),
+)
+@settings(max_examples=300, deadline=None)
+def test_probabilities_always_valid(w, capacity, gamma):
+    """Invariants: p in (0, 1], sum(p) == min(c, K), all finite."""
+    from repro.core.probability import capped_probabilities
+
+    cp = capped_probabilities(w, capacity, gamma)
+    K = len(w)
+    assert np.isfinite(cp.p).all()
+    assert (cp.p > 0).all()
+    assert (cp.p <= 1.0 + 1e-9).all()
+    np.testing.assert_allclose(cp.p.sum(), min(capacity, K), rtol=1e-6)
+
+
+@given(
+    w=weights_strategy,
+    capacity=st.integers(min_value=1, max_value=10),
+    gamma=st.floats(min_value=0.001, max_value=0.999),
+)
+@settings(max_examples=300, deadline=None)
+def test_probability_order_follows_weight_order(w, capacity, gamma):
+    """Heavier tasks never get a lower selection probability."""
+    from repro.core.probability import capped_probabilities
+
+    cp = capped_probabilities(w, capacity, gamma)
+    order = np.argsort(w)
+    sorted_p = cp.p[order]
+    assert (np.diff(sorted_p) >= -1e-9).all()
+
+
+@given(
+    w=weights_strategy,
+    capacity=st.integers(min_value=1, max_value=10),
+    gamma=st.floats(min_value=0.001, max_value=0.999),
+)
+@settings(max_examples=200, deadline=None)
+def test_capped_tasks_have_probability_one(w, capacity, gamma):
+    from repro.core.probability import capped_probabilities
+
+    cp = capped_probabilities(w, capacity, gamma)
+    if cp.capped.any():
+        np.testing.assert_allclose(cp.p[cp.capped], 1.0, atol=1e-6)
+
+
+@given(
+    w=weights_strategy,
+    capacity=st.integers(min_value=1, max_value=10),
+    gamma=st.floats(min_value=0.001, max_value=0.999),
+    scale=st.floats(min_value=1e-6, max_value=1e6),
+)
+@settings(max_examples=200, deadline=None)
+def test_scale_invariance(w, capacity, gamma, scale):
+    """Multiplying all weights by a constant must not change probabilities."""
+    from repro.core.probability import capped_probabilities
+
+    a = capped_probabilities(w, capacity, gamma)
+    b = capped_probabilities(w * scale, capacity, gamma)
+    np.testing.assert_allclose(a.p, b.p, rtol=1e-6, atol=1e-9)

@@ -1,0 +1,135 @@
+"""Tests for repro.solvers.lagrangian — dual decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.solvers.lagrangian import solve_dual_decomposition
+from repro.solvers.lp import SlotProblem, solve_lp_relaxation
+
+
+def problem(**kw) -> SlotProblem:
+    rng = np.random.default_rng(3)
+    M, n, deg = 3, 12, 6
+    edge_scn, edge_task = [], []
+    for m in range(M):
+        tasks = rng.choice(n, deg, replace=False)
+        edge_scn.extend([m] * deg)
+        edge_task.extend(tasks.tolist())
+    E = len(edge_scn)
+    params = dict(
+        edge_scn=np.array(edge_scn),
+        edge_task=np.array(edge_task),
+        g=rng.random(E),
+        v=rng.random(E),
+        q=rng.uniform(1.0, 2.0, size=E),
+        num_scns=M,
+        num_tasks=n,
+        capacity=3,
+        alpha=1.0,
+        beta=4.0,
+    )
+    params.update(kw)
+    return SlotProblem(**params)
+
+
+class TestDualDecomposition:
+    def test_solution_structurally_valid(self):
+        p = problem()
+        sol = solve_dual_decomposition(p)
+        sel = sol.selected_edges()
+        assert np.bincount(p.edge_scn[sel], minlength=3).max() <= 3
+        tasks = p.edge_task[sel]
+        assert np.unique(tasks).size == tasks.size
+
+    def test_objective_matches_x(self):
+        p = problem()
+        sol = solve_dual_decomposition(p)
+        assert sol.objective == pytest.approx(float(p.g @ sol.x))
+
+    def test_matching_optimum_upper_bounds_dual(self):
+        # The dual iterates respect (1a)/(1b) only, so the exact max-weight
+        # b-matching on g is a valid upper bound for their raw objective.
+        from repro.solvers.matching import max_weight_b_matching, total_weight
+
+        p = problem()
+        coverage, weights = [], []
+        for m in range(p.num_scns):
+            rows = np.flatnonzero(p.edge_scn == m)
+            coverage.append(p.edge_task[rows])
+            weights.append(p.g[rows])
+        opt_scn, opt_task = max_weight_b_matching(
+            coverage, weights, p.capacity, p.num_tasks
+        )
+        opt_val = total_weight(opt_scn, opt_task, coverage, weights)
+        sol = solve_dual_decomposition(p)
+        assert sol.objective <= opt_val + 1e-9
+
+    def test_duals_grow_when_constraints_bind(self):
+        p = problem(alpha=3.0, beta=2.0)  # very tight constraints
+        sol = solve_dual_decomposition(p, iterations=50)
+        assert sol.lambda_qos.max() > 0.0
+        assert sol.lambda_resource.max() > 0.0
+
+    def test_duals_stay_zero_when_slack(self):
+        p = problem(alpha=0.0, beta=100.0)
+        sol = solve_dual_decomposition(p, iterations=20)
+        np.testing.assert_allclose(sol.lambda_resource, 0.0)
+        np.testing.assert_allclose(sol.lambda_qos, 0.0)
+
+    def test_penalized_value_improves_on_reward_greedy(self):
+        """With tight beta, penalizing consumption must not do worse than
+        constraint-blind greedy under the same penalized metric."""
+        from repro.solvers.lagrangian import _inner_greedy, _penalized_value
+
+        p = problem(beta=3.0)
+        blind = _inner_greedy(p, p.g)
+        blind_value = _penalized_value(p, blind, penalty=2.0)
+        sol = solve_dual_decomposition(p, penalty=2.0, iterations=40)
+        assert sol.penalized_objective >= blind_value - 1e-9
+
+    def test_more_iterations_never_worse(self):
+        p = problem(alpha=2.0, beta=3.5)
+        short = solve_dual_decomposition(p, iterations=2)
+        long = solve_dual_decomposition(p, iterations=60)
+        assert long.penalized_objective >= short.penalized_objective - 1e-9
+
+    def test_empty_problem(self):
+        p = SlotProblem(
+            edge_scn=np.empty(0, np.int64),
+            edge_task=np.empty(0, np.int64),
+            g=np.empty(0),
+            v=np.empty(0),
+            q=np.empty(0),
+            num_scns=2,
+            num_tasks=0,
+            capacity=1,
+            alpha=0.0,
+            beta=1.0,
+        )
+        sol = solve_dual_decomposition(p)
+        assert sol.objective == 0.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            solve_dual_decomposition(problem(), iterations=0)
+
+
+class TestDualOracleMode:
+    def test_runs_in_simulation(self):
+        from repro.baselines.oracle import OraclePolicy
+        from repro.experiments.runner import ExperimentConfig, build_simulation
+
+        cfg = ExperimentConfig.tiny(horizon=20)
+        sim = build_simulation(cfg)
+        res = sim.run(OraclePolicy(sim.truth, mode="dual"), 20)
+        assert res.total_reward > 0
+
+    def test_dual_oracle_close_to_lp_oracle(self):
+        from repro.baselines.oracle import OraclePolicy
+        from repro.experiments.runner import ExperimentConfig, build_simulation
+
+        cfg = ExperimentConfig.small(horizon=100)
+        sim = build_simulation(cfg)
+        lp = sim.run(OraclePolicy(sim.truth, mode="lp"), 100)
+        dual = sim.run(OraclePolicy(sim.truth, mode="dual"), 100)
+        assert dual.expected_reward.sum() >= 0.7 * lp.expected_reward.sum()

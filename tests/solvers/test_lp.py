@@ -1,0 +1,142 @@
+"""Tests for repro.solvers.lp — the per-slot LP relaxation."""
+
+import numpy as np
+import pytest
+
+from repro.solvers.lp import SlotProblem, solve_lp_relaxation
+
+
+def small_problem(**kw) -> SlotProblem:
+    """2 SCNs, 4 tasks, full coverage of 2 tasks each."""
+    params = dict(
+        edge_scn=np.array([0, 0, 1, 1]),
+        edge_task=np.array([0, 1, 2, 3]),
+        g=np.array([1.0, 0.5, 0.8, 0.2]),
+        v=np.array([0.9, 0.8, 0.7, 0.6]),
+        q=np.array([1.0, 1.5, 1.2, 1.8]),
+        num_scns=2,
+        num_tasks=4,
+        capacity=2,
+        alpha=0.5,
+        beta=3.0,
+    )
+    params.update(kw)
+    return SlotProblem(**params)
+
+
+class TestSlotProblem:
+    def test_constraint_matrices_shapes(self):
+        p = small_problem()
+        A_cap, A_uni, A_qos, A_res = p.constraint_matrices()
+        assert A_cap.shape == (2, 4)
+        assert A_uni.shape == (4, 4)
+        assert A_qos.shape == (2, 4)
+        assert A_res.shape == (2, 4)
+
+    def test_capacity_rows_count_edges(self):
+        p = small_problem()
+        A_cap = p.constraint_matrices()[0].toarray()
+        np.testing.assert_array_equal(A_cap[0], [1, 1, 0, 0])
+        np.testing.assert_array_equal(A_cap[1], [0, 0, 1, 1])
+
+    def test_qos_rows_weighted_by_v(self):
+        p = small_problem()
+        A_qos = p.constraint_matrices()[2].toarray()
+        np.testing.assert_allclose(A_qos[0], [0.9, 0.8, 0, 0])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            small_problem(g=np.array([1.0]))
+
+    def test_edge_range_validation(self):
+        with pytest.raises(ValueError):
+            small_problem(edge_task=np.array([0, 1, 2, 9]))
+
+
+class TestSolveLP:
+    def test_optimal_unconstrained_picks_best(self):
+        # With alpha=0 and big beta the LP takes everything (reward >= 0).
+        p = small_problem(alpha=0.0, beta=100.0)
+        sol = solve_lp_relaxation(p, qos_mode="ignore")
+        assert sol.feasible
+        assert sol.objective == pytest.approx(p.g.sum(), abs=1e-6)
+
+    def test_capacity_binds(self):
+        p = small_problem(capacity=1, alpha=0.0, beta=100.0)
+        sol = solve_lp_relaxation(p, qos_mode="ignore")
+        # Each SCN picks its single best task: 1.0 + 0.8.
+        assert sol.objective == pytest.approx(1.8, abs=1e-6)
+
+    def test_uniqueness_binds(self):
+        # One task covered by both SCNs; total assignment of it <= 1.
+        p = SlotProblem(
+            edge_scn=np.array([0, 1]),
+            edge_task=np.array([0, 0]),
+            g=np.array([1.0, 0.9]),
+            v=np.ones(2),
+            q=np.ones(2),
+            num_scns=2,
+            num_tasks=1,
+            capacity=1,
+            alpha=0.0,
+            beta=10.0,
+        )
+        sol = solve_lp_relaxation(p, qos_mode="ignore")
+        assert sol.objective == pytest.approx(1.0, abs=1e-6)
+
+    def test_resource_constraint_binds(self):
+        p = small_problem(alpha=0.0, beta=1.0)
+        sol = solve_lp_relaxation(p, qos_mode="ignore")
+        # SCN 0: q = (1.0, 1.5); best is task 0 alone (q=1 <= beta).
+        x = sol.x
+        cons0 = p.q[:2] @ x[:2]
+        assert cons0 <= 1.0 + 1e-9
+
+    def test_soft_qos_feasible_when_alpha_too_high(self):
+        p = small_problem(alpha=2.0)  # impossible: max E[completed] < 2 per SCN
+        sol = solve_lp_relaxation(p, qos_mode="soft")
+        assert sol.feasible
+        assert (sol.qos_levels <= 2.0).all()
+
+    def test_hard_qos_infeasible_reported(self):
+        p = small_problem(alpha=2.0)
+        sol = solve_lp_relaxation(p, qos_mode="hard")
+        assert not sol.feasible
+
+    def test_hard_qos_feasible_when_achievable(self):
+        p = small_problem(alpha=0.5)
+        sol = solve_lp_relaxation(p, qos_mode="hard")
+        assert sol.feasible
+        completed = np.bincount(p.edge_scn, weights=p.v * sol.x, minlength=2)
+        assert (completed >= 0.5 - 1e-9).all()
+
+    def test_qos_lowers_objective(self):
+        free = solve_lp_relaxation(small_problem(), qos_mode="ignore").objective
+        tight = solve_lp_relaxation(
+            small_problem(alpha=1.4), qos_mode="soft"
+        ).objective
+        assert tight <= free + 1e-9
+
+    def test_empty_problem(self):
+        p = SlotProblem(
+            edge_scn=np.empty(0, np.int64),
+            edge_task=np.empty(0, np.int64),
+            g=np.empty(0),
+            v=np.empty(0),
+            q=np.empty(0),
+            num_scns=2,
+            num_tasks=0,
+            capacity=1,
+            alpha=1.0,
+            beta=1.0,
+        )
+        sol = solve_lp_relaxation(p)
+        assert sol.feasible and sol.objective == 0.0
+
+    def test_solution_within_bounds(self):
+        sol = solve_lp_relaxation(small_problem())
+        assert sol.x.min() >= 0.0 and sol.x.max() <= 1.0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            solve_lp_relaxation(small_problem(), qos_mode="nope")

@@ -1,0 +1,56 @@
+"""Tests for repro.solvers.matching — exact b-matching reference."""
+
+import numpy as np
+import pytest
+
+from repro.solvers.matching import max_weight_b_matching, total_weight
+
+
+class TestMaxWeightBMatching:
+    def test_simple_optimum(self):
+        cov = [np.array([0, 1]), np.array([0, 1])]
+        w = [np.array([0.9, 0.1]), np.array([0.8, 0.7])]
+        scn, task = max_weight_b_matching(cov, w, capacity=1, num_tasks=2)
+        # Optimal: SCN0 takes task 0 (0.9), SCN1 takes task 1 (0.7).
+        assert total_weight(scn, task, cov, w) == pytest.approx(1.6)
+
+    def test_capacity_respected(self, rng):
+        cov = [np.arange(6)]
+        w = [rng.random(6)]
+        scn, task = max_weight_b_matching(cov, w, capacity=2, num_tasks=6)
+        assert len(scn) <= 2
+
+    def test_takes_top_weights_single_scn(self):
+        cov = [np.arange(4)]
+        w = [np.array([0.1, 0.9, 0.5, 0.7])]
+        scn, task = max_weight_b_matching(cov, w, capacity=2, num_tasks=4)
+        assert set(task.tolist()) == {1, 3}
+
+    def test_no_duplicate_tasks(self, rng):
+        cov = [np.arange(5), np.arange(5)]
+        w = [rng.random(5), rng.random(5)]
+        _, task = max_weight_b_matching(cov, w, capacity=3, num_tasks=5)
+        assert np.unique(task).size == task.size
+
+    def test_zero_weight_edges_dropped(self):
+        cov = [np.array([0, 1])]
+        w = [np.array([0.0, 0.5])]
+        scn, task = max_weight_b_matching(cov, w, capacity=2, num_tasks=2)
+        assert task.tolist() == [1]
+
+    def test_empty_graph(self):
+        scn, task = max_weight_b_matching([], [], capacity=1, num_tasks=0)
+        assert scn.size == 0
+
+
+class TestTotalWeight:
+    def test_lookup(self):
+        cov = [np.array([2, 5])]
+        w = [np.array([0.3, 0.4])]
+        assert total_weight(np.array([0]), np.array([5]), cov, w) == pytest.approx(0.4)
+
+    def test_missing_edge_raises(self):
+        cov = [np.array([2])]
+        w = [np.array([0.3])]
+        with pytest.raises(ValueError, match="not a coverage edge"):
+            total_weight(np.array([0]), np.array([9]), cov, w)

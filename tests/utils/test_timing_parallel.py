@@ -1,0 +1,64 @@
+"""Tests for repro.utils.timing and repro.utils.parallel."""
+
+import time
+
+import pytest
+
+from repro.utils.parallel import default_workers, parallel_map
+from repro.utils.timing import Stopwatch
+
+
+class TestStopwatch:
+    def test_measure_accumulates(self):
+        sw = Stopwatch()
+        with sw.measure("phase"):
+            time.sleep(0.01)
+        with sw.measure("phase"):
+            time.sleep(0.01)
+        assert sw.totals()["phase"] >= 0.02
+        assert sw.counts()["phase"] == 2
+
+    def test_multiple_names(self):
+        sw = Stopwatch()
+        sw.add("a", 1.0)
+        sw.add("b", 2.0)
+        assert sw.totals() == {"a": 1.0, "b": 2.0}
+
+    def test_report_sorted_by_total(self):
+        sw = Stopwatch()
+        sw.add("small", 0.1)
+        sw.add("big", 5.0)
+        report = sw.report()
+        assert report.index("big") < report.index("small")
+
+    def test_totals_is_copy(self):
+        sw = Stopwatch()
+        sw.add("a", 1.0)
+        sw.totals()["a"] = 99.0
+        assert sw.totals()["a"] == 1.0
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestParallelMap:
+    def test_serial_preserves_order(self):
+        assert parallel_map(_square, [3, 1, 2], workers=1) == [9, 1, 4]
+
+    def test_serial_accepts_lambda(self):
+        assert parallel_map(lambda x: x + 1, [1, 2], workers=None) == [2, 3]
+
+    def test_parallel_matches_serial(self):
+        items = list(range(8))
+        assert parallel_map(_square, items, workers=2) == [x * x for x in items]
+
+    def test_single_item_runs_serially(self):
+        # Even with workers>1 a single item short-circuits (no pool overhead).
+        assert parallel_map(lambda x: x, [7], workers=4) == [7]
+
+    def test_empty(self):
+        assert parallel_map(_square, [], workers=2) == []
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1

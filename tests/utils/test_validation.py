@@ -1,0 +1,94 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_interval,
+    check_positive,
+    check_probability,
+    check_shape,
+    require,
+)
+
+
+class TestRequire:
+    def test_passes(self):
+        require(True, "never")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    def test_rejects_zero_strict(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0)
+
+    def test_accepts_zero_nonstrict(self):
+        assert check_positive("x", 0, strict=False) == 0
+
+    def test_rejects_negative_nonstrict(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1, strict=False)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range("x", 0.0, 0.0, 1.0) == 0.0
+        assert check_in_range("x", 1.0, 0.0, 1.0) == 1.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 0.0, 0.0, 1.0, inclusive=(False, True))
+        with pytest.raises(ValueError):
+            check_in_range("x", 1.0, 0.0, 1.0, inclusive=(True, False))
+
+    def test_outside(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            check_in_range("x", 2.0, 0, 1)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("p", [0.0, 0.5, 1.0])
+    def test_valid(self, p):
+        assert check_probability("p", p) == p
+
+    @pytest.mark.parametrize("p", [-0.1, 1.1])
+    def test_invalid(self, p):
+        with pytest.raises(ValueError):
+            check_probability("p", p)
+
+
+class TestCheckShape:
+    def test_exact_match(self):
+        arr = np.zeros((2, 3))
+        assert check_shape("a", arr, (2, 3)) is not None
+
+    def test_wildcard(self):
+        check_shape("a", np.zeros((5, 3)), (-1, 3))
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError, match="dims"):
+            check_shape("a", np.zeros(3), (1, 3))
+
+    def test_extent_mismatch(self):
+        with pytest.raises(ValueError, match="axis 1"):
+            check_shape("a", np.zeros((2, 4)), (2, 3))
+
+
+class TestCheckInterval:
+    def test_valid(self):
+        assert check_interval("r", (1.0, 2.0)) == (1.0, 2.0)
+
+    def test_degenerate_ok(self):
+        assert check_interval("r", (1.0, 1.0)) == (1.0, 1.0)
+
+    def test_inverted_raises(self):
+        with pytest.raises(ValueError, match="lo <= hi"):
+            check_interval("r", (2.0, 1.0))
