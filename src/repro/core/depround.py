@@ -38,25 +38,99 @@ def depround(p: np.ndarray, rng: np.random.Generator) -> np.ndarray:
     ``(K,)`` boolean selection mask with ``mask.sum() ∈ {floor(Σp), ceil(Σp)}``
     and ``E[mask] = p`` exactly.
     """
-    work = np.asarray(p, dtype=float).copy()
-    if work.ndim != 1:
-        raise ValueError(f"p must be 1-D, got shape {work.shape}")
-    if np.any(work < -_TOL) or np.any(work > 1.0 + _TOL):
-        raise ValueError("probabilities must lie in [0, 1]")
-    np.clip(work, 0.0, 1.0, out=work)
+    arr = np.asarray(p, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"p must be 1-D, got shape {arr.shape}")
+    n = arr.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=bool)
 
-    # Hot path of every LFSC slot: run the pairing walk on Python scalars
-    # (ndarray scalar indexing costs ~100x a list access) with all uniform
-    # draws taken up front (each iteration fixes >= 1 coordinate, so at most
+    # Hot path of every LFSC slot (called once per SCN): the whole walk runs
+    # on Python lists and floats — one .tolist() up front beats per-element
+    # ndarray scalar access by ~100x, and the fixed coordinates go straight
+    # into the output list instead of back through a scatter write.  At the
+    # K ≲ a-few-hundred sizes this sees, Python min/max over the list beat
+    # the two ndarray reductions' call overhead.  All uniform draws are
+    # taken up front (each iteration fixes >= 1 coordinate, so at most
     # len(fractional) draws are ever needed).
-    frac_pos = np.flatnonzero((work > _TOL) & (work < 1.0 - _TOL))
-    ids: list[int] = frac_pos.tolist()
-    vals: list[float] = work[frac_pos].tolist()
-    draws = rng.random(len(ids)).tolist() if len(ids) else []
+    values: list[float] = arr.tolist()
+    lo = min(values)
+    hi = max(values)
+    if lo < -_TOL or hi > 1.0 + _TOL:
+        raise ValueError("probabilities must lie in [0, 1]")
+    out: list[bool] = [False] * n
+    # Each walk step pairs the carry (held in the pi/ci registers — value
+    # and original index) with the element below; moving alpha or beta pins
+    # at least one of the two at 0 or 1, and the fractional survivor becomes
+    # the next carry.  Positions below the carry are never mutated, so the
+    # walk is a pure downward scan with zero list writes.
+    if lo > _TOL and hi < 1.0 - _TOL:
+        # Common case (Alg. 2's gamma floor and the p<1 cap keep every entry
+        # strictly fractional): every coordinate participates and its stack
+        # position equals its index, so the walk needs no id bookkeeping.
+        vals = values
+        top = n - 1
+        draws = rng.random(n).tolist()
+        draw_at = 0
+        pi = vals[top]
+        ci = top
+        while top >= 1:
+            j = top - 1
+            pj = vals[j]
+            alpha = 1.0 - pi if 1.0 - pi < pj else pj  # move mass j -> i
+            beta = pi if pi < 1.0 - pj else 1.0 - pj  # move mass i -> j
+            if draws[draw_at] < beta / (alpha + beta):
+                pi += alpha
+                pj -= alpha
+            else:
+                pi -= beta
+                pj += beta
+            draw_at += 1
+            if _TOL < pi < 1.0 - _TOL:
+                # Carry survives: pj is pinned, carry slides down one slot.
+                out[j] = pj > 0.5
+                top = j
+            elif _TOL < pj < 1.0 - _TOL:
+                # pj becomes the new carry in place.
+                out[ci] = pi > 0.5
+                ci = j
+                pi = pj
+                top = j
+            else:
+                # Both pinned (combined mass was integral): fresh pair next.
+                out[ci] = pi > 0.5
+                out[j] = pj > 0.5
+                top = j - 1
+                if top >= 0:
+                    ci = top
+                    pi = vals[top]
+        if top == 0:
+            # One residual fractional coordinate (float round-off): Bernoulli.
+            u = draws[draw_at] if draw_at < n else rng.random()
+            out[ci] = u < pi
+        return np.asarray(out, dtype=bool)
+
+    # General path: strip the already-integral coordinates, keeping the
+    # original index of each fractional one.
+    ids: list[int] = []
+    vals = []
+    for i, v in enumerate(values):
+        if v > _TOL:
+            if v < 1.0 - _TOL:
+                ids.append(i)
+                vals.append(v)
+            else:
+                out[i] = True
+    top = len(ids) - 1
+    if top < 0:
+        return np.asarray(out, dtype=bool)
+    draws = rng.random(top + 1).tolist()
     draw_at = 0
-    while len(ids) >= 2:
-        pi = vals[-1]
-        pj = vals[-2]
+    pi = vals[top]
+    ci = ids[top]
+    while top >= 1:
+        j = top - 1
+        pj = vals[j]
         alpha = 1.0 - pi if 1.0 - pi < pj else pj  # move mass j -> i
         beta = pi if pi < 1.0 - pj else 1.0 - pj  # move mass i -> j
         if draws[draw_at] < beta / (alpha + beta):
@@ -66,23 +140,26 @@ def depround(p: np.ndarray, rng: np.random.Generator) -> np.ndarray:
             pi -= beta
             pj += beta
         draw_at += 1
-        i = ids.pop()
-        vals.pop()
-        j = ids.pop()
-        vals.pop()
         if _TOL < pi < 1.0 - _TOL:
-            ids.append(i)
-            vals.append(pi)
+            # Carry survives: pj is pinned, carry slides down one slot.
+            out[ids[j]] = pj > 0.5
+            top = j
+        elif _TOL < pj < 1.0 - _TOL:
+            # pj becomes the new carry in place.
+            out[ci] = pi > 0.5
+            ci = ids[j]
+            pi = pj
+            top = j
         else:
-            work[i] = pi
-        if _TOL < pj < 1.0 - _TOL:
-            ids.append(j)
-            vals.append(pj)
-        else:
-            work[j] = pj
-    if ids:
+            # Both pinned (combined mass was integral): fresh pair next.
+            out[ci] = pi > 0.5
+            out[ids[j]] = pj > 0.5
+            top = j - 1
+            if top >= 0:
+                ci = ids[top]
+                pi = vals[top]
+    if top == 0:
         # One residual fractional coordinate (float round-off): Bernoulli.
-        value = vals[0]
         u = draws[draw_at] if draw_at < len(draws) else rng.random()
-        work[ids[0]] = 1.0 if u < value else 0.0
-    return work > 0.5
+        out[ci] = u < pi
+    return np.asarray(out, dtype=bool)

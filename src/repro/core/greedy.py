@@ -13,8 +13,16 @@ closer to optimal in practice — our benchmarks confirm both.
 
 The hot path is a single argsort over all edges (≈ M·K ≤ 3,000 at paper
 scale) followed by a linear pass; per the HPC guides the pass itself stays in
-plain Python because each iteration is a couple of array reads — NumPy calls
-inside the loop would be slower than scalar indexing at this size.
+plain Python because each iteration is a couple of scalar reads — NumPy calls
+inside the loop would be slower than scalar indexing at this size.  The
+bookkeeping uses a ``bytearray``/list (not ndarrays) for the same reason, the
+output arrays are preallocated at the matching-size bound min(n, M·c), and
+the pass exits early once that bound is reached.
+
+Two entry points share the kernel: :func:`greedy_select` takes the per-SCN
+coverage/weight lists the reference LFSC path produces, and
+:func:`greedy_select_edges` takes the flat edge list the batched slot engine
+already holds (skipping the concatenation).
 """
 
 from __future__ import annotations
@@ -24,7 +32,7 @@ import numpy as np
 from repro.env.simulator import Assignment
 from repro.utils.validation import check_positive
 
-__all__ = ["greedy_select", "edges_from_coverage"]
+__all__ = ["greedy_select", "greedy_select_edges", "edges_from_coverage"]
 
 
 def edges_from_coverage(
@@ -69,6 +77,104 @@ def edges_from_coverage(
     )
 
 
+def greedy_select_edges(
+    edge_scn: np.ndarray,
+    edge_task: np.ndarray,
+    edge_weight: np.ndarray,
+    num_scns: int,
+    capacity: int,
+    num_tasks: int,
+) -> Assignment:
+    """Alg. 4 on a flat edge list (the batched slot engine's native layout).
+
+    Parameters
+    ----------
+    edge_scn, edge_task, edge_weight:
+        Parallel 1-D arrays over the bipartite graph's edges (any order).
+    num_scns:
+        Number of SCNs M (sizes the per-SCN load bookkeeping).
+    capacity:
+        Communication capacity c — max tasks per SCN (constraint 1a).
+    num_tasks:
+        Total number of distinct tasks n_t this slot.
+
+    Notes
+    -----
+    Ties in edge weight are broken by edge order (stable sort), which is
+    deterministic given the inputs; callers wanting randomized tie-breaking
+    should jitter the weights.
+    """
+    check_positive("capacity", capacity)
+    if edge_scn.size == 0:
+        return Assignment.empty()
+
+    order = np.argsort(-edge_weight, kind="stable")
+    scn_sorted = edge_scn[order]
+    task_sorted = edge_task[order]
+
+    # No assignment can exceed the b-matching size bound min(n, M·c).
+    E = scn_sorted.shape[0]
+    bound = min(num_tasks, num_scns * capacity, E)
+    if bound == 0:
+        return Assignment.empty()
+    sel_scn: list[int] = []
+    sel_task: list[int] = []
+    push_scn = sel_scn.append
+    push_task = sel_task.append
+    taken = bytearray(num_tasks)  # constraint (1b)
+    count = 0
+    if capacity < 256:
+        # Remaining capacity per SCN (Alg. 4's c − C(m)).  Rejection is
+        # monotone — a taken task or a full SCN never becomes valid again —
+        # so each chunk of the sorted edge stream can be pre-filtered
+        # against the current state in one vectorized shot (through
+        # zero-copy views onto the bookkeeping buffers) before the scalar
+        # pass re-checks the few survivors; this skips the long rejected
+        # tail that dominates once the top edges have filled most slots.
+        rem = bytearray([capacity] * num_scns)
+        taken_np = np.frombuffer(taken, dtype=np.uint8)
+        rem_np = np.frombuffer(rem, dtype=np.uint8)
+        chunk = max(bound, 256)
+        pos = 0
+        while pos < E:
+            end = min(pos + chunk, E)
+            t_chunk = task_sorted[pos:end]
+            s_chunk = scn_sorted[pos:end]
+            live = np.flatnonzero((taken_np[t_chunk] == 0) & (rem_np[s_chunk] != 0))
+            # Linear pass over the surviving edges in decreasing weight
+            # (Alg. 4 lines 2-8); earlier accepts within the chunk can
+            # invalidate later survivors, hence the scalar re-check.
+            for m, i in zip(s_chunk[live].tolist(), t_chunk[live].tolist()):
+                if taken[i] or not rem[m]:
+                    continue
+                taken[i] = 1
+                rem[m] -= 1
+                push_scn(m)
+                push_task(i)
+                count += 1
+                if count == bound:
+                    break
+            if count == bound:
+                break
+            pos = end
+    else:
+        # Huge-capacity fallback (exceeds a bytearray cell): plain pass.
+        load = [0] * num_scns
+        for m, i in zip(scn_sorted.tolist(), task_sorted.tolist()):
+            if taken[i] or load[m] >= capacity:
+                continue
+            taken[i] = 1
+            load[m] += 1
+            push_scn(m)
+            push_task(i)
+            count += 1
+            if count == bound:
+                break
+    return Assignment(
+        scn=np.asarray(sel_scn, dtype=np.int64), task=np.asarray(sel_task, dtype=np.int64)
+    )
+
+
 def greedy_select(
     coverage: list[np.ndarray],
     weights_per_scn: list[np.ndarray],
@@ -86,37 +192,8 @@ def greedy_select(
     num_tasks:
         Total number of distinct tasks n_t this slot (sizes the
         "already assigned" bookkeeping).
-
-    Notes
-    -----
-    Ties in edge weight are broken by edge order (stable sort), which is
-    deterministic given the inputs; callers wanting randomized tie-breaking
-    should jitter the weights.
     """
-    check_positive("capacity", capacity)
     edge_scn, edge_task, edge_w = edges_from_coverage(coverage, weights_per_scn)
-    if edge_scn.size == 0:
-        return Assignment.empty()
-
-    order = np.argsort(-edge_w, kind="stable")
-    edge_scn = edge_scn[order]
-    edge_task = edge_task[order]
-
-    load = np.zeros(len(coverage), dtype=np.int64)  # C(m) in Alg. 4
-    taken = np.zeros(num_tasks, dtype=bool)  # constraint (1b)
-    sel_scn: list[int] = []
-    sel_task: list[int] = []
-    # Linear pass over edges in decreasing weight (Alg. 4 lines 2-8).
-    scn_list = edge_scn.tolist()
-    task_list = edge_task.tolist()
-    for m, i in zip(scn_list, task_list):
-        if taken[i] or load[m] >= capacity:
-            continue
-        taken[i] = True
-        load[m] += 1
-        sel_scn.append(m)
-        sel_task.append(i)
-    return Assignment(
-        scn=np.asarray(sel_scn, dtype=np.int64),
-        task=np.asarray(sel_task, dtype=np.int64),
+    return greedy_select_edges(
+        edge_scn, edge_task, edge_w, len(coverage), capacity, num_tasks
     )

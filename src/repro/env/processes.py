@@ -64,6 +64,30 @@ class GroundTruth(ABC):
     def expected_compound(self, t: int, contexts: np.ndarray) -> np.ndarray:
         """``(M, n)`` array of E[g] = E[u]·P[v=1]·E[1/q] (independence)."""
 
+    def means_pairs(
+        self, t: int, contexts: np.ndarray, scn_idx: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Expected values (E[u], P[v=1], E[q]) for explicit (SCN, task) pairs.
+
+        ``contexts[j]`` pairs with ``scn_idx[j]``; returns three ``(P,)``
+        arrays.  The default falls back to the dense ``(M, n)`` tables and
+        gathers the diagonal pairs; concrete truths override it to evaluate
+        only the requested pairs (the simulator's expected-violation
+        recording needs <= M·c pairs per slot, not M·n).
+        """
+        scn = np.asarray(scn_idx, dtype=np.int64)
+        rows = np.arange(scn.shape[0])
+        mu_u, p_v, mu_q = self.means(t, contexts)
+        return mu_u[scn, rows], p_v[scn, rows], mu_q[scn, rows]
+
+    def expected_compound_pairs(
+        self, t: int, contexts: np.ndarray, scn_idx: np.ndarray
+    ) -> np.ndarray:
+        """``(P,)`` E[g] for explicit (SCN, task) pairs (see :meth:`means_pairs`)."""
+        scn = np.asarray(scn_idx, dtype=np.int64)
+        rows = np.arange(scn.shape[0])
+        return self.expected_compound(t, contexts)[scn, rows]
+
     @abstractmethod
     def realize(
         self,
@@ -160,6 +184,47 @@ class PiecewiseConstantTruth(GroundTruth):
         cells = self._cells(contexts)
         return self.mu_u[:, cells] * self.p_v[:, cells] * self.expected_inverse_q(contexts)
 
+    # -- pair-wise lookups (exact: the tables make gathers associative) ------
+
+    def _pair_cells(
+        self, contexts: np.ndarray, scn_idx: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        scn = np.asarray(scn_idx, dtype=np.int64)
+        cells = self._cells(contexts)
+        if scn.shape != cells.shape:
+            raise ValueError(
+                f"scn_idx has shape {scn.shape} but contexts give {cells.shape}"
+            )
+        return scn, cells
+
+    def means_pairs(
+        self, t: int, contexts: np.ndarray, scn_idx: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        scn, cells = self._pair_cells(contexts, scn_idx)
+        mean_q = (self.q_lo[scn, cells] + self.q_hi[scn, cells]) / 2.0
+        return self.mu_u[scn, cells], self.p_v[scn, cells], mean_q
+
+    def expected_inverse_q_pairs(
+        self, contexts: np.ndarray, scn_idx: np.ndarray
+    ) -> np.ndarray:
+        """Exact E[1/q] per explicit (SCN, task) pair."""
+        scn, cells = self._pair_cells(contexts, scn_idx)
+        lo, hi = self.q_lo[scn, cells], self.q_hi[scn, cells]
+        width = hi - lo
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = np.where(width > _EPS, np.log(hi / lo) / np.where(width > _EPS, width, 1.0), 1.0 / lo)
+        return out
+
+    def expected_compound_pairs(
+        self, t: int, contexts: np.ndarray, scn_idx: np.ndarray
+    ) -> np.ndarray:
+        scn, cells = self._pair_cells(contexts, scn_idx)
+        return (
+            self.mu_u[scn, cells]
+            * self.p_v[scn, cells]
+            * self.expected_inverse_q_pairs(contexts, scn_idx)
+        )
+
     # -- sampling ------------------------------------------------------------
 
     def realize(
@@ -242,6 +307,35 @@ class SmoothTruth(GroundTruth):
         # q is deterministic given the context here, so E[1/q] = 1/mu_q.
         return mu_u * p_v / mu_q
 
+    def _field_pairs(self, bank: int, contexts: np.ndarray, scn: np.ndarray) -> np.ndarray:
+        """The cosine field at explicit (SCN, context) pairs: (P,) values.
+
+        Evaluates only the requested SCNs' feature banks; agrees with
+        :meth:`_field` up to floating-point reduction order (the einsum
+        contraction path differs), i.e. to ~1 ulp.
+        """
+        ctx = np.atleast_2d(np.asarray(contexts, dtype=float))
+        proj = np.einsum("pfd,pd->pf", self._omega[bank][scn], ctx) * 2.0 * np.pi
+        waves = np.cos(proj + self._phase[bank][scn])
+        raw = np.einsum("pf,pf->p", self._coef[bank][scn], waves)
+        return 1.0 / (1.0 + np.exp(-3.0 * raw))
+
+    def means_pairs(
+        self, t: int, contexts: np.ndarray, scn_idx: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        scn = np.asarray(scn_idx, dtype=np.int64)
+        q_lo, q_hi = self.q_range
+        mu_u = self._field_pairs(0, contexts, scn)
+        p_v = self._field_pairs(1, contexts, scn)
+        mu_q = q_lo + (q_hi - q_lo) * self._field_pairs(2, contexts, scn)
+        return mu_u, p_v, mu_q
+
+    def expected_compound_pairs(
+        self, t: int, contexts: np.ndarray, scn_idx: np.ndarray
+    ) -> np.ndarray:
+        mu_u, p_v, mu_q = self.means_pairs(t, contexts, scn_idx)
+        return mu_u * p_v / mu_q
+
     def realize(
         self,
         t: int,
@@ -283,6 +377,12 @@ class DriftingTruth(GroundTruth):
 
     def expected_compound(self, t, contexts):
         return self.base.expected_compound(t, contexts)
+
+    def means_pairs(self, t, contexts, scn_idx):
+        return self.base.means_pairs(t, contexts, scn_idx)
+
+    def expected_compound_pairs(self, t, contexts, scn_idx):
+        return self.base.expected_compound_pairs(t, contexts, scn_idx)
 
     def realize(self, t, contexts, scn_idx, rng):
         return self.base.realize(t, contexts, scn_idx, rng)
@@ -338,6 +438,12 @@ class RegimeSwitchTruth(GroundTruth):
 
     def expected_compound(self, t, contexts):
         return self._active.expected_compound(t, contexts)
+
+    def means_pairs(self, t, contexts, scn_idx):
+        return self._active.means_pairs(t, contexts, scn_idx)
+
+    def expected_compound_pairs(self, t, contexts, scn_idx):
+        return self._active.expected_compound_pairs(t, contexts, scn_idx)
 
     def realize(self, t, contexts, scn_idx, rng):
         return self._active.realize(t, contexts, scn_idx, rng)

@@ -92,10 +92,25 @@ class Assignment:
             raise ValueError(
                 f"constraint (1a) violated: SCN {worst} assigned {counts[worst]} > c={capacity}"
             )
-        for m in np.unique(self.scn):
-            assigned = self.task[self.scn == m]
-            if not np.isin(assigned, slot.coverage[m]).all():
-                raise ValueError(f"SCN {m} assigned a task outside its coverage")
+        # Coverage membership for all pairs at once: encode (scn, task) as
+        # scn·n + task, sort the coverage keys once, and check each pair by
+        # sorted membership — one searchsorted instead of an isin per SCN.
+        cov_parts = [np.asarray(c, dtype=np.int64) for c in slot.coverage]
+        lengths = np.fromiter((c.shape[0] for c in cov_parts), dtype=np.int64, count=len(cov_parts))
+        if lengths.sum() == 0:
+            raise ValueError(
+                f"SCN {int(self.scn.min())} assigned a task outside its coverage"
+            )
+        cov_key = np.repeat(np.arange(len(cov_parts), dtype=np.int64), lengths) * n
+        cov_key += np.concatenate(cov_parts)
+        cov_key.sort()
+        pair_key = self.scn * np.int64(n) + self.task
+        pos = np.searchsorted(cov_key, pair_key)
+        ok = cov_key[np.minimum(pos, cov_key.size - 1)] == pair_key
+        if not ok.all():
+            raise ValueError(
+                f"SCN {int(self.scn[~ok].min())} assigned a task outside its coverage"
+            )
 
     def tasks_of(self, m: int) -> np.ndarray:
         """Task indices assigned to SCN ``m``."""
@@ -175,11 +190,13 @@ class SimulationResult:
     accepted: np.ndarray
     violation_qos: np.ndarray
     violation_resource: np.ndarray
-    violation_qos_realized: np.ndarray = None  # type: ignore[assignment]
-    violation_resource_realized: np.ndarray = None  # type: ignore[assignment]
+    violation_qos_realized: np.ndarray | None = None
+    violation_resource_realized: np.ndarray | None = None
     has_expected: bool = True
 
     def __post_init__(self) -> None:
+        # The realized series default to the recorded violation series, so
+        # both attributes are always ndarrays after construction.
         if self.violation_qos_realized is None:
             self.violation_qos_realized = self.violation_qos
         if self.violation_resource_realized is None:
@@ -304,6 +321,9 @@ class Simulation:
 
         M = self.network.num_scns
         alpha, beta = self.network.alpha, self.network.beta
+        has_pair_api = hasattr(self.truth, "expected_compound_pairs") and hasattr(
+            self.truth, "means_pairs"
+        )
         reward = np.zeros(horizon)
         expected_reward = np.zeros(horizon)
         completed = np.zeros((horizon, M))
@@ -343,17 +363,28 @@ class Simulation:
             if record_expected:
                 # The paper's V1/V2 use the expected completed count Σ v̄
                 # and expected consumption Σ q̄ of the selected set (§3.2).
+                # Only the <= M·c assigned pairs are needed, so evaluate the
+                # truth pair-wise instead of building dense (M, n) tables;
+                # duck-typed truths without the pair API fall back to dense.
                 if len(assignment) > 0:
-                    rows = np.arange(len(assignment))
-                    exp_g = self.truth.expected_compound(t, pair_contexts)
-                    expected_reward[t] = exp_g[assignment.scn, rows].sum()
-                    _, p_v, mu_q = self.truth.means(t, pair_contexts)
-                    exp_comp = np.bincount(
-                        assignment.scn, weights=p_v[assignment.scn, rows], minlength=M
-                    )
-                    exp_cons = np.bincount(
-                        assignment.scn, weights=mu_q[assignment.scn, rows], minlength=M
-                    )
+                    if has_pair_api:
+                        exp_g = self.truth.expected_compound_pairs(
+                            t, pair_contexts, assignment.scn
+                        )
+                        _, p_v, mu_q = self.truth.means_pairs(
+                            t, pair_contexts, assignment.scn
+                        )
+                    else:
+                        rows = np.arange(len(assignment))
+                        exp_g = self.truth.expected_compound(t, pair_contexts)[
+                            assignment.scn, rows
+                        ]
+                        p_v_dense, mu_q_dense = self.truth.means(t, pair_contexts)[1:]
+                        p_v = p_v_dense[assignment.scn, rows]
+                        mu_q = mu_q_dense[assignment.scn, rows]
+                    expected_reward[t] = exp_g.sum()
+                    exp_comp = np.bincount(assignment.scn, weights=p_v, minlength=M)
+                    exp_cons = np.bincount(assignment.scn, weights=mu_q, minlength=M)
                 else:
                     exp_comp = np.zeros(M)
                     exp_cons = np.zeros(M)

@@ -42,7 +42,10 @@ def parallel_map(
         The work items; materialized to preserve result order.
     workers:
         Number of processes.  ``None`` or ``1`` runs serially in-process;
-        ``0`` means :func:`default_workers`.
+        ``0`` resolves to :func:`default_workers`.  Regardless of the
+        resolved count, a sweep of zero or one items always runs serially —
+        spawning a process pool for a single simulation would only add
+        fork/pickle overhead.
     chunksize:
         Forwarded to the executor's ``map`` for large item counts.
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.greedy import edges_from_coverage, greedy_select
+from repro.core.greedy import edges_from_coverage, greedy_select, greedy_select_edges
 from repro.solvers.matching import max_weight_b_matching, total_weight
 
 
@@ -27,6 +27,34 @@ class TestEdgesFromCoverage:
     def test_empty(self):
         scn, task, w = edges_from_coverage([], [])
         assert scn.size == task.size == w.size == 0
+
+
+class TestGreedySelectEdges:
+    def test_matches_list_entry_point(self):
+        rng = np.random.default_rng(42)
+        for _ in range(20):
+            M, n, c = 4, 12, 3
+            cov = [np.sort(rng.choice(n, size=rng.integers(0, n + 1), replace=False)) for _ in range(M)]
+            w = [rng.random(len(covm)) for covm in cov]
+            ref = greedy_select(cov, w, c, n)
+            scn, task, weight = edges_from_coverage(cov, w)
+            got = greedy_select_edges(scn, task, weight, M, c, n)
+            np.testing.assert_array_equal(ref.scn, got.scn)
+            np.testing.assert_array_equal(ref.task, got.task)
+
+    def test_empty_edge_list(self):
+        empty = np.empty(0, dtype=np.int64)
+        asn = greedy_select_edges(empty, empty, np.empty(0), 3, 2, 5)
+        assert len(asn) == 0
+
+    def test_output_bounded_by_matching_size(self):
+        # M*c = 2 < num_tasks: the preallocated output must not overflow.
+        scn = np.array([0, 0, 0, 1, 1, 1])
+        task = np.array([0, 1, 2, 3, 4, 5])
+        w = np.array([0.9, 0.8, 0.7, 0.6, 0.5, 0.4])
+        asn = greedy_select_edges(scn, task, w, 2, 1, 6)
+        assert len(asn) == 2
+        np.testing.assert_array_equal(np.sort(asn.scn), [0, 1])
 
 
 class TestGreedySelect:

@@ -1,0 +1,130 @@
+"""Property tests: capped_probabilities_batch ≡ per-SCN capped_probabilities.
+
+The batched Alg. 2 kernel must reproduce the reference single-segment
+implementation bit-for-bit on every segment of every ragged instance — the
+batched LFSC slot engine's equivalence guarantee rests on it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.probability import (
+    CappedProbabilities,
+    capped_probabilities,
+    capped_probabilities_batch,
+)
+
+
+def random_instance(rng, *, max_segments=12, max_len=40, extreme=False):
+    """A ragged batch: per-segment weights incl. empty and K<=c segments."""
+    num_segments = int(rng.integers(1, max_segments + 1))
+    lengths = rng.integers(0, max_len + 1, size=num_segments)
+    if extreme:
+        spans = rng.choice([1.0, 1e10, 1e50, 1e100], size=num_segments)
+    else:
+        spans = np.ones(num_segments)
+    parts = [rng.random(k) * s + 1e-12 for k, s in zip(lengths, spans)]
+    weights = np.concatenate(parts) if parts else np.empty(0)
+    offsets = np.zeros(num_segments + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    return weights, offsets
+
+
+def reference_segments(weights, offsets, capacity, gamma):
+    out = []
+    for m in range(len(offsets) - 1):
+        seg = weights[offsets[m] : offsets[m + 1]]
+        if seg.size == 0:
+            out.append(
+                CappedProbabilities(
+                    p=np.empty(0), capped=np.empty(0, dtype=bool), threshold=np.nan
+                )
+            )
+        else:
+            out.append(capped_probabilities(seg, capacity, gamma))
+    return out
+
+
+def assert_batch_matches_reference(weights, offsets, capacity, gamma):
+    batch = capped_probabilities_batch(weights, offsets, capacity, gamma)
+    refs = reference_segments(weights, offsets, capacity, gamma)
+    assert batch.num_segments == len(refs)
+    for m, ref in enumerate(refs):
+        got = batch.segment(m)
+        np.testing.assert_array_equal(got.p, ref.p, err_msg=f"segment {m} p")
+        np.testing.assert_array_equal(got.capped, ref.capped, err_msg=f"segment {m} capped")
+        if np.isnan(ref.threshold):
+            assert np.isnan(got.threshold), f"segment {m} threshold"
+        else:
+            assert got.threshold == ref.threshold, f"segment {m} threshold"
+
+
+class TestBatchEquivalence:
+    @pytest.mark.parametrize("gamma", [0.01, 0.05, 0.3, 1.0])
+    @pytest.mark.parametrize("capacity", [1, 3, 8])
+    def test_random_ragged_instances(self, gamma, capacity):
+        rng = np.random.default_rng(20260805)
+        for _ in range(30):
+            weights, offsets = random_instance(rng)
+            assert_batch_matches_reference(weights, offsets, capacity, gamma)
+
+    def test_extreme_weight_spreads_trigger_capping(self):
+        # Spans up to 1e100 force the cap threshold walk deep into each
+        # segment; the vectorized solve must match the reference walk exactly.
+        rng = np.random.default_rng(7)
+        any_capped = False
+        for _ in range(40):
+            weights, offsets = random_instance(rng, extreme=True)
+            batch = capped_probabilities_batch(weights, offsets, 4, 0.05)
+            any_capped = any_capped or bool(batch.capped.any())
+            assert_batch_matches_reference(weights, offsets, 4, 0.05)
+        assert any_capped, "extreme instances never exercised the cap path"
+
+    def test_segments_not_exceeding_capacity_are_deterministic(self):
+        # K <= c segments select everything with p = 1 (capped).
+        weights = np.array([5.0, 1.0, 0.5, 2.0, 3.0])
+        offsets = np.array([0, 2, 2, 5])  # lengths 2, 0, 3
+        batch = capped_probabilities_batch(weights, offsets, 3, 0.1)
+        np.testing.assert_array_equal(batch.segment(0).p, [1.0, 1.0])
+        assert batch.segment(0).capped.all()
+        assert batch.segment(1).p.size == 0
+        np.testing.assert_array_equal(batch.segment(2).p, [1.0, 1.0, 1.0])
+        assert_batch_matches_reference(weights, offsets, 3, 0.1)
+
+    def test_all_segments_empty(self):
+        offsets = np.zeros(5, dtype=np.int64)
+        batch = capped_probabilities_batch(np.empty(0), offsets, 4, 0.1)
+        assert batch.p.size == 0 and batch.capped.size == 0
+        assert np.isnan(batch.thresholds).all()
+
+    def test_single_segment_matches_scalar_api(self):
+        rng = np.random.default_rng(3)
+        w = rng.random(25) + 1e-6
+        offsets = np.array([0, 25], dtype=np.int64)
+        batch = capped_probabilities_batch(w, offsets, 6, 0.2)
+        ref = capped_probabilities(w, 6, 0.2)
+        np.testing.assert_array_equal(batch.p, ref.p)
+        np.testing.assert_array_equal(batch.capped, ref.capped)
+
+    def test_gamma_one_uniform(self):
+        weights, offsets = random_instance(np.random.default_rng(11))
+        assert_batch_matches_reference(weights, offsets, 5, 1.0)
+
+    def test_marginals_sum_to_capacity_per_randomized_segment(self):
+        rng = np.random.default_rng(5)
+        weights, offsets = random_instance(rng, max_len=30)
+        c = 4
+        batch = capped_probabilities_batch(weights, offsets, c, 0.05)
+        for m in range(batch.num_segments):
+            p = batch.segment(m).p
+            if p.size > c:
+                assert p.sum() == pytest.approx(c, abs=1e-8)
+
+    def test_invalid_offsets_rejected(self):
+        w = np.ones(4)
+        with pytest.raises(ValueError):
+            capped_probabilities_batch(w, np.array([1, 4]), 2, 0.1)  # start != 0
+        with pytest.raises(ValueError):
+            capped_probabilities_batch(w, np.array([0, 3]), 2, 0.1)  # end != len
+        with pytest.raises(ValueError):
+            capped_probabilities_batch(w, np.array([0, 3, 2, 4]), 2, 0.1)  # decreasing

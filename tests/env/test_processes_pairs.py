@@ -1,0 +1,129 @@
+"""Tests for the pair-wise ground-truth APIs (means_pairs et al.).
+
+The simulator's expected-violation recording evaluates only the <= M·c
+assigned pairs per slot; these tests pin the pair-wise results to the dense
+``(M, n)`` tables — exactly for table-based truths (pure gathers), and to
+floating-point reduction order for :class:`SmoothTruth` (einsum path).
+"""
+
+import numpy as np
+import pytest
+
+from repro.env.processes import (
+    DriftingTruth,
+    GroundTruth,
+    PiecewiseConstantTruth,
+    RegimeSwitchTruth,
+    SmoothTruth,
+)
+
+
+@pytest.fixture
+def pairs(rng):
+    contexts = rng.random((40, 3))
+    scn = rng.integers(0, 8, size=40)
+    return contexts, scn
+
+
+def dense_gather(truth, t, contexts, scn):
+    rows = np.arange(len(scn))
+    mu_u, p_v, mu_q = truth.means(t, contexts)
+    exp_g = truth.expected_compound(t, contexts)
+    return mu_u[scn, rows], p_v[scn, rows], mu_q[scn, rows], exp_g[scn, rows]
+
+
+class TestPiecewiseConstantPairs:
+    def test_pairs_match_dense_exactly(self, pairs):
+        contexts, scn = pairs
+        truth = PiecewiseConstantTruth(num_scns=8, seed=5)
+        mu_u, p_v, mu_q, exp_g = dense_gather(truth, 0, contexts, scn)
+        got_u, got_v, got_q = truth.means_pairs(0, contexts, scn)
+        np.testing.assert_array_equal(got_u, mu_u)
+        np.testing.assert_array_equal(got_v, p_v)
+        np.testing.assert_array_equal(got_q, mu_q)
+        np.testing.assert_array_equal(truth.expected_compound_pairs(0, contexts, scn), exp_g)
+
+    def test_expected_inverse_q_pairs_match_dense(self, pairs):
+        contexts, scn = pairs
+        truth = PiecewiseConstantTruth(num_scns=8, seed=5)
+        rows = np.arange(len(scn))
+        dense = truth.expected_inverse_q(contexts)[scn, rows]
+        np.testing.assert_array_equal(truth.expected_inverse_q_pairs(contexts, scn), dense)
+
+    def test_degenerate_band_pairs(self, pairs):
+        contexts, scn = pairs
+        truth = PiecewiseConstantTruth(num_scns=8, q_band=1e-12, seed=5)
+        got = truth.expected_inverse_q_pairs(contexts, scn)
+        _, _, mu_q = truth.means_pairs(0, contexts, scn)
+        np.testing.assert_allclose(got, 1.0 / mu_q, rtol=1e-9)
+
+    def test_shape_mismatch_raises(self):
+        truth = PiecewiseConstantTruth(num_scns=4, seed=0)
+        with pytest.raises(ValueError):
+            truth.means_pairs(0, np.random.default_rng(0).random((5, 3)), np.arange(3))
+
+
+class TestSmoothPairs:
+    def test_pairs_allclose_dense(self, pairs):
+        contexts, scn = pairs
+        truth = SmoothTruth(num_scns=8, seed=5)
+        mu_u, p_v, mu_q, exp_g = dense_gather(truth, 0, contexts, scn)
+        got_u, got_v, got_q = truth.means_pairs(0, contexts, scn)
+        np.testing.assert_allclose(got_u, mu_u, rtol=1e-12)
+        np.testing.assert_allclose(got_v, p_v, rtol=1e-12)
+        np.testing.assert_allclose(got_q, mu_q, rtol=1e-12)
+        np.testing.assert_allclose(
+            truth.expected_compound_pairs(0, contexts, scn), exp_g, rtol=1e-12
+        )
+
+
+class TestNonStationaryDelegation:
+    def test_drifting_delegates(self, pairs):
+        contexts, scn = pairs
+        truth = DriftingTruth(base=PiecewiseConstantTruth(num_scns=8, seed=5))
+        _, _, _, exp_g = dense_gather(truth, 0, contexts, scn)
+        np.testing.assert_array_equal(truth.expected_compound_pairs(0, contexts, scn), exp_g)
+        truth.advance(0, np.random.default_rng(1))  # pairs track the walked table
+        _, _, _, exp_g2 = dense_gather(truth, 1, contexts, scn)
+        np.testing.assert_array_equal(truth.expected_compound_pairs(1, contexts, scn), exp_g2)
+
+    def test_regime_switch_tracks_active_regime(self, pairs):
+        contexts, scn = pairs
+        truth = RegimeSwitchTruth(
+            regime_a=PiecewiseConstantTruth(num_scns=8, seed=5),
+            regime_b=PiecewiseConstantTruth(num_scns=8, seed=6),
+            switch_prob=1.0,
+        )
+        before = truth.expected_compound_pairs(0, contexts, scn)
+        truth.advance(0, np.random.default_rng(0))  # certain switch
+        after = truth.expected_compound_pairs(1, contexts, scn)
+        assert not np.array_equal(before, after)
+        _, _, _, exp_g = dense_gather(truth, 1, contexts, scn)
+        np.testing.assert_array_equal(after, exp_g)
+
+
+class TestAbcFallback:
+    def test_default_implementation_gathers_dense(self, pairs):
+        contexts, scn = pairs
+
+        class MinimalTruth(GroundTruth):
+            num_scns = 8
+            dims = 3
+
+            def means(self, t, contexts):
+                n = len(np.atleast_2d(contexts))
+                base = np.arange(self.num_scns)[:, None] + np.zeros(n)
+                return base, base + 0.5, base + 1.0
+
+            def expected_compound(self, t, contexts):
+                mu_u, p_v, mu_q = self.means(t, contexts)
+                return mu_u * p_v / mu_q
+
+            def realize(self, t, contexts, scn_idx, rng):
+                raise NotImplementedError
+
+        truth = MinimalTruth()
+        _, _, _, exp_g = dense_gather(truth, 0, contexts, scn)
+        np.testing.assert_array_equal(truth.expected_compound_pairs(0, contexts, scn), exp_g)
+        got_u, _, _ = truth.means_pairs(0, contexts, scn)
+        np.testing.assert_array_equal(got_u, scn.astype(float))

@@ -63,6 +63,21 @@ class TestAssignment:
         with pytest.raises(ValueError, match="coverage"):
             Assignment(scn=np.array([0]), task=np.array([3])).validate(slot, 2)
 
+    def test_validate_coverage_reports_lowest_violating_scn(self, rng):
+        slot = make_slot(rng.random((4, 3)), [[0, 1], [2, 3], [1, 2]])
+        with pytest.raises(ValueError, match="SCN 1 assigned"):
+            Assignment(scn=np.array([2, 1]), task=np.array([1, 0])).validate(slot, 2)
+
+    def test_validate_unsorted_coverage_lists(self, rng):
+        # The sorted-membership check must not assume sorted coverage input.
+        slot = make_slot(rng.random((4, 3)), [[1, 0], [3, 2], [2, 1]])
+        Assignment(scn=np.array([0, 1]), task=np.array([0, 2])).validate(slot, 2)
+
+    def test_validate_all_coverage_empty(self, rng):
+        slot = make_slot(rng.random((4, 3)), [[], [], []])
+        with pytest.raises(ValueError, match="coverage"):
+            Assignment(scn=np.array([1]), task=np.array([0])).validate(slot, 2)
+
     def test_validate_out_of_range_indices(self, rng):
         slot = make_slot(rng.random((4, 3)), [[0, 1], [2, 3], [1, 2]])
         with pytest.raises(ValueError, match="task index"):
