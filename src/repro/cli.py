@@ -6,6 +6,12 @@ Usage (module form)::
     python -m repro fig3 --workers 0
     python -m repro run --policies Oracle LFSC Random --plot
     python -m repro ablations --study lagrangian
+    python -m repro replicate --seeds 8 --policies LFSC vUCB Random
+
+Sweeps and replications are process-parallel by default (``--workers 0`` =
+one process per CPU core, with serial fallback on single-core hosts); pass
+``--workers 1`` to force serial execution — per-seed results are
+bit-identical either way (see DESIGN.md, "Determinism contract").
 
 Every subcommand prints the same rows/series the paper reports (via the
 harnesses in :mod:`repro.experiments.figures`) and can render an ASCII chart
@@ -121,6 +127,26 @@ def build_parser() -> argparse.ArgumentParser:
         "report", parents=[common], help="run the harnesses and write a markdown report"
     )
     rep_p.add_argument("--out", default="results/report.md")
+
+    repl_p = sub.add_parser(
+        "replicate",
+        parents=[common],
+        help="multi-seed replication with confidence intervals (parallel by default)",
+    )
+    repl_p.add_argument("--policies", nargs="+", default=list(DEFAULT_POLICIES))
+    repl_p.add_argument(
+        "--seeds",
+        type=int,
+        default=5,
+        help="replication count; seeds derive from --seed via the frozen stream contract",
+    )
+    repl_p.add_argument(
+        "--seed-list",
+        nargs="+",
+        type=int,
+        default=None,
+        help="explicit seeds (overrides --seeds; used verbatim)",
+    )
     return parser
 
 
@@ -162,6 +188,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         for name in names:
             print(f"\n=== ablation: {name} ===")
             _emit(studies[name](cfg, workers=workers), args)
+    elif args.command == "replicate":
+        from repro.experiments.replication import replicate, replication_rows
+        from repro.metrics.summary import format_table
+
+        seeds = args.seed_list if args.seed_list is not None else args.seeds
+        agg = replicate(cfg, tuple(args.policies), seeds=seeds, workers=workers)
+        n = agg[args.policies[0]]["total_reward"].n
+        print(f"[replicate] mean ± 95% CI over {n} seeds (base seed {cfg.seed})\n")
+        print(format_table(replication_rows(agg), precision=1))
     elif args.command == "report":
         from pathlib import Path
 

@@ -269,8 +269,13 @@ class Simulation:
     channel:
         Optional dynamic blockage layer multiplying into v.
     seed:
-        Root seed; independent named streams are derived for the workload,
-        the realizations, the channel, and the policy.
+        Root seed — an integer, ``None`` (fresh OS entropy), or a
+        :class:`numpy.random.SeedSequence` (e.g. a replication child spawned
+        under the frozen contract of :mod:`repro.utils.rng`).  Independent
+        named streams are derived for the workload, the realizations, the
+        channel, and the policy; the derivation depends only on the root
+        seed and the stream names, never on process/worker topology, so a
+        run is a pure function of ``(config, seed)``.
     validate_assignments:
         When True (default) every assignment is checked against (1a), (1b)
         and coverage — catching buggy policies at the slot they misbehave.
@@ -280,7 +285,7 @@ class Simulation:
     workload: Workload
     truth: GroundTruth
     channel: BlockageChannel | None = None
-    seed: int | None = 0
+    seed: int | None | np.random.SeedSequence = 0
     validate_assignments: bool = True
 
     def __post_init__(self) -> None:

@@ -41,8 +41,12 @@ def _run_variant(args: tuple[ExperimentConfig, str]) -> SimulationResult:
     return res
 
 
+def _variant_label(index: int, args: tuple[ExperimentConfig, str]) -> str:
+    return f"variant {args[1]!r}, seed {args[0].seed}"
+
+
 def _collect(variants: list[tuple[ExperimentConfig, str]], name: str, workers) -> FigureOutput:
-    results = parallel_map(_run_variant, variants, workers=workers)
+    results = parallel_map(_run_variant, variants, workers=workers, label=_variant_label)
     by_label = {r.policy_name: r for r in results}
     return FigureOutput(
         name=name,
@@ -53,7 +57,7 @@ def _collect(variants: list[tuple[ExperimentConfig, str]], name: str, workers) -
 
 
 def ablation_lagrangian(
-    cfg: ExperimentConfig, *, workers: int | None = None
+    cfg: ExperimentConfig, *, workers: int | None = 0
 ) -> FigureOutput:
     """LFSC with and without the Lagrangian constraint coupling."""
     base = cfg.lfsc_config()
@@ -68,7 +72,7 @@ def ablation_lagrangian(
 
 
 def ablation_assignment_mode(
-    cfg: ExperimentConfig, *, workers: int | None = None
+    cfg: ExperimentConfig, *, workers: int | None = 0
 ) -> FigureOutput:
     """DepRound-sampled vs. deterministic greedy assignment."""
     base = cfg.lfsc_config()
@@ -109,7 +113,7 @@ def ablation_adaptive_partition(
     cfg: ExperimentConfig,
     split_bases: Sequence[float] = (30.0, 100.0),
     *,
-    workers: int | None = None,
+    workers: int | None = 0,
 ) -> FigureOutput:
     """Fixed (h_T)^D grid vs the zooming adaptive partition (extension).
 
@@ -119,7 +123,10 @@ def ablation_adaptive_partition(
     """
     fixed = _run_variant((cfg, "LFSC-fixed"))
     adaptive = parallel_map(
-        _run_adaptive, [(cfg, float(b)) for b in split_bases], workers=workers
+        _run_adaptive,
+        [(cfg, float(b)) for b in split_bases],
+        workers=workers,
+        label=lambda i, args: f"split_base={args[1]:g}, seed {args[0].seed}",
     )
     by_label = {r.policy_name: r for r in [fixed, *adaptive]}
     return FigureOutput(
@@ -134,7 +141,7 @@ def ablation_partition_granularity(
     cfg: ExperimentConfig,
     parts_values: Sequence[int] = (1, 2, 3, 5),
     *,
-    workers: int | None = None,
+    workers: int | None = 0,
 ) -> FigureOutput:
     """Sweep the hypercube granularity h_T."""
     base = cfg.lfsc_config()

@@ -175,12 +175,16 @@ def _run_alpha_point(
     return run_experiment(cfg.with_overrides(alpha=alpha), policies, workers=None)
 
 
+def _alpha_label(index: int, args: tuple[ExperimentConfig, Sequence[str], float]) -> str:
+    return f"alpha={args[2]:g}, seed {args[0].seed}"
+
+
 def fig3_alpha_sweep(
     cfg: ExperimentConfig,
     alphas: Sequence[float] = (13.0, 14.0, 15.0, 16.0, 17.0),
     policies: Sequence[str] = DEFAULT_POLICIES,
     *,
-    workers: int | None = None,
+    workers: int | None = 0,
 ) -> FigureOutput:
     """Total reward and V1 as functions of α (paper Fig. 3).
 
@@ -192,6 +196,7 @@ def fig3_alpha_sweep(
         _run_alpha_point,
         [(cfg, policies, float(a)) for a in alphas],
         workers=workers,
+        label=_alpha_label,
     )
     x = np.asarray(list(alphas), dtype=float)
     series: dict[str, np.ndarray] = {"x": x}
@@ -224,12 +229,18 @@ def _run_v_point(
     return run_experiment(cfg.with_overrides(v_range=v_range), policies, workers=None)
 
 
+def _v_label(
+    index: int, args: tuple[ExperimentConfig, Sequence[str], tuple[float, float]]
+) -> str:
+    return f"v_range={args[2]}, seed {args[0].seed}"
+
+
 def fig4_likelihood_sweep(
     cfg: ExperimentConfig,
     v_lows: Sequence[float] = (0.0, 0.25, 0.5, 0.75),
     policies: Sequence[str] = DEFAULT_POLICIES,
     *,
-    workers: int | None = None,
+    workers: int | None = 0,
 ) -> FigureOutput:
     """Performance under different link-reliability environments (§5 close).
 
@@ -242,6 +253,7 @@ def fig4_likelihood_sweep(
         _run_v_point,
         [(cfg, policies, (float(lo), 1.0)) for lo in v_lows],
         workers=workers,
+        label=_v_label,
     )
     x = np.asarray(list(v_lows), dtype=float)
     series: dict[str, np.ndarray] = {"x": x}

@@ -1,13 +1,28 @@
-"""Multi-seed replication with confidence intervals.
+"""Multi-seed replication — process-parallel by default, deterministic always.
 
 A single simulation run is one sample of the random environment; headline
 comparisons (LFSC vs baselines) should be robust across seeds.
-:func:`replicate` runs an experiment at several seeds and aggregates every
-summary scalar into mean, standard deviation, and a normal-approximation
-confidence interval; :func:`replication_rows` renders the comparison table
-with ``value ± half_width`` strings.  Used by ``benchmarks/bench_replication.py``
-to assert the paper's orderings hold with statistical margin, not by luck of
-one seed.
+:func:`run_replications` runs an experiment at several seeds and returns the
+full per-seed :class:`SimulationResult` objects; :func:`replicate` aggregates
+every summary scalar into mean, standard deviation, and a
+normal-approximation confidence interval; :func:`replication_rows` renders
+the comparison table with ``value ± half_width`` strings.  Used by
+``benchmarks/bench_replication.py`` to assert the paper's orderings hold with
+statistical margin, not by luck of one seed.
+
+Determinism contract
+--------------------
+
+Replication seeds follow the frozen stream contract of
+:mod:`repro.utils.rng`: when a replication *count* ``n`` is given, the k-th
+replication runs at ``replication_seed(cfg.seed, k)`` — a mapping that
+depends only on ``(cfg.seed, k)``, never on worker count or scheduling.
+Each worker rebuilds its whole experiment from the config and that integer
+seed, and :func:`repro.utils.parallel.parallel_map` collects results in
+submission order, so ``workers=0`` (all cores — the default), ``workers=1``
+(serial), and any ``workers=n`` produce **bit-identical** per-seed results
+(enforced by ``tests/experiments/test_determinism.py``).  An explicit seed
+*list* is honoured verbatim, one replication per listed seed.
 """
 
 from __future__ import annotations
@@ -21,9 +36,17 @@ from scipy import stats
 from repro.env.simulator import SimulationResult
 from repro.experiments.runner import DEFAULT_POLICIES, ExperimentConfig, run_experiment
 from repro.utils.parallel import parallel_map
+from repro.utils.rng import replication_seeds
 from repro.utils.validation import check_positive, require
 
-__all__ = ["ReplicatedSummary", "replicate", "replication_rows"]
+__all__ = [
+    "ReplicatedSummary",
+    "ReplicationRun",
+    "replicate",
+    "replication_rows",
+    "replication_seed_list",
+    "run_replications",
+]
 
 
 @dataclass(frozen=True)
@@ -46,45 +69,93 @@ class ReplicatedSummary:
         return f"{self.mean:.{precision}f} ± {self.half_width:.{precision}f}"
 
 
-def _run_seed(args: tuple[ExperimentConfig, Sequence[str], int]) -> dict[str, dict[str, float]]:
+@dataclass(frozen=True)
+class ReplicationRun:
+    """One replication: its index, the seed it ran at, and the full results."""
+
+    index: int
+    seed: int
+    results: dict[str, SimulationResult]
+
+
+def replication_seed_list(base_seed: int, seeds: Sequence[int] | int) -> list[int]:
+    """Resolve a count-or-list ``seeds`` argument to explicit seed integers.
+
+    A count ``n`` derives seeds through the frozen replication stream
+    contract (:func:`repro.utils.rng.replication_seeds`); an explicit list
+    is returned as given.
+    """
+    if isinstance(seeds, int):
+        check_positive("seeds", seeds)
+        return replication_seeds(base_seed, seeds)
+    seed_list = [int(s) for s in seeds]
+    require(len(seed_list) >= 1, "need at least one seed")
+    return seed_list
+
+
+def _seed_label(index: int, args: tuple[ExperimentConfig, Sequence[str], int]) -> str:
+    """Names the failing replication in ParallelExecutionError messages."""
+    return f"replication {index}, seed {args[2]}"
+
+
+def _run_seed_full(
+    args: tuple[ExperimentConfig, Sequence[str], int]
+) -> dict[str, SimulationResult]:
+    """Worker: one replication, returning the full per-policy results."""
     cfg, policies, seed = args
-    results = run_experiment(cfg.with_overrides(seed=seed), policies, workers=None)
-    return {name: res.summary() for name, res in results.items()}
+    return run_experiment(cfg.with_overrides(seed=seed), policies, workers=None)
 
 
-def replicate(
+def _run_seed_summary(
+    args: tuple[ExperimentConfig, Sequence[str], int]
+) -> dict[str, dict[str, float]]:
+    """Worker: one replication, returning only the summary scalars.
+
+    Keeps :func:`replicate` cheap over process boundaries — paper-scale
+    ``SimulationResult`` arrays are megabytes per policy, the summaries are
+    a dozen floats.
+    """
+    return {name: res.summary() for name, res in _run_seed_full(args).items()}
+
+
+def run_replications(
     cfg: ExperimentConfig,
-    policies: Sequence[str] = DEFAULT_POLICIES,
+    policies: Sequence[str] = ("LFSC",),
     *,
     seeds: Sequence[int] | int = 5,
-    confidence: float = 0.95,
-    workers: int | None = None,
-) -> dict[str, dict[str, ReplicatedSummary]]:
-    """Run the experiment at several seeds and aggregate the summaries.
+    workers: int | None = 0,
+) -> list[ReplicationRun]:
+    """Run the experiment once per seed and keep every per-seed result.
 
     Parameters
     ----------
     seeds:
-        Either an explicit seed list or a count n (uses cfg.seed + 0..n-1).
-    confidence:
-        Two-sided CI level; the interval uses the t-distribution with n-1
-        degrees of freedom.
+        Either a replication count n (seeds derived via the frozen stream
+        contract from ``cfg.seed``) or an explicit seed list (used verbatim).
+    workers:
+        ``0`` (default) — one process per CPU core, falling back to serial
+        on a single-core host; ``None``/``1`` — serial; ``n`` — a pool of n.
+        The per-seed results are bit-identical across all settings.
 
     Returns
     -------
-    ``{policy: {metric: ReplicatedSummary}}``.
+    One :class:`ReplicationRun` per seed, in seed-list order.
     """
-    require(0.0 < confidence < 1.0, f"confidence in (0,1), got {confidence}")
-    if isinstance(seeds, int):
-        check_positive("seeds", seeds)
-        seed_list = [cfg.seed + k for k in range(seeds)]
-    else:
-        seed_list = list(seeds)
-        require(len(seed_list) >= 1, "need at least one seed")
-    per_seed = parallel_map(
-        _run_seed, [(cfg, policies, s) for s in seed_list], workers=workers
-    )
-    n = len(seed_list)
+    seed_list = replication_seed_list(cfg.seed, seeds)
+    tasks = [(cfg, tuple(policies), s) for s in seed_list]
+    per_seed = parallel_map(_run_seed_full, tasks, workers=workers, label=_seed_label)
+    return [
+        ReplicationRun(index=k, seed=s, results=res)
+        for k, (s, res) in enumerate(zip(seed_list, per_seed))
+    ]
+
+
+def _aggregate(
+    per_seed: Sequence[Mapping[str, Mapping[str, float]]],
+    policies: Sequence[str],
+    confidence: float,
+) -> dict[str, dict[str, ReplicatedSummary]]:
+    n = len(per_seed)
     out: dict[str, dict[str, ReplicatedSummary]] = {}
     for policy in policies:
         metrics = per_seed[0][policy].keys()
@@ -108,6 +179,38 @@ def replicate(
                 n=n,
             )
     return out
+
+
+def replicate(
+    cfg: ExperimentConfig,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    *,
+    seeds: Sequence[int] | int = 5,
+    confidence: float = 0.95,
+    workers: int | None = 0,
+) -> dict[str, dict[str, ReplicatedSummary]]:
+    """Run the experiment at several seeds and aggregate the summaries.
+
+    Parameters
+    ----------
+    seeds:
+        Either an explicit seed list or a count n (derived from ``cfg.seed``
+        via the frozen replication stream contract).
+    confidence:
+        Two-sided CI level; the interval uses the t-distribution with n-1
+        degrees of freedom.
+    workers:
+        Same semantics as :func:`run_replications`; parallel by default.
+
+    Returns
+    -------
+    ``{policy: {metric: ReplicatedSummary}}``.
+    """
+    require(0.0 < confidence < 1.0, f"confidence in (0,1), got {confidence}")
+    seed_list = replication_seed_list(cfg.seed, seeds)
+    tasks = [(cfg, tuple(policies), s) for s in seed_list]
+    per_seed = parallel_map(_run_seed_summary, tasks, workers=workers, label=_seed_label)
+    return _aggregate(per_seed, policies, confidence)
 
 
 def replication_rows(

@@ -129,6 +129,15 @@ class ExperimentConfig:
     def with_overrides(self, **changes) -> "ExperimentConfig":
         return replace(self, **changes)
 
+    def with_lfsc_overrides(self, **changes) -> "ExperimentConfig":
+        """Override LFSC fields (e.g. ``engine``, ``assignment_mode``) in place.
+
+        Resolves the effective LFSC config first (explicit override or the
+        Theorem 1 schedule), so e.g. ``cfg.with_lfsc_overrides(engine="reference")``
+        switches the slot engine without disturbing the learning schedule.
+        """
+        return self.with_overrides(lfsc=self.lfsc_config().with_overrides(**changes))
+
     # -- derived objects -------------------------------------------------------
 
     @property
@@ -217,11 +226,20 @@ def make_policy(name: str, cfg: ExperimentConfig, truth: GroundTruth) -> PolicyP
 
 
 def _run_one(args: tuple[ExperimentConfig, str]) -> SimulationResult:
-    """Worker: rebuild the (deterministic) experiment and run one policy."""
+    """Worker: rebuild the (deterministic) experiment and run one policy.
+
+    Everything — workload, truth, channel, policy streams — is re-derived
+    from the config's integer seeds inside the worker, so the result is a
+    pure function of ``args`` and identical across worker counts.
+    """
     cfg, name = args
     sim = build_simulation(cfg)
     policy = make_policy(name, cfg, sim.truth)
     return sim.run(policy, cfg.horizon)
+
+
+def _policy_label(index: int, args: tuple[ExperimentConfig, str]) -> str:
+    return f"policy {args[1]!r}, seed {args[0].seed}"
 
 
 def run_experiment(
@@ -235,14 +253,20 @@ def run_experiment(
     Parameters
     ----------
     workers:
-        ``None``/``1`` — serial; ``0`` — one process per CPU (minus one);
-        n — at most n processes.
+        ``None``/``1`` — serial; ``0`` — one process per CPU core (serial
+        fallback on single-core hosts); n — a pool of n processes.  Results
+        are bit-identical across all settings; replication/sweep harnesses
+        that fan out one level above keep this ``None`` so process
+        parallelism is never nested.
 
     Returns
     -------
     Mapping policy name → :class:`SimulationResult`, in the given order.
     """
     results = parallel_map(
-        _run_one, [(cfg, name) for name in policies], workers=workers
+        _run_one,
+        [(cfg, name) for name in policies],
+        workers=workers,
+        label=_policy_label,
     )
     return {name: res for name, res in zip(policies, results)}

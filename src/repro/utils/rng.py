@@ -5,6 +5,28 @@ learning policy each need their own independent stream so that, e.g.,
 swapping the policy does not perturb the environment's randomness.  We
 derive all streams from one root :class:`numpy.random.SeedSequence` using
 the ``spawn`` mechanism, which guarantees statistical independence.
+
+The replication stream contract (frozen)
+----------------------------------------
+
+Multi-seed replication sweeps (``repro.experiments.replication``) derive one
+independent seed per replication from a *base* seed via
+
+    ``SeedSequence(entropy=base_seed, spawn_key=(REPLICATION_SPAWN_KEY, k))``
+
+where ``k`` is the replication index; the replication's integer seed is the
+first ``uint64`` word of that sequence's ``generate_state``
+(:func:`replication_seed`).  Properties guaranteed by construction and
+enforced by ``tests/experiments/test_stream_isolation.py``:
+
+- the mapping ``(base_seed, k) -> seed`` depends on nothing else — not on
+  worker count, scheduling order, how many replications are requested, or
+  which other streams were drawn first;
+- distinct indices (and distinct base seeds) give statistically independent
+  streams, unlike ``base_seed + k`` which can collide with an explicitly
+  chosen neighbouring base seed;
+- the mapping is **frozen**: changing it invalidates every committed golden
+  summary, so it is pinned by golden-value tests and must never change.
 """
 
 from __future__ import annotations
@@ -13,7 +35,20 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["RngFactory", "as_generator", "spawn_generators"]
+__all__ = [
+    "REPLICATION_SPAWN_KEY",
+    "RngFactory",
+    "as_generator",
+    "replication_seed",
+    "replication_seed_sequence",
+    "replication_seeds",
+    "spawn_generators",
+]
+
+#: Domain-separation tag for replication streams (frozen contract — never
+#: change; see the module docstring).  Distinguishes replication children
+#: from any other ``spawn_key`` use of the same base entropy.
+REPLICATION_SPAWN_KEY: int = 0x5EED
 
 
 def as_generator(
@@ -39,6 +74,37 @@ def spawn_generators(
         raise ValueError(f"cannot spawn a negative number of generators: {n}")
     root = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
     return [np.random.default_rng(s) for s in root.spawn(n)]
+
+
+def replication_seed_sequence(base_seed: int, index: int) -> np.random.SeedSequence:
+    """The :class:`~numpy.random.SeedSequence` of replication ``index``.
+
+    Frozen contract (module docstring): the child sequence is fully
+    determined by ``(base_seed, index)`` and is independent of worker count,
+    scheduling order, and the total number of replications.
+    """
+    if index < 0:
+        raise ValueError(f"replication index must be non-negative, got {index}")
+    return np.random.SeedSequence(
+        entropy=base_seed, spawn_key=(REPLICATION_SPAWN_KEY, index)
+    )
+
+
+def replication_seed(base_seed: int, index: int) -> int:
+    """The integer seed of replication ``index`` under the frozen contract.
+
+    The first ``uint64`` word of the child sequence's ``generate_state`` —
+    an ordinary Python int, so it can live in a frozen config dataclass,
+    pickle across process boundaries, and serialize into provenance JSON.
+    """
+    return int(replication_seed_sequence(base_seed, index).generate_state(1, np.uint64)[0])
+
+
+def replication_seeds(base_seed: int, n: int) -> list[int]:
+    """The first ``n`` replication seeds derived from ``base_seed``."""
+    if n < 0:
+        raise ValueError(f"cannot derive a negative number of seeds: {n}")
+    return [replication_seed(base_seed, k) for k in range(n)]
 
 
 class RngFactory:
@@ -78,9 +144,13 @@ class RngFactory:
         if name not in self._streams:
             # Derive a per-name child key from the UTF-8 bytes of the name so
             # the assignment is order-independent and collision-resistant.
-            name_key = list(name.encode("utf-8"))
+            # The root's own spawn_key is preserved as a prefix: a factory
+            # rooted at a spawned/derived SeedSequence (e.g. a replication
+            # child) must not alias the same named stream of a sibling.
+            name_key = tuple(name.encode("utf-8"))
             child = np.random.SeedSequence(
-                entropy=self._root.entropy, spawn_key=tuple(name_key)
+                entropy=self._root.entropy,
+                spawn_key=tuple(self._root.spawn_key) + name_key,
             )
             self._streams[name] = np.random.default_rng(child)
         return self._streams[name]

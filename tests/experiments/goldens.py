@@ -1,0 +1,94 @@
+"""Shared builder for the committed golden replication summaries.
+
+One source of truth for what the golden JSON contains: the regression test
+(``test_golden_summaries.py``) and the regeneration script
+(``regen_golden.py``) both call :func:`compute_golden`, so the committed
+file can never drift from what the test recomputes.
+
+The golden freezes, at fixed contract-derived seeds on the tiny config:
+
+- per-seed and mean total (expected) reward, V1/V2 violations, and
+  performance ratio for each policy of the Fig. 2 line-up;
+- per-seed and mean final regret of each learner against the Oracle run
+  that shared its workload seed.
+
+Any kernel/engine refactor that shifts a learning curve shows up here as a
+numeric diff far above the floating-point tolerance, instead of silently
+changing EXPERIMENTS.md numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.replication import run_replications
+from repro.experiments.runner import ExperimentConfig
+from repro.metrics.regret import regret_series
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "replication_tiny.json"
+
+#: Frozen golden scenario — changing any of these requires regenerating the
+#: committed JSON (``python -m tests.experiments.regen_golden``).
+GOLDEN_BASE_SEED = 0
+GOLDEN_REPLICATIONS = 3
+GOLDEN_HORIZON = 60
+GOLDEN_POLICIES = ("Oracle", "LFSC", "vUCB", "Random")
+
+
+def golden_config() -> ExperimentConfig:
+    return ExperimentConfig.tiny(horizon=GOLDEN_HORIZON, seed=GOLDEN_BASE_SEED)
+
+
+def compute_golden(*, workers: int | None = 1) -> dict:
+    """Recompute the golden summary structure from scratch."""
+    cfg = golden_config()
+    runs = run_replications(
+        cfg, GOLDEN_POLICIES, seeds=GOLDEN_REPLICATIONS, workers=workers
+    )
+    policies: dict[str, dict] = {}
+    for name in GOLDEN_POLICIES:
+        per_seed = []
+        for run in runs:
+            res = run.results[name]
+            entry = {
+                "seed": run.seed,
+                "total_reward": res.total_reward,
+                "total_expected_reward": float(res.expected_reward.sum()),
+                "violation_qos": float(res.violation_qos.sum()),
+                "violation_resource": float(res.violation_resource.sum()),
+                "total_violations": res.total_violations,
+                "performance_ratio": res.summary()["performance_ratio"],
+            }
+            if name != "Oracle":
+                entry["final_regret"] = float(
+                    regret_series(res, run.results["Oracle"])[-1]
+                )
+            per_seed.append(entry)
+        scalars = [k for k in per_seed[0] if k != "seed"]
+        policies[name] = {
+            "per_seed": per_seed,
+            "mean": {k: float(np.mean([p[k] for p in per_seed])) for k in scalars},
+        }
+    return {
+        "schema": "golden_replication/v1",
+        "config": {
+            "preset": "tiny",
+            "horizon": GOLDEN_HORIZON,
+            "base_seed": GOLDEN_BASE_SEED,
+            "replications": GOLDEN_REPLICATIONS,
+        },
+        "seeds": [run.seed for run in runs],
+        "policies": policies,
+    }
+
+
+def load_golden() -> dict:
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def write_golden(report: dict) -> None:
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(report, indent=2) + "\n")

@@ -1,0 +1,25 @@
+"""Regenerate the committed golden replication summary.
+
+Run after an *intentional* change to simulation semantics, the frozen seed
+contract, or the golden scenario constants::
+
+    PYTHONPATH=src python -m tests.experiments.regen_golden
+
+Then review the numeric diff of ``tests/experiments/golden/replication_tiny.json``
+like any other code change — every delta is a learning-curve shift that
+``test_golden_summaries.py`` would otherwise have flagged.
+"""
+
+from __future__ import annotations
+
+from tests.experiments.goldens import GOLDEN_PATH, compute_golden, write_golden
+
+
+def main() -> None:
+    report = compute_golden(workers=1)
+    write_golden(report)
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Statistical regression against the committed golden summaries.
+
+Recomputes the golden replication scenario (tiny config, frozen
+contract-derived seeds) and compares every recorded scalar — per-seed and
+aggregate — against ``golden/replication_tiny.json`` with tight tolerances.
+Runs are bit-deterministic given the seeds, so the tolerance only absorbs
+cross-platform libm/BLAS noise; any genuine learning-curve shift from a
+kernel or engine refactor lands orders of magnitude above it.
+
+If a change is *intentional*, regenerate with
+``PYTHONPATH=src python -m tests.experiments.regen_golden`` and commit the
+reviewed numeric diff.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from tests.experiments.goldens import (
+    GOLDEN_PATH,
+    GOLDEN_POLICIES,
+    compute_golden,
+    load_golden,
+)
+
+RTOL = 1e-6
+ATOL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    assert GOLDEN_PATH.exists(), (
+        f"missing {GOLDEN_PATH} — run `PYTHONPATH=src python -m "
+        "tests.experiments.regen_golden`"
+    )
+    return load_golden()
+
+
+@pytest.fixture(scope="module")
+def recomputed() -> dict:
+    return compute_golden(workers=1)
+
+
+def _assert_close(actual: float, expected: float, where: str) -> None:
+    assert math.isclose(actual, expected, rel_tol=RTOL, abs_tol=ATOL), (
+        f"{where}: {actual!r} != golden {expected!r} "
+        f"(drift {actual - expected:+.3e}) — a learning curve moved; if "
+        "intentional, regenerate the golden file and review the diff"
+    )
+
+
+def test_schema_and_scenario_frozen(golden):
+    assert golden["schema"] == "golden_replication/v1"
+    assert golden["config"]["base_seed"] == 0
+    assert golden["config"]["replications"] == 3
+    assert set(golden["policies"]) == set(GOLDEN_POLICIES)
+
+
+def test_seeds_follow_frozen_contract(golden, recomputed):
+    assert golden["seeds"] == recomputed["seeds"]
+
+
+@pytest.mark.parametrize("policy", GOLDEN_POLICIES)
+def test_per_seed_scalars_match_golden(golden, recomputed, policy):
+    gold_runs = golden["policies"][policy]["per_seed"]
+    new_runs = recomputed["policies"][policy]["per_seed"]
+    assert len(gold_runs) == len(new_runs)
+    for k, (gold, new) in enumerate(zip(gold_runs, new_runs)):
+        assert gold["seed"] == new["seed"]
+        for metric, expected in gold.items():
+            if metric == "seed":
+                continue
+            _assert_close(new[metric], expected, f"{policy}[seed {gold['seed']}].{metric}")
+
+
+@pytest.mark.parametrize("policy", GOLDEN_POLICIES)
+def test_mean_curves_match_golden(golden, recomputed, policy):
+    gold_mean = golden["policies"][policy]["mean"]
+    new_mean = recomputed["policies"][policy]["mean"]
+    assert set(gold_mean) == set(new_mean)
+    for metric, expected in gold_mean.items():
+        _assert_close(new_mean[metric], expected, f"{policy}.mean.{metric}")
+
+
+def test_golden_orderings_still_hold(golden):
+    """The paper-shape sanity floor: goldens themselves stay meaningful."""
+    mean = {p: golden["policies"][p]["mean"] for p in GOLDEN_POLICIES}
+    assert mean["LFSC"]["final_regret"] < mean["Random"]["final_regret"]
+    assert mean["Random"]["total_reward"] == min(
+        m["total_reward"] for m in mean.values()
+    )

@@ -4,7 +4,13 @@ import time
 
 import pytest
 
-from repro.utils.parallel import default_workers, parallel_map
+from repro.utils.parallel import (
+    ParallelExecutionError,
+    default_workers,
+    parallel_map,
+    process_pool_supported,
+    resolve_workers,
+)
 from repro.utils.timing import Stopwatch
 
 
@@ -62,3 +68,95 @@ class TestParallelMap:
 
     def test_default_workers_positive(self):
         assert default_workers() >= 1
+
+    def test_chunked_preserves_order(self):
+        items = list(range(13))
+        assert parallel_map(_square, items, workers=2, chunksize=4) == [
+            x * x for x in items
+        ]
+
+    def test_invalid_chunksize(self):
+        with pytest.raises(ValueError):
+            parallel_map(_square, [1, 2], workers=1, chunksize=0)
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_map(_square, [1, 2], workers=-1)
+
+
+class TestResolveWorkers:
+    def test_serial_requests(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(1) == 1
+
+    def test_zero_resolves_to_all_cores_or_serial(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
+        assert resolve_workers(0) == 8
+
+    def test_zero_falls_back_to_serial_on_single_core(self, monkeypatch):
+        # The parallel-by-default setting must be safe on a 1-CPU host.
+        monkeypatch.setattr("os.cpu_count", lambda: 1)
+        assert resolve_workers(0) == 1
+
+    def test_explicit_count_honoured_even_on_single_core(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 1)
+        if process_pool_supported():
+            assert resolve_workers(4) == 4
+
+    def test_item_count_caps_and_short_circuits(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
+        assert resolve_workers(0, n_items=3) == 3
+        assert resolve_workers(6, n_items=1) == 1
+        assert resolve_workers(6, n_items=0) == 1
+
+    def test_no_pool_support_forces_serial(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.utils.parallel.process_pool_supported", lambda: False
+        )
+        assert resolve_workers(0) == 1
+        assert resolve_workers(4) == 1
+
+
+def _crash_on_three(x: int) -> int:
+    if x == 3:
+        raise ValueError(f"boom at {x}")
+    return x * x
+
+
+class TestErrorSurfacing:
+    """A worker crash must name the failing item, not dump a bare pool trace."""
+
+    def test_serial_error_carries_index_and_label(self):
+        with pytest.raises(ParallelExecutionError) as err:
+            parallel_map(
+                _crash_on_three,
+                [1, 2, 3, 4],
+                workers=1,
+                label=lambda i, item: f"seed {item}",
+            )
+        assert err.value.index == 2
+        assert "seed 3" in str(err.value)
+        assert isinstance(err.value.__cause__, ValueError)
+
+    def test_parallel_error_carries_index_and_worker_traceback(self):
+        with pytest.raises(ParallelExecutionError) as err:
+            parallel_map(
+                _crash_on_three,
+                [0, 1, 2, 3, 4, 5],
+                workers=2,
+                label=lambda i, item: f"replication {i}, seed {item}",
+            )
+        assert err.value.index == 3
+        assert "replication 3, seed 3" in str(err.value)
+        assert "boom at 3" in str(err.value)
+        # The worker-side traceback is captured into the message.
+        assert "ValueError" in err.value.worker_traceback
+
+    def test_parallel_error_in_chunked_run(self):
+        with pytest.raises(ParallelExecutionError) as err:
+            parallel_map(_crash_on_three, list(range(8)), workers=2, chunksize=3)
+        assert err.value.index == 3
+
+    def test_error_without_label_still_names_index(self):
+        with pytest.raises(ParallelExecutionError, match="item 2"):
+            parallel_map(_crash_on_three, [1, 2, 3], workers=2)
