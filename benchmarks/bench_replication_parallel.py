@@ -30,7 +30,6 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import platform
 import sys
 import time
 from pathlib import Path
@@ -39,6 +38,7 @@ import numpy as np
 
 from repro.experiments.replication import run_replications
 from repro.experiments.runner import ExperimentConfig
+from repro.obs.manifest import build_manifest
 from repro.utils.parallel import resolve_workers
 
 POLICIES = ("LFSC",)
@@ -78,7 +78,6 @@ def check_equivalence(serial_runs: list, parallel_runs: list) -> None:
 
 
 def run_benchmark(cfg: ExperimentConfig, replications: int) -> dict:
-    cpu_count = os.cpu_count() or 1
     resolved = resolve_workers(0, replications)
 
     serial_s, serial_runs = _timed_sweep(cfg, replications, workers=1)
@@ -86,14 +85,15 @@ def run_benchmark(cfg: ExperimentConfig, replications: int) -> dict:
     check_equivalence(serial_runs, parallel_runs)
 
     return {
-        "schema": "bench_replication/v1",
+        "schema": "bench_replication/v2",
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "platform": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
-            "cpu_count": cpu_count,
-        },
+        "manifest": build_manifest(
+            kind="bench",
+            config=cfg,
+            seeds=[r.seed for r in serial_runs],
+            policies=list(POLICIES),
+            engine=cfg.lfsc_config().engine,
+        ),
         "config": {
             "num_scns": cfg.num_scns,
             "capacity": cfg.capacity,
@@ -125,7 +125,7 @@ def print_report(report: dict) -> None:
     print(
         f"replication sweep A/B — M={cfg['num_scns']} c={cfg['capacity']} "
         f"T={cfg['horizon']} x {cfg['replications']} replications "
-        f"({report['platform']['cpu_count']} CPUs)"
+        f"({report['manifest']['host']['cpu_count']} CPUs)"
     )
     print(f"  serial   (workers=1): {report['serial']['wall_s']:8.2f} s")
     print(

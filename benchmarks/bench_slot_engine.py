@@ -32,7 +32,6 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import platform
 import time
 from pathlib import Path
 
@@ -40,6 +39,7 @@ import numpy as np
 
 from repro.core.lfsc import LFSCPolicy
 from repro.experiments.runner import ExperimentConfig, build_simulation
+from repro.obs.manifest import build_manifest
 
 MODES = ("deterministic", "depround")
 ENGINES = ("reference", "batched")
@@ -109,13 +109,11 @@ def check_equivalence(cfg: ExperimentConfig, mode: str, horizon: int = 25) -> No
 
 def run_benchmark(cfg: ExperimentConfig, horizon: int) -> dict:
     report: dict = {
-        "schema": "bench_slot_engine/v1",
+        "schema": "bench_slot_engine/v2",
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "platform": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
-        },
+        "manifest": build_manifest(
+            kind="bench", config=cfg, engine=",".join(ENGINES)
+        ),
         "config": {
             "num_scns": cfg.num_scns,
             "capacity": cfg.capacity,

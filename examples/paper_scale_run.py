@@ -53,8 +53,8 @@ def main() -> None:
         q = len(rate) // 4
         print(f"  {name:8s} {rate[:q].mean():8.2f} -> {rate[-q:].mean():8.2f}")
 
-    npz, js = save_results(results, args.out)
-    print(f"\nsaved: {npz} and {js}")
+    npz, js = save_results(results, args.out, config=cfg)
+    print(f"\nsaved: {npz} and {js} (+ manifest sidecar)")
 
 
 if __name__ == "__main__":

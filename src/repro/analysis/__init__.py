@@ -3,7 +3,9 @@
 - :mod:`repro.analysis.convergence` — weight-concentration and multiplier
   diagnostics for LFSC runs (has the learner settled? on what?);
 - :mod:`repro.analysis.ascii_plot` — dependency-free line/sparkline charts
-  so examples and benches can *show* the Fig. 2 curves in a terminal.
+  so examples and benches can *show* the Fig. 2 curves in a terminal;
+- :mod:`repro.analysis.trace_summary` — aggregate view of a slot-level
+  JSONL trace recorded by :mod:`repro.obs` (``repro trace <file>``).
 """
 
 from repro.analysis.ascii_plot import ascii_plot, sparkline
@@ -12,6 +14,11 @@ from repro.analysis.convergence import (
     weight_concentration,
     weight_entropy,
 )
+from repro.analysis.trace_summary import (
+    format_trace_summary,
+    summarize_trace,
+    summarize_trace_file,
+)
 
 __all__ = [
     "ascii_plot",
@@ -19,4 +26,7 @@ __all__ = [
     "multiplier_summary",
     "weight_concentration",
     "weight_entropy",
+    "format_trace_summary",
+    "summarize_trace",
+    "summarize_trace_file",
 ]

@@ -1,0 +1,128 @@
+"""Summarize a slot-level JSONL trace (``repro trace <file>``).
+
+Turns a trace written by :class:`repro.obs.trace.TraceRecorder` into the
+aggregate view an operator wants first: how many slots were recorded, where
+the wall-time went per span, how far realized compound reward tracked its
+expectation, assignment occupancy, and how the Lagrange multipliers moved.
+Works on any record set satisfying ``repro.obs.trace.TRACE_SCHEMA`` —
+including partial traces from a crashed run, which is precisely when the
+summary matters most.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.obs.trace import iter_trace
+
+__all__ = ["format_trace_summary", "summarize_trace", "summarize_trace_file"]
+
+
+def summarize_trace(records: Iterable[Mapping]) -> dict:
+    """Aggregate statistics over trace records (streaming, O(1) memory)."""
+    n = 0
+    t_min = t_max = None
+    policies: set[str] = set()
+    reward_sum = 0.0
+    expected_sum = 0.0
+    expected_n = 0
+    assigned_sum = 0
+    viol_qos_sum = 0.0
+    viol_res_sum = 0.0
+    span_totals: dict[str, float] = {}
+    span_counts: dict[str, int] = {}
+    mult_qos_last: list[float] | None = None
+    mult_res_last: list[float] | None = None
+
+    for rec in records:
+        n += 1
+        t = rec["t"]
+        t_min = t if t_min is None else min(t_min, t)
+        t_max = t if t_max is None else max(t_max, t)
+        policies.add(rec["policy"])
+        reward_sum += rec["reward"]
+        if rec.get("expected_reward") is not None:
+            expected_sum += rec["expected_reward"]
+            expected_n += 1
+        assigned_sum += rec["assigned"]
+        viol_qos_sum += rec["violation_qos"]
+        viol_res_sum += rec["violation_resource"]
+        for name, seconds in rec.get("spans", {}).items():
+            span_totals[name] = span_totals.get(name, 0.0) + seconds
+            span_counts[name] = span_counts.get(name, 0) + 1
+        if rec.get("multipliers_qos") is not None:
+            mult_qos_last = rec["multipliers_qos"]
+        if rec.get("multipliers_resource") is not None:
+            mult_res_last = rec["multipliers_resource"]
+
+    spans = {
+        name: {
+            "total_s": total,
+            "mean_us": 1e6 * total / span_counts[name],
+            "count": span_counts[name],
+        }
+        for name, total in span_totals.items()
+    }
+    return {
+        "records": n,
+        "t_range": [t_min, t_max] if n else None,
+        "policies": sorted(policies),
+        "reward_sum": reward_sum,
+        "expected_reward_sum": expected_sum if expected_n else None,
+        "reward_vs_expected_gap": (reward_sum - expected_sum) if expected_n else None,
+        "mean_assigned": assigned_sum / n if n else 0.0,
+        "violation_qos_sum": viol_qos_sum,
+        "violation_resource_sum": viol_res_sum,
+        "spans": spans,
+        "multipliers_qos_last": mult_qos_last,
+        "multipliers_resource_last": mult_res_last,
+    }
+
+
+def summarize_trace_file(path: str | Path) -> dict:
+    """Summarize a JSONL trace file without loading it whole into memory."""
+    return summarize_trace(iter_trace(path))
+
+
+def format_trace_summary(summary: Mapping) -> str:
+    """Render a summary dict as the terminal report ``repro trace`` prints."""
+    lines = []
+    if not summary["records"]:
+        return "empty trace (0 records)"
+    lo, hi = summary["t_range"]
+    lines.append(
+        f"trace: {summary['records']} records over slots [{lo}, {hi}] "
+        f"policies={','.join(summary['policies'])}"
+    )
+    lines.append(
+        f"reward: realized {summary['reward_sum']:.2f}"
+        + (
+            f"  expected {summary['expected_reward_sum']:.2f}"
+            f"  gap {summary['reward_vs_expected_gap']:+.2f}"
+            if summary["expected_reward_sum"] is not None
+            else "  (no expected series)"
+        )
+    )
+    lines.append(
+        f"violations: qos {summary['violation_qos_sum']:.2f}  "
+        f"resource {summary['violation_resource_sum']:.2f}  "
+        f"mean assigned/slot {summary['mean_assigned']:.1f}"
+    )
+    if summary["multipliers_qos_last"] is not None:
+        mq = summary["multipliers_qos_last"]
+        mr = summary["multipliers_resource_last"] or []
+        lines.append(
+            f"multipliers (final slot): qos mean {sum(mq) / len(mq):.4f}  "
+            + (f"resource mean {sum(mr) / len(mr):.4f}" if mr else "")
+        )
+    if summary["spans"]:
+        lines.append(f"{'span':<22} {'total':>10} {'mean':>10} {'count':>8}")
+        for name in sorted(
+            summary["spans"], key=lambda k: summary["spans"][k]["total_s"], reverse=True
+        ):
+            s = summary["spans"][name]
+            lines.append(
+                f"{name:<22} {s['total_s']:>9.3f}s {s['mean_us']:>8.1f}µs {s['count']:>8d}"
+            )
+    return "\n".join(lines)

@@ -5,8 +5,11 @@ Usage (module form)::
     python -m repro fig2a --scale small --horizon 1000
     python -m repro fig3 --workers 0
     python -m repro run --policies Oracle LFSC Random --plot
+    python -m repro run --trace results/trace.jsonl --trace-sample 10
+    python -m repro trace results/trace.jsonl
     python -m repro ablations --study lagrangian
     python -m repro replicate --seeds 8 --policies LFSC vUCB Random
+    python -m repro report --manifest
 
 Sweeps and replications are process-parallel by default (``--workers 0`` =
 one process per CPU core, with serial fallback on single-core hosts); pass
@@ -16,11 +19,19 @@ bit-identical either way (see DESIGN.md, "Determinism contract").
 Every subcommand prints the same rows/series the paper reports (via the
 harnesses in :mod:`repro.experiments.figures`) and can render an ASCII chart
 (``--plot``) or persist raw series (``--save PATH``).
+
+Observability (DESIGN.md §7): ``--trace PATH`` records one structured JSONL
+record per slot (``--trace-sample N`` keeps every N-th) without perturbing
+results — trajectories are bit-identical with tracing on or off; ``repro
+trace PATH`` summarizes a recorded file.  Persisted artifacts (``--save``,
+``report``, ``replicate``) emit a ``manifest.json`` capturing config, seeds,
+git SHA, host, and library versions.
 """
 
 from __future__ import annotations
 
 import argparse
+from pathlib import Path
 from typing import Sequence
 
 from repro.analysis.ascii_plot import ascii_plot
@@ -64,7 +75,7 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
     return cfg.with_overrides(**overrides) if overrides else cfg
 
 
-def _emit(out: FigureOutput, args: argparse.Namespace) -> None:
+def _emit(out: FigureOutput, args: argparse.Namespace, cfg: ExperimentConfig | None = None) -> None:
     print(out.table())
     if args.plot and out.series:
         plot_series = {
@@ -73,8 +84,8 @@ def _emit(out: FigureOutput, args: argparse.Namespace) -> None:
         print()
         print(ascii_plot(plot_series, title=out.name))
     if args.save and out.results is not None:
-        npz, js = save_results(out.results, args.save)
-        print(f"\nsaved raw series: {npz}, {js}")
+        npz, js = save_results(out.results, args.save, config=cfg)
+        print(f"\nsaved raw series: {npz}, {js} (+ manifest)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -85,6 +96,26 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument("--workers", type=int, default=0, help="0 = all CPUs, 1 = serial")
     common.add_argument("--plot", action="store_true", help="render an ASCII chart")
     common.add_argument("--save", default=None, help="persist raw series to PATH.{npz,json}")
+    common.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record a structured JSONL slot trace to PATH (off by default)",
+    )
+    common.add_argument(
+        "--trace-sample",
+        type=int,
+        default=1,
+        metavar="N",
+        help="record every N-th slot (default 1 = all slots)",
+    )
+    common.add_argument(
+        "--manifest-dir",
+        default=None,
+        metavar="DIR",
+        help="write DIR/manifest.json with the run's provenance "
+        "(replicate defaults to results/)",
+    )
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -127,6 +158,21 @@ def build_parser() -> argparse.ArgumentParser:
         "report", parents=[common], help="run the harnesses and write a markdown report"
     )
     rep_p.add_argument("--out", default="results/report.md")
+    rep_p.add_argument(
+        "--manifest",
+        action="store_true",
+        help="also print the run manifest (always written next to --out)",
+    )
+
+    trace_p = sub.add_parser(
+        "trace", help="summarize a JSONL slot trace recorded with --trace"
+    )
+    trace_p.add_argument("path", help="trace file (one JSON record per line)")
+    trace_p.add_argument(
+        "--validate",
+        action="store_true",
+        help="check every record against the trace schema before summarizing",
+    )
 
     repl_p = sub.add_parser(
         "replicate",
@@ -150,11 +196,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
-    cfg = _config_from_args(args)
-    workers = args.workers
-
+def _dispatch(args: argparse.Namespace, cfg: ExperimentConfig, workers: int) -> int:
     if args.command == "run":
         results = run_experiment(cfg, tuple(args.policies), workers=workers)
         out = FigureOutput(
@@ -163,20 +205,24 @@ def main(argv: Sequence[str] | None = None) -> int:
             rows=comparison_rows(results),
             results=results,
         )
-        _emit(out, args)
+        _emit(out, args, cfg)
     elif args.command == "fig2a":
-        _emit(fig2a_cumulative_reward(cfg, workers=workers), args)
+        _emit(fig2a_cumulative_reward(cfg, workers=workers), args, cfg)
     elif args.command == "fig2b":
-        _emit(fig2b_per_slot_reward(cfg, workers=workers), args)
+        _emit(fig2b_per_slot_reward(cfg, workers=workers), args, cfg)
     elif args.command == "fig2-violations":
-        _emit(fig2_violations(cfg, workers=workers), args)
+        _emit(fig2_violations(cfg, workers=workers), args, cfg)
     elif args.command == "ratio":
-        _emit(performance_ratio_table(cfg, workers=workers), args)
+        _emit(performance_ratio_table(cfg, workers=workers), args, cfg)
     elif args.command == "fig3":
         alphas = tuple(round(f * cfg.capacity, 3) for f in args.alpha_fractions)
-        _emit(fig3_alpha_sweep(cfg, alphas=alphas, workers=workers), args)
+        _emit(fig3_alpha_sweep(cfg, alphas=alphas, workers=workers), args, cfg)
     elif args.command == "fig4":
-        _emit(fig4_likelihood_sweep(cfg, v_lows=tuple(args.v_lows), workers=workers), args)
+        _emit(
+            fig4_likelihood_sweep(cfg, v_lows=tuple(args.v_lows), workers=workers),
+            args,
+            cfg,
+        )
     elif args.command == "ablations":
         studies = {
             "lagrangian": ablation_lagrangian,
@@ -187,20 +233,29 @@ def main(argv: Sequence[str] | None = None) -> int:
         names = list(studies) if args.study == "all" else [args.study]
         for name in names:
             print(f"\n=== ablation: {name} ===")
-            _emit(studies[name](cfg, workers=workers), args)
+            _emit(studies[name](cfg, workers=workers), args, cfg)
     elif args.command == "replicate":
         from repro.experiments.replication import replicate, replication_rows
         from repro.metrics.summary import format_table
 
         seeds = args.seed_list if args.seed_list is not None else args.seeds
-        agg = replicate(cfg, tuple(args.policies), seeds=seeds, workers=workers)
+        manifest_dir = args.manifest_dir if args.manifest_dir is not None else "results"
+        agg = replicate(
+            cfg,
+            tuple(args.policies),
+            seeds=seeds,
+            workers=workers,
+            manifest_dir=manifest_dir,
+        )
         n = agg[args.policies[0]]["total_reward"].n
         print(f"[replicate] mean ± 95% CI over {n} seeds (base seed {cfg.seed})\n")
         print(format_table(replication_rows(agg), precision=1))
+        print(f"\nwrote {Path(manifest_dir) / 'manifest.json'}")
     elif args.command == "report":
-        from pathlib import Path
+        import json
 
         from repro.experiments.report import evaluate_shapes, render_report
+        from repro.obs.manifest import build_manifest
 
         shared = run_experiment(cfg, DEFAULT_POLICIES, workers=workers)
         outputs = [
@@ -213,11 +268,55 @@ def main(argv: Sequence[str] | None = None) -> int:
         out_path = Path(args.out)
         out_path.parent.mkdir(parents=True, exist_ok=True)
         out_path.write_text(text)
+        manifest = build_manifest(
+            kind="report", config=cfg, policies=list(DEFAULT_POLICIES)
+        )
+        manifest_path = out_path.parent / "manifest.json"
+        manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
         print(text)
-        print(f"\nwrote {out_path}")
+        if args.manifest:
+            print(json.dumps(manifest, indent=2, sort_keys=True))
+        print(f"\nwrote {out_path} (+ {manifest_path})")
     else:  # pragma: no cover - argparse enforces the choices
         raise SystemExit(2)
+
+    if args.manifest_dir is not None and args.command != "replicate":
+        from repro.obs.manifest import write_manifest
+
+        written = write_manifest(args.manifest_dir, kind=args.command, config=cfg)
+        print(f"wrote {written}")
     return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "trace":
+        from repro.analysis.trace_summary import (
+            format_trace_summary,
+            summarize_trace_file,
+        )
+
+        if args.validate:
+            from repro.obs.trace import iter_trace, validate_record
+
+            for rec in iter_trace(args.path):
+                validate_record(rec)
+            print(f"schema OK: every record in {args.path} is valid")
+        print(format_trace_summary(summarize_trace_file(args.path)))
+        return 0
+
+    cfg = _config_from_args(args)
+    workers = args.workers
+
+    if args.trace is not None:
+        from repro.obs import observe
+
+        with observe(trace_path=args.trace, sample_every=args.trace_sample):
+            rc = _dispatch(args, cfg, workers)
+        print(f"wrote trace: {args.trace}")
+        return rc
+    return _dispatch(args, cfg, workers)
 
 
 if __name__ == "__main__":  # pragma: no cover

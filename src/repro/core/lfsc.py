@@ -46,6 +46,7 @@ import numpy as np
 
 from repro.core.base import OffloadingPolicy
 from repro.core.config import LFSCConfig
+from repro.obs import runtime as obs_runtime
 from repro.core.depround import depround
 from repro.core.estimators import CubeStatistics, aggregate_by_cube, importance_weighted
 from repro.core.greedy import greedy_select, greedy_select_edges
@@ -207,29 +208,32 @@ class LFSCPolicy(OffloadingPolicy):
         probs_per_scn: list[CappedProbabilities] = []
         scores_per_scn: list[np.ndarray] = []
 
-        for m in range(M):
-            cov = np.asarray(slot.coverage[m], dtype=np.int64)
-            if cov.size > 1 and np.any(np.diff(cov) < 0):
-                cov = np.sort(cov)
-            cubes = cfg.partition.assign(slot.tasks.contexts[cov]) if cov.size else cov
-            if cov.size:
-                # Normalize by the max over the cubes actually present so the
-                # largest weight is exactly 1 (no under/overflow regardless of
-                # how far apart the row's log-weights have drifted).
-                logs = self.log_w[m][cubes]
-                w = np.maximum(np.exp(logs - logs.max()), _LOG_W_FLOOR)
-                cp = capped_probabilities(w, c, cfg.gamma)
-            else:
-                cp = CappedProbabilities(
-                    p=np.empty(0), capped=np.empty(0, dtype=bool), threshold=np.nan
-                )
-            coverage.append(cov)
-            cubes_per_scn.append(cubes)
-            probs_per_scn.append(cp)
-            scores_per_scn.append(self._edge_scores(cp, cov, slot))
+        with obs_runtime.span("lfsc.alg2"):
+            for m in range(M):
+                cov = np.asarray(slot.coverage[m], dtype=np.int64)
+                if cov.size > 1 and np.any(np.diff(cov) < 0):
+                    cov = np.sort(cov)
+                cubes = cfg.partition.assign(slot.tasks.contexts[cov]) if cov.size else cov
+                if cov.size:
+                    # Normalize by the max over the cubes actually present so
+                    # the largest weight is exactly 1 (no under/overflow
+                    # regardless of how far apart the row's log-weights have
+                    # drifted).
+                    logs = self.log_w[m][cubes]
+                    w = np.maximum(np.exp(logs - logs.max()), _LOG_W_FLOOR)
+                    cp = capped_probabilities(w, c, cfg.gamma)
+                else:
+                    cp = CappedProbabilities(
+                        p=np.empty(0), capped=np.empty(0, dtype=bool), threshold=np.nan
+                    )
+                coverage.append(cov)
+                cubes_per_scn.append(cubes)
+                probs_per_scn.append(cp)
+                scores_per_scn.append(self._edge_scores(cp, cov, slot))
 
         self._cache = _SlotCache(slot.t, coverage, cubes_per_scn, probs_per_scn)
-        return greedy_select(coverage, scores_per_scn, c, len(slot.tasks))
+        with obs_runtime.span("lfsc.greedy"):
+            return greedy_select(coverage, scores_per_scn, c, len(slot.tasks))
 
     def _select_batched(self, slot: SlotObservation) -> Assignment:
         """One flat edge list for the whole slot (bit-equivalent, ~4x faster).
@@ -263,31 +267,33 @@ class LFSCPolicy(OffloadingPolicy):
             )
             return Assignment.empty()
 
-        edge_task = np.concatenate(coverage)
-        # The greedy/update kernels rely on sorted within-segment task ids;
-        # workloads emit them sorted, so the common case is one vectorized
-        # check over the whole edge list.
-        drops = np.flatnonzero(np.diff(edge_task) < 0)
-        if drops.size:
-            seg_of_drop = np.searchsorted(offsets, drops, side="right") - 1
-            boundary = offsets[seg_of_drop + 1] - 1  # last index of that segment
-            for m in np.unique(seg_of_drop[drops != boundary]).tolist():
-                coverage[m] = np.sort(coverage[m])
-                edge_task[offsets[m] : offsets[m + 1]] = coverage[m]
+        with obs_runtime.span("lfsc.alg2"):
+            edge_task = np.concatenate(coverage)
+            # The greedy/update kernels rely on sorted within-segment task
+            # ids; workloads emit them sorted, so the common case is one
+            # vectorized check over the whole edge list.
+            drops = np.flatnonzero(np.diff(edge_task) < 0)
+            if drops.size:
+                seg_of_drop = np.searchsorted(offsets, drops, side="right") - 1
+                boundary = offsets[seg_of_drop + 1] - 1  # last index of that segment
+                for m in np.unique(seg_of_drop[drops != boundary]).tolist():
+                    coverage[m] = np.sort(coverage[m])
+                    edge_task[offsets[m] : offsets[m + 1]] = coverage[m]
 
-        edge_scn = np.repeat(np.arange(M, dtype=np.int64), lengths)
-        # Hypercubes once per slot for the full task batch — the coverage
-        # overlap means each task would otherwise be classified ~2x.
-        task_cubes = cfg.partition.assign(slot.tasks.contexts)
-        edge_cube = task_cubes[edge_task]
+            edge_scn = np.repeat(np.arange(M, dtype=np.int64), lengths)
+            # Hypercubes once per slot for the full task batch — the coverage
+            # overlap means each task would otherwise be classified ~2x.
+            task_cubes = cfg.partition.assign(slot.tasks.contexts)
+            edge_cube = task_cubes[edge_task]
 
-        logs = self.log_w[edge_scn, edge_cube]
-        # Per-segment max (order-independent, so reduceat is exact); empty
-        # segments produce garbage lanes that np.repeat(…, lengths) drops.
-        seg_start = np.minimum(offsets[:-1], E - 1)
-        seg_max = np.maximum.reduceat(logs, seg_start)
-        w = np.maximum(np.exp(logs - np.repeat(seg_max, lengths)), _LOG_W_FLOOR)
-        cpb = capped_probabilities_batch(w, offsets, c, cfg.gamma)
+            logs = self.log_w[edge_scn, edge_cube]
+            # Per-segment max (order-independent, so reduceat is exact);
+            # empty segments produce garbage lanes that np.repeat(…, lengths)
+            # drops.
+            seg_start = np.minimum(offsets[:-1], E - 1)
+            seg_max = np.maximum.reduceat(logs, seg_start)
+            w = np.maximum(np.exp(logs - np.repeat(seg_max, lengths)), _LOG_W_FLOOR)
+            cpb = capped_probabilities_batch(w, offsets, c, cfg.gamma)
 
         # DepRound and the tie jitter draw from the policy RNG per SCN (in
         # SCN order) so both engines consume the identical stream; this loop
@@ -296,35 +302,40 @@ class LFSCPolicy(OffloadingPolicy):
         # draws, minus the per-segment view construction).
         scores = np.empty(E)
         bounds = offsets.tolist()
-        if type(self)._edge_scores is LFSCPolicy._edge_scores:
-            use_depround = cfg.assignment_mode == "depround"
-            jitter = cfg.tie_jitter
-            rng = self.rng
-            p = cpb.p
-            for m in range(M):
-                s, e = bounds[m], bounds[m + 1]
-                if s == e:
-                    continue
-                seg = p[s:e]
-                out = scores[s:e]
-                if use_depround:
-                    np.add(seg, depround(seg, rng), out=out)
-                    if jitter > 0:
-                        out += jitter * rng.random(e - s)
-                elif jitter > 0:
-                    np.add(seg, jitter * rng.random(e - s), out=out)
-                else:
-                    out[...] = seg
-        else:
-            for m in range(M):
-                scores[bounds[m] : bounds[m + 1]] = self._edge_scores(
-                    cpb.segment(m), coverage[m], slot
-                )
+        with obs_runtime.span("lfsc.depround"):
+            if type(self)._edge_scores is LFSCPolicy._edge_scores:
+                use_depround = cfg.assignment_mode == "depround"
+                jitter = cfg.tie_jitter
+                rng = self.rng
+                p = cpb.p
+                for m in range(M):
+                    s, e = bounds[m], bounds[m + 1]
+                    if s == e:
+                        continue
+                    seg = p[s:e]
+                    out = scores[s:e]
+                    if use_depround:
+                        np.add(seg, depround(seg, rng), out=out)
+                        if jitter > 0:
+                            out += jitter * rng.random(e - s)
+                    elif jitter > 0:
+                        np.add(seg, jitter * rng.random(e - s), out=out)
+                    else:
+                        out[...] = seg
+            else:
+                for m in range(M):
+                    scores[bounds[m] : bounds[m + 1]] = self._edge_scores(
+                        cpb.segment(m), coverage[m], slot
+                    )
 
         self._cache = _BatchedSlotCache(
             slot.t, offsets, edge_scn, edge_task, edge_cube, cpb, coverage
         )
-        return greedy_select_edges(edge_scn, edge_task, scores, M, c, len(slot.tasks))
+        ctx = obs_runtime.active()
+        if ctx is not None:
+            ctx.set_slot_field("edges", E)
+        with obs_runtime.span("lfsc.greedy"):
+            return greedy_select_edges(edge_scn, edge_task, scores, M, c, len(slot.tasks))
 
     def _edge_scores(
         self, cp: CappedProbabilities, cov: np.ndarray, slot: SlotObservation
@@ -364,20 +375,22 @@ class LFSCPolicy(OffloadingPolicy):
             raise RuntimeError("update() must follow the select() of the same slot")
         M = network.num_scns
 
-        if isinstance(cache, _BatchedSlotCache):
-            self._update_batched(slot, feedback, cache)
-        else:
-            self._update_reference(slot, feedback, cache)
+        with obs_runtime.span("lfsc.update"):
+            if isinstance(cache, _BatchedSlotCache):
+                self._update_batched(slot, feedback, cache)
+            else:
+                self._update_reference(slot, feedback, cache)
 
-        recenter_log_weights(self.log_w)
+            recenter_log_weights(self.log_w)
 
         if cfg.use_lagrangian:
-            self.multipliers.update(
-                feedback.per_scn_completed(M),
-                feedback.per_scn_consumption(M),
-                network.alpha,
-                network.beta,
-            )
+            with obs_runtime.span("lfsc.multipliers"):
+                self.multipliers.update(
+                    feedback.per_scn_completed(M),
+                    feedback.per_scn_consumption(M),
+                    network.alpha,
+                    network.beta,
+                )
         if self.multiplier_history_qos is not None and self.t < self.multiplier_history_qos.shape[0]:
             self.multiplier_history_qos[self.t] = self.multipliers.qos
             self.multiplier_history_resource[self.t] = self.multipliers.resource

@@ -30,6 +30,8 @@ from repro.env.channel import BlockageChannel
 from repro.env.network import NetworkConfig
 from repro.env.processes import GroundTruth
 from repro.env.workload import SlotWorkload, Workload
+from repro.obs import metrics as obs_metrics
+from repro.obs import runtime as obs_runtime
 from repro.utils.rng import RngFactory
 from repro.utils.validation import check_positive
 
@@ -298,6 +300,44 @@ class Simulation:
                 f"truth has {self.truth.num_scns} SCNs, network expects {self.network.num_scns}"
             )
 
+    @staticmethod
+    def _record_slot(
+        ctx,
+        policy: PolicyProtocol,
+        t: int,
+        assignment: Assignment,
+        per_scn_assigned: np.ndarray,
+        reward: float,
+        expected_reward: float | None,
+        violation_qos: float,
+        violation_resource: float,
+    ) -> None:
+        """Assemble one slot's trace record (see ``repro.obs.trace.TRACE_SCHEMA``).
+
+        Runs only when an obs context is installed; duals are read through a
+        duck-typed ``policy.multipliers`` attribute so LFSC-family policies
+        report them and multiplier-free baselines record null.
+        """
+        multipliers = getattr(policy, "multipliers", None)
+        mult_qos = mult_res = None
+        if multipliers is not None:
+            mult_qos = np.asarray(multipliers.qos, dtype=float).tolist()
+            mult_res = np.asarray(multipliers.resource, dtype=float).tolist()
+        ctx.end_slot(
+            {
+                "t": t,
+                "policy": policy.name,
+                "assigned": len(assignment),
+                "per_scn_assigned": per_scn_assigned.tolist(),
+                "reward": reward,
+                "expected_reward": expected_reward,
+                "violation_qos": violation_qos,
+                "violation_resource": violation_resource,
+                "multipliers_qos": mult_qos,
+                "multipliers_resource": mult_res,
+            }
+        )
+
     def run(
         self,
         policy: PolicyProtocol,
@@ -313,6 +353,12 @@ class Simulation:
         on which tasks each policy selects — standard bandit semantics).
         """
         check_positive("horizon", horizon)
+        # One lookup per run: when no observability context is installed the
+        # loop below takes the branch-free fast path (obs adds nothing but
+        # a handful of end-of-run counter bumps).  Tracing and spans are
+        # purely observational — they never touch an RNG — so trajectories
+        # are bit-identical whether ``ctx`` is live or None.
+        ctx = obs_runtime.active()
         rngs = RngFactory(self.seed)
         workload_rng = rngs.get("workload")
         realize_rng = rngs.get("realizations")
@@ -341,7 +387,12 @@ class Simulation:
 
         for t in range(horizon):
             slot = self.workload.slot(t, workload_rng)
-            assignment = policy.select(slot)
+            if ctx is None:
+                assignment = policy.select(slot)
+            else:
+                ctx.begin_slot(t)
+                with ctx.span("sim.select"):
+                    assignment = policy.select(slot)
             if self.validate_assignments:
                 assignment.validate(slot, self.network.capacity)
 
@@ -396,10 +447,31 @@ class Simulation:
                 viol_qos_exp[t] = np.maximum(alpha - exp_comp, 0.0).sum()
                 viol_res_exp[t] = np.maximum(exp_cons - beta, 0.0).sum()
 
-            policy.update(slot, feedback)
+            if ctx is None:
+                policy.update(slot, feedback)
+            else:
+                with ctx.span("sim.update"):
+                    policy.update(slot, feedback)
+                self._record_slot(
+                    ctx, policy, t, assignment, accepted[t],
+                    float(reward[t]),
+                    float(expected_reward[t]) if record_expected else None,
+                    float(viol_qos_exp[t] if record_expected else viol_qos_real[t]),
+                    float(viol_res_exp[t] if record_expected else viol_res_real[t]),
+                )
             self.truth.advance(t, realize_rng)
             if self.channel is not None:
                 self.channel.advance(t, channel_rng)
+
+        if ctx is not None and ctx.tracer is not None:
+            # Keep worker-process traces durable even when the process never
+            # uninstalls its (env-var-installed) context.
+            ctx.tracer.flush()
+        reg = obs_metrics.global_registry()
+        reg.counter("sim.runs").inc()
+        reg.counter("sim.slots").inc(horizon)
+        reg.counter("sim.assigned_pairs").inc(float(accepted.sum()))
+        reg.gauge("sim.last_total_reward").set(float(reward.sum()))
 
         return SimulationResult(
             policy_name=policy.name,

@@ -3,17 +3,22 @@
 Each run set is stored as one ``.npz`` (all per-slot arrays, keys namespaced
 by policy) plus a sibling ``.json`` with the scalar summaries — so headline
 numbers are inspectable without NumPy and full series reload losslessly.
+A third sibling, ``<path>.manifest.json``, records the run's provenance
+(git SHA, host, library versions, config when provided) via
+:mod:`repro.obs.manifest`, so every persisted artifact answers "what exactly
+produced this?".
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Mapping
+from typing import Any, Mapping
 
 import numpy as np
 
 from repro.env.simulator import SimulationResult
+from repro.obs.manifest import build_manifest
 
 __all__ = ["save_results", "load_results"]
 
@@ -31,11 +36,17 @@ _ARRAY_FIELDS = (
 
 
 def save_results(
-    results: Mapping[str, SimulationResult], path: str | Path
+    results: Mapping[str, SimulationResult],
+    path: str | Path,
+    *,
+    config: Any = None,
 ) -> tuple[Path, Path]:
     """Write results to ``<path>.npz`` and ``<path>.json``.
 
-    Returns the two paths written.
+    Also writes ``<path>.manifest.json`` with the run's provenance; pass
+    ``config`` (e.g. the :class:`ExperimentConfig`) to embed the exact
+    parameters alongside git/host/version info.  Returns the npz and json
+    paths.
     """
     base = Path(path)
     base.parent.mkdir(parents=True, exist_ok=True)
@@ -55,6 +66,12 @@ def save_results(
     json_path = base.with_suffix(".json")
     np.savez_compressed(npz_path, **arrays)
     json_path.write_text(json.dumps(meta, indent=2, sort_keys=True))
+    manifest = build_manifest(
+        kind="results", config=config, policies=list(results.keys())
+    )
+    base.with_suffix(".manifest.json").write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+    )
     return npz_path, json_path
 
 

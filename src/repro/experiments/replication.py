@@ -28,6 +28,7 @@ submission order, so ``workers=0`` (all cores — the default), ``workers=1``
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -35,6 +36,7 @@ from scipy import stats
 
 from repro.env.simulator import SimulationResult
 from repro.experiments.runner import DEFAULT_POLICIES, ExperimentConfig, run_experiment
+from repro.obs.manifest import write_manifest
 from repro.utils.parallel import parallel_map
 from repro.utils.rng import replication_seeds
 from repro.utils.validation import check_positive, require
@@ -98,6 +100,28 @@ def _seed_label(index: int, args: tuple[ExperimentConfig, Sequence[str], int]) -
     return f"replication {index}, seed {args[2]}"
 
 
+def _emit_manifest(
+    manifest_dir: str | Path | None,
+    cfg: ExperimentConfig,
+    seed_list: Sequence[int],
+    policies: Sequence[str],
+    workers: int | None,
+) -> Path | None:
+    """Write the sweep's provenance manifest when a directory is given."""
+    if manifest_dir is None:
+        return None
+    lfsc = cfg.lfsc_config()
+    return write_manifest(
+        Path(manifest_dir),
+        kind="replication",
+        config=cfg,
+        seeds=seed_list,
+        policies=policies,
+        engine=lfsc.engine,
+        extra={"workers": workers},
+    )
+
+
 def _run_seed_full(
     args: tuple[ExperimentConfig, Sequence[str], int]
 ) -> dict[str, SimulationResult]:
@@ -124,6 +148,7 @@ def run_replications(
     *,
     seeds: Sequence[int] | int = 5,
     workers: int | None = 0,
+    manifest_dir: str | Path | None = None,
 ) -> list[ReplicationRun]:
     """Run the experiment once per seed and keep every per-seed result.
 
@@ -136,12 +161,17 @@ def run_replications(
         ``0`` (default) — one process per CPU core, falling back to serial
         on a single-core host; ``None``/``1`` — serial; ``n`` — a pool of n.
         The per-seed results are bit-identical across all settings.
+    manifest_dir:
+        When given, writes ``<manifest_dir>/manifest.json`` with the sweep's
+        full provenance (config, seed list, engine, git SHA, host, versions)
+        before the sweep runs — so even a crashed sweep leaves its manifest.
 
     Returns
     -------
     One :class:`ReplicationRun` per seed, in seed-list order.
     """
     seed_list = replication_seed_list(cfg.seed, seeds)
+    _emit_manifest(manifest_dir, cfg, seed_list, list(policies), workers)
     tasks = [(cfg, tuple(policies), s) for s in seed_list]
     per_seed = parallel_map(_run_seed_full, tasks, workers=workers, label=_seed_label)
     return [
@@ -188,6 +218,7 @@ def replicate(
     seeds: Sequence[int] | int = 5,
     confidence: float = 0.95,
     workers: int | None = 0,
+    manifest_dir: str | Path | None = None,
 ) -> dict[str, dict[str, ReplicatedSummary]]:
     """Run the experiment at several seeds and aggregate the summaries.
 
@@ -201,6 +232,9 @@ def replicate(
         degrees of freedom.
     workers:
         Same semantics as :func:`run_replications`; parallel by default.
+    manifest_dir:
+        When given, writes ``<manifest_dir>/manifest.json`` with the sweep's
+        provenance (see :func:`run_replications`).
 
     Returns
     -------
@@ -208,6 +242,7 @@ def replicate(
     """
     require(0.0 < confidence < 1.0, f"confidence in (0,1), got {confidence}")
     seed_list = replication_seed_list(cfg.seed, seeds)
+    _emit_manifest(manifest_dir, cfg, seed_list, list(policies), workers)
     tasks = [(cfg, tuple(policies), s) for s in seed_list]
     per_seed = parallel_map(_run_seed_summary, tasks, workers=workers, label=_seed_label)
     return _aggregate(per_seed, policies, confidence)

@@ -1,0 +1,255 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+Design constraints (DESIGN.md §7):
+
+- **near-zero overhead** — an instrument is a plain Python object holding a
+  float (or a small bucket array); recording is one attribute update with no
+  locks, levels, or string formatting on the hot path;
+- **process-local** — every process owns exactly one default registry
+  (:func:`global_registry`); nothing is shared, so recording never
+  synchronizes;
+- **mergeable** — :meth:`MetricsRegistry.snapshot` produces a plain-dict,
+  JSON-serializable view; snapshots combine associatively and commutatively
+  via :func:`merge_snapshots` / :meth:`MetricsRegistry.merge_snapshot`, and
+  :func:`diff_snapshots` subtracts a baseline, which is how
+  :mod:`repro.utils.parallel` folds per-chunk worker metrics into the parent
+  registry without double counting across a pool's reused processes.
+
+Histogram buckets are fixed at construction (default: log-spaced latency
+bounds), so merging histograms of the same name is element-wise addition;
+mismatched bounds raise rather than silently corrupt.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BOUNDS_S",
+    "diff_snapshots",
+    "global_registry",
+    "merge_snapshots",
+    "reset_global_registry",
+]
+
+#: Log-spaced span-duration bounds: 1 µs … 100 s (upper catch-all implied).
+DEFAULT_LATENCY_BOUNDS_S: tuple[float, ...] = tuple(
+    10.0**e for e in range(-6, 3)
+)
+
+
+class Counter:
+    """A monotonically increasing float total (e.g. slots simulated)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (e.g. last run's total reward)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bound bucketed distribution (counts + sum, Prometheus-style).
+
+    ``bounds`` are the inclusive upper edges of the first ``len(bounds)``
+    buckets; one implicit overflow bucket catches everything above the last
+    bound, so ``counts`` has ``len(bounds) + 1`` entries.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "sum")
+
+    def __init__(self, name: str, bounds: Iterable[float] = DEFAULT_LATENCY_BOUNDS_S) -> None:
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        if not self.bounds:
+            raise ValueError(f"histogram {self.name!r} needs at least one bound")
+        if any(b2 <= b1 for b1, b2 in zip(self.bounds, self.bounds[1:])):
+            raise ValueError(f"histogram {self.name!r} bounds must be strictly increasing")
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        i = 0
+        for bound in self.bounds:
+            if value <= bound:
+                break
+            i += 1
+        self.counts[i] += 1
+        self.total += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+
+class MetricsRegistry:
+    """Named instruments, lazily created, snapshot/merge-able.
+
+    ``registry.counter("sim.slots").inc(400)`` — repeated lookups of the
+    same name return the same instrument.  A name is bound to one instrument
+    kind for the registry's lifetime; re-requesting it as a different kind
+    raises.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def _check_unbound(self, name: str, want: str) -> None:
+        kinds = {
+            "counter": self._counters,
+            "gauge": self._gauges,
+            "histogram": self._histograms,
+        }
+        for kind, table in kinds.items():
+            if kind != want and name in table:
+                raise ValueError(f"metric {name!r} already registered as a {kind}")
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            self._check_unbound(name, "counter")
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            self._check_unbound(name, "gauge")
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(
+        self, name: str, bounds: Iterable[float] = DEFAULT_LATENCY_BOUNDS_S
+    ) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            self._check_unbound(name, "histogram")
+            h = self._histograms[name] = Histogram(name, bounds)
+        return h
+
+    # -- snapshots ----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A plain-dict, JSON-serializable view of every instrument."""
+        return {
+            "counters": {n: c.value for n, c in self._counters.items()},
+            "gauges": {n: g.value for n, g in self._gauges.items()},
+            "histograms": {
+                n: {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.counts),
+                    "total": h.total,
+                    "sum": h.sum,
+                }
+                for n, h in self._histograms.items()
+            },
+        }
+
+    def merge_snapshot(self, snap: Mapping) -> None:
+        """Fold a snapshot (e.g. a worker-chunk delta) into this registry.
+
+        Counters and histogram buckets add; gauges take the incoming value
+        when present (last write wins — gauges are point-in-time by nature).
+        """
+        for name, value in snap.get("counters", {}).items():
+            self.counter(name).value += float(value)
+        for name, value in snap.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, data in snap.get("histograms", {}).items():
+            h = self.histogram(name, data["bounds"])
+            if list(h.bounds) != list(data["bounds"]):
+                raise ValueError(f"histogram {name!r} bound mismatch in merge")
+            for i, c in enumerate(data["counts"]):
+                h.counts[i] += int(c)
+            h.total += int(data["total"])
+            h.sum += float(data["sum"])
+
+
+def merge_snapshots(a: Mapping, b: Mapping) -> dict:
+    """Combine two snapshots into a new one (associative and commutative
+    on counters/histograms; gauges are last-write-wins, so commutativity
+    holds only up to gauge ordering)."""
+    reg = MetricsRegistry()
+    reg.merge_snapshot(a)
+    reg.merge_snapshot(b)
+    return reg.snapshot()
+
+
+def diff_snapshots(after: Mapping, before: Mapping) -> dict:
+    """``after - before`` for counters/histograms; gauges keep ``after``.
+
+    Used by parallel workers to report only the metrics recorded *during*
+    one chunk: pool processes are reused across chunks, so sending the raw
+    registry would double-count earlier chunks at the parent.
+    """
+    out: dict = {"counters": {}, "gauges": dict(after.get("gauges", {})), "histograms": {}}
+    before_counters = before.get("counters", {})
+    for name, value in after.get("counters", {}).items():
+        delta = float(value) - float(before_counters.get(name, 0.0))
+        if not math.isclose(delta, 0.0, abs_tol=0.0):
+            out["counters"][name] = delta
+    before_hists = before.get("histograms", {})
+    for name, data in after.get("histograms", {}).items():
+        prev = before_hists.get(name)
+        if prev is None:
+            out["histograms"][name] = {
+                "bounds": list(data["bounds"]),
+                "counts": list(data["counts"]),
+                "total": data["total"],
+                "sum": data["sum"],
+            }
+            continue
+        if list(prev["bounds"]) != list(data["bounds"]):
+            raise ValueError(f"histogram {name!r} bound mismatch in diff")
+        counts = [int(c) - int(p) for c, p in zip(data["counts"], prev["counts"])]
+        total = int(data["total"]) - int(prev["total"])
+        if total:
+            out["histograms"][name] = {
+                "bounds": list(data["bounds"]),
+                "counts": counts,
+                "total": total,
+                "sum": float(data["sum"]) - float(prev["sum"]),
+            }
+    return out
+
+
+_GLOBAL = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """This process's default registry (one per process, never shared)."""
+    return _GLOBAL
+
+
+def reset_global_registry() -> MetricsRegistry:
+    """Replace the process-global registry with a fresh one (tests)."""
+    global _GLOBAL
+    _GLOBAL = MetricsRegistry()
+    return _GLOBAL

@@ -1,0 +1,153 @@
+"""Slot-level structured tracing: one JSONL record per (sampled) slot.
+
+A :class:`TraceRecorder` streams records to disk with bounded memory — the
+in-process buffer never exceeds ``flush_every`` records — and an explicit
+``sample_every`` knob trades completeness for write volume on long horizons
+(record slot ``t`` iff ``t % sample_every == 0``).
+
+Record schema (``TRACE_SCHEMA``): the simulator emits the per-slot fields
+an operator needs to explain a trajectory — per-SCN assignment sizes,
+estimated vs. realized compound reward, constraint-violation terms,
+multiplier values, and the monotonic timing spans recorded during the slot
+(``spans`` maps span name → seconds).  :func:`validate_record` enforces the
+schema; :func:`read_trace` loads a file back into dicts.  Tracing is purely
+observational: it never touches a policy RNG, so trajectories are
+bit-identical with tracing on or off (``tests/obs/test_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterator, Mapping
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "TraceRecorder",
+    "iter_trace",
+    "read_trace",
+    "validate_record",
+]
+
+#: Required fields of a slot trace record and their types.  ``None`` is
+#: additionally allowed where marked optional (e.g. ``expected_reward`` when
+#: the run recorded realized-only feedback).
+TRACE_SCHEMA: dict[str, tuple] = {
+    "t": (int,),
+    "policy": (str,),
+    "assigned": (int,),
+    "per_scn_assigned": (list,),
+    "reward": (float, int),
+    "expected_reward": (float, int, type(None)),
+    "violation_qos": (float, int),
+    "violation_resource": (float, int),
+    "multipliers_qos": (list, type(None)),
+    "multipliers_resource": (list, type(None)),
+    "spans": (dict,),
+}
+
+
+def validate_record(record: Mapping) -> None:
+    """Raise ValueError when ``record`` does not satisfy ``TRACE_SCHEMA``."""
+    for key, types in TRACE_SCHEMA.items():
+        if key not in record:
+            raise ValueError(f"trace record missing field {key!r}")
+        if not isinstance(record[key], types):
+            raise ValueError(
+                f"trace field {key!r} has type {type(record[key]).__name__}, "
+                f"expected one of {[t.__name__ for t in types]}"
+            )
+    spans = record["spans"]
+    for name, seconds in spans.items():
+        if not isinstance(name, str) or not isinstance(seconds, (int, float)):
+            raise ValueError(f"span entry {name!r}: {seconds!r} is not (str, seconds)")
+        if seconds < 0:
+            raise ValueError(f"span {name!r} has negative duration {seconds}")
+
+
+class TraceRecorder:
+    """Streaming JSONL writer with sampling and a bounded buffer.
+
+    Parameters
+    ----------
+    path:
+        Output ``.jsonl`` file (parent directories are created).
+    sample_every:
+        Record slot ``t`` iff ``t % sample_every == 0``; 1 records every
+        slot.
+    flush_every:
+        Buffered records are written out whenever this many accumulate, so
+        memory stays bounded on 10k+-slot horizons.
+
+    The recorder keeps :attr:`last_record` — the most recent record *built*
+    (whether or not it was sampled to disk) — which the parallel harness
+    attaches to :class:`~repro.utils.parallel.ParallelExecutionError` so a
+    crashing replication reports the slot state it died in.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        sample_every: int = 1,
+        flush_every: int = 256,
+    ) -> None:
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
+        self.path = Path(path)
+        self.sample_every = int(sample_every)
+        self.flush_every = int(flush_every)
+        self.records_written = 0
+        self.last_record: dict | None = None
+        self._buffer: list[str] = []
+        self._file: IO[str] | None = None
+
+    def want(self, t: int) -> bool:
+        """Whether slot ``t`` falls on the sampling grid."""
+        return t % self.sample_every == 0
+
+    def record(self, record: dict) -> None:
+        """Buffer one record; flush to disk when the buffer fills."""
+        self.last_record = record
+        self._buffer.append(json.dumps(record, separators=(",", ":")))
+        if len(self._buffer) >= self.flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        if not self._buffer:
+            return
+        if self._file is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = self.path.open("w")
+        self._file.write("\n".join(self._buffer) + "\n")
+        self._file.flush()
+        self.records_written += len(self._buffer)
+        self._buffer.clear()
+
+    def close(self) -> None:
+        self.flush()
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "TraceRecorder":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def iter_trace(path: str | Path) -> Iterator[dict]:
+    """Yield records from a JSONL trace file one at a time."""
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def read_trace(path: str | Path) -> list[dict]:
+    """Load a whole JSONL trace file written by :class:`TraceRecorder`."""
+    return list(iter_trace(path))

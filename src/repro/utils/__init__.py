@@ -13,7 +13,7 @@ from repro.utils.validation import (
     check_shape,
     require,
 )
-from repro.utils.timing import Stopwatch
+from repro.utils.timing import Span, Stopwatch, monotonic
 from repro.utils.parallel import parallel_map
 
 __all__ = [
@@ -25,6 +25,8 @@ __all__ = [
     "check_probability",
     "check_shape",
     "require",
+    "Span",
     "Stopwatch",
+    "monotonic",
     "parallel_map",
 ]

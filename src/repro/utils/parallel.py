@@ -22,7 +22,17 @@ Failure surfacing: an exception inside a worker is re-raised in the parent as
 :class:`ParallelExecutionError` naming the failing item's index (and, when
 the caller provides ``label``, a human-readable description such as the
 replication seed) together with the worker-side traceback — instead of a
-bare pickled pool traceback.
+bare pickled pool traceback.  When slot tracing is enabled in the failing
+process (:mod:`repro.obs`), the error also carries the last trace record
+built before the crash (``err.trace_record``), i.e. the slot state the
+replication died in.
+
+Observability: each chunk additionally reports the *delta* of the worker's
+process-local metrics registry (:mod:`repro.obs.metrics`) accumulated while
+running that chunk; the parent folds the deltas into its own global
+registry, so ``global_registry().snapshot()`` after a parallel sweep equals
+the serial run's metrics (delta-based merging stays correct when a pool
+reuses worker processes across chunks).
 
 Fallbacks: ``workers=0`` (the parallel-by-default setting) resolves to all
 CPU cores, but collapses to serial execution on a single-core host or on a
@@ -38,6 +48,9 @@ import sys
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import runtime as obs_runtime
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -64,13 +77,30 @@ class ParallelExecutionError(RuntimeError):
     worker_traceback:
         The traceback text captured inside the worker process (empty when
         the failure happened in the parent, where ``__cause__`` is chained).
+    trace_record:
+        The last slot trace record built in the failing process when
+        tracing was enabled there (see :mod:`repro.obs`), else ``None``.
     """
 
-    def __init__(self, index: int, description: str, cause: str, worker_traceback: str = ""):
+    def __init__(
+        self,
+        index: int,
+        description: str,
+        cause: str,
+        worker_traceback: str = "",
+        trace_record: dict | None = None,
+    ):
         self.index = index
         self.description = description
         self.worker_traceback = worker_traceback
+        self.trace_record = trace_record
         message = f"parallel task failed at {description}: {cause}"
+        if trace_record is not None:
+            message += (
+                f"\nlast traced slot before failure: t={trace_record.get('t')} "
+                f"policy={trace_record.get('policy')} "
+                f"assigned={trace_record.get('assigned')}"
+            )
         if worker_traceback:
             message += f"\n--- worker traceback ---\n{worker_traceback.rstrip()}"
         super().__init__(message)
@@ -122,16 +152,31 @@ def _run_chunk(
     payload: tuple[Callable[[T], R], int, Sequence[T]],
 ) -> list[tuple[str, object]]:
     """Worker: run one chunk, tagging each result ``("ok", value)`` or
-    ``("err", (index, repr, traceback))``.  Stops at the first failure —
-    later items of the chunk are reported as skipped by the parent."""
+    ``("err", (index, repr, traceback, trace_record))``.  Stops at the first
+    failure — later items of the chunk are reported as skipped by the
+    parent.  The final ``("metrics", delta)`` entry carries the metrics
+    this chunk added to the worker's process-local registry."""
     func, start, items = payload
+    before = obs_metrics.global_registry().snapshot()
     out: list[tuple[str, object]] = []
     for offset, item in enumerate(items):
         try:
             out.append(("ok", func(item)))
         except BaseException as exc:  # noqa: BLE001 - re-raised in the parent
-            out.append(("err", (start + offset, repr(exc), traceback.format_exc())))
+            out.append(
+                (
+                    "err",
+                    (
+                        start + offset,
+                        repr(exc),
+                        traceback.format_exc(),
+                        obs_runtime.last_trace_record(),
+                    ),
+                )
+            )
             break
+    after = obs_metrics.global_registry().snapshot()
+    out.append(("metrics", obs_metrics.diff_snapshots(after, before)))
     return out
 
 
@@ -196,7 +241,12 @@ def parallel_map(
             try:
                 out.append(func(item))
             except BaseException as exc:  # noqa: BLE001 - annotated and chained
-                raise ParallelExecutionError(i, _describe(label, i, item), repr(exc)) from exc
+                raise ParallelExecutionError(
+                    i,
+                    _describe(label, i, item),
+                    repr(exc),
+                    trace_record=obs_runtime.last_trace_record(),
+                ) from exc
         return out
 
     chunks = [
@@ -216,10 +266,17 @@ def parallel_map(
                     start, _describe(label, start, chunk_items[0]), repr(exc)
                 ) from exc
             for tag, value in tagged:
-                if tag == "err":
-                    index, cause, tb = value  # type: ignore[misc]
+                if tag == "metrics":
+                    obs_metrics.global_registry().merge_snapshot(value)  # type: ignore[arg-type]
+                elif tag == "err":
+                    index, cause, tb, trace_record = value  # type: ignore[misc]
                     raise ParallelExecutionError(
-                        index, _describe(label, index, work[index]), cause, tb
+                        index,
+                        _describe(label, index, work[index]),
+                        cause,
+                        tb,
+                        trace_record=trace_record,
                     )
-                results.append(value)  # type: ignore[arg-type]
+                else:
+                    results.append(value)  # type: ignore[arg-type]
         return results

@@ -1,21 +1,70 @@
-"""Simple wall-clock instrumentation for experiment runs.
+"""Monotonic timing primitives for experiment runs and the obs subsystem.
 
-The experiment runner records per-phase timings so that long parameter sweeps
-report where the time went (simulation vs. oracle solve vs. metric reduction),
-following the profile-before-optimizing workflow of the HPC guides.
+All durations in :mod:`repro` are measured with :func:`time.perf_counter`
+(re-exported here as :func:`monotonic`): a monotonic, high-resolution clock.
+Wall-clock ``time.time()`` deltas can jump backwards under NTP slew or DST
+shifts and must never be used for spans — a negative "duration" silently
+corrupts accumulated phase totals and overhead gates.
+
+Two primitives:
+
+- :class:`Stopwatch` — accumulates named durations across many intervals
+  (per-phase totals for sweeps and reports).  Stopwatches from worker
+  processes merge associatively via :meth:`Stopwatch.merge`.
+- :class:`Span` — one timed interval reported to a callback on exit; the
+  building block the observability runtime (:mod:`repro.obs`) uses for
+  slot-level timing records.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
-__all__ = ["Stopwatch"]
+__all__ = ["Span", "Stopwatch", "monotonic"]
+
+#: The project-wide span clock: monotonic, immune to NTP/wall-clock slew.
+monotonic = time.perf_counter
+
+
+class Span:
+    """One timed interval: ``with Span("greedy", sink):`` calls
+    ``sink("greedy", seconds)`` on exit.
+
+    The measured duration is also available as :attr:`seconds` after exit
+    (and reads as the running duration while the span is open).  Durations
+    come from :func:`monotonic` and are therefore always >= 0.
+    """
+
+    __slots__ = ("name", "_sink", "_start", "_stop")
+
+    def __init__(self, name: str, sink: Callable[[str, float], None] | None = None) -> None:
+        self.name = name
+        self._sink = sink
+        self._start: float | None = None
+        self._stop: float | None = None
+
+    @property
+    def seconds(self) -> float:
+        if self._start is None:
+            return 0.0
+        end = self._stop if self._stop is not None else monotonic()
+        return end - self._start
+
+    def __enter__(self) -> "Span":
+        self._start = monotonic()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._stop = monotonic()
+        if self._sink is not None:
+            self._sink(self.name, self._stop - self._start)
 
 
 @dataclass
 class Stopwatch:
-    """Accumulates named wall-clock durations.
+    """Accumulates named monotonic durations.
 
     Use as a context manager factory::
 
@@ -28,12 +77,22 @@ class Stopwatch:
     _totals: dict[str, float] = field(default_factory=dict)
     _counts: dict[str, int] = field(default_factory=dict)
 
-    def measure(self, name: str) -> "_Timer":
-        return _Timer(self, name)
+    def measure(self, name: str) -> Span:
+        return Span(name, self.add)
 
     def add(self, name: str, seconds: float) -> None:
         self._totals[name] = self._totals.get(name, 0.0) + seconds
         self._counts[name] = self._counts.get(name, 0) + 1
+
+    def merge(self, other: "Stopwatch") -> None:
+        """Fold another stopwatch's totals in (e.g. from a worker process).
+
+        Merging is associative and commutative, so per-worker stopwatches
+        can be combined in any order with identical results.
+        """
+        for name, seconds in other._totals.items():
+            self._totals[name] = self._totals.get(name, 0.0) + seconds
+            self._counts[name] = self._counts.get(name, 0) + other._counts[name]
 
     def totals(self) -> dict[str, float]:
         """Total seconds accumulated per name."""
@@ -51,17 +110,3 @@ class Stopwatch:
             count = self._counts[name]
             lines.append(f"{name:<30s} {total:10.3f}s  ({count} calls)")
         return "\n".join(lines)
-
-
-class _Timer:
-    def __init__(self, watch: Stopwatch, name: str) -> None:
-        self._watch = watch
-        self._name = name
-        self._start = 0.0
-
-    def __enter__(self) -> "_Timer":
-        self._start = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc: object) -> None:
-        self._watch.add(self._name, time.perf_counter() - self._start)

@@ -97,7 +97,146 @@ class TestReportCommand:
         assert text.startswith("# EXPERIMENTS")
         assert "Shape-check summary" in text
 
+    def test_report_emits_manifest_next_to_out(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "rep.md"
+        rc = main(["report", "--horizon", "15", "--workers", "1", "--out", str(out)])
+        assert rc == 0
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["kind"] == "report"
+        assert manifest["config"]["horizon"] == 15
+
     def test_ablations_single_study(self, capsys):
         rc = main(["ablations", "--horizon", "15", "--workers", "1", "--study", "lagrangian"])
         assert rc == 0
         assert "LFSC-noLagrangian" in capsys.readouterr().out
+
+
+class TestObservabilityCommands:
+    def _run_with_trace(self, tmp_path, extra=()):
+        trace = tmp_path / "trace.jsonl"
+        rc = main(
+            [
+                "run",
+                "--horizon",
+                "12",
+                "--workers",
+                "1",
+                "--policies",
+                "LFSC",
+                "--trace",
+                str(trace),
+                *extra,
+            ]
+        )
+        assert rc == 0
+        return trace
+
+    def test_trace_flag_records_every_slot(self, capsys, tmp_path):
+        from repro.obs.trace import read_trace, validate_record
+
+        trace = self._run_with_trace(tmp_path)
+        records = read_trace(trace)
+        assert [r["t"] for r in records] == list(range(12))
+        for r in records:
+            validate_record(r)
+
+    def test_trace_sample_thins_records(self, capsys, tmp_path):
+        from repro.obs.trace import read_trace
+
+        trace = self._run_with_trace(tmp_path, extra=["--trace-sample", "4"])
+        assert [r["t"] for r in read_trace(trace)] == [0, 4, 8]
+
+    def test_trace_subcommand_summarizes(self, capsys, tmp_path):
+        trace = self._run_with_trace(tmp_path)
+        capsys.readouterr()
+        rc = main(["trace", str(trace), "--validate"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "schema OK" in out
+        assert "12 records" in out
+        assert "sim.select" in out  # span table present
+
+    def test_trace_subcommand_reports_empty_file(self, capsys, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        rc = main(["trace", str(empty)])
+        assert rc == 0
+        assert "empty trace" in capsys.readouterr().out
+
+    def test_manifest_dir_flag(self, capsys, tmp_path):
+        import json
+
+        rc = main(
+            [
+                "run",
+                "--horizon",
+                "12",
+                "--workers",
+                "1",
+                "--policies",
+                "Random",
+                "--manifest-dir",
+                str(tmp_path / "mdir"),
+            ]
+        )
+        assert rc == 0
+        manifest = json.loads((tmp_path / "mdir" / "manifest.json").read_text())
+        assert manifest["kind"] == "run"
+        assert manifest["config"]["seed"] is not None
+
+    def test_save_emits_sidecar_manifest(self, capsys, tmp_path):
+        import json
+
+        base = tmp_path / "saved"
+        rc = main(
+            [
+                "run",
+                "--horizon",
+                "12",
+                "--workers",
+                "1",
+                "--policies",
+                "Random",
+                "--save",
+                str(base),
+            ]
+        )
+        assert rc == 0
+        manifest = json.loads(base.with_suffix(".manifest.json").read_text())
+        assert manifest["kind"] == "results"
+        assert manifest["policies"] == ["Random"]
+
+    def test_replicate_emits_manifest(self, capsys, tmp_path):
+        import json
+
+        mdir = tmp_path / "repl"
+        rc = main(
+            [
+                "replicate",
+                "--horizon",
+                "12",
+                "--workers",
+                "1",
+                "--seeds",
+                "2",
+                "--policies",
+                "Random",
+                "--manifest-dir",
+                str(mdir),
+            ]
+        )
+        assert rc == 0
+        manifest = json.loads((mdir / "manifest.json").read_text())
+        assert manifest["kind"] == "replication"
+        assert len(manifest["seeds"]) == 2
+        assert manifest["engine"] in ("batched", "reference")
+
+    def test_traced_run_matches_untraced(self, capsys, tmp_path):
+        # The CLI trace path must not perturb results (bit-identity).
+        main(["run", "--horizon", "12", "--workers", "1", "--policies", "LFSC"])
+        plain = capsys.readouterr().out
+        self._run_with_trace(tmp_path)
+        traced = capsys.readouterr().out
+        assert plain.splitlines()[:3] == traced.splitlines()[:3]

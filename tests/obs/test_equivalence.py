@@ -1,0 +1,97 @@
+"""Tracing is observational: bit-identical trajectories with obs on or off.
+
+The acceptance bar for the observability subsystem — for *both* slot
+engines, running under a full tracing context (metrics registry + JSONL
+recorder, sample_every=1) must produce byte-for-byte the same rewards,
+violations, assignments, weight trajectories, and multipliers as running
+with no context installed.  Any divergence means instrumentation touched a
+policy RNG or reordered arithmetic, which would silently invalidate every
+traced experiment.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.lfsc import LFSCPolicy
+from repro.experiments.runner import ExperimentConfig, build_simulation
+from repro.obs import observe
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import read_trace
+
+
+def _run(exp, engine, trace_path=None):
+    sim = build_simulation(exp)
+    policy = LFSCPolicy(exp.lfsc_config().with_overrides(engine=engine))
+    if trace_path is None:
+        result = sim.run(policy, exp.horizon)
+    else:
+        with observe(trace_path=trace_path, registry=MetricsRegistry()):
+            result = sim.run(policy, exp.horizon)
+    return result, policy
+
+
+def _assert_bit_identical(plain, traced):
+    plain_result, plain_policy = plain
+    traced_result, traced_policy = traced
+    np.testing.assert_array_equal(plain_result.reward, traced_result.reward)
+    np.testing.assert_array_equal(
+        plain_result.expected_reward, traced_result.expected_reward
+    )
+    np.testing.assert_array_equal(
+        plain_result.violation_qos, traced_result.violation_qos
+    )
+    np.testing.assert_array_equal(
+        plain_result.violation_resource, traced_result.violation_resource
+    )
+    np.testing.assert_array_equal(plain_result.accepted, traced_result.accepted)
+    np.testing.assert_array_equal(plain_policy.log_w, traced_policy.log_w)
+    np.testing.assert_array_equal(
+        plain_policy.multipliers.qos, traced_policy.multipliers.qos
+    )
+    np.testing.assert_array_equal(
+        plain_policy.multipliers.resource, traced_policy.multipliers.resource
+    )
+
+
+class TestTracingEquivalence:
+    @pytest.mark.parametrize("engine", ["reference", "batched"])
+    def test_trace_on_off_identical(self, engine, tmp_path):
+        exp = ExperimentConfig.tiny()
+        plain = _run(exp, engine)
+        traced = _run(exp, engine, trace_path=tmp_path / f"{engine}.jsonl")
+        _assert_bit_identical(plain, traced)
+
+    @pytest.mark.parametrize("engine", ["reference", "batched"])
+    def test_trace_records_match_simulation(self, engine, tmp_path):
+        """The trace is a faithful per-slot account of the run it recorded."""
+        exp = ExperimentConfig.tiny()
+        path = tmp_path / "t.jsonl"
+        result, _ = _run(exp, engine, trace_path=path)
+        records = read_trace(path)
+        assert len(records) == exp.horizon
+        assert [r["t"] for r in records] == list(range(exp.horizon))
+        np.testing.assert_allclose(
+            [r["reward"] for r in records], result.reward, rtol=1e-12
+        )
+        for r in records:
+            assert r["assigned"] == sum(r["per_scn_assigned"])
+
+    def test_seed_sweep_batched(self, tmp_path):
+        # DepRound is the RNG-heaviest path — sweep seeds so any stream
+        # perturbation by instrumentation shows up.
+        base = ExperimentConfig.tiny()
+        for seed in (1, 2, 3):
+            exp = base.with_overrides(seed=seed)
+            plain = _run(exp, "batched")
+            traced = _run(exp, "batched", trace_path=tmp_path / f"s{seed}.jsonl")
+            _assert_bit_identical(plain, traced)
+
+    def test_metrics_only_context_identical(self):
+        """The bench's 'tracing disabled' state: context with no recorder."""
+        exp = ExperimentConfig.tiny()
+        plain = _run(exp, "batched")
+        sim = build_simulation(exp)
+        policy = LFSCPolicy(exp.lfsc_config())
+        with observe(registry=MetricsRegistry()):
+            result = sim.run(policy, exp.horizon)
+        _assert_bit_identical(plain, (result, policy))

@@ -1,0 +1,159 @@
+"""Metrics registry: instrument semantics, snapshots, and merge algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+    global_registry,
+    merge_snapshots,
+    reset_global_registry,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("jobs")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("jobs").inc(-1.0)
+
+    def test_counter_is_cached_by_name(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_gauge_last_write_wins(self):
+        g = MetricsRegistry().gauge("level")
+        g.set(1.0)
+        g.set(-7.0)
+        assert g.value == -7.0
+
+    def test_histogram_buckets_and_overflow(self):
+        h = Histogram("lat", bounds=(1.0, 10.0))
+        for v in (0.5, 0.9, 5.0, 100.0):
+            h.observe(v)
+        assert h.counts == [2, 1, 1]  # <=1, <=10, overflow
+        assert h.total == 4
+        assert h.sum == pytest.approx(106.4)
+        assert h.mean == pytest.approx(106.4 / 4)
+
+    def test_histogram_requires_increasing_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", bounds=(1.0, 1.0))
+
+    def test_name_kind_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+
+class TestSnapshots:
+    def _registry(self, scale=1.0):
+        reg = MetricsRegistry()
+        reg.counter("runs").inc(2 * scale)
+        reg.gauge("last").set(5 * scale)
+        reg.histogram("lat", bounds=(1.0, 10.0)).observe(3.0 * scale)
+        return reg
+
+    def test_snapshot_is_plain_data(self):
+        snap = self._registry().snapshot()
+        assert snap["counters"] == {"runs": 2.0}
+        assert snap["gauges"] == {"last": 5.0}
+        assert snap["histograms"]["lat"]["total"] == 1
+
+    def test_merge_adds_counters_and_histograms(self):
+        a = self._registry().snapshot()
+        b = self._registry(scale=2.0).snapshot()
+        m = merge_snapshots(a, b)
+        assert m["counters"]["runs"] == 6.0
+        assert m["histograms"]["lat"]["total"] == 2
+        assert m["gauges"]["last"] == 10.0  # last-write-wins: b's value
+
+    def test_merge_snapshot_into_registry(self):
+        reg = self._registry()
+        reg.merge_snapshot(self._registry(scale=3.0).snapshot())
+        assert reg.counter("runs").value == 8.0
+
+    def test_diff_recovers_delta(self):
+        reg = self._registry()
+        before = reg.snapshot()
+        reg.counter("runs").inc(10)
+        reg.histogram("lat", bounds=(1.0, 10.0)).observe(100.0)
+        delta = diff_snapshots(reg.snapshot(), before)
+        assert delta["counters"]["runs"] == 10.0
+        assert delta["histograms"]["lat"]["total"] == 1
+        assert sum(delta["histograms"]["lat"]["counts"]) == 1
+
+    def test_diff_rejects_bound_mismatch(self):
+        a = MetricsRegistry()
+        a.histogram("h", bounds=(1.0, 2.0)).observe(1.0)
+        b = MetricsRegistry()
+        b.histogram("h", bounds=(1.0, 3.0)).observe(1.0)
+        with pytest.raises(ValueError):
+            diff_snapshots(a.snapshot(), b.snapshot())
+
+    def test_global_registry_reset(self):
+        global_registry().counter("tmp").inc()
+        reset_global_registry()
+        assert "tmp" not in global_registry().snapshot()["counters"]
+
+
+_snapshot_strategy = st.builds(
+    lambda counts, gauge, obs: _make_snapshot(counts, gauge, obs),
+    counts=st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False), max_size=3
+    ),
+    gauge=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    obs=st.lists(
+        st.floats(min_value=0.0, max_value=1e3, allow_nan=False), max_size=5
+    ),
+)
+
+
+def _make_snapshot(counts, gauge, obs):
+    reg = MetricsRegistry()
+    for c in counts:
+        reg.counter("runs").inc(c)
+    reg.gauge("last").set(gauge)
+    h = reg.histogram("lat", bounds=(1.0, 10.0))
+    for v in obs:
+        h.observe(v)
+    return reg.snapshot()
+
+
+def _commutative_part(snap):
+    """Everything except gauges, which are last-write-wins by design."""
+    return {"counters": snap["counters"], "histograms": snap["histograms"]}
+
+
+@given(a=_snapshot_strategy, b=_snapshot_strategy, c=_snapshot_strategy)
+@settings(max_examples=60, deadline=None)
+def test_merge_is_associative(a, b, c):
+    """(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c) — workers can merge in any grouping."""
+    left = merge_snapshots(merge_snapshots(a, b), c)
+    right = merge_snapshots(a, merge_snapshots(b, c))
+    assert _approx_equal(left, right)
+    # Counters/histograms also commute; gauges keep the right operand.
+    assert _approx_equal(
+        dict(_commutative_part(merge_snapshots(a, b)), gauges={}),
+        dict(_commutative_part(merge_snapshots(b, a)), gauges={}),
+    )
+
+
+def _approx_equal(x, y, tol=1e-9):
+    if isinstance(x, dict):
+        return set(x) == set(y) and all(_approx_equal(x[k], y[k], tol) for k in x)
+    if isinstance(x, list):
+        return len(x) == len(y) and all(_approx_equal(a, b, tol) for a, b in zip(x, y))
+    if isinstance(x, float) and isinstance(y, float):
+        return abs(x - y) <= tol * max(1.0, abs(x), abs(y))
+    return x == y

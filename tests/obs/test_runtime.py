@@ -1,0 +1,140 @@
+"""Runtime activation: fast path, scoped observe, env init, failure context."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs import runtime
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.runtime import ObsContext, active, last_trace_record, observe, span
+from repro.obs.trace import read_trace
+
+
+@pytest.fixture(autouse=True)
+def _clean_context():
+    """Each test starts and ends with no installed context."""
+    runtime.uninstall()
+    yield
+    runtime.uninstall()
+
+
+class TestFastPath:
+    def test_disabled_by_default(self):
+        assert active() is None
+
+    def test_span_is_shared_noop_when_disabled(self):
+        s1, s2 = span("a"), span("b")
+        assert s1 is s2  # the singleton null span: zero allocation per call
+        with s1:
+            pass
+
+
+class TestObserve:
+    def test_installs_and_restores(self):
+        with observe() as ctx:
+            assert active() is ctx
+        assert active() is None
+
+    def test_nested_observe_restores_outer(self):
+        with observe() as outer:
+            with observe() as inner:
+                assert active() is inner
+            assert active() is outer
+
+    def test_spans_feed_registry_histograms(self):
+        reg = MetricsRegistry()
+        with observe(registry=reg):
+            with span("unit.test"):
+                pass
+        snap = reg.snapshot()
+        assert snap["histograms"]["span.unit.test"]["total"] == 1
+
+    def test_trace_written_and_closed(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with observe(trace_path=path) as ctx:
+            ctx.begin_slot(0)
+            ctx.end_slot(_fields(t=0))
+        assert [r["t"] for r in read_trace(path)] == [0]
+
+    def test_sampling_respected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with observe(trace_path=path, sample_every=2) as ctx:
+            for t in range(4):
+                ctx.begin_slot(t)
+                ctx.end_slot(_fields(t=t))
+        assert [r["t"] for r in read_trace(path)] == [0, 2]
+
+
+class TestSlotProtocol:
+    def test_begin_slot_clears_accumulators(self):
+        ctx = ObsContext(registry=MetricsRegistry())
+        ctx.begin_slot(0)
+        ctx.add_span("x", 1.0)
+        ctx.set_slot_field("edges", 9)
+        ctx.begin_slot(1)
+        record = ctx.end_slot(_fields(t=1))
+        assert record["spans"] == {}
+        assert "edges" not in record
+
+    def test_slot_fields_and_spans_merged_into_record(self):
+        ctx = ObsContext(registry=MetricsRegistry())
+        ctx.begin_slot(0)
+        ctx.add_span("sel", 0.25)
+        ctx.add_span("sel", 0.25)  # same span twice in a slot: accumulates
+        ctx.set_slot_field("edges", 12)
+        record = ctx.end_slot(_fields(t=0))
+        assert record["spans"] == {"sel": 0.5}
+        assert record["edges"] == 12
+
+    def test_last_record_survives_observe_exit(self):
+        with observe() as ctx:
+            ctx.begin_slot(3)
+            ctx.end_slot(_fields(t=3))
+        assert active() is None
+        assert last_trace_record()["t"] == 3
+
+
+class TestEnvInit:
+    def test_env_var_traces_in_subprocess(self, tmp_path):
+        """REPRO_TRACE_DIR makes a fresh process trace to <dir>/trace-<pid>.jsonl."""
+        code = (
+            "from repro.obs import runtime\n"
+            "ctx = runtime.active()\n"
+            "assert ctx is not None and ctx.tracer is not None\n"
+            "ctx.begin_slot(0)\n"
+            "ctx.end_slot({'t': 0, 'policy': 'P', 'assigned': 0,\n"
+            "              'per_scn_assigned': [], 'reward': 0.0,\n"
+            "              'expected_reward': None, 'violation_qos': 0.0,\n"
+            "              'violation_resource': 0.0, 'multipliers_qos': None,\n"
+            "              'multipliers_resource': None})\n"
+            "runtime.uninstall()\n"
+            "print(ctx.tracer.path)\n"
+        )
+        env = dict(os.environ, REPRO_TRACE_DIR=str(tmp_path), REPRO_TRACE_SAMPLE="1")
+        env["PYTHONPATH"] = str(Path(__file__).resolve().parents[2] / "src")
+        out = subprocess.run(
+            [sys.executable, "-c", code], env=env, capture_output=True, text=True
+        )
+        assert out.returncode == 0, out.stderr
+        path = Path(out.stdout.strip())
+        assert path.parent == tmp_path
+        assert path.name.startswith("trace-") and path.suffix == ".jsonl"
+        assert len(read_trace(path)) == 1
+
+
+def _fields(t: int) -> dict:
+    return {
+        "t": t,
+        "policy": "LFSC",
+        "assigned": 0,
+        "per_scn_assigned": [],
+        "reward": 0.0,
+        "expected_reward": None,
+        "violation_qos": 0.0,
+        "violation_resource": 0.0,
+        "multipliers_qos": None,
+        "multipliers_resource": None,
+    }

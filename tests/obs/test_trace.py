@@ -1,0 +1,118 @@
+"""Trace recorder: schema round-trip, sampling, and bounded buffering."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    TRACE_SCHEMA,
+    TraceRecorder,
+    iter_trace,
+    read_trace,
+    validate_record,
+)
+
+
+def _record(t=0, **overrides):
+    rec = {
+        "t": t,
+        "policy": "LFSC",
+        "assigned": 3,
+        "per_scn_assigned": [1, 2],
+        "reward": 4.5,
+        "expected_reward": 4.2,
+        "violation_qos": 0.1,
+        "violation_resource": 0.0,
+        "multipliers_qos": [0.5, 0.25],
+        "multipliers_resource": [0.0, 0.1],
+        "spans": {"sim.select": 1e-4},
+    }
+    rec.update(overrides)
+    return rec
+
+
+class TestSchema:
+    def test_valid_record_passes(self):
+        validate_record(_record())
+
+    def test_optional_fields_may_be_none(self):
+        validate_record(
+            _record(expected_reward=None, multipliers_qos=None, multipliers_resource=None)
+        )
+
+    def test_missing_field_rejected(self):
+        rec = _record()
+        del rec["reward"]
+        with pytest.raises(ValueError, match="reward"):
+            validate_record(rec)
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            validate_record(_record(policy=7))
+
+    def test_negative_span_rejected(self):
+        with pytest.raises(ValueError, match="span"):
+            validate_record(_record(spans={"sim.select": -1.0}))
+
+    def test_schema_covers_every_written_field(self):
+        assert set(_record()) == set(TRACE_SCHEMA)
+
+
+class TestRecorder:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        records = [_record(t=t, reward=float(t)) for t in range(5)]
+        with TraceRecorder(path) as rec:
+            for r in records:
+                rec.record(r)
+        assert read_trace(path) == records
+        for r in iter_trace(path):
+            validate_record(r)
+
+    def test_sampling_keeps_every_nth(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceRecorder(path, sample_every=3) as rec:
+            for t in range(10):
+                if rec.want(t):
+                    rec.record(_record(t=t))
+        assert [r["t"] for r in read_trace(path)] == [0, 3, 6, 9]
+
+    def test_buffer_flushes_at_threshold(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        rec = TraceRecorder(path, flush_every=4)
+        for t in range(3):
+            rec.record(_record(t=t))
+        assert len(rec._buffer) == 3  # below threshold: still buffered
+        rec.record(_record(t=3))
+        assert rec._buffer == []  # hit threshold: flushed to disk
+        assert len(read_trace(path)) == 4
+        rec.close()
+
+    def test_records_written_counter(self, tmp_path):
+        rec = TraceRecorder(tmp_path / "t.jsonl", sample_every=2)
+        for t in range(6):
+            if rec.want(t):
+                rec.record(_record(t=t))
+        rec.close()
+        assert rec.records_written == 3
+
+    def test_last_record_kept(self, tmp_path):
+        with TraceRecorder(tmp_path / "t.jsonl") as rec:
+            rec.record(_record(t=41))
+            rec.record(_record(t=42))
+        assert rec.last_record["t"] == 42
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "trace.jsonl"
+        with TraceRecorder(path) as rec:
+            rec.record(_record())
+        assert path.exists()
+
+    def test_output_is_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with TraceRecorder(path) as rec:
+            rec.record(_record(t=0))
+            rec.record(_record(t=1))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert all(isinstance(json.loads(line), dict) for line in lines)

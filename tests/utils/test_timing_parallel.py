@@ -11,7 +11,43 @@ from repro.utils.parallel import (
     process_pool_supported,
     resolve_workers,
 )
-from repro.utils.timing import Stopwatch
+from repro.utils.timing import Span, Stopwatch, monotonic
+
+
+class TestMonotonic:
+    def test_is_perf_counter(self):
+        # The span clock must be monotonic — wall-clock time.time() deltas
+        # can go negative under NTP slew.
+        assert monotonic is time.perf_counter
+
+    def test_never_decreases(self):
+        a = monotonic()
+        b = monotonic()
+        assert b >= a
+
+
+class TestSpan:
+    def test_reports_duration_to_sink(self):
+        seen = {}
+        with Span("phase", lambda name, s: seen.setdefault(name, s)):
+            time.sleep(0.005)
+        assert seen["phase"] >= 0.005
+
+    def test_seconds_available_after_exit(self):
+        with Span("x") as s:
+            time.sleep(0.002)
+        assert s.seconds >= 0.002
+
+    def test_seconds_runs_live_while_open(self):
+        s = Span("x")
+        assert s.seconds == 0.0  # not started yet
+        with s:
+            assert s.seconds >= 0.0
+
+    def test_duration_never_negative(self):
+        with Span("x") as s:
+            pass
+        assert s.seconds >= 0.0
 
 
 class TestStopwatch:
@@ -42,6 +78,31 @@ class TestStopwatch:
         sw.add("a", 1.0)
         sw.totals()["a"] = 99.0
         assert sw.totals()["a"] == 1.0
+
+    def test_merge_adds_totals_and_counts(self):
+        a, b = Stopwatch(), Stopwatch()
+        a.add("shared", 1.0)
+        b.add("shared", 2.0)
+        b.add("only_b", 0.5)
+        a.merge(b)
+        assert a.totals() == {"shared": 3.0, "only_b": 0.5}
+        assert a.counts() == {"shared": 2, "only_b": 1}
+
+    def test_merge_is_associative(self):
+        def make(v):
+            sw = Stopwatch()
+            sw.add("p", v)
+            return sw
+
+        left = make(1.0)
+        left.merge(make(2.0))
+        left.merge(make(4.0))
+        inner = make(2.0)
+        inner.merge(make(4.0))
+        right = make(1.0)
+        right.merge(inner)
+        assert left.totals() == right.totals()
+        assert left.counts() == right.counts()
 
 
 def _square(x: int) -> int:
@@ -160,3 +221,95 @@ class TestErrorSurfacing:
     def test_error_without_label_still_names_index(self):
         with pytest.raises(ParallelExecutionError, match="item 2"):
             parallel_map(_crash_on_three, [1, 2, 3], workers=2)
+
+
+def _bump_metrics(x: int) -> int:
+    from repro.obs.metrics import global_registry
+
+    reg = global_registry()
+    reg.counter("test.calls").inc()
+    reg.counter("test.value").inc(float(x))
+    reg.histogram("test.hist", bounds=(1.0, 10.0)).observe(float(x))
+    return x
+
+
+def _trace_then_crash(x: int) -> int:
+    from repro.obs.runtime import ObsContext
+
+    ctx = ObsContext()
+    ctx.begin_slot(x)
+    ctx.end_slot(
+        {
+            "t": x,
+            "policy": "LFSC",
+            "assigned": x,
+            "per_scn_assigned": [x],
+            "reward": 0.0,
+            "expected_reward": None,
+            "violation_qos": 0.0,
+            "violation_resource": 0.0,
+            "multipliers_qos": None,
+            "multipliers_resource": None,
+        }
+    )
+    if x == 2:
+        raise RuntimeError("mid-slot crash")
+    return x
+
+
+class TestWorkerMetricsMerge:
+    """Worker-process metrics fold back into the parent registry."""
+
+    def setup_method(self):
+        from repro.obs.metrics import reset_global_registry
+
+        reset_global_registry()
+
+    teardown_method = setup_method
+
+    def _snapshot_after(self, workers):
+        from repro.obs.metrics import global_registry, reset_global_registry
+
+        reset_global_registry()
+        parallel_map(_bump_metrics, [1, 2, 3, 4], workers=workers)
+        return global_registry().snapshot()
+
+    def test_parallel_merge_matches_serial(self):
+        serial = self._snapshot_after(workers=1)
+        parallel = self._snapshot_after(workers=2)
+        assert serial["counters"] == parallel["counters"] == {
+            "test.calls": 4.0,
+            "test.value": 10.0,
+        }
+        assert serial["histograms"] == parallel["histograms"]
+
+    def test_reused_workers_do_not_double_count(self):
+        # Chunked execution reuses pool processes; the delta-based merge
+        # must not re-add a worker's pre-chunk totals.
+        snap = self._snapshot_after(workers=2)
+        assert snap["counters"]["test.calls"] == 4.0
+
+
+class TestErrorTraceRecord:
+    """A crashing worker reports the last slot it traced."""
+
+    def test_parallel_error_carries_trace_record(self):
+        with pytest.raises(ParallelExecutionError) as err:
+            parallel_map(_trace_then_crash, [0, 1, 2, 3], workers=2)
+        assert err.value.trace_record is not None
+        assert err.value.trace_record["t"] == 2
+        assert "last traced slot before failure: t=2" in str(err.value)
+
+    def test_serial_error_carries_trace_record(self):
+        with pytest.raises(ParallelExecutionError) as err:
+            parallel_map(_trace_then_crash, [0, 1, 2, 3], workers=1)
+        assert err.value.trace_record["t"] == 2
+
+    def test_trace_record_none_when_nothing_traced(self):
+        from repro.obs import runtime
+
+        runtime._LAST_RECORD = None
+        with pytest.raises(ParallelExecutionError) as err:
+            parallel_map(_crash_on_three, [1, 2, 3], workers=1)
+        assert err.value.trace_record is None
+        assert "last traced slot" not in str(err.value)
