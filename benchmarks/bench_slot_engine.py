@@ -81,8 +81,11 @@ def timed_run(cfg: ExperimentConfig, mode: str, engine: str, horizon: int) -> di
     policy.select = select
     policy._update = update
 
+    # window=0 pins the per-slot driver: this benchmark isolates the two
+    # engines' slot kernels; the windowed pipeline is A/B'd separately in
+    # benchmarks/bench_window.py.
     t0 = time.perf_counter()
-    result = sim.run(policy, horizon)
+    result = sim.run(policy, horizon, window=0)
     total_s = time.perf_counter() - t0
 
     scale = 1e3 / horizon
@@ -101,7 +104,7 @@ def check_equivalence(cfg: ExperimentConfig, mode: str, horizon: int = 25) -> No
     rewards = {}
     for engine in ENGINES:
         sim = build_simulation(short)
-        result = sim.run(_policy(short, mode, engine), horizon)
+        result = sim.run(_policy(short, mode, engine), horizon, window=0)
         rewards[engine] = result.reward
     if not np.array_equal(rewards["reference"], rewards["batched"]):
         raise AssertionError(f"engines diverged in {mode} mode — benchmark would be invalid")
@@ -232,7 +235,9 @@ def test_batched_engine_small_scale(benchmark):
     cfg, horizon = _smoke_cfg()
     sim = build_simulation(cfg)
     policy = _policy(cfg, "depround", "batched")
-    result = benchmark.pedantic(lambda: sim.run(policy, horizon), rounds=3, iterations=1)
+    result = benchmark.pedantic(
+        lambda: sim.run(policy, horizon, window=0), rounds=3, iterations=1
+    )
     assert result.reward.shape == (horizon,)
 
 
@@ -240,7 +245,9 @@ def test_reference_engine_small_scale(benchmark):
     cfg, horizon = _smoke_cfg()
     sim = build_simulation(cfg)
     policy = _policy(cfg, "depround", "reference")
-    result = benchmark.pedantic(lambda: sim.run(policy, horizon), rounds=3, iterations=1)
+    result = benchmark.pedantic(
+        lambda: sim.run(policy, horizon, window=0), rounds=3, iterations=1
+    )
     assert result.reward.shape == (horizon,)
 
 

@@ -1,4 +1,4 @@
-"""Summarize a slot-level JSONL trace (``repro trace <file>``).
+"""Summarize and diff slot-level JSONL traces (``repro trace``).
 
 Turns a trace written by :class:`repro.obs.trace.TraceRecorder` into the
 aggregate view an operator wants first: how many slots were recorded, where
@@ -7,6 +7,14 @@ expectation, assignment occupancy, and how the Lagrange multipliers moved.
 Works on any record set satisfying ``repro.obs.trace.TRACE_SCHEMA`` —
 including partial traces from a crashed run, which is precisely when the
 summary matters most.
+
+``repro trace --diff A B`` (:func:`diff_traces` / :func:`format_trace_diff`)
+compares two traces slot by slot — the tool for hunting down where two runs
+that should be bit-identical (different window sizes, engines, worker
+counts, transports) first part ways.  Records are aligned on ``t``;
+non-timing fields are compared exactly (span timings are wall-clock noise
+and never compared), and the report leads with the first divergent slot and
+its field-level deltas.
 """
 
 from __future__ import annotations
@@ -16,7 +24,28 @@ from typing import Iterable, Mapping
 
 from repro.obs.trace import iter_trace
 
-__all__ = ["format_trace_summary", "summarize_trace", "summarize_trace_file"]
+__all__ = [
+    "diff_trace_files",
+    "diff_traces",
+    "format_trace_diff",
+    "format_trace_summary",
+    "summarize_trace",
+    "summarize_trace_file",
+]
+
+#: Trace fields compared by :func:`diff_traces` — every schema field except
+#: ``t`` (the alignment key) and ``spans`` (nondeterministic wall-clock).
+DIFF_FIELDS = (
+    "policy",
+    "assigned",
+    "per_scn_assigned",
+    "reward",
+    "expected_reward",
+    "violation_qos",
+    "violation_resource",
+    "multipliers_qos",
+    "multipliers_resource",
+)
 
 
 def summarize_trace(records: Iterable[Mapping]) -> dict:
@@ -83,6 +112,106 @@ def summarize_trace(records: Iterable[Mapping]) -> dict:
 def summarize_trace_file(path: str | Path) -> dict:
     """Summarize a JSONL trace file without loading it whole into memory."""
     return summarize_trace(iter_trace(path))
+
+
+def _values_equal(a, b) -> bool:
+    """Exact equality with NaN == NaN (bit-identical trajectories may
+    legitimately carry NaN, e.g. an unrecorded expected reward)."""
+    if isinstance(a, float) and isinstance(b, float) and a != a and b != b:
+        return True
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(_values_equal(x, y) for x, y in zip(a, b))
+    return a == b
+
+
+def diff_traces(a_records: Iterable[Mapping], b_records: Iterable[Mapping]) -> dict:
+    """Compare two traces slot by slot (aligned on ``t``).
+
+    Returns a JSON-friendly report: slot counts, slots present in only one
+    trace, the first divergent slot with its field deltas, and per-field
+    counts of differing slots.  ``identical`` is True only when both traces
+    cover the same slots and every compared field matches exactly
+    (:data:`DIFF_FIELDS`; span timings are never compared).
+    """
+    a_by_t = {rec["t"]: rec for rec in a_records}
+    b_by_t = {rec["t"]: rec for rec in b_records}
+    common = sorted(a_by_t.keys() & b_by_t.keys())
+    only_a = sorted(a_by_t.keys() - b_by_t.keys())
+    only_b = sorted(b_by_t.keys() - a_by_t.keys())
+
+    field_diff_slots: dict[str, int] = {}
+    first_divergent_t: int | None = None
+    first_deltas: dict[str, dict] | None = None
+    for t in common:
+        ra, rb = a_by_t[t], b_by_t[t]
+        deltas: dict[str, dict] = {}
+        for field in DIFF_FIELDS:
+            va, vb = ra.get(field), rb.get(field)
+            if _values_equal(va, vb):
+                continue
+            field_diff_slots[field] = field_diff_slots.get(field, 0) + 1
+            entry: dict = {"a": va, "b": vb}
+            if isinstance(va, (int, float)) and isinstance(vb, (int, float)):
+                entry["delta"] = vb - va
+            deltas[field] = entry
+        if deltas and first_divergent_t is None:
+            first_divergent_t = t
+            first_deltas = deltas
+
+    return {
+        "slots_a": len(a_by_t),
+        "slots_b": len(b_by_t),
+        "slots_common": len(common),
+        "only_in_a": only_a,
+        "only_in_b": only_b,
+        "first_divergent_t": first_divergent_t,
+        "first_divergence": first_deltas,
+        "field_diff_slots": field_diff_slots,
+        "identical": not (only_a or only_b or field_diff_slots),
+    }
+
+
+def diff_trace_files(path_a: str | Path, path_b: str | Path) -> dict:
+    """Diff two JSONL trace files (see :func:`diff_traces`)."""
+    return diff_traces(iter_trace(path_a), iter_trace(path_b))
+
+
+def _short(value, limit: int = 60) -> str:
+    text = repr(value)
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+def format_trace_diff(diff: Mapping, name_a: str = "A", name_b: str = "B") -> str:
+    """Render a :func:`diff_traces` report as the terminal output."""
+    lines = [
+        f"trace diff: {name_a} ({diff['slots_a']} slots) vs "
+        f"{name_b} ({diff['slots_b']} slots), {diff['slots_common']} common"
+    ]
+    for label, slots in (
+        (f"only in {name_a}", diff["only_in_a"]),
+        (f"only in {name_b}", diff["only_in_b"]),
+    ):
+        if slots:
+            head = ", ".join(str(t) for t in slots[:8])
+            more = f", ... (+{len(slots) - 8})" if len(slots) > 8 else ""
+            lines.append(f"{label}: {len(slots)} slots [{head}{more}]")
+    if diff["identical"]:
+        lines.append("traces are identical on every compared field")
+        return "\n".join(lines)
+    if diff["first_divergent_t"] is not None:
+        lines.append(f"first divergent slot: t={diff['first_divergent_t']}")
+        for field, entry in diff["first_divergence"].items():
+            delta = f"  (delta {entry['delta']:+g})" if "delta" in entry else ""
+            lines.append(
+                f"  {field}: {_short(entry['a'])} -> {_short(entry['b'])}{delta}"
+            )
+    if diff["field_diff_slots"]:
+        lines.append(f"{'field':<22} {'differing slots':>16}")
+        for field, count in sorted(
+            diff["field_diff_slots"].items(), key=lambda kv: -kv[1]
+        ):
+            lines.append(f"{field:<22} {count:>16d}")
+    return "\n".join(lines)
 
 
 def format_trace_summary(summary: Mapping) -> str:

@@ -21,6 +21,7 @@ from repro.core.greedy import greedy_select
 from repro.core.hypercube import ContextPartition
 from repro.env.network import NetworkConfig
 from repro.env.simulator import Assignment, SlotFeedback, SlotObservation
+from repro.obs import runtime as obs_runtime
 from repro.utils.validation import check_positive, require
 
 
@@ -99,17 +100,19 @@ class EpsilonGreedyPolicy(_MeanLearningPolicy):
     def select(self, slot: SlotObservation) -> Assignment:
         network = self._require_reset()
         assert self.stats is not None
-        cubes_per_scn = self._classify(slot)
-        eps = self.epsilon()
-        weights = []
-        for m, cubes in enumerate(cubes_per_scn):
-            if cubes.size == 0:
-                weights.append(np.empty(0))
-            elif self.rng.random() < eps:
-                weights.append(self.rng.random(cubes.size))
-            else:
-                weights.append(self.stats.mean_g[m, cubes])
-        return greedy_select(slot.coverage, weights, network.capacity, len(slot.tasks))
+        with obs_runtime.span("eps_greedy.score"):
+            cubes_per_scn = self._classify(slot)
+            eps = self.epsilon()
+            weights = []
+            for m, cubes in enumerate(cubes_per_scn):
+                if cubes.size == 0:
+                    weights.append(np.empty(0))
+                elif self.rng.random() < eps:
+                    weights.append(self.rng.random(cubes.size))
+                else:
+                    weights.append(self.stats.mean_g[m, cubes])
+        with obs_runtime.span("eps_greedy.greedy"):
+            return greedy_select(slot.coverage, weights, network.capacity, len(slot.tasks))
 
 
 class ThompsonSamplingPolicy(_MeanLearningPolicy):
@@ -135,11 +138,13 @@ class ThompsonSamplingPolicy(_MeanLearningPolicy):
     def select(self, slot: SlotObservation) -> Assignment:
         network = self._require_reset()
         assert self.stats is not None
-        std = self.scale / np.sqrt(self.stats.counts + 1.0)
-        draws = self.rng.normal(self.stats.mean_g, std)
-        cubes_per_scn = self._classify(slot)
-        weights = [
-            draws[m, cubes] if cubes.size else np.empty(0)
-            for m, cubes in enumerate(cubes_per_scn)
-        ]
-        return greedy_select(slot.coverage, weights, network.capacity, len(slot.tasks))
+        with obs_runtime.span("thompson.score"):
+            std = self.scale / np.sqrt(self.stats.counts + 1.0)
+            draws = self.rng.normal(self.stats.mean_g, std)
+            cubes_per_scn = self._classify(slot)
+            weights = [
+                draws[m, cubes] if cubes.size else np.empty(0)
+                for m, cubes in enumerate(cubes_per_scn)
+            ]
+        with obs_runtime.span("thompson.greedy"):
+            return greedy_select(slot.coverage, weights, network.capacity, len(slot.tasks))

@@ -24,6 +24,7 @@ from repro.core.greedy import greedy_select
 from repro.core.hypercube import ContextPartition
 from repro.env.network import NetworkConfig
 from repro.env.simulator import Assignment, SlotFeedback, SlotObservation
+from repro.obs import runtime as obs_runtime
 
 __all__ = ["FMLPolicy"]
 
@@ -67,31 +68,33 @@ class FMLPolicy(OffloadingPolicy):
     def select(self, slot: SlotObservation) -> Assignment:
         network = self._require_reset()
         assert self.stats is not None
-        level = self.control_level()
-        under = self.stats.counts < level  # (M, F) — cubes still exploring
-        mean_g = self.stats.mean_g
-        # Exploit scores live in [0, g_max]; under-explored cubes are lifted
-        # above them by a constant offset plus a random perturbation so that
-        # exploration picks among them uniformly at random.
-        g_ceiling = float(mean_g.max(initial=0.0)) + 1.0
+        with obs_runtime.span("fml.score"):
+            level = self.control_level()
+            under = self.stats.counts < level  # (M, F) — cubes still exploring
+            mean_g = self.stats.mean_g
+            # Exploit scores live in [0, g_max]; under-explored cubes are lifted
+            # above them by a constant offset plus a random perturbation so that
+            # exploration picks among them uniformly at random.
+            g_ceiling = float(mean_g.max(initial=0.0)) + 1.0
 
-        weights: list[np.ndarray] = []
-        cubes_per_scn: list[np.ndarray] = []
-        for m, cov in enumerate(slot.coverage):
-            cov = np.asarray(cov, dtype=np.int64)
-            cubes = self.partition.assign(slot.tasks.contexts[cov]) if cov.size else cov
-            cubes_per_scn.append(cubes)
-            if cov.size == 0:
-                weights.append(np.empty(0))
-                continue
-            score = mean_g[m, cubes].astype(float)
-            explore = under[m, cubes]
-            if np.any(explore):
-                score = score.copy()
-                score[explore] = g_ceiling + self.rng.random(int(explore.sum()))
-            weights.append(score)
+            weights: list[np.ndarray] = []
+            cubes_per_scn: list[np.ndarray] = []
+            for m, cov in enumerate(slot.coverage):
+                cov = np.asarray(cov, dtype=np.int64)
+                cubes = self.partition.assign(slot.tasks.contexts[cov]) if cov.size else cov
+                cubes_per_scn.append(cubes)
+                if cov.size == 0:
+                    weights.append(np.empty(0))
+                    continue
+                score = mean_g[m, cubes].astype(float)
+                explore = under[m, cubes]
+                if np.any(explore):
+                    score = score.copy()
+                    score[explore] = g_ceiling + self.rng.random(int(explore.sum()))
+                weights.append(score)
         self._cache = (slot.t, cubes_per_scn)
-        return greedy_select(slot.coverage, weights, network.capacity, len(slot.tasks))
+        with obs_runtime.span("fml.greedy"):
+            return greedy_select(slot.coverage, weights, network.capacity, len(slot.tasks))
 
     def _update(self, slot: SlotObservation, feedback: SlotFeedback) -> None:
         assert self.stats is not None

@@ -33,6 +33,7 @@ import numpy as np
 from repro.core.base import OffloadingPolicy
 from repro.core.greedy import greedy_select
 from repro.env.processes import GroundTruth
+from repro.obs import runtime as obs_runtime
 from repro.env.simulator import Assignment, SlotFeedback, SlotObservation
 from repro.solvers.ilp import solve_two_stage_ilp
 from repro.solvers.lagrangian import solve_dual_decomposition
@@ -140,21 +141,27 @@ class OraclePolicy(OffloadingPolicy):
 
     def select(self, slot: SlotObservation) -> Assignment:
         network = self._require_reset()
-        problem = build_slot_problem(
-            slot, self.truth, network.capacity, network.alpha, network.beta
-        )
+        with obs_runtime.span("oracle.problem"):
+            problem = build_slot_problem(
+                slot, self.truth, network.capacity, network.alpha, network.beta
+            )
         if self.mode == "ilp":
-            sol = solve_two_stage_ilp(problem)
+            with obs_runtime.span("oracle.solve"):
+                sol = solve_two_stage_ilp(problem)
             return _edges_to_assignment(problem, sol.selected_edges())
         if self.mode == "dual":
-            dual = solve_dual_decomposition(problem)
+            with obs_runtime.span("oracle.solve"):
+                dual = solve_dual_decomposition(problem)
             return _edges_to_assignment(problem, dual.selected_edges())
         if self.mode == "lp":
-            sol = solve_lp_relaxation(problem, qos_mode="soft")
+            with obs_runtime.span("oracle.solve"):
+                sol = solve_lp_relaxation(problem, qos_mode="soft")
             if sol.feasible:
-                return _greedy_round(problem, sol.x)
+                with obs_runtime.span("oracle.round"):
+                    return _greedy_round(problem, sol.x)
             # Extremely rare fall-back: behave like the heuristic.
-        return self._two_pass_greedy(problem)
+        with obs_runtime.span("oracle.solve"):
+            return self._two_pass_greedy(problem)
 
     @staticmethod
     def _two_pass_greedy(problem: SlotProblem) -> Assignment:

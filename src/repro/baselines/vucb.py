@@ -25,6 +25,7 @@ from repro.core.greedy import greedy_select
 from repro.core.hypercube import ContextPartition
 from repro.env.network import NetworkConfig
 from repro.env.simulator import Assignment, SlotFeedback, SlotObservation
+from repro.obs import runtime as obs_runtime
 
 __all__ = ["VUCBPolicy"]
 
@@ -60,23 +61,25 @@ class VUCBPolicy(OffloadingPolicy):
     def select(self, slot: SlotObservation) -> Assignment:
         network = self._require_reset()
         assert self.stats is not None
-        index = self.stats.ucb_index(max(self.t, 1), exploration=self.exploration)
-        # Replace +inf by a finite value above every real index so argsort
-        # ordering is well-defined and unvisited cubes are tried first.
-        finite_max = np.nanmax(np.where(np.isfinite(index), index, -np.inf))
-        if not np.isfinite(finite_max):
-            finite_max = 1.0
-        index = np.where(np.isfinite(index), index, finite_max + 1.0)
+        with obs_runtime.span("vucb.index"):
+            index = self.stats.ucb_index(max(self.t, 1), exploration=self.exploration)
+            # Replace +inf by a finite value above every real index so argsort
+            # ordering is well-defined and unvisited cubes are tried first.
+            finite_max = np.nanmax(np.where(np.isfinite(index), index, -np.inf))
+            if not np.isfinite(finite_max):
+                finite_max = 1.0
+            index = np.where(np.isfinite(index), index, finite_max + 1.0)
 
-        cubes_per_scn: list[np.ndarray] = []
-        weights: list[np.ndarray] = []
-        for m, cov in enumerate(slot.coverage):
-            cov = np.asarray(cov, dtype=np.int64)
-            cubes = self.partition.assign(slot.tasks.contexts[cov]) if cov.size else cov
-            cubes_per_scn.append(cubes)
-            weights.append(index[m, cubes] if cov.size else np.empty(0))
+            cubes_per_scn: list[np.ndarray] = []
+            weights: list[np.ndarray] = []
+            for m, cov in enumerate(slot.coverage):
+                cov = np.asarray(cov, dtype=np.int64)
+                cubes = self.partition.assign(slot.tasks.contexts[cov]) if cov.size else cov
+                cubes_per_scn.append(cubes)
+                weights.append(index[m, cubes] if cov.size else np.empty(0))
         self._cache = (slot.t, cubes_per_scn)
-        return greedy_select(slot.coverage, weights, network.capacity, len(slot.tasks))
+        with obs_runtime.span("vucb.greedy"):
+            return greedy_select(slot.coverage, weights, network.capacity, len(slot.tasks))
 
     def _update(self, slot: SlotObservation, feedback: SlotFeedback) -> None:
         assert self.stats is not None

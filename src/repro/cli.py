@@ -72,6 +72,8 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         overrides["horizon"] = args.horizon
     if args.seed is not None:
         overrides["seed"] = args.seed
+    if getattr(args, "window", None) is not None:
+        overrides["window"] = args.window
     return cfg.with_overrides(**overrides) if overrides else cfg
 
 
@@ -94,6 +96,15 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument("--horizon", type=int, default=None)
     common.add_argument("--seed", type=int, default=None)
     common.add_argument("--workers", type=int, default=0, help="0 = all CPUs, 1 = serial")
+    common.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="W",
+        help="slot-streaming window: precompute W slots at a time "
+        "(0 = per-slot, default = simulator's choice; results are "
+        "bit-identical for every W)",
+    )
     common.add_argument("--plot", action="store_true", help="render an ASCII chart")
     common.add_argument("--save", default=None, help="persist raw series to PATH.{npz,json}")
     common.add_argument(
@@ -165,9 +176,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     trace_p = sub.add_parser(
-        "trace", help="summarize a JSONL slot trace recorded with --trace"
+        "trace", help="summarize or diff JSONL slot traces recorded with --trace"
     )
     trace_p.add_argument("path", help="trace file (one JSON record per line)")
+    trace_p.add_argument(
+        "path_b",
+        nargs="?",
+        default=None,
+        help="second trace file (with --diff: compare slot by slot)",
+    )
+    trace_p.add_argument(
+        "--diff",
+        action="store_true",
+        help="compare two traces: first divergent slot and per-field deltas",
+    )
     trace_p.add_argument(
         "--validate",
         action="store_true",
@@ -192,6 +214,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="explicit seeds (overrides --seeds; used verbatim)",
+    )
+    repl_p.add_argument(
+        "--transport",
+        choices=("auto", "shm", "pickle"),
+        default="auto",
+        help="parallel result transport: shared-memory blocks (auto/shm) "
+        "or the pool's pickle pipe; values are bit-identical either way",
     )
     return parser
 
@@ -245,6 +274,7 @@ def _dispatch(args: argparse.Namespace, cfg: ExperimentConfig, workers: int) -> 
             tuple(args.policies),
             seeds=seeds,
             workers=workers,
+            transport=args.transport,
             manifest_dir=manifest_dir,
         )
         n = agg[args.policies[0]]["total_reward"].n
@@ -293,10 +323,26 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "trace":
         from repro.analysis.trace_summary import (
+            diff_trace_files,
+            format_trace_diff,
             format_trace_summary,
             summarize_trace_file,
         )
 
+        if args.diff or args.path_b is not None:
+            if args.path_b is None:
+                print("trace --diff needs two trace files: repro trace --diff A B")
+                return 2
+            if args.validate:
+                from repro.obs.trace import iter_trace, validate_record
+
+                for path in (args.path, args.path_b):
+                    for rec in iter_trace(path):
+                        validate_record(rec)
+                print(f"schema OK: every record in {args.path} and {args.path_b} is valid")
+            diff = diff_trace_files(args.path, args.path_b)
+            print(format_trace_diff(diff, name_a=args.path, name_b=args.path_b))
+            return 0 if diff["identical"] else 1
         if args.validate:
             from repro.obs.trace import iter_trace, validate_record
 

@@ -36,6 +36,13 @@ class ContextPartition:
     dims: int = 3
     parts: int = 3
 
+    #: ``assign`` is a pure function of the context (the partition never
+    #: changes), so the windowed simulator may classify contexts slots ahead
+    #: of time.  Stateful partitions that refine over a run (e.g.
+    #: ``repro.core.adaptive.AdaptivePartition``) must leave this False —
+    #: their precomputed cube indices would go stale after a split.
+    windowable = True
+
     def __post_init__(self) -> None:
         check_positive("dims", self.dims)
         check_positive("parts", self.parts)

@@ -47,7 +47,9 @@ import numpy as np
 from repro.core.base import OffloadingPolicy
 from repro.core.config import LFSCConfig
 from repro.obs import runtime as obs_runtime
-from repro.core.depround import depround
+from repro.core import native as _native
+from repro.core.depround import _TOL as _DR_TOL
+from repro.core.depround import depround, walk_into
 from repro.core.estimators import CubeStatistics, aggregate_by_cube, importance_weighted
 from repro.core.greedy import greedy_select, greedy_select_edges
 from repro.core.multipliers import LagrangeMultipliers
@@ -56,6 +58,7 @@ from repro.core.probability import (
     CappedProbabilitiesBatch,
     capped_probabilities,
     capped_probabilities_batch,
+    capped_probabilities_batch_into,
 )
 from repro.core.update import (
     apply_weight_update,
@@ -89,15 +92,65 @@ class _SlotCache:
         self.probs = probs
 
 
+class _EdgeArena:
+    """Reusable per-slot scratch buffers for the windowed batched engine.
+
+    One arena per policy, grown on demand and overwritten every slot: the
+    windowed ``select()`` stages its edge-length intermediates (log-weight
+    gather, Alg. 2 probabilities, scores) here instead of allocating ~10
+    fresh arrays per slot, and the matching ``update()`` reuses the
+    w̃ buffer for its importance-weighted estimates.  Buffer contents are
+    only valid between one ``select()`` and its ``update()``.
+    """
+
+    __slots__ = (
+        "logs", "p", "wtilde", "scores", "scratch", "capped", "draws",
+        "mask", "walk_ids", "walk_vals",
+    )
+
+    def __init__(self) -> None:
+        self.logs = np.empty(0)
+        self.p = np.empty(0)
+        self.wtilde = np.empty(0)
+        self.scores = np.empty(0)
+        self.scratch = np.empty(0)
+        self.capped = np.empty(0, dtype=bool)
+        self.draws = np.empty(0)
+        self.mask = np.empty(0, dtype=np.uint8)
+        self.walk_ids = np.empty(0, dtype=np.int64)
+        self.walk_vals = np.empty(0)
+
+    def ensure(self, num_edges: int) -> None:
+        if self.logs.shape[0] < num_edges:
+            size = max(num_edges, 2 * self.logs.shape[0])
+            self.logs = np.empty(size)
+            self.p = np.empty(size)
+            self.wtilde = np.empty(size)
+            self.scores = np.empty(size)
+            self.scratch = np.empty(size)
+            self.capped = np.empty(size, dtype=bool)
+            # DepRound + tie-jitter consume at most 2 uniforms per edge.
+            self.draws = np.empty(2 * size)
+            self.mask = np.empty(size, dtype=np.uint8)
+            self.walk_ids = np.empty(size, dtype=np.int64)
+            self.walk_vals = np.empty(size)
+
+
 class _BatchedSlotCache:
     """The batched select()'s slot state: one flat edge list.
 
     ``coverage``/``cubes``/``probs`` expose the per-SCN views subclasses and
     diagnostics expect from the reference :class:`_SlotCache`; the lists are
-    materialized lazily on first access.
+    materialized lazily on first access.  ``pre`` carries the windowed
+    slot's :class:`~repro.env.window.SlotEdges` when select() took the
+    precomputed path, letting update() reuse its sorted key and Alg. 3
+    scatter index.
     """
 
-    __slots__ = ("t", "offsets", "edge_scn", "edge_task", "edge_cube", "batch", "coverage", "_cubes")
+    __slots__ = (
+        "t", "offsets", "edge_scn", "edge_task", "edge_cube", "batch",
+        "coverage", "pre", "_cubes",
+    )
 
     def __init__(
         self,
@@ -108,6 +161,7 @@ class _BatchedSlotCache:
         edge_cube: np.ndarray,
         batch: CappedProbabilitiesBatch,
         coverage: list[np.ndarray],
+        pre=None,
     ) -> None:
         self.t = t
         self.offsets = offsets
@@ -116,6 +170,7 @@ class _BatchedSlotCache:
         self.edge_cube = edge_cube
         self.batch = batch
         self.coverage = coverage
+        self.pre = pre
         self._cubes: list[np.ndarray] | None = None
 
     @property
@@ -166,8 +221,19 @@ class LFSCPolicy(OffloadingPolicy):
         self.multipliers: LagrangeMultipliers | None = None
         self.stats: CubeStatistics | None = None
         self._cache: _SlotCache | _BatchedSlotCache | None = None
+        self._arena = _EdgeArena()
         self.multiplier_history_qos: np.ndarray | None = None
         self.multiplier_history_resource: np.ndarray | None = None
+
+    @property
+    def context_partition(self):
+        """The hypercube partition select() classifies contexts with.
+
+        The windowed simulator reads this (duck-typed) to pre-classify each
+        slot's contexts once per window; :meth:`_select_batched` then accepts
+        the precomputed cubes only if the slot's partition matches.
+        """
+        return self.config.partition
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -248,6 +314,12 @@ class LFSCPolicy(OffloadingPolicy):
         cfg = self.config
         M = network.num_scns
         c = network.capacity
+
+        pre = getattr(slot, "edges", None)
+        if pre is not None and pre.flat is not None and (
+            pre.partition is cfg.partition or pre.partition == cfg.partition
+        ):
+            return self._select_batched_pre(slot, pre, network)
 
         coverage = [np.asarray(cov, dtype=np.int64) for cov in slot.coverage]
         lengths = np.fromiter((cov.shape[0] for cov in coverage), dtype=np.int64, count=M)
@@ -336,6 +408,194 @@ class LFSCPolicy(OffloadingPolicy):
             ctx.set_slot_field("edges", E)
         with obs_runtime.span("lfsc.greedy"):
             return greedy_select_edges(edge_scn, edge_task, scores, M, c, len(slot.tasks))
+
+    def _select_batched_pre(self, slot: SlotObservation, pre, network) -> Assignment:
+        """The batched slot kernel on a window-precomputed edge list.
+
+        The slot's layout (edge arrays, segment offsets, hypercube gather
+        index — see :class:`repro.env.window.SlotEdges`) arrives prebuilt, so
+        this path is pure per-slot arithmetic: gather log-weights through the
+        precomputed flat index, run Alg. 2 into the reusable arena, and draw
+        DepRound/jitter per SCN in the frozen stream order.  Every staged
+        operation mirrors :meth:`_select_batched` exactly (same ufuncs, same
+        operand values, same RNG consumption), so trajectories are
+        bit-identical to the per-slot path.
+        """
+        assert self.log_w is not None
+        cfg = self.config
+        M = network.num_scns
+        c = network.capacity
+        E = pre.num_edges
+        coverage = slot.coverage
+
+        if E == 0:
+            empty = np.empty(0, dtype=np.int64)
+            empty_batch = CappedProbabilitiesBatch(
+                p=np.empty(0),
+                capped=np.empty(0, dtype=bool),
+                thresholds=np.full(M, np.nan),
+                offsets=pre.offsets,
+            )
+            self._cache = _BatchedSlotCache(
+                slot.t, pre.offsets, empty, empty, empty, empty_batch, coverage, pre=pre
+            )
+            return Assignment.empty()
+
+        arena = self._arena
+        arena.ensure(E)
+        with obs_runtime.span("lfsc.alg2"):
+            # log_w is C-contiguous (M, F), so the flat take equals the
+            # fancy-index gather log_w[edge_scn, edge_cube] exactly.
+            logs = arena.logs[:E]
+            np.take(self.log_w.reshape(-1), pre.flat, out=logs)
+            seg_max = np.maximum.reduceat(logs, pre.seg_start)
+            edge_max = arena.scratch[:E]
+            np.take(seg_max, pre.scn, out=edge_max)
+            np.subtract(logs, edge_max, out=logs)
+            np.exp(logs, out=logs)
+            w = np.maximum(logs, _LOG_W_FLOOR, out=logs)
+            cpb = capped_probabilities_batch_into(
+                w,
+                pre.offsets,
+                c,
+                cfg.gamma,
+                lengths=pre.lengths,
+                lengths_f=pre.lengths_f,
+                bounds=pre.bounds,
+                seg_start=pre.seg_start,
+                edge_scn=pre.scn,
+                seg_len_edge=pre.seg_len_edge,
+                out_p=arena.p[:E],
+                out_capped=arena.capped[:E],
+                out_wtilde=arena.wtilde[:E],
+                scratch=arena.scratch[:E],
+            )
+
+        scores = arena.scores[:E]
+        bounds = pre.bounds
+        with obs_runtime.span("lfsc.depround"):
+            if type(self)._edge_scores is LFSCPolicy._edge_scores:
+                self._score_edges_fused(pre, cpb.p, scores)
+            else:
+                for m in range(M):
+                    scores[bounds[m] : bounds[m + 1]] = self._edge_scores(
+                        cpb.segment(m), coverage[m], slot
+                    )
+
+        self._cache = _BatchedSlotCache(
+            slot.t, pre.offsets, pre.scn, pre.task, pre.cube, cpb, coverage, pre=pre
+        )
+        ctx = obs_runtime.active()
+        if ctx is not None:
+            ctx.set_slot_field("edges", E)
+        with obs_runtime.span("lfsc.greedy"):
+            return greedy_select_edges(pre.scn, pre.task, scores, M, c, len(slot.tasks))
+
+    def _score_edges_fused(self, pre, p: np.ndarray, scores: np.ndarray) -> None:
+        """Default edge scoring for a whole slot in one fused pass.
+
+        Produces bit-identical scores and consumes the policy RNG bitwise
+        identically to calling :meth:`_edge_scores` segment by segment:
+
+        - every segment's DepRound draw count is a pure function of its
+          probabilities (:func:`repro.core.depround.draw_count`, here
+          evaluated for all segments at once), and the tie-jitter count is
+          the segment length, so the whole slot's uniforms — in the exact
+          per-segment interleaved order — can be taken in ONE generator
+          call (consecutive ``rng.random`` calls consume the stream exactly
+          like one concatenated call);
+        - the DepRound walks then run per segment — through the native
+          kernel (:mod:`repro.core.native`) when the host has one, else the
+          Python :func:`~repro.core.depround.walk_into`, bit-identical
+          either way — and the mask/jitter arithmetic is applied across the
+          full edge list (elementwise the same operations as the
+          per-segment ufuncs).
+        """
+        cfg = self.config
+        rng = self.rng
+        jitter = cfg.tie_jitter
+        E = p.shape[0]
+        M = pre.lengths.shape[0]
+        arena = self._arena
+
+        if cfg.assignment_mode != "depround":
+            if jitter > 0:
+                jd = arena.draws[:E]
+                rng.random(out=jd)
+                np.multiply(jd, jitter, out=jd)
+                np.add(p, jd, out=scores)
+            else:
+                np.copyto(scores, p)
+            return
+
+        offsets = pre.offsets
+        lengths = pre.lengths
+        # Per-segment extrema in one reduceat pair (empty segments produce
+        # garbage lanes that every consumer below masks out).
+        p_lo = np.minimum.reduceat(p, pre.seg_start)
+        p_hi = np.maximum.reduceat(p, pre.seg_start)
+        nonempty = lengths > 0
+        if bool((((p_lo < -_DR_TOL) | (p_hi > 1.0 + _DR_TOL)) & nonempty).any()):
+            raise ValueError("probabilities must lie in [0, 1]")
+
+        # draw_count, vectorized: a segment whose extrema are strictly
+        # fractional draws once per coordinate; otherwise once per strictly
+        # fractional coordinate.
+        common = nonempty & (p_lo > _DR_TOL) & (p_hi < 1.0 - _DR_TOL)
+        if bool(common.all()):
+            dep_cnt = lengths
+        else:
+            frac = ((p > _DR_TOL) & (p < 1.0 - _DR_TOL)).astype(np.int64)
+            dep_cnt = np.where(common, lengths, np.add.reduceat(frac, pre.seg_start))
+            dep_cnt[~nonempty] = 0
+
+        # Pooled layout: segment m's DepRound draws, then (in jitter runs)
+        # its jitter draws, exactly the per-segment call order.
+        ext = dep_cnt + lengths if jitter > 0 else dep_cnt
+        cum = np.zeros(M + 1, dtype=np.int64)
+        np.cumsum(ext, out=cum[1:])
+        dep_start = cum[:-1]
+        total = int(cum[-1])
+        buf = arena.draws[:total]
+        if total:
+            rng.random(out=buf)
+
+        mask = arena.mask[:E]
+        mask[:] = 0
+        if not _native.walk_segments(
+            np.ascontiguousarray(p), offsets, buf, dep_start, p_lo, p_hi,
+            mask, arena.walk_ids, arena.walk_vals, _DR_TOL,
+        ):
+            # Portable fallback: the same walks on presliced Python lists.
+            vals = p.tolist()
+            draws = buf.tolist()
+            out_list: list[bool] = [False] * E
+            bounds = pre.bounds
+            lo_l = p_lo.tolist()
+            hi_l = p_hi.tolist()
+            cnt_l = dep_cnt.tolist()
+            start_l = dep_start.tolist()
+            for m in range(M):
+                s, e = bounds[m], bounds[m + 1]
+                if s == e:
+                    continue
+                d0 = start_l[m]
+                walk_into(
+                    vals[s:e], draws[d0 : d0 + cnt_l[m]], out_list, s,
+                    lo_l[m], hi_l[m],
+                )
+            mask[:] = out_list
+
+        np.add(p, mask, out=scores)
+        if jitter > 0:
+            # Each segment's jitter draws sit contiguously in the pooled
+            # buffer right after its DepRound draws; gather them per edge.
+            idx = np.repeat(dep_start + dep_cnt - offsets[:-1], lengths)
+            idx += np.arange(E, dtype=np.int64)
+            jd = arena.scratch[:E]
+            np.take(buf, idx, out=jd)
+            np.multiply(jd, jitter, out=jd)
+            np.add(scores, jd, out=scores)
 
     def _edge_scores(
         self, cp: CappedProbabilities, cov: np.ndarray, slot: SlotObservation
@@ -481,12 +741,20 @@ class LFSCPolicy(OffloadingPolicy):
         lam_qos = self.multipliers.qos if cfg.use_lagrangian else np.zeros(M)
         lam_res = self.multipliers.resource if cfg.use_lagrangian else np.zeros(M)
 
-        util_hat = np.zeros(E)
+        # Windowed slots arrive with the sorted pair key and the Alg. 3
+        # scatter index prebuilt; the arena's w̃ buffer (dead after select)
+        # doubles as the estimate vector.
+        pre = cache.pre
+        if pre is not None:
+            util_hat = self._arena.wtilde[:E]
+            util_hat[:] = 0.0
+        else:
+            util_hat = np.zeros(E)
         if len(asn):
             # Locate each assigned pair in the edge list: keys are strictly
             # increasing (segments in SCN order, tasks sorted within).
             n = np.int64(len(slot.tasks))
-            edge_key = edge_scn * n + edge_task
+            edge_key = pre.key if pre is not None else edge_scn * n + edge_task
             pos = np.searchsorted(edge_key, asn.scn * n + asn.task)
             if not np.array_equal(edge_key[pos], asn.scn * n + asn.task):
                 raise RuntimeError("assignment contains a pair outside the slot's edge list")
@@ -502,7 +770,7 @@ class LFSCPolicy(OffloadingPolicy):
             # Importance weighting: unselected edges keep estimate 0.
             util_hat[pos] = util / cache.p[pos]
 
-        flat = edge_scn * F + edge_cube
+        flat = pre.flat if pre is not None else edge_scn * F + edge_cube
         sums = np.bincount(flat, weights=util_hat, minlength=M * F)
         counts = np.bincount(flat, minlength=M * F)
         present = np.flatnonzero(counts)

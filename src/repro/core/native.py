@@ -1,0 +1,377 @@
+"""Optional C kernel for the DepRound walk, compiled on demand.
+
+The windowed batched engine fuses every segment's DepRound walk into one
+pass (:meth:`repro.core.lfsc.LFSCPolicy._score_edges_fused`), but the walk
+itself is an inherently sequential carry scan — ~one pairing step per edge —
+that no NumPy expression can reproduce bit-identically.  At paper scale the
+pure-Python scan is the single largest slot cost left, so this module
+compiles a C transliteration of :func:`repro.core.depround.walk_into` at
+first use with whatever C compiler the host already has (``cc``/``gcc``/
+``clang`` — nothing is downloaded or installed) and drives it through
+:mod:`ctypes`.
+
+Bit-identicality: the kernel performs the exact IEEE-754 double operations
+of the Python walk in the same order — comparisons, additions, subtractions
+and one division per step, no multiplications — and is built with
+``-ffp-contract=off`` so no toolchain may fuse operations.  The windowed
+equivalence suite (``tests/env/test_window.py``) pins the native path
+against the pure-Python per-slot trajectories.
+
+Fallback: any failure — no compiler, sandboxed tmpdir, load error, or
+``REPRO_NATIVE=0`` in the environment — silently disables the kernel and
+callers keep using the Python walk.  The compiled object is cached under a
+per-user directory (override with ``REPRO_NATIVE_CACHE``) keyed by a hash
+of the source, so each machine compiles once, not once per process.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+
+import numpy as np
+
+__all__ = ["available", "walk_segments", "greedy_pass"]
+
+_SOURCE = r"""
+#include <stddef.h>
+
+/* DepRound walks for every segment of a slot in one call.  Mirrors
+ * repro.core.depround.walk_into statement for statement: the same IEEE
+ * double operations in the same order, so results are bit-identical to
+ * the Python walk.  `out` entries default 0; only selections are written.
+ */
+void walk_segments(const double *p,
+                   const long long *seg_start,
+                   long long num_segs,
+                   const double *draws,
+                   const long long *draw_start,
+                   const double *lo,
+                   const double *hi,
+                   unsigned char *out,
+                   double tol,
+                   long long *ids_scratch,
+                   double *vals_scratch)
+{
+    for (long long s = 0; s < num_segs; s++) {
+        long long base = seg_start[s];
+        long long n = seg_start[s + 1] - base;
+        if (n == 0)
+            continue;
+        const double *vals = p + base;
+        const double *dr = draws + draw_start[s];
+        long long draw_at = 0;
+        if (lo[s] > tol && hi[s] < 1.0 - tol) {
+            /* Common path: every coordinate strictly fractional. */
+            long long top = n - 1;
+            double pi = vals[top];
+            long long ci = top;
+            while (top >= 1) {
+                long long j = top - 1;
+                double pj = vals[j];
+                double ompi = 1.0 - pi;
+                double ompj = 1.0 - pj;
+                double alpha = ompi < pj ? ompi : pj;
+                double beta = pi < ompj ? pi : ompj;
+                if (dr[draw_at] < beta / (alpha + beta)) {
+                    pi += alpha;
+                    pj -= alpha;
+                } else {
+                    pi -= beta;
+                    pj += beta;
+                }
+                draw_at++;
+                if (tol < pi && pi < 1.0 - tol) {
+                    if (pj > 0.5)
+                        out[base + j] = 1;
+                    top = j;
+                } else if (tol < pj && pj < 1.0 - tol) {
+                    if (pi > 0.5)
+                        out[base + ci] = 1;
+                    ci = j;
+                    pi = pj;
+                    top = j;
+                } else {
+                    if (pi > 0.5)
+                        out[base + ci] = 1;
+                    if (pj > 0.5)
+                        out[base + j] = 1;
+                    top = j - 1;
+                    if (top >= 0) {
+                        ci = top;
+                        pi = vals[top];
+                    }
+                }
+            }
+            if (top == 0) {
+                if (dr[draw_at] < pi)
+                    out[base + ci] = 1;
+            }
+            continue;
+        }
+        /* General path: strip the integral coordinates first. */
+        long long nf = 0;
+        for (long long i = 0; i < n; i++) {
+            double v = vals[i];
+            if (v > tol) {
+                if (v < 1.0 - tol) {
+                    ids_scratch[nf] = i;
+                    vals_scratch[nf] = v;
+                    nf++;
+                } else {
+                    out[base + i] = 1;
+                }
+            }
+        }
+        long long top = nf - 1;
+        if (top < 0)
+            continue;
+        double pi = vals_scratch[top];
+        long long ci = ids_scratch[top];
+        while (top >= 1) {
+            long long j = top - 1;
+            double pj = vals_scratch[j];
+            double ompi = 1.0 - pi;
+            double ompj = 1.0 - pj;
+            double alpha = ompi < pj ? ompi : pj;
+            double beta = pi < ompj ? pi : ompj;
+            if (dr[draw_at] < beta / (alpha + beta)) {
+                pi += alpha;
+                pj -= alpha;
+            } else {
+                pi -= beta;
+                pj += beta;
+            }
+            draw_at++;
+            if (tol < pi && pi < 1.0 - tol) {
+                if (pj > 0.5)
+                    out[base + ids_scratch[j]] = 1;
+                top = j;
+            } else if (tol < pj && pj < 1.0 - tol) {
+                if (pi > 0.5)
+                    out[base + ci] = 1;
+                ci = ids_scratch[j];
+                pi = pj;
+                top = j;
+            } else {
+                if (pi > 0.5)
+                    out[base + ci] = 1;
+                if (pj > 0.5)
+                    out[base + ids_scratch[j]] = 1;
+                top = j - 1;
+                if (top >= 0) {
+                    ci = ids_scratch[top];
+                    pi = vals_scratch[top];
+                }
+            }
+        }
+        if (top == 0) {
+            if (dr[draw_at] < pi)
+                out[base + ci] = 1;
+        }
+    }
+}
+
+/* Alg. 4's greedy pass over edges in descending-weight order (`order` is
+ * the stable argsort the caller computed).  Pure integer bookkeeping —
+ * identical accept/reject decisions to the Python pass by construction.
+ */
+long long greedy_pass(const long long *edge_scn,
+                      const long long *edge_task,
+                      const long long *order,
+                      long long num_edges,
+                      unsigned char *taken,
+                      long long *rem,
+                      long long bound,
+                      long long *sel_scn,
+                      long long *sel_task)
+{
+    long long count = 0;
+    for (long long k = 0; k < num_edges; k++) {
+        long long e = order[k];
+        long long i = edge_task[e];
+        long long m = edge_scn[e];
+        if (taken[i] || rem[m] == 0)
+            continue;
+        taken[i] = 1;
+        rem[m]--;
+        sel_scn[count] = m;
+        sel_task[count] = i;
+        count++;
+        if (count == bound)
+            break;
+    }
+    return count;
+}
+"""
+
+_lock = threading.Lock()
+_lib: ctypes.CDLL | None = None
+_tried = False
+
+_PD = ctypes.POINTER(ctypes.c_double)
+_PL = ctypes.POINTER(ctypes.c_longlong)
+_PB = ctypes.POINTER(ctypes.c_ubyte)
+
+
+def _find_compiler() -> str | None:
+    for cand in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if cand and shutil.which(cand):
+            return cand
+    return None
+
+
+def _cache_dir() -> str:
+    override = os.environ.get("REPRO_NATIVE_CACHE")
+    if override:
+        return override
+    uid = os.getuid() if hasattr(os, "getuid") else 0
+    return os.path.join(tempfile.gettempdir(), f"repro-native-{uid}")
+
+
+def _build_and_load() -> ctypes.CDLL:
+    digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
+    cache = _cache_dir()
+    so_path = os.path.join(cache, f"repro_walk_{digest}.so")
+    if not os.path.exists(so_path):
+        compiler = _find_compiler()
+        if compiler is None:
+            raise RuntimeError("no C compiler on PATH")
+        os.makedirs(cache, mode=0o700, exist_ok=True)
+        src_path = os.path.join(cache, f"repro_walk_{digest}.c")
+        with open(src_path, "w") as f:
+            f.write(_SOURCE)
+        # -ffp-contract=off: forbid fused multiply-add contraction so the
+        # arithmetic matches the Python walk on every target (the walk has
+        # no multiplies today, but the flag keeps that a non-assumption).
+        # Deliberately no -march/-ffast-math: bit-exact IEEE only.
+        tmp_out = so_path + f".tmp{os.getpid()}"
+        subprocess.run(
+            [
+                compiler, "-O2", "-fPIC", "-shared", "-ffp-contract=off",
+                src_path, "-o", tmp_out,
+            ],
+            check=True,
+            capture_output=True,
+            timeout=120,
+        )
+        os.replace(tmp_out, so_path)  # atomic: concurrent builders converge
+    lib = ctypes.CDLL(so_path)
+    lib.walk_segments.restype = None
+    lib.walk_segments.argtypes = [
+        _PD, _PL, ctypes.c_longlong, _PD, _PL, _PD, _PD, _PB,
+        ctypes.c_double, _PL, _PD,
+    ]
+    lib.greedy_pass.restype = ctypes.c_longlong
+    lib.greedy_pass.argtypes = [
+        _PL, _PL, _PL, ctypes.c_longlong, _PB, _PL, ctypes.c_longlong,
+        _PL, _PL,
+    ]
+    return lib
+
+
+def _load() -> ctypes.CDLL | None:
+    global _lib, _tried
+    if _tried:
+        return _lib
+    with _lock:
+        if _tried:
+            return _lib
+        if os.environ.get("REPRO_NATIVE", "1").lower() in ("0", "false", "off"):
+            _lib = None
+        else:
+            try:
+                _lib = _build_and_load()
+            except Exception:
+                _lib = None
+        _tried = True
+    return _lib
+
+
+def available() -> bool:
+    """True when the compiled walk kernel is usable on this host."""
+    return _load() is not None
+
+
+def walk_segments(
+    p: np.ndarray,
+    offsets: np.ndarray,
+    draws: np.ndarray,
+    draw_start: np.ndarray,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    out: np.ndarray,
+    ids_scratch: np.ndarray,
+    vals_scratch: np.ndarray,
+    tol: float,
+) -> bool:
+    """Run every segment's DepRound walk in one native call.
+
+    Parameters mirror the fused scorer's pooled layout: ``p`` (E,) float64
+    probabilities, ``offsets`` (M+1,) int64 segment bounds, ``draws`` the
+    pooled uniforms with segment s's DepRound draws at
+    ``draws[draw_start[s]:]``, ``lo``/``hi`` (M,) per-segment extrema
+    (unread for empty segments), ``out`` (E,) uint8 zeroed by the caller
+    (selections are written as 1), and two scratch arrays of length >= the
+    longest segment for the general path's strip.  All arrays must be
+    C-contiguous with the stated dtypes.
+
+    Returns False (doing nothing) when the kernel is unavailable, so the
+    caller can fall back to the Python walk.
+    """
+    lib = _load()
+    if lib is None:
+        return False
+    lib.walk_segments(
+        p.ctypes.data_as(_PD),
+        offsets.ctypes.data_as(_PL),
+        ctypes.c_longlong(offsets.shape[0] - 1),
+        draws.ctypes.data_as(_PD),
+        draw_start.ctypes.data_as(_PL),
+        lo.ctypes.data_as(_PD),
+        hi.ctypes.data_as(_PD),
+        out.ctypes.data_as(_PB),
+        ctypes.c_double(tol),
+        ids_scratch.ctypes.data_as(_PL),
+        vals_scratch.ctypes.data_as(_PD),
+    )
+    return True
+
+
+def greedy_pass(
+    edge_scn: np.ndarray,
+    edge_task: np.ndarray,
+    order: np.ndarray,
+    taken: np.ndarray,
+    rem: np.ndarray,
+    bound: int,
+    sel_scn: np.ndarray,
+    sel_task: np.ndarray,
+) -> int:
+    """Alg. 4's accept/reject pass over edges in ``order``.
+
+    ``taken`` is (num_tasks,) uint8 zeroed, ``rem`` (num_scns,) int64 filled
+    with the capacity, ``sel_scn``/``sel_task`` int64 output buffers of
+    length >= ``bound``.  Returns the number of accepted edges, or -1 when
+    the kernel is unavailable (caller falls back to the Python pass).  All
+    arrays must be C-contiguous int64/uint8 as stated.
+    """
+    lib = _load()
+    if lib is None:
+        return -1
+    return lib.greedy_pass(
+        edge_scn.ctypes.data_as(_PL),
+        edge_task.ctypes.data_as(_PL),
+        order.ctypes.data_as(_PL),
+        ctypes.c_longlong(edge_scn.shape[0]),
+        taken.ctypes.data_as(_PB),
+        rem.ctypes.data_as(_PL),
+        ctypes.c_longlong(bound),
+        sel_scn.ctypes.data_as(_PL),
+        sel_task.ctypes.data_as(_PL),
+    )

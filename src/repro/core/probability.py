@@ -35,6 +35,7 @@ __all__ = [
     "CappedProbabilities",
     "capped_probabilities",
     "capped_probabilities_batch",
+    "capped_probabilities_batch_into",
     "cap_threshold",
 ]
 
@@ -325,3 +326,85 @@ def capped_probabilities_batch(
     # Guard round-off: probabilities live in (0, 1].
     np.clip(p, _EPS, 1.0, out=p)
     return CappedProbabilitiesBatch(p=p, capped=capped, thresholds=thresholds, offsets=off)
+
+
+def capped_probabilities_batch_into(
+    weights: np.ndarray,
+    offsets: np.ndarray,
+    capacity: int,
+    gamma: float,
+    *,
+    lengths: np.ndarray,
+    lengths_f: np.ndarray,
+    bounds: list[int],
+    seg_start: np.ndarray,
+    edge_scn: np.ndarray,
+    seg_len_edge: np.ndarray,
+    out_p: np.ndarray,
+    out_capped: np.ndarray,
+    out_wtilde: np.ndarray,
+    scratch: np.ndarray,
+) -> CappedProbabilitiesBatch:
+    """Alg. 2 batch kernel writing into preallocated edge-list arenas.
+
+    Bit-for-bit equivalent to :func:`capped_probabilities_batch` (every
+    elementwise stage below performs the identical IEEE operation on the
+    identical operands; gathers via ``np.take`` replace the equivalent
+    ``np.repeat`` broadcasts), but with the per-slot edge-list topology
+    (``lengths``/``bounds``/``seg_start``/``edge_scn``/``seg_len_edge``,
+    see :class:`repro.env.window.SlotEdges`) precomputed by the windowed
+    pipeline, and the three output arrays plus one scratch buffer supplied
+    by the caller's arena.
+
+    The fast path covers the batched engine's operating regime — every
+    segment longer than the capacity (all segments randomize) and
+    ``gamma < 1``.  Anything else delegates to the generic kernel, which
+    returns freshly allocated arrays (identical values; callers must not
+    assume the result aliases the arena).
+
+    The returned views into ``out_*`` are valid until the arena's next use
+    (the policy's next ``select``).
+    """
+    w = weights
+    E = w.shape[0]
+    M = lengths.shape[0]
+    if gamma >= 1.0 or E == 0 or bool((lengths <= capacity).any()):
+        return capped_probabilities_batch(w, offsets, capacity, gamma)
+
+    thresholds = np.full(M, np.nan)
+    ratio_seg = ((1.0 / capacity - gamma / lengths_f) / (1.0 - gamma)).tolist()
+    seg_max = np.maximum.reduceat(w, seg_start).tolist()
+
+    np.copyto(out_wtilde, w)
+    out_capped[:] = False
+    denom = np.empty(M)
+    for m in range(M):
+        s, e = bounds[m], bounds[m + 1]
+        seg = w[s:e]
+        total = seg.sum()
+        ratio = ratio_seg[m]
+        if seg_max[m] >= ratio * total:
+            order = np.argsort(-seg, kind="stable")
+            e_hat, k = _cap_set_sorted(seg[order], ratio)
+            cap_mask = np.zeros(e - s, dtype=bool)
+            cap_mask[order[:k]] = True
+            out_capped[s:e] = cap_mask
+            out_wtilde[s:e] = np.where(cap_mask, e_hat, seg)
+            denom[m] = out_wtilde[s:e].sum()
+            thresholds[m] = e_hat
+        else:
+            denom[m] = total
+
+    # p = c · ((1−γ)·w̃/denom + γ/K), staged through the arena: each stage
+    # is the same scalar-array ufunc the one-shot expression evaluates.
+    p = out_p
+    np.multiply(out_wtilde, 1.0 - gamma, out=p)
+    np.take(denom, edge_scn, out=scratch)
+    np.divide(p, scratch, out=p)
+    np.divide(gamma, seg_len_edge, out=scratch)
+    np.add(p, scratch, out=p)
+    np.multiply(p, capacity, out=p)
+    np.clip(p, _EPS, 1.0, out=p)
+    return CappedProbabilitiesBatch(
+        p=p, capped=out_capped, thresholds=thresholds, offsets=offsets
+    )

@@ -165,6 +165,15 @@ class PiecewiseConstantTruth(GroundTruth):
     def _cells(self, contexts: np.ndarray) -> np.ndarray:
         return uniform_cell_indices(contexts, self.cells_per_dim)
 
+    def context_cells(self, contexts: np.ndarray) -> np.ndarray:
+        """Grid cell per context row — precomputable (the tables are static).
+
+        Truths exposing this accept a ``cells=`` keyword on the pair-wise
+        lookups and :meth:`realize`, letting windowed runs classify each
+        context once instead of once per call.
+        """
+        return self._cells(contexts)
+
     def means(self, t: int, contexts: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         cells = self._cells(contexts)
         mean_q = (self.q_lo[:, cells] + self.q_hi[:, cells]) / 2.0
@@ -187,10 +196,14 @@ class PiecewiseConstantTruth(GroundTruth):
     # -- pair-wise lookups (exact: the tables make gathers associative) ------
 
     def _pair_cells(
-        self, contexts: np.ndarray, scn_idx: np.ndarray
+        self,
+        contexts: np.ndarray,
+        scn_idx: np.ndarray,
+        cells: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         scn = np.asarray(scn_idx, dtype=np.int64)
-        cells = self._cells(contexts)
+        if cells is None:
+            cells = self._cells(contexts)
         if scn.shape != cells.shape:
             raise ValueError(
                 f"scn_idx has shape {scn.shape} but contexts give {cells.shape}"
@@ -198,17 +211,26 @@ class PiecewiseConstantTruth(GroundTruth):
         return scn, cells
 
     def means_pairs(
-        self, t: int, contexts: np.ndarray, scn_idx: np.ndarray
+        self,
+        t: int,
+        contexts: np.ndarray,
+        scn_idx: np.ndarray,
+        *,
+        cells: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        scn, cells = self._pair_cells(contexts, scn_idx)
+        scn, cells = self._pair_cells(contexts, scn_idx, cells)
         mean_q = (self.q_lo[scn, cells] + self.q_hi[scn, cells]) / 2.0
         return self.mu_u[scn, cells], self.p_v[scn, cells], mean_q
 
     def expected_inverse_q_pairs(
-        self, contexts: np.ndarray, scn_idx: np.ndarray
+        self,
+        contexts: np.ndarray,
+        scn_idx: np.ndarray,
+        *,
+        cells: np.ndarray | None = None,
     ) -> np.ndarray:
         """Exact E[1/q] per explicit (SCN, task) pair."""
-        scn, cells = self._pair_cells(contexts, scn_idx)
+        scn, cells = self._pair_cells(contexts, scn_idx, cells)
         lo, hi = self.q_lo[scn, cells], self.q_hi[scn, cells]
         width = hi - lo
         with np.errstate(divide="ignore", invalid="ignore"):
@@ -216,14 +238,43 @@ class PiecewiseConstantTruth(GroundTruth):
         return out
 
     def expected_compound_pairs(
-        self, t: int, contexts: np.ndarray, scn_idx: np.ndarray
+        self,
+        t: int,
+        contexts: np.ndarray,
+        scn_idx: np.ndarray,
+        *,
+        cells: np.ndarray | None = None,
     ) -> np.ndarray:
-        scn, cells = self._pair_cells(contexts, scn_idx)
+        scn, cells = self._pair_cells(contexts, scn_idx, cells)
         return (
             self.mu_u[scn, cells]
             * self.p_v[scn, cells]
-            * self.expected_inverse_q_pairs(contexts, scn_idx)
+            * self.expected_inverse_q_pairs(contexts, scn_idx, cells=cells)
         )
+
+    def slot_pair_stats(
+        self,
+        t: int,
+        contexts: np.ndarray,
+        scn_idx: np.ndarray,
+        *,
+        cells: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(E[g], P[v=1], E[q]) per pair in one classification pass.
+
+        Fuses :meth:`expected_compound_pairs` and :meth:`means_pairs` —
+        identical arithmetic per component — so the simulator's
+        expected-violation recording touches the grid once per slot.
+        """
+        scn, cells = self._pair_cells(contexts, scn_idx, cells)
+        p_v = self.p_v[scn, cells]
+        exp_g = (
+            self.mu_u[scn, cells]
+            * p_v
+            * self.expected_inverse_q_pairs(contexts, scn_idx, cells=cells)
+        )
+        mean_q = (self.q_lo[scn, cells] + self.q_hi[scn, cells]) / 2.0
+        return exp_g, p_v, mean_q
 
     # -- sampling ------------------------------------------------------------
 
@@ -233,9 +284,12 @@ class PiecewiseConstantTruth(GroundTruth):
         contexts: np.ndarray,
         scn_idx: np.ndarray,
         rng: np.random.Generator,
+        *,
+        cells: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         scn = np.asarray(scn_idx, dtype=np.int64)
-        cells = self._cells(contexts)
+        if cells is None:
+            cells = self._cells(contexts)
         if scn.shape != cells.shape:
             raise ValueError(
                 f"scn_idx has shape {scn.shape} but contexts give {cells.shape}"
@@ -378,14 +432,20 @@ class DriftingTruth(GroundTruth):
     def expected_compound(self, t, contexts):
         return self.base.expected_compound(t, contexts)
 
-    def means_pairs(self, t, contexts, scn_idx):
-        return self.base.means_pairs(t, contexts, scn_idx)
+    def means_pairs(self, t, contexts, scn_idx, *, cells=None):
+        return self.base.means_pairs(t, contexts, scn_idx, cells=cells)
 
-    def expected_compound_pairs(self, t, contexts, scn_idx):
-        return self.base.expected_compound_pairs(t, contexts, scn_idx)
+    def expected_compound_pairs(self, t, contexts, scn_idx, *, cells=None):
+        return self.base.expected_compound_pairs(t, contexts, scn_idx, cells=cells)
 
-    def realize(self, t, contexts, scn_idx, rng):
-        return self.base.realize(t, contexts, scn_idx, rng)
+    def slot_pair_stats(self, t, contexts, scn_idx, *, cells=None):
+        return self.base.slot_pair_stats(t, contexts, scn_idx, cells=cells)
+
+    def context_cells(self, contexts):
+        return self.base.context_cells(contexts)
+
+    def realize(self, t, contexts, scn_idx, rng, *, cells=None):
+        return self.base.realize(t, contexts, scn_idx, rng, cells=cells)
 
     def advance(self, t: int, rng: np.random.Generator) -> None:
         lo, hi = self.base.u_range
@@ -439,14 +499,22 @@ class RegimeSwitchTruth(GroundTruth):
     def expected_compound(self, t, contexts):
         return self._active.expected_compound(t, contexts)
 
-    def means_pairs(self, t, contexts, scn_idx):
-        return self._active.means_pairs(t, contexts, scn_idx)
+    def means_pairs(self, t, contexts, scn_idx, *, cells=None):
+        return self._active.means_pairs(t, contexts, scn_idx, cells=cells)
 
-    def expected_compound_pairs(self, t, contexts, scn_idx):
-        return self._active.expected_compound_pairs(t, contexts, scn_idx)
+    def expected_compound_pairs(self, t, contexts, scn_idx, *, cells=None):
+        return self._active.expected_compound_pairs(t, contexts, scn_idx, cells=cells)
 
-    def realize(self, t, contexts, scn_idx, rng):
-        return self._active.realize(t, contexts, scn_idx, rng)
+    def slot_pair_stats(self, t, contexts, scn_idx, *, cells=None):
+        return self._active.slot_pair_stats(t, contexts, scn_idx, cells=cells)
+
+    def context_cells(self, contexts):
+        # Both regimes share (dims, cells_per_dim) — validated at init — so
+        # the grid classification is regime-independent.
+        return self.regime_a.context_cells(contexts)
+
+    def realize(self, t, contexts, scn_idx, rng, *, cells=None):
+        return self._active.realize(t, contexts, scn_idx, rng, cells=cells)
 
     def advance(self, t: int, rng: np.random.Generator) -> None:
         if rng.random() < self.switch_prob:

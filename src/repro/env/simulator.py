@@ -29,10 +29,12 @@ import numpy as np
 from repro.env.channel import BlockageChannel
 from repro.env.network import NetworkConfig
 from repro.env.processes import GroundTruth
+from repro.env.window import precompute_window
 from repro.env.workload import SlotWorkload, Workload
 from repro.obs import metrics as obs_metrics
 from repro.obs import runtime as obs_runtime
 from repro.utils.rng import RngFactory
+from repro.utils.timing import monotonic
 from repro.utils.validation import check_positive
 
 __all__ = [
@@ -42,7 +44,12 @@ __all__ = [
     "PolicyProtocol",
     "Simulation",
     "SimulationResult",
+    "DEFAULT_WINDOW",
 ]
+
+#: Default slot-streaming window: slots are precomputed in batches of this
+#: size when the workload and policy allow it (see :meth:`Simulation.run`).
+DEFAULT_WINDOW = 32
 
 # A policy observes exactly the public slot information.
 SlotObservation = SlotWorkload
@@ -97,6 +104,23 @@ class Assignment:
         # Coverage membership for all pairs at once: encode (scn, task) as
         # scn·n + task, sort the coverage keys once, and check each pair by
         # sorted membership — one searchsorted instead of an isin per SCN.
+        edges = getattr(slot, "edges", None)
+        if edges is not None and edges.num_tasks == n:
+            # Windowed slots carry the sorted key already (segments in SCN
+            # order, tasks sorted within) — skip the rebuild + sort.
+            cov_key = edges.key
+            if cov_key.size == 0:
+                raise ValueError(
+                    f"SCN {int(self.scn.min())} assigned a task outside its coverage"
+                )
+            pair_key = self.scn * np.int64(n) + self.task
+            pos = np.searchsorted(cov_key, pair_key)
+            ok = cov_key[np.minimum(pos, cov_key.size - 1)] == pair_key
+            if not ok.all():
+                raise ValueError(
+                    f"SCN {int(self.scn[~ok].min())} assigned a task outside its coverage"
+                )
+            return
         cov_parts = [np.asarray(c, dtype=np.int64) for c in slot.coverage]
         lengths = np.fromiter((c.shape[0] for c in cov_parts), dtype=np.int64, count=len(cov_parts))
         if lengths.sum() == 0:
@@ -338,12 +362,29 @@ class Simulation:
             }
         )
 
+    def _effective_window(self, policy: PolicyProtocol, window: int | None) -> int:
+        """Resolve the slot-streaming window size for this (policy, workload).
+
+        ``None`` → :data:`DEFAULT_WINDOW` when eligible, else 0 (per-slot).
+        Windowing requires a windowable workload (slots must be a pure
+        function of ``(t, rng)`` consumed in order) and is skipped for the
+        reference engine, which exists as the readable per-slot baseline.
+        """
+        if window is not None and window < 0:
+            raise ValueError(f"window must be >= 0, got {window}")
+        if not getattr(self.workload, "windowable", False):
+            return 0
+        if getattr(getattr(policy, "config", None), "engine", None) == "reference":
+            return 0
+        return DEFAULT_WINDOW if window is None else int(window)
+
     def run(
         self,
         policy: PolicyProtocol,
         horizon: int,
         *,
         record_expected: bool = True,
+        window: int | None = None,
     ) -> SimulationResult:
         """Run ``policy`` for ``horizon`` slots and record per-slot metrics.
 
@@ -351,6 +392,18 @@ class Simulation:
         re-derives its random streams from the root seed, so two policies
         face identical workload randomness (realization draws still depend
         on which tasks each policy selects — standard bandit semantics).
+
+        Parameters
+        ----------
+        window:
+            Slot-streaming window size W: workload generation, coverage
+            edge lists, and context classification are precomputed for W
+            slots at a time (:mod:`repro.env.window`), amortizing the
+            per-slot rebuild.  ``None`` (default) picks
+            :data:`DEFAULT_WINDOW` when the workload and policy are
+            eligible; ``0`` forces the per-slot path.  Trajectories are
+            bit-identical for every window size — the precompute consumes
+            the RNG streams in exactly the per-slot order.
         """
         check_positive("horizon", horizon)
         # One lookup per run: when no observability context is installed the
@@ -375,6 +428,18 @@ class Simulation:
         has_pair_api = hasattr(self.truth, "expected_compound_pairs") and hasattr(
             self.truth, "means_pairs"
         )
+        window_size = self._effective_window(policy, window)
+        use_window = window_size > 0
+        stats_fn = getattr(self.truth, "slot_pair_stats", None)
+        if use_window:
+            # Only immutable partitions may be classified ahead of time; a
+            # stateful one (adaptive refinement) would reassign mid-window.
+            win_partition = getattr(policy, "context_partition", None)
+            if win_partition is not None and not getattr(win_partition, "windowable", False):
+                win_partition = None
+            win_cells_fn = getattr(self.truth, "context_cells", None)
+            win_slots: tuple = ()
+            win_start = win_end = 0
         reward = np.zeros(horizon)
         expected_reward = np.zeros(horizon)
         completed = np.zeros((horizon, M))
@@ -386,19 +451,53 @@ class Simulation:
         viol_res_exp = np.zeros(horizon)
 
         for t in range(horizon):
-            slot = self.workload.slot(t, workload_rng)
+            if use_window:
+                if t >= win_end:
+                    count = min(window_size, horizon - t)
+                    if ctx is None:
+                        win = precompute_window(
+                            self.workload, t, count, workload_rng,
+                            partition=win_partition, context_cells=win_cells_fn,
+                        )
+                    else:
+                        ctx.begin_slot(t)
+                        with ctx.span("sim.window.precompute"):
+                            win = precompute_window(
+                                self.workload, t, count, workload_rng,
+                                partition=win_partition, context_cells=win_cells_fn,
+                            )
+                    win_slots = win.slots
+                    win_start, win_end = t, t + count
+                slot = win_slots[t - win_start]
+            else:
+                slot = self.workload.slot(t, workload_rng)
             if ctx is None:
                 assignment = policy.select(slot)
             else:
-                ctx.begin_slot(t)
+                if not (use_window and t == win_start):
+                    ctx.begin_slot(t)
+                step_start = monotonic()
                 with ctx.span("sim.select"):
                     assignment = policy.select(slot)
             if self.validate_assignments:
                 assignment.validate(slot, self.network.capacity)
 
+            pair_cells = None
             if len(assignment) > 0:
                 pair_contexts = slot.tasks.contexts[assignment.task]
-                u, v, q = self.truth.realize(t, pair_contexts, assignment.scn, realize_rng)
+                truth_cells = getattr(slot, "truth_cells", None)
+                if truth_cells is None:
+                    u, v, q = self.truth.realize(
+                        t, pair_contexts, assignment.scn, realize_rng
+                    )
+                else:
+                    # Windowed slots carry each task's ground-truth grid cell
+                    # (precomputed once per window); passing it skips the
+                    # per-call classification without touching a draw.
+                    pair_cells = truth_cells[assignment.task]
+                    u, v, q = self.truth.realize(
+                        t, pair_contexts, assignment.scn, realize_rng, cells=pair_cells
+                    )
                 if self.channel is not None:
                     v = v * self.channel.link_up(t, assignment.scn, assignment.task, channel_rng)
                 g = u * v / q
@@ -423,7 +522,13 @@ class Simulation:
                 # truth pair-wise instead of building dense (M, n) tables;
                 # duck-typed truths without the pair API fall back to dense.
                 if len(assignment) > 0:
-                    if has_pair_api:
+                    if pair_cells is not None and stats_fn is not None:
+                        # One fused grid pass using the precomputed cells —
+                        # component-wise identical to the two calls below.
+                        exp_g, p_v, mu_q = stats_fn(
+                            t, pair_contexts, assignment.scn, cells=pair_cells
+                        )
+                    elif has_pair_api:
                         exp_g = self.truth.expected_compound_pairs(
                             t, pair_contexts, assignment.scn
                         )
@@ -452,6 +557,8 @@ class Simulation:
             else:
                 with ctx.span("sim.update"):
                     policy.update(slot, feedback)
+                if use_window:
+                    ctx.add_span("sim.window.step", monotonic() - step_start)
                 self._record_slot(
                     ctx, policy, t, assignment, accepted[t],
                     float(reward[t]),

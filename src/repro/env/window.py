@@ -1,0 +1,296 @@
+"""Windowed slot precompute: stream W slots through the batched kernels.
+
+The batched slot engine (PR 1) made a *single* slot one flat edge list, but
+every slot still rebuilds that layout — coverage concatenation, hypercube
+classification, ground-truth cell lookup — from scratch.  This module
+precomputes those slot-invariant structures for a *window* of W slots in one
+vectorized pass:
+
+- :func:`precompute_window` pulls W slots from the workload (through
+  :meth:`~repro.env.workload.Workload.sample_slots`, which preserves the
+  frozen per-slot RNG draw order), then builds each slot's
+  :class:`SlotEdges` — the flat (scn, task) edge list with segment offsets,
+  the sorted membership key the assignment validator needs, and optionally
+  the per-edge hypercube indices for the learner's partition — plus the
+  ground-truth grid cell per task.  Cube and cell classification run *once*
+  over the whole window's concatenated contexts.
+- :class:`PrecomputedSlot` is a :class:`~repro.env.workload.SlotWorkload`
+  that carries the precomputed extras; consumers discover them by duck
+  typing (``getattr(slot, "edges", None)``), so every policy and the
+  per-slot simulator path keep working unchanged on plain slots.
+
+Everything here is *derived* data — no random draws happen outside
+``sample_slots`` — so a windowed trajectory is bit-identical to the
+per-slot one (``tests/env/test_window.py`` enforces this for both engines,
+both assignment modes, and window sizes straddling the horizon).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.env.workload import SlotWorkload, Workload
+
+__all__ = ["SlotEdges", "PrecomputedSlot", "SlotWindow", "precompute_window"]
+
+
+@dataclass(frozen=True)
+class SlotEdges:
+    """One slot's coverage graph as a flat edge list, plus derived layout.
+
+    Attributes
+    ----------
+    offsets:
+        ``(M+1,)`` int64 — SCN m's edges live at ``offsets[m]:offsets[m+1]``.
+    lengths:
+        ``(M,)`` int64 segment sizes (``np.diff(offsets)``).
+    lengths_f:
+        ``lengths`` as float64 (Alg. 2's K per segment).
+    bounds:
+        ``offsets.tolist()`` — ready for the per-SCN Python loops.
+    seg_start:
+        ``(M,)`` int64 — clamped segment starts for ``np.ufunc.reduceat``
+        (empty segments produce garbage lanes the consumers never read).
+    scn, task:
+        ``(E,)`` int64 parallel edge arrays (tasks sorted within a segment).
+    key:
+        ``(E,)`` int64 ``scn·n + task`` — sorted, used for membership and
+        assignment lookup without rebuilding.
+    seg_len_edge:
+        ``(E,)`` float64 — each edge's segment length (Alg. 2's per-edge K).
+    num_tasks:
+        n — the slot's task count (the key encoding base).
+    cube:
+        ``(E,)`` int64 hypercube index per edge for ``partition``, or None
+        when no partition was supplied.
+    flat:
+        ``(E,)`` int64 ``scn·F + cube`` (the Alg. 3 scatter key), or None.
+    partition:
+        The :class:`~repro.core.hypercube.ContextPartition` the cubes were
+        computed for (consumers must check it matches their own).
+    num_cubes:
+        F — ``partition.num_cubes`` snapshot (0 when no partition).
+    """
+
+    offsets: np.ndarray
+    lengths: np.ndarray
+    lengths_f: np.ndarray
+    bounds: list[int]
+    seg_start: np.ndarray
+    scn: np.ndarray
+    task: np.ndarray
+    key: np.ndarray
+    seg_len_edge: np.ndarray
+    num_tasks: int
+    cube: np.ndarray | None = None
+    flat: np.ndarray | None = None
+    partition: object | None = None
+    num_cubes: int = 0
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.task.shape[0])
+
+    @property
+    def num_segments(self) -> int:
+        return int(self.offsets.shape[0]) - 1
+
+
+@dataclass(frozen=True)
+class PrecomputedSlot(SlotWorkload):
+    """A :class:`SlotWorkload` carrying window-precomputed derived data.
+
+    Attributes
+    ----------
+    edges:
+        The slot's :class:`SlotEdges` (always present for windowed slots).
+    truth_cells:
+        ``(n,)`` int64 ground-truth grid cell per task (present only when
+        the simulation's truth exposes ``context_cells``).
+    """
+
+    edges: SlotEdges | None = None
+    truth_cells: np.ndarray | None = None
+
+
+@dataclass(frozen=True)
+class SlotWindow:
+    """W consecutive precomputed slots, ``slots[i]`` being slot ``start+i``."""
+
+    start: int
+    slots: tuple[PrecomputedSlot, ...]
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+
+def _normalize_coverage(
+    coverage: Sequence[np.ndarray],
+) -> list[np.ndarray]:
+    """Coverage lists as int64 arrays, matching the batched engine's intake."""
+    return [np.asarray(cov, dtype=np.int64) for cov in coverage]
+
+
+def _build_edges(
+    coverage: list[np.ndarray],
+    num_tasks: int,
+    edge_task: np.ndarray,
+    edge_scn: np.ndarray,
+    offsets: np.ndarray,
+    lengths: np.ndarray,
+) -> SlotEdges:
+    """Assemble one slot's :class:`SlotEdges` from pre-concatenated arrays.
+
+    ``edge_task`` may be repaired (sorted per segment) in place; the same
+    repair is written back into ``coverage`` so the slot and its edge list
+    stay consistent — identical logic to the batched engine's per-slot
+    sortedness check.
+    """
+    E = int(offsets[-1])
+    M = lengths.shape[0]
+    if E:
+        drops = np.flatnonzero(np.diff(edge_task) < 0)
+        if drops.size:
+            seg_of_drop = np.searchsorted(offsets, drops, side="right") - 1
+            boundary = offsets[seg_of_drop + 1] - 1  # last index of that segment
+            for m in np.unique(seg_of_drop[drops != boundary]).tolist():
+                coverage[m] = np.sort(coverage[m])
+                edge_task[offsets[m] : offsets[m + 1]] = coverage[m]
+    key = edge_scn * np.int64(num_tasks) + edge_task
+    return SlotEdges(
+        offsets=offsets,
+        lengths=lengths,
+        lengths_f=lengths.astype(float),
+        bounds=offsets.tolist(),
+        seg_start=np.minimum(offsets[:-1], max(E - 1, 0)),
+        scn=edge_scn,
+        task=edge_task,
+        key=key,
+        seg_len_edge=np.repeat(lengths, lengths).astype(float),
+        num_tasks=num_tasks,
+    )
+
+
+def precompute_window(
+    workload: Workload,
+    t0: int,
+    count: int,
+    rng: np.random.Generator,
+    *,
+    partition: object | None = None,
+    context_cells: Callable[[np.ndarray], np.ndarray] | None = None,
+) -> SlotWindow:
+    """Generate and precompute slots ``t0 .. t0+count-1`` in one pass.
+
+    Parameters
+    ----------
+    workload:
+        Must be windowable (``workload.windowable``); slots are drawn via
+        :meth:`~repro.env.workload.Workload.sample_slots`, which consumes
+        the workload RNG in exactly the per-slot order.
+    partition:
+        The learner's :class:`~repro.core.hypercube.ContextPartition`; when
+        given, every edge's hypercube index (and the Alg. 3 ``scn·F + cube``
+        scatter key) is classified once over the window's contexts.
+    context_cells:
+        The truth's ``context_cells`` bound method; when given, each task's
+        ground-truth grid cell is precomputed the same way.
+
+    Returns
+    -------
+    SlotWindow
+        ``count`` :class:`PrecomputedSlot` objects sharing one batched
+        classification pass.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be >= 1, got {count}")
+    raw_slots = workload.sample_slots(t0, count, rng)
+
+    coverage_lists = [_normalize_coverage(s.coverage) for s in raw_slots]
+    # One concatenate over all W·M coverage segments, then per-slot views.
+    parts: list[np.ndarray] = []
+    seg_lengths: list[np.ndarray] = []
+    for cov in coverage_lists:
+        parts.extend(cov)
+        seg_lengths.append(
+            np.fromiter((c.shape[0] for c in cov), dtype=np.int64, count=len(cov))
+        )
+    all_lengths = np.concatenate(seg_lengths) if seg_lengths else np.empty(0, np.int64)
+    all_task = (
+        np.concatenate(parts) if parts else np.empty(0, np.int64)
+    )
+    M = raw_slots[0].num_scns if raw_slots else 0
+    scn_pattern = np.tile(np.arange(M, dtype=np.int64), count)
+    all_scn = np.repeat(scn_pattern, all_lengths)
+
+    # Classification runs once over the window's concatenated contexts; the
+    # grid lookups are pure row-wise maps, so batching them is bit-identical
+    # to per-slot classification.
+    ctx_offsets = np.zeros(count + 1, dtype=np.int64)
+    for i, s in enumerate(raw_slots):
+        ctx_offsets[i + 1] = ctx_offsets[i] + len(s.tasks)
+    all_cubes = all_cells = None
+    if partition is not None or context_cells is not None:
+        all_ctx = np.concatenate([s.tasks.contexts for s in raw_slots])
+        if partition is not None:
+            all_cubes = partition.assign(all_ctx)
+        if context_cells is not None:
+            all_cells = np.asarray(context_cells(all_ctx), dtype=np.int64)
+
+    slots: list[PrecomputedSlot] = []
+    edge_pos = 0
+    seg_pos = 0
+    for i, raw in enumerate(raw_slots):
+        coverage = coverage_lists[i]
+        lengths = all_lengths[seg_pos : seg_pos + M]
+        offsets = np.zeros(M + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        E = int(offsets[-1])
+        edges = _build_edges(
+            coverage,
+            len(raw.tasks),
+            all_task[edge_pos : edge_pos + E],
+            all_scn[edge_pos : edge_pos + E],
+            offsets,
+            lengths,
+        )
+        if all_cubes is not None and partition is not None:
+            task_cubes = all_cubes[ctx_offsets[i] : ctx_offsets[i + 1]]
+            cube = task_cubes[edges.task]
+            F = partition.num_cubes
+            edges = SlotEdges(
+                offsets=edges.offsets,
+                lengths=edges.lengths,
+                lengths_f=edges.lengths_f,
+                bounds=edges.bounds,
+                seg_start=edges.seg_start,
+                scn=edges.scn,
+                task=edges.task,
+                key=edges.key,
+                seg_len_edge=edges.seg_len_edge,
+                num_tasks=edges.num_tasks,
+                cube=cube,
+                flat=edges.scn * np.int64(F) + cube,
+                partition=partition,
+                num_cubes=F,
+            )
+        truth_cells = (
+            None
+            if all_cells is None
+            else all_cells[ctx_offsets[i] : ctx_offsets[i + 1]]
+        )
+        slots.append(
+            PrecomputedSlot(
+                t=raw.t,
+                tasks=raw.tasks,
+                coverage=coverage,
+                edges=edges,
+                truth_cells=truth_cells,
+            )
+        )
+        edge_pos += E
+        seg_pos += M
+    return SlotWindow(start=t0, slots=tuple(slots))

@@ -67,9 +67,27 @@ class Workload(ABC):
 
     num_scns: int
 
+    #: Whether slots depend only on (t, rng) consumed in slot order — i.e.
+    #: the windowed driver may generate several slots ahead of the policy.
+    #: Wrappers whose slots depend on *feedback* from earlier slots (e.g.
+    #: ``MultiSlotWorkload``'s pending backlog) must leave this False.
+    windowable: bool = False
+
     @abstractmethod
     def slot(self, t: int, rng: np.random.Generator) -> SlotWorkload:
         """Generate slot ``t``."""
+
+    def sample_slots(
+        self, t0: int, count: int, rng: np.random.Generator
+    ) -> list[SlotWorkload]:
+        """Generate slots ``t0 .. t0+count-1`` in order.
+
+        Must consume ``rng`` exactly as ``count`` sequential :meth:`slot`
+        calls would — the frozen per-slot stream contract windowed runs rely
+        on for bit-identical trajectories.  Subclasses may override to batch
+        the non-RNG work across the window.
+        """
+        return [self.slot(t0 + i, rng) for i in range(count)]
 
     def max_coverage_size(self) -> int:
         """Upper bound K_m on |D_{m,t}| (drives learning-rate defaults)."""
@@ -82,6 +100,8 @@ class SyntheticWorkload(Workload):
 
     features: TaskFeatureModel = field(default_factory=TaskFeatureModel)
     coverage_model: CoverageModel = field(default_factory=CoverageSampler)
+
+    windowable = True
 
     def __post_init__(self) -> None:
         self.num_scns = self.coverage_model.num_scns
@@ -109,6 +129,43 @@ class SyntheticWorkload(Workload):
         )
         return SlotWorkload(t=t, tasks=batch, coverage=coverage)
 
+    def sample_slots(
+        self, t0: int, count: int, rng: np.random.Generator
+    ) -> list[SlotWorkload]:
+        """Batched slot generation with the per-slot RNG draw order.
+
+        All random draws stay in the exact per-slot sequence (coverage then
+        features, slot by slot) so the stream contract holds; only the
+        purely row-wise feature normalization is batched over the window's
+        concatenated features — bit-identical values, one vectorized pass.
+        """
+        raw: list[tuple[int, list[np.ndarray], np.ndarray, np.ndarray, np.ndarray]] = []
+        for _ in range(count):
+            n_tasks, coverage = self.coverage_model.sample_slot(rng)
+            inputs, outputs, resources = self.features.sample_features(n_tasks, rng)
+            raw.append((n_tasks, coverage, inputs, outputs, resources))
+
+        all_contexts = self.features.normalize(
+            np.concatenate([r[2] for r in raw]),
+            np.concatenate([r[3] for r in raw]),
+            np.concatenate([r[4] for r in raw]),
+        )
+        slots: list[SlotWorkload] = []
+        offset = 0
+        for i, (n_tasks, coverage, inputs, outputs, resources) in enumerate(raw):
+            ids = np.arange(self._next_id, self._next_id + n_tasks, dtype=np.int64)
+            self._next_id += n_tasks
+            batch = TaskBatch(
+                contexts=all_contexts[offset : offset + n_tasks],
+                ids=ids,
+                input_mbit=inputs,
+                output_mbit=outputs,
+                resource_type=resources,
+            )
+            slots.append(SlotWorkload(t=t0 + i, tasks=batch, coverage=coverage))
+            offset += n_tasks
+        return slots
+
     def max_coverage_size(self) -> int:
         return self.coverage_model.max_coverage_size()
 
@@ -125,6 +182,8 @@ class TraceWorkload(Workload):
     """
 
     slots: Sequence[SlotWorkload] = ()
+
+    windowable = True
 
     def __post_init__(self) -> None:
         if not self.slots:

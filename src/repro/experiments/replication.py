@@ -148,6 +148,7 @@ def run_replications(
     *,
     seeds: Sequence[int] | int = 5,
     workers: int | None = 0,
+    transport: str = "auto",
     manifest_dir: str | Path | None = None,
 ) -> list[ReplicationRun]:
     """Run the experiment once per seed and keep every per-seed result.
@@ -161,6 +162,12 @@ def run_replications(
         ``0`` (default) — one process per CPU core, falling back to serial
         on a single-core host; ``None``/``1`` — serial; ``n`` — a pool of n.
         The per-seed results are bit-identical across all settings.
+    transport:
+        Parallel result transport (``"auto"``/``"shm"``/``"pickle"``, see
+        :func:`repro.utils.parallel.parallel_map`): shared-memory numpy
+        blocks by default, the pickle pipe as the fallback knob.  Full
+        ``SimulationResult`` payloads are exactly what the shm path is
+        for — megabytes of arrays per seed.
     manifest_dir:
         When given, writes ``<manifest_dir>/manifest.json`` with the sweep's
         full provenance (config, seed list, engine, git SHA, host, versions)
@@ -173,7 +180,9 @@ def run_replications(
     seed_list = replication_seed_list(cfg.seed, seeds)
     _emit_manifest(manifest_dir, cfg, seed_list, list(policies), workers)
     tasks = [(cfg, tuple(policies), s) for s in seed_list]
-    per_seed = parallel_map(_run_seed_full, tasks, workers=workers, label=_seed_label)
+    per_seed = parallel_map(
+        _run_seed_full, tasks, workers=workers, label=_seed_label, transport=transport
+    )
     return [
         ReplicationRun(index=k, seed=s, results=res)
         for k, (s, res) in enumerate(zip(seed_list, per_seed))
@@ -218,6 +227,7 @@ def replicate(
     seeds: Sequence[int] | int = 5,
     confidence: float = 0.95,
     workers: int | None = 0,
+    transport: str = "auto",
     manifest_dir: str | Path | None = None,
 ) -> dict[str, dict[str, ReplicatedSummary]]:
     """Run the experiment at several seeds and aggregate the summaries.
@@ -232,6 +242,9 @@ def replicate(
         degrees of freedom.
     workers:
         Same semantics as :func:`run_replications`; parallel by default.
+    transport:
+        Parallel result transport knob, as in :func:`run_replications`
+        (summaries are scalar dicts, so either transport is cheap here).
     manifest_dir:
         When given, writes ``<manifest_dir>/manifest.json`` with the sweep's
         provenance (see :func:`run_replications`).
@@ -244,7 +257,9 @@ def replicate(
     seed_list = replication_seed_list(cfg.seed, seeds)
     _emit_manifest(manifest_dir, cfg, seed_list, list(policies), workers)
     tasks = [(cfg, tuple(policies), s) for s in seed_list]
-    per_seed = parallel_map(_run_seed_summary, tasks, workers=workers, label=_seed_label)
+    per_seed = parallel_map(
+        _run_seed_summary, tasks, workers=workers, label=_seed_label, transport=transport
+    )
     return _aggregate(per_seed, policies, confidence)
 
 

@@ -83,6 +83,12 @@ class ExperimentConfig:
     seed: int = 0
     truth_seed: int = 7
     oracle_mode: str = "lp"
+    #: Slot-streaming window for the simulation driver: ``None`` — the
+    #: simulator's default (windowed when eligible, see
+    #: ``repro.env.simulator.DEFAULT_WINDOW``); ``0`` — force per-slot;
+    #: ``W >= 1`` — precompute W slots at a time.  Trajectories are
+    #: bit-identical across all values.
+    window: int | None = None
     lfsc: LFSCConfig | None = None
 
     def __post_init__(self) -> None:
@@ -235,7 +241,7 @@ def _run_one(args: tuple[ExperimentConfig, str]) -> SimulationResult:
     cfg, name = args
     sim = build_simulation(cfg)
     policy = make_policy(name, cfg, sim.truth)
-    return sim.run(policy, cfg.horizon)
+    return sim.run(policy, cfg.horizon, window=cfg.window)
 
 
 def _policy_label(index: int, args: tuple[ExperimentConfig, str]) -> str:

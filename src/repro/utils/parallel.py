@@ -34,6 +34,14 @@ registry, so ``global_registry().snapshot()`` after a parallel sweep equals
 the serial run's metrics (delta-based merging stays correct when a pool
 reuses worker processes across chunks).
 
+Result transport: with ``transport="auto"`` (the default) a parallel run
+moves the numpy payload of each chunk's results through one shared-memory
+block (:mod:`repro.utils.shm`) instead of the pool's pickle pipe — workers
+fill the block, the parent grafts the arrays back and unlinks it.  Values
+are bit-identical either way; ``transport="pickle"`` keeps the plain pipe
+(the fallback knob, also what any host without working shared memory
+degrades to silently).
+
 Fallbacks: ``workers=0`` (the parallel-by-default setting) resolves to all
 CPU cores, but collapses to serial execution on a single-core host or on a
 platform without process-pool support, so the default is always safe.  An
@@ -51,17 +59,24 @@ from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro.obs import metrics as obs_metrics
 from repro.obs import runtime as obs_runtime
+from repro.utils import shm as shm_transport
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 __all__ = [
     "ParallelExecutionError",
+    "TRANSPORTS",
     "default_workers",
     "parallel_map",
     "process_pool_supported",
     "resolve_workers",
 ]
+
+#: Valid ``transport`` arguments: "auto" uses shared memory when it works,
+#: "shm" means the same (kept distinct for explicitness in CLIs), "pickle"
+#: forces the plain pool pipe.
+TRANSPORTS = ("auto", "shm", "pickle")
 
 
 class ParallelExecutionError(RuntimeError):
@@ -149,14 +164,17 @@ def resolve_workers(workers: int | None, n_items: int | None = None) -> int:
 
 
 def _run_chunk(
-    payload: tuple[Callable[[T], R], int, Sequence[T]],
+    payload: tuple[Callable[[T], R], int, Sequence[T], bool],
 ) -> list[tuple[str, object]]:
     """Worker: run one chunk, tagging each result ``("ok", value)`` or
     ``("err", (index, repr, traceback, trace_record))``.  Stops at the first
     failure — later items of the chunk are reported as skipped by the
-    parent.  The final ``("metrics", delta)`` entry carries the metrics
-    this chunk added to the worker's process-local registry."""
-    func, start, items = payload
+    parent.  With shared-memory transport the ``"ok"`` values are replaced
+    by one ``("shm_block", (skeletons, name, manifest))`` entry (see
+    :mod:`repro.utils.shm`); packing failures fall back to inline values.
+    The final ``("metrics", delta)`` entry carries the metrics this chunk
+    added to the worker's process-local registry."""
+    func, start, items, use_shm = payload
     before = obs_metrics.global_registry().snapshot()
     out: list[tuple[str, object]] = []
     for offset, item in enumerate(items):
@@ -175,6 +193,12 @@ def _run_chunk(
                 )
             )
             break
+    if use_shm:
+        ok_values = [value for tag, value in out if tag == "ok"]
+        skeletons, name, manifest = shm_transport.pack_to_shm(ok_values)
+        if name is not None:
+            rest = [entry for entry in out if entry[0] != "ok"]
+            out = [("shm_block", (skeletons, name, manifest)), *rest]
     after = obs_metrics.global_registry().snapshot()
     out.append(("metrics", obs_metrics.diff_snapshots(after, before)))
     return out
@@ -196,6 +220,7 @@ def parallel_map(
     workers: int | None = None,
     chunksize: int = 1,
     label: Callable[[int, T], str] | None = None,
+    transport: str = "auto",
 ) -> list[R]:
     """Map ``func`` over ``items``, optionally across processes.
 
@@ -218,6 +243,12 @@ def parallel_map(
     label:
         Optional ``(index, item) -> str`` used to name the failing item in
         :class:`ParallelExecutionError` (e.g. its replication seed).
+    transport:
+        How parallel results travel back: ``"auto"``/``"shm"`` move the
+        numpy payload through shared-memory blocks (bit-identical values,
+        no array pickling), ``"pickle"`` forces the plain pool pipe.  Hosts
+        without working shared memory degrade to pickling silently; serial
+        runs ignore this.
 
     Returns
     -------
@@ -234,6 +265,8 @@ def parallel_map(
     work: Sequence[T] = list(items)
     if chunksize < 1:
         raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+    if transport not in TRANSPORTS:
+        raise ValueError(f"transport must be one of {TRANSPORTS}, got {transport!r}")
     resolved = resolve_workers(workers, len(work))
     if resolved <= 1:
         out: list[R] = []
@@ -249,8 +282,9 @@ def parallel_map(
                 ) from exc
         return out
 
+    use_shm = transport != "pickle"
     chunks = [
-        (func, start, work[start : start + chunksize])
+        (func, start, work[start : start + chunksize], use_shm)
         for start in range(0, len(work), chunksize)
     ]
     with ProcessPoolExecutor(max_workers=resolved) as pool:
@@ -258,25 +292,46 @@ def parallel_map(
         # order the chunks were created, so scheduling cannot reorder results.
         futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
         results: list[R] = []
-        for (_, start, chunk_items), future in zip(chunks, futures):
-            try:
-                tagged = future.result()
-            except BaseException as exc:  # e.g. BrokenProcessPool, pickling errors
-                raise ParallelExecutionError(
-                    start, _describe(label, start, chunk_items[0]), repr(exc)
-                ) from exc
-            for tag, value in tagged:
-                if tag == "metrics":
-                    obs_metrics.global_registry().merge_snapshot(value)  # type: ignore[arg-type]
-                elif tag == "err":
-                    index, cause, tb, trace_record = value  # type: ignore[misc]
+        consumed = 0
+        try:
+            for (_, start, chunk_items, _), future in zip(chunks, futures):
+                try:
+                    tagged = future.result()
+                except BaseException as exc:  # e.g. BrokenProcessPool, pickling errors
                     raise ParallelExecutionError(
-                        index,
-                        _describe(label, index, work[index]),
-                        cause,
-                        tb,
-                        trace_record=trace_record,
-                    )
-                else:
-                    results.append(value)  # type: ignore[arg-type]
+                        start, _describe(label, start, chunk_items[0]), repr(exc)
+                    ) from exc
+                for tag, value in tagged:
+                    if tag == "metrics":
+                        obs_metrics.global_registry().merge_snapshot(value)  # type: ignore[arg-type]
+                    elif tag == "shm_block":
+                        skeletons, name, manifest = value  # type: ignore[misc]
+                        results.extend(
+                            shm_transport.unpack_from_shm(skeletons, name, manifest)
+                        )
+                    elif tag == "err":
+                        index, cause, tb, trace_record = value  # type: ignore[misc]
+                        raise ParallelExecutionError(
+                            index,
+                            _describe(label, index, work[index]),
+                            cause,
+                            tb,
+                            trace_record=trace_record,
+                        )
+                    else:
+                        results.append(value)  # type: ignore[arg-type]
+                consumed += 1
+        except BaseException:
+            # Unconsumed chunks may hold shm blocks the loop will never
+            # unpack; drain their futures and free the segments before
+            # surfacing the error.
+            for future in futures[consumed:]:
+                try:
+                    tagged = future.result()
+                except BaseException:
+                    continue
+                for tag, value in tagged:
+                    if tag == "shm_block":
+                        shm_transport.discard_block(value[1])
+            raise
         return results

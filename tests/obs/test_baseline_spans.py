@@ -1,0 +1,57 @@
+"""Baseline policies feed the span histograms and stay bit-identical.
+
+PR 4 instrumented the baselines' inner phases (Oracle problem/solve/round,
+vUCB index/greedy, FML score/greedy, the extras) with observability spans.
+Spans are purely observational — they must never touch an RNG — so each
+baseline's trajectory has to be byte-identical with a context installed,
+and the registry must afterwards hold one histogram per instrumented phase
+with one observation per slot.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import ExperimentConfig, build_simulation, make_policy
+from repro.obs import observe
+from repro.obs.metrics import MetricsRegistry
+
+HORIZON = 12
+
+# policy name -> spans its select() must record every slot
+EXPECTED_SPANS = {
+    "Oracle": ("oracle.problem", "oracle.solve", "oracle.round"),
+    "vUCB": ("vucb.index", "vucb.greedy"),
+    "FML": ("fml.score", "fml.greedy"),
+    "eps-greedy": ("eps_greedy.score", "eps_greedy.greedy"),
+    "thompson": ("thompson.score", "thompson.greedy"),
+}
+
+
+def _run(name, registry=None):
+    cfg = ExperimentConfig.tiny(horizon=HORIZON)
+    sim = build_simulation(cfg)
+    policy = make_policy(name, cfg, sim.truth)
+    if registry is None:
+        return sim.run(policy, HORIZON)
+    with observe(registry=registry):
+        return sim.run(policy, HORIZON)
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_SPANS))
+def test_spans_recorded_per_slot(name):
+    registry = MetricsRegistry()
+    _run(name, registry)
+    snap = registry.snapshot()
+    for span_name in EXPECTED_SPANS[name]:
+        hist = snap["histograms"].get(f"span.{span_name}")
+        assert hist is not None, f"span.{span_name} missing from registry"
+        assert hist["total"] == HORIZON
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_SPANS))
+def test_observed_run_bit_identical(name):
+    bare = _run(name)
+    observed = _run(name, MetricsRegistry())
+    np.testing.assert_array_equal(bare.reward, observed.reward)
+    np.testing.assert_array_equal(bare.violation_qos, observed.violation_qos)
+    np.testing.assert_array_equal(bare.completed, observed.completed)

@@ -1,0 +1,158 @@
+"""Shared-memory result transport: round-trips, fallbacks, bit-equivalence.
+
+The pickle pipe is the reference: whatever ``parallel_map`` returns with
+``transport="pickle"`` must come back byte-for-byte identical through the
+shared-memory path, for the real payload (``SimulationResult`` trees) and
+for adversarial shapes (object dtypes, zero-size arrays, nested containers,
+namedtuples, frozen dataclasses).  Also covers the lifetime contract: a
+consumed block is unlinked, and ``discard_block`` tolerates missing blocks.
+"""
+
+import collections
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.utils import shm as shm_transport
+from repro.utils.parallel import parallel_map
+from repro.utils.shm import (
+    ArrayRef,
+    discard_block,
+    pack_to_shm,
+    shm_supported,
+    unpack_from_shm,
+)
+
+needs_shm = pytest.mark.skipif(not shm_supported(), reason="no shared memory on host")
+
+Point = collections.namedtuple("Point", ["x", "label"])
+
+
+@dataclasses.dataclass(frozen=True)
+class FrozenResult:
+    reward: np.ndarray
+    name: str
+
+
+def _assert_tree_equal(a, b):
+    if isinstance(a, np.ndarray):
+        assert a.dtype == b.dtype
+        np.testing.assert_array_equal(a, b)
+    elif isinstance(a, dict):
+        assert a.keys() == b.keys()
+        for k in a:
+            _assert_tree_equal(a[k], b[k])
+    elif isinstance(a, (list, tuple)):
+        assert type(a) is type(b) and len(a) == len(b)
+        for x, y in zip(a, b):
+            _assert_tree_equal(x, y)
+    elif dataclasses.is_dataclass(a) and not isinstance(a, type):
+        for f in dataclasses.fields(a):
+            _assert_tree_equal(getattr(a, f.name), getattr(b, f.name))
+    else:
+        assert a == b
+
+
+class TestPackUnpack:
+    @needs_shm
+    def test_round_trip_nested_payload(self):
+        rng = np.random.default_rng(0)
+        values = [
+            {
+                "floats": rng.random(17),
+                "ints": np.arange(5, dtype=np.int32),
+                "nested": [Point(x=rng.random(3), label="p"), (1, 2.5, "s")],
+                "frozen": FrozenResult(reward=rng.random(8), name="run-0"),
+                "scalar": 3.25,
+            },
+            rng.random((4, 6)),
+        ]
+        skeletons, name, manifest = pack_to_shm(values)
+        assert name is not None and manifest
+        rebuilt = unpack_from_shm(skeletons, name, manifest)
+        _assert_tree_equal(values, rebuilt)
+        # The block was unlinked after unpacking: attaching again must fail.
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    @needs_shm
+    def test_skeleton_replaces_arrays_with_refs(self):
+        values = [{"a": np.arange(4, dtype=np.float64)}]
+        skeletons, name, manifest = pack_to_shm(values)
+        assert isinstance(skeletons[0]["a"], ArrayRef)
+        assert manifest[0][0] == (4,) and manifest[0][1] == "<f8"
+        discard_block(name)
+
+    @needs_shm
+    def test_object_and_zero_size_arrays_stay_inline(self):
+        obj_arr = np.array([{"k": 1}, None], dtype=object)
+        empty = np.empty(0)
+        payload = np.arange(3.0)
+        skeletons, name, manifest = pack_to_shm([(obj_arr, empty, payload)])
+        assert name is not None and len(manifest) == 1  # only `payload` lifted
+        rebuilt = unpack_from_shm(skeletons, name, manifest)
+        assert rebuilt[0][0] is obj_arr
+        assert rebuilt[0][1] is empty
+        np.testing.assert_array_equal(rebuilt[0][2], payload)
+
+    def test_nothing_to_lift_falls_back(self):
+        values = [1, "two", {"three": 3}]
+        skeletons, name, manifest = pack_to_shm(values)
+        assert name is None and manifest == []
+        assert skeletons is values
+
+    @needs_shm
+    def test_non_contiguous_arrays_round_trip(self):
+        base = np.arange(20.0).reshape(4, 5)
+        view = base[:, ::2]  # non-contiguous: packed via ascontiguousarray
+        skeletons, name, manifest = pack_to_shm([view])
+        rebuilt = unpack_from_shm(skeletons, name, manifest)
+        np.testing.assert_array_equal(rebuilt[0], view)
+
+    def test_discard_block_tolerates_missing(self):
+        discard_block("psm_definitely_not_there")
+
+
+def _simulate(seed: int):
+    """Worker: a small simulation whose result is a frozen-dataclass tree."""
+    from repro.experiments.runner import ExperimentConfig, build_simulation, make_policy
+
+    cfg = ExperimentConfig.tiny(horizon=8, seed=seed)
+    sim = build_simulation(cfg)
+    return sim.run(make_policy("LFSC", cfg, sim.truth), cfg.horizon)
+
+
+class TestParallelTransport:
+    @needs_shm
+    def test_shm_equals_pickle_equals_serial(self):
+        items = [0, 1, 2]
+        serial = parallel_map(_simulate, items, workers=1)
+        shm_res = parallel_map(_simulate, items, workers=2, transport="shm")
+        pickled = parallel_map(_simulate, items, workers=2, transport="pickle")
+        for a, b, c in zip(serial, shm_res, pickled):
+            np.testing.assert_array_equal(a.reward, b.reward)
+            np.testing.assert_array_equal(a.reward, c.reward)
+            np.testing.assert_array_equal(a.completed, b.completed)
+            np.testing.assert_array_equal(a.completed, c.completed)
+            np.testing.assert_array_equal(a.violation_qos, b.violation_qos)
+            np.testing.assert_array_equal(a.violation_qos, c.violation_qos)
+
+    def test_rejects_unknown_transport(self):
+        with pytest.raises(ValueError, match="transport"):
+            parallel_map(_simulate, [0], workers=1, transport="carrier-pigeon")
+
+    @needs_shm
+    def test_worker_error_does_not_leak_blocks(self):
+        from repro.utils.parallel import ParallelExecutionError
+
+        with pytest.raises(ParallelExecutionError):
+            parallel_map(_boom_after_result, [0, 1], workers=2, transport="shm")
+
+
+def _boom_after_result(i: int):
+    if i == 1:
+        raise RuntimeError("boom")
+    return {"payload": np.arange(64.0)}
