@@ -1,0 +1,335 @@
+"""A/B benchmark of the Oracle solver cache & warm-start layer (DESIGN.md §8).
+
+The Oracle re-solves one LP (pre-pass + main) per slot, which makes it the
+slowest leg of the evaluation suite: ``fig2a``, ``fig3`` (an α sweep whose
+middle point *is* the base config), and ``ratio`` together run the identical
+paper-scale Oracle workload seven times.  The
+:class:`~repro.solvers.cache.SlotProblemCache` is content-addressed on the
+assembled slot problem, so everything that repeats across those runs —
+the α-independent achievable-completion pre-pass, and on exact repeats the
+entire per-slot assignment — is solved once.
+
+This benchmark times that **evaluation session** end-to-end: the Oracle legs
+of fig2a + the five-point fig3 α sweep + ratio (seven paper-scale runs),
+cold (``oracle_cache=False``) vs warm (the shared cache), and asserts the
+per-slot trajectories of every run are bit-identical before reporting.  The
+cache is keyed on problem content, never provenance, so "warm" is a pure
+reordering of identical solver work — the headline gate is ≥2x.
+
+Secondary sections report the single-run speedup (direct-HiGHS + edge-reuse
+savings only, no cross-run sharing), the exact-repeat speedup (full
+assignment replay), and warm-vs-cold equivalence for the non-LP Oracle
+modes (``greedy``/``dual``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_oracle.py               # full A/B
+    PYTHONPATH=src python benchmarks/bench_oracle.py --smoke       # CI smoke
+    PYTHONPATH=src python benchmarks/bench_oracle.py --require-speedup
+    PYTHONPATH=src python -m pytest benchmarks/bench_oracle.py     # equivalence
+
+Results land in ``BENCH_oracle.json`` (see ``--output``).  Timing follows
+``bench_window.py``: cold and warm arms are interleaved ``--repeats`` times
+and the per-arm minima are compared; the warm arm resets the shared cache
+before each repeat, so no repeat borrows state from a previous one.
+``--require-speedup`` gates the session headline — meant for dedicated
+hosts; CI smoke runs check equivalence only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.env.simulator import SimulationResult
+from repro.experiments.runner import ExperimentConfig, build_simulation, make_policy
+from repro.obs.manifest import build_manifest
+from repro.solvers.cache import reset_shared_cache, shared_cache
+from repro.solvers.highs import HAVE_DIRECT_HIGHS
+
+#: The fig3 CLI's default α fractions of capacity (→ 13..17 at paper scale).
+ALPHA_FRACTIONS = (0.65, 0.70, 0.75, 0.80, 0.85)
+#: Oracle modes checked for warm-vs-cold bit-equivalence at smoke scale.
+EQUIV_MODES = ("lp", "greedy", "dual")
+#: Window sizes the equivalence check runs under (per-slot and windowed).
+EQUIV_WINDOWS = (1, 32)
+
+
+def session_configs(base: ExperimentConfig) -> list[ExperimentConfig]:
+    """The Oracle legs of one evaluation session: fig2a + fig3 sweep + ratio."""
+    alphas = [round(f * base.capacity, 3) for f in ALPHA_FRACTIONS]
+    return [base] + [base.with_overrides(alpha=a) for a in alphas] + [base]
+
+
+def run_oracle(cfg: ExperimentConfig) -> SimulationResult:
+    """One Oracle-only simulation under this config's cache setting."""
+    sim = build_simulation(cfg)
+    policy = make_policy("Oracle", cfg, sim.truth)
+    return sim.run(policy, cfg.horizon, window=cfg.window)
+
+
+def _same_trajectory(a: SimulationResult, b: SimulationResult) -> bool:
+    return bool(
+        np.array_equal(a.reward, b.reward) and np.array_equal(a.accepted, b.accepted)
+    )
+
+
+def check_equivalence(cfg: ExperimentConfig, horizon: int = 40) -> None:
+    """Assert warm==cold bit-identity across modes and window sizes."""
+    short = cfg.with_overrides(horizon=horizon)
+    for mode in EQUIV_MODES:
+        cold = run_oracle(short.with_overrides(oracle_mode=mode, oracle_cache=False))
+        for window in EQUIV_WINDOWS:
+            reset_shared_cache()
+            warm = run_oracle(
+                short.with_overrides(oracle_mode=mode, oracle_cache=True, window=window)
+            )
+            if not _same_trajectory(cold, warm):
+                raise AssertionError(
+                    f"cached Oracle diverged from cold (mode={mode}, window={window})"
+                    " — benchmark would be invalid"
+                )
+    reset_shared_cache()
+
+
+def _timed_session(configs: list[ExperimentConfig], *, cached: bool) -> tuple[float, list]:
+    total = 0.0
+    results = []
+    for cfg in configs:
+        run_cfg = cfg.with_overrides(oracle_cache=cached)
+        t0 = time.perf_counter()
+        results.append(run_oracle(run_cfg))
+        total += time.perf_counter() - t0
+    return total, results
+
+
+def ab_session(base: ExperimentConfig, repeats: int) -> dict:
+    """Interleaved cold-vs-warm timing of the full evaluation session."""
+    configs = session_configs(base)
+    cold_t: list[float] = []
+    warm_t: list[float] = []
+    cold_runs = warm_runs = None
+    stats: dict = {}
+    for _ in range(repeats):
+        t, cold_runs = _timed_session(configs, cached=False)
+        cold_t.append(t)
+        reset_shared_cache()
+        t, warm_runs = _timed_session(configs, cached=True)
+        warm_t.append(t)
+        stats = shared_cache().stats()
+    for c, w in zip(cold_runs, warm_runs):
+        if not _same_trajectory(c, w):
+            raise AssertionError("warm session diverged from cold — invalid benchmark")
+    t0, tw = min(cold_t), min(warm_t)
+    return {
+        "runs": len(configs),
+        "repeats": repeats,
+        "alphas": [cfg.alpha for cfg in configs],
+        "cold_s": t0,
+        "warm_s": tw,
+        "cold_s_median": sorted(cold_t)[len(cold_t) // 2],
+        "warm_s_median": sorted(warm_t)[len(warm_t) // 2],
+        "speedup": t0 / tw,
+        "bit_identical": True,
+        "cache_stats": stats,
+    }
+
+
+def ab_single(base: ExperimentConfig, repeats: int) -> dict:
+    """Cold vs warm-from-empty single run (no cross-run sharing)."""
+    cold_t: list[float] = []
+    warm_t: list[float] = []
+    for _ in range(repeats):
+        t, _ = _timed_session([base], cached=False)
+        cold_t.append(t)
+        reset_shared_cache()
+        t, _ = _timed_session([base], cached=True)
+        warm_t.append(t)
+    t0, tw = min(cold_t), min(warm_t)
+    return {"cold_s": t0, "warm_s": tw, "speedup": t0 / tw, "repeats": repeats}
+
+
+def ab_repeat(base: ExperimentConfig) -> dict:
+    """Exact-repeat run against a populated cache (full assignment replay)."""
+    reset_shared_cache()
+    first, _ = _timed_session([base], cached=True)
+    replay, _ = _timed_session([base], cached=True)
+    reset_shared_cache()
+    return {"first_s": first, "replay_s": replay, "speedup": first / max(replay, 1e-9)}
+
+
+def run_benchmark(base: ExperimentConfig, repeats: int, *, equiv_horizon: int) -> dict:
+    check_equivalence(base, horizon=equiv_horizon)
+    report: dict = {
+        "schema": "bench_oracle/v1",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "manifest": build_manifest(kind="bench", config=base),
+        "direct_highs": HAVE_DIRECT_HIGHS,
+        "config": {
+            "num_scns": base.num_scns,
+            "capacity": base.capacity,
+            "alpha": base.alpha,
+            "beta": base.beta,
+            "coverage_range": [base.k_min, base.k_max],
+            "horizon": base.horizon,
+            "seed": base.seed,
+        },
+        "equivalence": {"modes": list(EQUIV_MODES), "windows": list(EQUIV_WINDOWS)},
+        "session": ab_session(base, repeats),
+        "single_run": ab_single(base, repeats),
+        "repeat_run": ab_repeat(base),
+    }
+    report["headline"] = {
+        "session_speedup": report["session"]["speedup"],
+        "single_run_speedup": report["single_run"]["speedup"],
+        "repeat_run_speedup": report["repeat_run"]["speedup"],
+    }
+    return report
+
+
+def print_report(report: dict) -> None:
+    cfg = report["config"]
+    direct = "direct HiGHS" if report["direct_highs"] else "linprog fallback (no _highspy)"
+    print(
+        f"oracle cache A/B — M={cfg['num_scns']} c={cfg['capacity']} "
+        f"K∈{cfg['coverage_range']} horizon={cfg['horizon']}, {direct}"
+    )
+    ses = report["session"]
+    print(
+        f"\nevaluation session ({ses['runs']} Oracle runs: fig2a + fig3 sweep + ratio):"
+        f"\n  cold {ses['cold_s']:.2f}s  warm {ses['warm_s']:.2f}s  "
+        f"speedup {ses['speedup']:.2f}x  bit-identical: {ses['bit_identical']}"
+    )
+    single = report["single_run"]
+    print(
+        f"single run: cold {single['cold_s']:.2f}s  warm {single['warm_s']:.2f}s  "
+        f"speedup {single['speedup']:.2f}x"
+    )
+    rep = report["repeat_run"]
+    print(
+        f"exact repeat: first {rep['first_s']:.2f}s  replay {rep['replay_s']:.3f}s  "
+        f"speedup {rep['speedup']:.1f}x"
+    )
+    stats = ses.get("cache_stats", {})
+    if stats:
+        parts = ", ".join(
+            f"{name} {entry['hits']}/{entry['hits'] + entry['misses']}"
+            for name, entry in stats.items()
+        )
+        print(f"cache hits: {parts}")
+    print()
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        choices=("paper", "small"),
+        default=os.environ.get("REPRO_BENCH_SCALE", "paper"),
+        help="base problem size (default: REPRO_BENCH_SCALE or paper)",
+    )
+    parser.add_argument(
+        "--horizon",
+        type=int,
+        default=None,
+        help="slots per run (default: REPRO_BENCH_HORIZON, else 60 paper / 200 small)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=2,
+        help="interleaved repeats per arm; minimum is compared (default 2)",
+    )
+    parser.add_argument(
+        "--require-speedup",
+        action="store_true",
+        help="exit non-zero unless the session speedup meets --threshold "
+        "(intended for dedicated hosts, not CI smoke)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="speedup gate for --require-speedup (default 2.0)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI smoke mode: small scale, short horizon, equivalence-gated, "
+        "no JSON unless --output given",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="where to write the JSON report (default: repo-root BENCH_oracle.json)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        scale, horizon = "small", args.horizon or 60
+    else:
+        scale = args.scale
+        env_horizon = os.environ.get("REPRO_BENCH_HORIZON")
+        horizon = args.horizon or (int(env_horizon) if env_horizon else None)
+        if horizon is None:
+            horizon = 60 if scale == "paper" else 200
+
+    base = ExperimentConfig.paper() if scale == "paper" else ExperimentConfig.small()
+    base = base.with_overrides(horizon=horizon)
+
+    report = run_benchmark(
+        base, args.repeats, equiv_horizon=min(horizon, 40 if scale == "paper" else 60)
+    )
+    print_report(report)
+
+    output = args.output
+    if output is None and not args.smoke:
+        output = Path(__file__).resolve().parents[1] / "BENCH_oracle.json"
+    if output is not None:
+        output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {output}")
+
+    if args.require_speedup:
+        gated = report["headline"]["session_speedup"]
+        if gated < args.threshold:
+            print(
+                f"FAIL: session speedup {gated:.2f}x below the "
+                f"{args.threshold:.2f}x gate",
+                file=sys.stderr,
+            )
+            raise SystemExit(1)
+        print(f"speedup gate met: {gated:.2f}x >= {args.threshold:.2f}x")
+
+
+# -- pytest entry points (equivalence coverage in CI) -------------------------
+
+
+def _smoke_cfg() -> ExperimentConfig:
+    horizon = int(os.environ.get("REPRO_BENCH_HORIZON", "60"))
+    return ExperimentConfig.small(horizon=horizon)
+
+
+def test_warm_cold_equivalence():
+    check_equivalence(_smoke_cfg())
+
+
+def test_session_bit_identical_smoke():
+    out = ab_session(_smoke_cfg().with_overrides(horizon=30), repeats=1)
+    assert out["bit_identical"]
+    assert out["runs"] == 7
+
+
+def test_repeat_run_replays():
+    out = ab_repeat(_smoke_cfg().with_overrides(horizon=30))
+    assert out["replay_s"] >= 0.0
+
+
+if __name__ == "__main__":
+    main()

@@ -15,13 +15,14 @@ from __future__ import annotations
 import argparse
 import time
 
+from repro import api
 from repro.experiments.figures import (
     fig2_violations,
     fig2a_cumulative_reward,
     performance_ratio_table,
 )
 from repro.experiments.io import save_results
-from repro.experiments.runner import DEFAULT_POLICIES, ExperimentConfig, run_experiment
+from repro.experiments.runner import DEFAULT_POLICIES
 from repro.metrics.violations import per_slot_violation_rate
 
 
@@ -32,10 +33,10 @@ def main() -> None:
     parser.add_argument("--out", default="results/paper_scale")
     args = parser.parse_args()
 
-    cfg = ExperimentConfig.paper(horizon=args.horizon)
     print(f"Running {len(DEFAULT_POLICIES)} policies at paper scale, T={args.horizon} ...")
     t0 = time.time()
-    results = run_experiment(cfg, DEFAULT_POLICIES, workers=args.workers)
+    run = api.run(scale="paper", horizon=args.horizon, workers=args.workers)
+    cfg, results = run.config, run.results
     print(f"done in {time.time() - t0:.0f}s\n")
 
     print("[Fig 2a] cumulative compound reward")

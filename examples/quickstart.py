@@ -1,8 +1,9 @@
 """Quickstart: run LFSC against the baselines on a small instance.
 
-Builds the paper's simulation environment at a laptop-friendly scale,
-runs Oracle / LFSC / vUCB / FML / Random on the same workload, and prints
-the summary table (total reward, violations, performance ratio).
+Builds the paper's simulation environment at a laptop-friendly scale via
+the stable :mod:`repro.api` facade, runs Oracle / LFSC / vUCB / FML /
+Random on the same workload, and prints the summary table (total reward,
+violations, performance ratio).
 
 Usage:
     python examples/quickstart.py
@@ -10,36 +11,30 @@ Usage:
 
 from __future__ import annotations
 
-from repro import (
-    DEFAULT_POLICIES,
-    ExperimentConfig,
-    comparison_rows,
-    format_table,
-    run_experiment,
-)
+from repro import api
 from repro.metrics import early_violation_ratio
 
 
 def main() -> None:
     # A scaled-down instance preserving the paper's constraint ratios
-    # (alpha/c = 0.75, beta/(c·E[q]) = 0.9); see ExperimentConfig.paper()
-    # for the published scale.
-    cfg = ExperimentConfig.small(horizon=1000)
+    # (alpha/c = 0.75, beta/(c·E[q]) = 0.9); pass scale="paper" for the
+    # published scale.
+    result = api.run(scale="small", horizon=1000, workers=0)
+    cfg = result.config
     print(
-        f"Simulating {cfg.num_scns} SCNs, capacity c={cfg.capacity}, "
-        f"alpha={cfg.alpha}, beta={cfg.beta}, T={cfg.horizon} slots ..."
+        f"Simulated {cfg.num_scns} SCNs, capacity c={cfg.capacity}, "
+        f"alpha={cfg.alpha}, beta={cfg.beta}, T={cfg.horizon} slots."
     )
-    results = run_experiment(cfg, DEFAULT_POLICIES, workers=0)
 
     print("\nSummary (paper Fig. 2 headline numbers):")
-    print(format_table(comparison_rows(results)))
+    print(result.table())
 
     print("\nEarly-stage violation ratios (paper §5: LFSC ≈ 30%/32%/20%):")
     for other in ("vUCB", "FML", "Random"):
-        ratio = early_violation_ratio(results["LFSC"], results[other])
+        ratio = early_violation_ratio(result["LFSC"], result[other])
         print(f"  LFSC / {other:7s} = {ratio:.2f}")
 
-    lfsc, oracle = results["LFSC"], results["Oracle"]
+    lfsc, oracle = result["LFSC"], result["Oracle"]
     print(
         f"\nLFSC cumulative reward reaches "
         f"{lfsc.total_reward / oracle.total_reward:.1%} of the Oracle."

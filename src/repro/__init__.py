@@ -9,12 +9,16 @@ paper-vs-measured results.
 
 Quickstart
 ----------
->>> from repro import ExperimentConfig, run_experiment, comparison_rows, format_table
->>> cfg = ExperimentConfig.small(horizon=200)
->>> results = run_experiment(cfg, ("Oracle", "LFSC", "Random"))
->>> print(format_table(comparison_rows(results)))  # doctest: +SKIP
+>>> from repro import api
+>>> result = api.run(scale="small", horizon=200, policies=("Oracle", "LFSC", "Random"))
+>>> print(result.table())  # doctest: +SKIP
+
+:mod:`repro.api` is the stable facade (``run`` / ``replicate`` /
+``compare``); the underlying building blocks below remain importable
+directly.
 """
 
+from repro import api
 from repro.core import (
     ContextPartition,
     LFSCConfig,
@@ -54,6 +58,7 @@ from repro.metrics import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
     "ContextPartition",
     "LFSCConfig",
     "LFSCPolicy",

@@ -1,0 +1,269 @@
+"""Stable high-level entry points: ``run``, ``replicate``, ``compare``.
+
+The building blocks (:class:`~repro.experiments.runner.ExperimentConfig`,
+:func:`~repro.experiments.runner.run_experiment`, the metrics helpers) stay
+importable forever, but stitching them together for the common questions —
+"run the line-up", "is the ordering seed-robust", "how close is LFSC to the
+Oracle" — takes boilerplate that every script used to repeat.  This module
+is the supported facade over that boilerplate:
+
+>>> from repro import api
+>>> result = api.run(scale="small", horizon=300)
+>>> print(result.table())                               # doctest: +SKIP
+>>> rep = api.replicate(scale="small", horizon=200, seeds=3)
+>>> comp = api.compare("LFSC", "Oracle", scale="small", horizon=300)
+
+Each function accepts either a ready :class:`ExperimentConfig` (positional
+or ``config=``) or a ``scale`` preset name plus keyword overrides, and
+returns a typed result object carrying the resolved config, the raw
+per-policy results, and ``rows()``/``table()`` renderers.  The facade adds
+no behaviour of its own — results are bit-identical to calling the
+underlying functions directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.env.simulator import SimulationResult
+from repro.experiments.replication import (
+    ReplicatedSummary,
+    replicate as _replicate_summaries,
+    replication_rows,
+    replication_seed_list,
+)
+from repro.experiments.runner import (
+    DEFAULT_POLICIES,
+    ExperimentConfig,
+    run_experiment,
+)
+from repro.metrics import comparison_rows, format_table
+from repro.metrics.violations import early_violation_ratio
+
+__all__ = [
+    "ComparisonResult",
+    "ReplicationResult",
+    "RunResult",
+    "compare",
+    "replicate",
+    "run",
+]
+
+_SCALES = {
+    "paper": ExperimentConfig.paper,
+    "small": ExperimentConfig.small,
+    "tiny": ExperimentConfig.tiny,
+}
+
+
+def _resolve_config(
+    config: ExperimentConfig | None, scale: str, overrides: Mapping[str, object]
+) -> ExperimentConfig:
+    """An explicit config (plus optional overrides), or a preset by name."""
+    if config is not None:
+        return config.with_overrides(**overrides) if overrides else config
+    try:
+        preset = _SCALES[scale]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {scale!r}; expected one of {sorted(_SCALES)}"
+        ) from None
+    return preset(**overrides)
+
+
+# ---------------------------------------------------------------------------
+# Result objects.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """One experiment run: the resolved config and the per-policy results.
+
+    Mapping-style access returns the underlying
+    :class:`~repro.env.simulator.SimulationResult` per policy.
+    """
+
+    config: ExperimentConfig
+    results: dict[str, SimulationResult]
+
+    @property
+    def policies(self) -> tuple[str, ...]:
+        return tuple(self.results)
+
+    def __getitem__(self, policy: str) -> SimulationResult:
+        return self.results[policy]
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def rows(self) -> list[dict[str, float | str]]:
+        """The paper's comparison rows (reward, violations, ratio)."""
+        return comparison_rows(self.results)
+
+    def table(self, *, precision: int = 2) -> str:
+        """The comparison table as rendered by ``repro run``."""
+        return format_table(self.rows(), precision=precision)
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Per-policy scalar summaries (see ``SimulationResult.summary``)."""
+        return {name: res.summary() for name, res in self.results.items()}
+
+
+@dataclass(frozen=True)
+class ReplicationResult:
+    """A multi-seed replication: aggregates of every summary metric.
+
+    ``summaries[policy][metric]`` is a
+    :class:`~repro.experiments.replication.ReplicatedSummary` (mean, std,
+    confidence interval, n).
+    """
+
+    config: ExperimentConfig
+    seeds: tuple[int, ...]
+    confidence: float
+    summaries: dict[str, dict[str, ReplicatedSummary]]
+
+    @property
+    def policies(self) -> tuple[str, ...]:
+        return tuple(self.summaries)
+
+    def __getitem__(self, policy: str) -> dict[str, ReplicatedSummary]:
+        return self.summaries[policy]
+
+    def rows(
+        self,
+        *,
+        metrics: Sequence[str] = ("total_reward", "total_violations", "performance_ratio"),
+        precision: int = 1,
+    ) -> list[dict[str, str]]:
+        """Table rows with ``mean ± ci`` strings."""
+        return replication_rows(self.summaries, metrics=metrics, precision=precision)
+
+    def table(self, *, precision: int = 1) -> str:
+        return format_table(self.rows(precision=precision))
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """A head-to-head of one policy against a baseline on shared randomness."""
+
+    config: ExperimentConfig
+    policy: str
+    baseline: str
+    run: RunResult = field(repr=False)
+    #: policy total reward / baseline total reward.
+    reward_ratio: float
+    #: early-stage violation count ratio (paper §5), NaN when undefined.
+    early_violation_ratio: float
+
+    def rows(self) -> list[dict[str, float | str]]:
+        return self.run.rows()
+
+    def table(self, *, precision: int = 2) -> str:
+        return self.run.table(precision=precision)
+
+
+# ---------------------------------------------------------------------------
+# Entry points.
+# ---------------------------------------------------------------------------
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    *,
+    scale: str = "small",
+    workers: int | None = None,
+    transport: str = "auto",
+    **overrides,
+) -> RunResult:
+    """Run the named policies on one shared workload.
+
+    Parameters
+    ----------
+    config:
+        A ready :class:`ExperimentConfig`; when omitted, the ``scale``
+        preset (``"paper"``/``"small"``/``"tiny"``) is built instead.
+        Keyword ``overrides`` (e.g. ``horizon=500``, ``seed=3``,
+        ``alpha=14.0``) apply on top of either.
+    policies:
+        Policy names (default: the paper's Fig. 2 line-up).
+    workers:
+        ``None``/``1`` serial, ``0`` one process per core, ``n`` a pool of n
+        — bit-identical results across all settings.
+    transport:
+        Parallel result transport (``"auto"``/``"shm"``/``"pickle"``).
+    """
+    cfg = _resolve_config(config, scale, overrides)
+    results = run_experiment(cfg, policies, workers=workers, transport=transport)
+    return RunResult(config=cfg, results=results)
+
+
+def replicate(
+    config: ExperimentConfig | None = None,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    *,
+    scale: str = "small",
+    seeds: Sequence[int] | int = 5,
+    confidence: float = 0.95,
+    workers: int | None = 0,
+    transport: str = "auto",
+    manifest_dir: str | Path | None = None,
+    **overrides,
+) -> ReplicationResult:
+    """Run the experiment at several seeds and aggregate every summary metric.
+
+    ``seeds`` is either a replication count (seeds derived from
+    ``config.seed`` via the frozen stream contract) or an explicit list.
+    Other parameters follow :func:`run`;
+    ``manifest_dir`` writes the sweep's provenance manifest up front.
+    """
+    cfg = _resolve_config(config, scale, overrides)
+    summaries = _replicate_summaries(
+        cfg,
+        policies,
+        seeds=seeds,
+        confidence=confidence,
+        workers=workers,
+        transport=transport,
+        manifest_dir=manifest_dir,
+    )
+    return ReplicationResult(
+        config=cfg,
+        seeds=tuple(replication_seed_list(cfg.seed, seeds)),
+        confidence=confidence,
+        summaries=summaries,
+    )
+
+
+def compare(
+    policy: str = "LFSC",
+    baseline: str = "Oracle",
+    config: ExperimentConfig | None = None,
+    *,
+    scale: str = "small",
+    workers: int | None = None,
+    **overrides,
+) -> ComparisonResult:
+    """Head-to-head of ``policy`` vs ``baseline`` on identical randomness.
+
+    Returns the reward ratio and the paper's early-stage violation ratio
+    alongside the full :class:`RunResult` of both policies.
+    """
+    cfg = _resolve_config(config, scale, overrides)
+    result = run(cfg, (baseline, policy), workers=workers)
+    base_reward = result[baseline].total_reward
+    ratio = result[policy].total_reward / base_reward if base_reward else float("nan")
+    return ComparisonResult(
+        config=cfg,
+        policy=policy,
+        baseline=baseline,
+        run=result,
+        reward_ratio=float(ratio),
+        early_violation_ratio=float(
+            early_violation_ratio(result[policy], result[baseline])
+        ),
+    )

@@ -35,12 +35,19 @@ from repro.core.greedy import greedy_select
 from repro.env.processes import GroundTruth
 from repro.obs import runtime as obs_runtime
 from repro.env.simulator import Assignment, SlotFeedback, SlotObservation
+from repro.solvers.cache import SlotProblemCache, shared_cache
+from repro.solvers.highs import solve_soft_qos
 from repro.solvers.ilp import solve_two_stage_ilp
 from repro.solvers.lagrangian import solve_dual_decomposition
 from repro.solvers.lp import SlotProblem, solve_lp_relaxation
 from repro.utils.validation import require
 
-__all__ = ["OraclePolicy", "UnconstrainedOraclePolicy", "build_slot_problem"]
+__all__ = [
+    "OraclePolicy",
+    "UnconstrainedOraclePolicy",
+    "build_slot_problem",
+    "build_slot_problem_fast",
+]
 
 
 def build_slot_problem(
@@ -65,6 +72,55 @@ def build_slot_problem(
         q=mu_q[edge_scn, edge_task],
         num_scns=slot.num_scns,
         num_tasks=len(slot.tasks),
+        capacity=capacity,
+        alpha=alpha,
+        beta=beta,
+    )
+
+
+def build_slot_problem_fast(
+    slot: SlotObservation, truth: GroundTruth, capacity: int, alpha: float, beta: float
+) -> SlotProblem:
+    """Assemble the slot problem without dense ``(M, n)`` truth tables.
+
+    Bit-identical to :func:`build_slot_problem` (the pair-wise truth lookups
+    gather the same grid cells with the same arithmetic — test-gated), but
+    evaluates only the E coverage edges instead of the full M×n tables, and
+    reuses a windowed slot's precomputed edge arrays and truth cells when
+    present.  Used by the cached Oracle path; the cold path keeps the dense
+    reference build.
+    """
+    stats_fn = getattr(truth, "slot_pair_stats", None)
+    if stats_fn is None:
+        return build_slot_problem(slot, truth, capacity, alpha, beta)
+    n = len(slot.tasks)
+    edges = getattr(slot, "edges", None)
+    if edges is not None and edges.num_tasks == n:
+        # Windowed slots: coverage was (segment-sorted and) concatenated at
+        # precompute time; the slot's coverage lists alias the same arrays.
+        edge_scn, edge_task = edges.scn, edges.task
+    else:
+        cov_parts = [np.asarray(c, dtype=np.int64) for c in slot.coverage]
+        lengths = np.fromiter(
+            (c.shape[0] for c in cov_parts), dtype=np.int64, count=len(cov_parts)
+        )
+        edge_scn = np.repeat(np.arange(len(cov_parts), dtype=np.int64), lengths)
+        edge_task = (
+            np.concatenate(cov_parts) if cov_parts else np.empty(0, np.int64)
+        )
+    truth_cells = getattr(slot, "truth_cells", None)
+    cells = truth_cells[edge_task] if truth_cells is not None else None
+    exp_g, p_v, mu_q = stats_fn(
+        slot.t, slot.tasks.contexts[edge_task], edge_scn, cells=cells
+    )
+    return SlotProblem(
+        edge_scn=edge_scn,
+        edge_task=edge_task,
+        g=exp_g,
+        v=p_v,
+        q=mu_q,
+        num_scns=slot.num_scns,
+        num_tasks=n,
         capacity=capacity,
         alpha=alpha,
         beta=beta,
@@ -127,10 +183,81 @@ def _greedy_round(problem: SlotProblem, x: np.ndarray) -> Assignment:
     )
 
 
-class OraclePolicy(OffloadingPolicy):
-    """Per-slot optimal offloading with full knowledge of the ground truth."""
+def _greedy_round_fast(problem: SlotProblem, x: np.ndarray) -> Assignment:
+    """Vectorized :func:`_greedy_round` — identical output (test-gated).
 
-    def __init__(self, truth: GroundTruth, *, mode: str = "lp") -> None:
+    Exploits the build invariant that ``edge_scn`` is non-decreasing (edges
+    are concatenated per SCN): the per-SCN support scan becomes one bincount
+    split, and the β-pruning row lookup uses a sorted key instead of a
+    Python dict over every support edge.
+    """
+    support = x > 1e-6
+    sup_rows = np.flatnonzero(support)
+    # Split the (ascending) support rows into per-SCN runs.
+    counts = np.bincount(problem.edge_scn[sup_rows], minlength=problem.num_scns)
+    bounds = np.concatenate([[0], np.cumsum(counts)])
+    coverage: list[np.ndarray] = []
+    weights: list[np.ndarray] = []
+    for m in range(problem.num_scns):
+        rows = sup_rows[bounds[m] : bounds[m + 1]]
+        coverage.append(problem.edge_task[rows])
+        weights.append(x[rows])
+    assignment = greedy_select(coverage, weights, problem.capacity, problem.num_tasks)
+    if len(assignment) == 0:
+        return assignment
+
+    # β-pruning per SCN on expected consumption (same order of operations
+    # as the reference; only the edge-row lookup is vectorized).
+    key = problem.edge_scn * np.int64(max(problem.num_tasks, 1)) + problem.edge_task
+    order = np.argsort(key, kind="stable")
+    sorted_key = key[order]
+    keep_scn: list[int] = []
+    keep_task: list[int] = []
+    for m in range(problem.num_scns):
+        tasks = assignment.task[assignment.scn == m]
+        if tasks.size == 0:
+            continue
+        pos = np.searchsorted(sorted_key, m * np.int64(max(problem.num_tasks, 1)) + tasks)
+        rows = order[pos]
+        q = problem.q[rows]
+        g = problem.g[rows]
+        prune = np.argsort(g / np.maximum(q, 1e-12))  # drop worst value-density first
+        total_q = q.sum()
+        drop = set()
+        for j in prune:
+            if total_q <= problem.beta:
+                break
+            drop.add(int(j))
+            total_q -= q[j]
+        for j, task in enumerate(tasks):
+            if j not in drop:
+                keep_scn.append(m)
+                keep_task.append(int(task))
+    return Assignment(
+        scn=np.asarray(keep_scn, dtype=np.int64), task=np.asarray(keep_task, dtype=np.int64)
+    )
+
+
+class OraclePolicy(OffloadingPolicy):
+    """Per-slot optimal offloading with full knowledge of the ground truth.
+
+    ``cache`` activates the solver caching layer (DESIGN.md §8): pass a
+    :class:`~repro.solvers.cache.SlotProblemCache`, the string ``"shared"``
+    for the process-wide instance, or ``None`` (default) for the cold
+    reference path.  The cached path is bit-identical to cold — same
+    assignments slot for slot — it only skips or accelerates work that is a
+    pure function of the slot problem's content.  The simulation driver can
+    also hand a cache down via :meth:`attach_solver_cache` (an explicit
+    constructor argument wins).
+    """
+
+    def __init__(
+        self,
+        truth: GroundTruth,
+        *,
+        mode: str = "lp",
+        cache: SlotProblemCache | str | None = None,
+    ) -> None:
         super().__init__()
         require(
             mode in ("lp", "ilp", "greedy", "dual"), f"unknown oracle mode {mode!r}"
@@ -138,9 +265,21 @@ class OraclePolicy(OffloadingPolicy):
         self.truth = truth
         self.mode = mode
         self.name = "Oracle" if mode == "lp" else f"Oracle-{mode}"
+        if cache == "shared":
+            cache = shared_cache()
+        self.cache = cache
+        self._cache_pinned = cache is not None
+
+    def attach_solver_cache(self, cache: SlotProblemCache) -> None:
+        """Driver handoff (see ``Simulation.solver_cache``); no-op when the
+        policy was constructed with an explicit cache."""
+        if not self._cache_pinned:
+            self.cache = cache
 
     def select(self, slot: SlotObservation) -> Assignment:
         network = self._require_reset()
+        if self.cache is not None:
+            return self._select_cached(slot, network, self.cache)
         with obs_runtime.span("oracle.problem"):
             problem = build_slot_problem(
                 slot, self.truth, network.capacity, network.alpha, network.beta
@@ -162,6 +301,53 @@ class OraclePolicy(OffloadingPolicy):
             # Extremely rare fall-back: behave like the heuristic.
         with obs_runtime.span("oracle.solve"):
             return self._two_pass_greedy(problem)
+
+    def _select_cached(
+        self, slot: SlotObservation, network, cache: SlotProblemCache
+    ) -> Assignment:
+        """The caching/warm-start path — bit-identical to the cold path.
+
+        Per slot: build the problem from the windowed edge arrays (no dense
+        tables), address the cache by content signature, and on a miss solve
+        with the direct HiGHS path, reusing any memoized α-independent
+        pieces (pre-pass achievable vector, ILP stage-1 total).
+        """
+        with obs_runtime.span("oracle.problem"):
+            problem = build_slot_problem_fast(
+                slot, self.truth, network.capacity, network.alpha, network.beta
+            )
+            sig = cache.signature(problem)
+        stored = cache.assignment(sig, problem.alpha, self.mode)
+        if stored is not None:
+            with obs_runtime.span("oracle.cache_hit"):
+                return stored
+        if self.mode == "ilp":
+            with obs_runtime.span("oracle.solve"):
+                stage1 = cache.stage1_completion(sig)
+                sol = solve_two_stage_ilp(problem, stage1_completion=stage1)
+                if sol.stage1_completion is not None:
+                    cache.store_stage1_completion(sig, sol.stage1_completion)
+            assignment = _edges_to_assignment(problem, sol.selected_edges())
+        elif self.mode == "dual":
+            with obs_runtime.span("oracle.solve"):
+                dual = solve_dual_decomposition(problem)
+            assignment = _edges_to_assignment(problem, dual.selected_edges())
+        elif self.mode == "lp":
+            achievable = cache.achievable(sig)
+            with obs_runtime.span("oracle.solve"):
+                sol, achievable = solve_soft_qos(problem, achievable=achievable)
+            cache.store_achievable(sig, achievable)
+            if sol.feasible:
+                with obs_runtime.span("oracle.round"):
+                    assignment = _greedy_round_fast(problem, sol.x)
+            else:
+                with obs_runtime.span("oracle.solve"):
+                    assignment = self._two_pass_greedy(problem)
+        else:  # greedy
+            with obs_runtime.span("oracle.solve"):
+                assignment = self._two_pass_greedy(problem)
+        cache.store_assignment(sig, problem.alpha, self.mode, assignment)
+        return assignment
 
     @staticmethod
     def _two_pass_greedy(problem: SlotProblem) -> Assignment:

@@ -22,15 +22,24 @@ harnesses in :mod:`repro.experiments.figures`) and can render an ASCII chart
 
 Observability (DESIGN.md §7): ``--trace PATH`` records one structured JSONL
 record per slot (``--trace-sample N`` keeps every N-th) without perturbing
-results — trajectories are bit-identical with tracing on or off; ``repro
-trace PATH`` summarizes a recorded file.  Persisted artifacts (``--save``,
-``report``, ``replicate``) emit a ``manifest.json`` capturing config, seeds,
-git SHA, host, and library versions.
+results — trajectories are bit-identical with tracing on or off; a ``.gz``
+suffix gzip-compresses the trace transparently; ``repro trace PATH``
+summarizes a recorded file (compressed or not).  Persisted artifacts
+(``--save``, ``report``, ``replicate``) emit a ``manifest.json`` capturing
+config, seeds, git SHA, host, and library versions.
+
+Every run-type subcommand shares one option group (declared once in
+:func:`_add_run_options`): ``--scale/--horizon/--seed/--workers/--window/
+--engine/--transport/--trace/--trace-sample/--manifest-dir/--no-oracle-cache``
+plus ``--plot/--save``.  The pre-unification spellings (``--trace-path``,
+``--sample-every``, ``--result-transport``) are kept as hidden aliases that
+print a deprecation note.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from pathlib import Path
 from typing import Sequence
 
@@ -74,7 +83,13 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         overrides["seed"] = args.seed
     if getattr(args, "window", None) is not None:
         overrides["window"] = args.window
-    return cfg.with_overrides(**overrides) if overrides else cfg
+    if getattr(args, "no_oracle_cache", False):
+        overrides["oracle_cache"] = False
+    if overrides:
+        cfg = cfg.with_overrides(**overrides)
+    if getattr(args, "engine", None) is not None:
+        cfg = cfg.with_lfsc_overrides(engine=args.engine)
+    return cfg
 
 
 def _emit(out: FigureOutput, args: argparse.Namespace, cfg: ExperimentConfig | None = None) -> None:
@@ -90,13 +105,35 @@ def _emit(out: FigureOutput, args: argparse.Namespace, cfg: ExperimentConfig | N
         print(f"\nsaved raw series: {npz}, {js} (+ manifest)")
 
 
-def build_parser() -> argparse.ArgumentParser:
-    common = argparse.ArgumentParser(add_help=False)
-    common.add_argument("--scale", choices=("small", "paper"), default="small")
-    common.add_argument("--horizon", type=int, default=None)
-    common.add_argument("--seed", type=int, default=None)
-    common.add_argument("--workers", type=int, default=0, help="0 = all CPUs, 1 = serial")
-    common.add_argument(
+class _DeprecatedAlias(argparse.Action):
+    """Hidden alias for a renamed option: forwards to the new spelling."""
+
+    def __init__(self, option_strings, dest, new_option, **kwargs):
+        self.new_option = new_option
+        kwargs["help"] = argparse.SUPPRESS
+        super().__init__(option_strings, dest, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        print(
+            f"note: {option_string} is deprecated, use {self.new_option}",
+            file=sys.stderr,
+        )
+        setattr(namespace, self.dest, values)
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    """The one shared option group every run-type subcommand inherits.
+
+    Declared once so ``run``, the figure harnesses, ``ablations``,
+    ``report``, and ``replicate`` stay option-compatible; the trace
+    subcommand is the only one that opts out (it reads traces, it does not
+    produce them).
+    """
+    parser.add_argument("--scale", choices=("small", "paper"), default="small")
+    parser.add_argument("--horizon", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--workers", type=int, default=0, help="0 = all CPUs, 1 = serial")
+    parser.add_argument(
         "--window",
         type=int,
         default=None,
@@ -105,28 +142,73 @@ def build_parser() -> argparse.ArgumentParser:
         "(0 = per-slot, default = simulator's choice; results are "
         "bit-identical for every W)",
     )
-    common.add_argument("--plot", action="store_true", help="render an ASCII chart")
-    common.add_argument("--save", default=None, help="persist raw series to PATH.{npz,json}")
-    common.add_argument(
+    parser.add_argument(
+        "--engine",
+        choices=("batched", "reference"),
+        default=None,
+        help="LFSC slot-engine implementation (default: the config's choice, "
+        "normally 'batched'; results are bit-identical either way)",
+    )
+    parser.add_argument(
+        "--transport",
+        choices=("auto", "shm", "pickle"),
+        default="auto",
+        help="parallel result transport: shared-memory blocks (auto/shm) "
+        "or the pool's pickle pipe; values are bit-identical either way",
+    )
+    parser.add_argument(
+        "--no-oracle-cache",
+        action="store_true",
+        help="disable the Oracle solver cache (DESIGN.md §8); results are "
+        "bit-identical, only slower",
+    )
+    parser.add_argument("--plot", action="store_true", help="render an ASCII chart")
+    parser.add_argument("--save", default=None, help="persist raw series to PATH.{npz,json}")
+    parser.add_argument(
         "--trace",
         default=None,
         metavar="PATH",
-        help="record a structured JSONL slot trace to PATH (off by default)",
+        help="record a structured JSONL slot trace to PATH (off by default; "
+        "a .gz suffix compresses the file)",
     )
-    common.add_argument(
+    parser.add_argument(
         "--trace-sample",
         type=int,
         default=1,
         metavar="N",
         help="record every N-th slot (default 1 = all slots)",
     )
-    common.add_argument(
+    parser.add_argument(
         "--manifest-dir",
         default=None,
         metavar="DIR",
         help="write DIR/manifest.json with the run's provenance "
         "(replicate defaults to results/)",
     )
+    # Pre-unification spellings, kept as hidden aliases (deprecation note on
+    # use).  One declaration here keeps them consistent everywhere too.
+    parser.add_argument(
+        "--trace-path", dest="trace", action=_DeprecatedAlias, new_option="--trace"
+    )
+    parser.add_argument(
+        "--sample-every",
+        dest="trace_sample",
+        type=int,
+        action=_DeprecatedAlias,
+        new_option="--trace-sample",
+    )
+    parser.add_argument(
+        "--result-transport",
+        dest="transport",
+        choices=("auto", "shm", "pickle"),
+        action=_DeprecatedAlias,
+        new_option="--transport",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    common = argparse.ArgumentParser(add_help=False)
+    _add_run_options(common)
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -215,19 +297,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="explicit seeds (overrides --seeds; used verbatim)",
     )
-    repl_p.add_argument(
-        "--transport",
-        choices=("auto", "shm", "pickle"),
-        default="auto",
-        help="parallel result transport: shared-memory blocks (auto/shm) "
-        "or the pool's pickle pipe; values are bit-identical either way",
-    )
     return parser
 
 
 def _dispatch(args: argparse.Namespace, cfg: ExperimentConfig, workers: int) -> int:
     if args.command == "run":
-        results = run_experiment(cfg, tuple(args.policies), workers=workers)
+        results = run_experiment(
+            cfg, tuple(args.policies), workers=workers, transport=args.transport
+        )
         out = FigureOutput(
             name="run",
             series={n: r.cumulative_reward for n, r in results.items()},
@@ -287,7 +364,9 @@ def _dispatch(args: argparse.Namespace, cfg: ExperimentConfig, workers: int) -> 
         from repro.experiments.report import evaluate_shapes, render_report
         from repro.obs.manifest import build_manifest
 
-        shared = run_experiment(cfg, DEFAULT_POLICIES, workers=workers)
+        shared = run_experiment(
+            cfg, DEFAULT_POLICIES, workers=workers, transport=args.transport
+        )
         outputs = [
             fig2a_cumulative_reward(cfg, results=shared),
             fig2_violations(cfg, results=shared),

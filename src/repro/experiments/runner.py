@@ -83,6 +83,13 @@ class ExperimentConfig:
     seed: int = 0
     truth_seed: int = 7
     oracle_mode: str = "lp"
+    #: Oracle solver caching layer (DESIGN.md §8): when True (default) the
+    #: simulation hands the process-wide content-addressed
+    #: :class:`~repro.solvers.cache.SlotProblemCache` to the Oracle, which
+    #: then skips solver work that repeats across slots, sweep points, and
+    #: runs.  Bit-identical to ``False`` — the cache is keyed on problem
+    #: content, never provenance — just faster.
+    oracle_cache: bool = True
     #: Slot-streaming window for the simulation driver: ``None`` — the
     #: simulator's default (windowed when eligible, see
     #: ``repro.env.simulator.DEFAULT_WINDOW``); ``0`` — force per-slot;
@@ -93,7 +100,10 @@ class ExperimentConfig:
 
     def __post_init__(self) -> None:
         check_positive("horizon", self.horizon)
-        require(self.oracle_mode in ("lp", "ilp", "greedy"), f"bad oracle_mode {self.oracle_mode!r}")
+        require(
+            self.oracle_mode in ("lp", "ilp", "greedy", "dual"),
+            f"bad oracle_mode {self.oracle_mode!r}",
+        )
 
     # -- presets -------------------------------------------------------------
 
@@ -201,11 +211,14 @@ def build_workload(cfg: ExperimentConfig) -> SyntheticWorkload:
 
 def build_simulation(cfg: ExperimentConfig) -> Simulation:
     """Simulation bound to this config's network, workload, and truth."""
+    from repro.solvers.cache import shared_cache
+
     return Simulation(
         network=cfg.network(),
         workload=build_workload(cfg),
         truth=build_truth(cfg),
         seed=cfg.seed,
+        solver_cache=shared_cache() if cfg.oracle_cache else None,
     )
 
 
@@ -253,6 +266,7 @@ def run_experiment(
     policies: Sequence[str] = DEFAULT_POLICIES,
     *,
     workers: int | None = None,
+    transport: str = "auto",
 ) -> dict[str, SimulationResult]:
     """Run each named policy on identical workload randomness.
 
@@ -264,6 +278,10 @@ def run_experiment(
         are bit-identical across all settings; replication/sweep harnesses
         that fan out one level above keep this ``None`` so process
         parallelism is never nested.
+    transport:
+        Parallel result transport (``"auto"``/``"shm"``/``"pickle"``, see
+        :func:`repro.utils.parallel.parallel_map`); irrelevant for serial
+        runs, bit-identical either way.
 
     Returns
     -------
@@ -274,5 +292,6 @@ def run_experiment(
         [(cfg, name) for name in policies],
         workers=workers,
         label=_policy_label,
+        transport=transport,
     )
     return {name: res for name, res in zip(policies, results)}

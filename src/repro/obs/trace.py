@@ -17,6 +17,7 @@ bit-identical with tracing on or off (``tests/obs/test_equivalence.py``).
 
 from __future__ import annotations
 
+import gzip
 import json
 from pathlib import Path
 from typing import IO, Iterator, Mapping
@@ -71,7 +72,10 @@ class TraceRecorder:
     Parameters
     ----------
     path:
-        Output ``.jsonl`` file (parent directories are created).
+        Output ``.jsonl`` file (parent directories are created).  A ``.gz``
+        suffix (e.g. ``trace.jsonl.gz``) writes gzip-compressed JSONL —
+        same records, roughly an order of magnitude smaller on disk; the
+        readers below auto-detect the compression.
     sample_every:
         Record slot ``t`` iff ``t % sample_every == 0``; 1 records every
         slot.
@@ -120,7 +124,10 @@ class TraceRecorder:
             return
         if self._file is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._file = self.path.open("w")
+            if self.path.suffix == ".gz":
+                self._file = gzip.open(self.path, "wt")
+            else:
+                self._file = self.path.open("w")
         self._file.write("\n".join(self._buffer) + "\n")
         self._file.flush()
         self.records_written += len(self._buffer)
@@ -139,9 +146,19 @@ class TraceRecorder:
         self.close()
 
 
+def _open_trace(path: Path) -> IO[str]:
+    """Open a trace for reading, sniffing gzip by magic bytes (not suffix),
+    so renamed files still load."""
+    with path.open("rb") as probe:
+        magic = probe.read(2)
+    if magic == b"\x1f\x8b":
+        return gzip.open(path, "rt")
+    return path.open()
+
+
 def iter_trace(path: str | Path) -> Iterator[dict]:
-    """Yield records from a JSONL trace file one at a time."""
-    with Path(path).open() as fh:
+    """Yield records from a (possibly gzip-compressed) JSONL trace file."""
+    with _open_trace(Path(path)) as fh:
         for line in fh:
             line = line.strip()
             if line:

@@ -5,16 +5,26 @@
 - :mod:`repro.solvers.ilp` — the exact integer program via
   ``scipy.optimize.milp``, plus a feasibility-aware two-stage variant;
 - :mod:`repro.solvers.matching` — maximum-weight b-matching references used
-  to validate the greedy assignment's (c+1)-approximation empirically.
+  to validate the greedy assignment's (c+1)-approximation empirically;
+- :mod:`repro.solvers.highs` — direct (wrapper-free) HiGHS solves of the
+  soft-QoS slot LP, bit-identical to the ``linprog`` path;
+- :mod:`repro.solvers.cache` — the content-addressed
+  :class:`~repro.solvers.cache.SlotProblemCache` memoizing the Oracle's
+  per-slot solver work (see DESIGN.md §8).
 """
 
-from repro.solvers.lp import SlotProblem, solve_lp_relaxation
+from repro.solvers.lp import SlotProblem, max_achievable_qos, solve_lp_relaxation
 from repro.solvers.ilp import solve_ilp, solve_two_stage_ilp
 from repro.solvers.lagrangian import DualSolution, solve_dual_decomposition
 from repro.solvers.matching import max_weight_b_matching, total_weight
+from repro.solvers.cache import SlotProblemCache, problem_signature, shared_cache
 
 __all__ = [
     "SlotProblem",
+    "SlotProblemCache",
+    "max_achievable_qos",
+    "problem_signature",
+    "shared_cache",
     "solve_lp_relaxation",
     "solve_ilp",
     "solve_two_stage_ilp",

@@ -1,0 +1,202 @@
+"""Content-addressed caching for the Oracle's per-slot solves.
+
+The Oracle re-solves an optimization problem every slot, and large parts of
+that work are *pure functions of the slot problem's content*: the pre-pass
+achievable-QoS vector (α-independent), the ILP's stage-1 completion total
+(α-independent), and the final assignment itself (α-dependent).  A
+:class:`SlotProblemCache` memoizes all three under a blake2b signature of
+the problem arrays, so:
+
+- an α sweep (``fig3``) re-running the Oracle over the same workload skips
+  every pre-pass LP after the first sweep point — the dominant saving
+  behind ``benchmarks/bench_oracle.py``'s ≥2× headline;
+- repeated runs of the same configuration (tests, ``report``, notebook
+  re-evaluation) skip the solves entirely and replay the assignments.
+
+Signature = content address
+---------------------------
+
+The key hashes the problem's **content** — edge arrays, ḡ/v̄/q̄ values, and
+the (M, n, c, β) frame — never its provenance (slot index, seed, truth
+object).  Two consequences:
+
+- *no invalidation rules*: a non-stationary truth (drift, regime switch)
+  produces different ḡ/v̄/q̄ bytes and therefore different keys; stale hits
+  are impossible by construction, and the only eviction policy is an LRU
+  size bound;
+- *cross-run sharing is always sound*: the process-wide
+  :func:`shared_cache` can serve unrelated configs concurrently — a hit
+  means the full problem bytes matched, so the memoized result is exact.
+
+α is deliberately excluded from the base signature (the pre-pass and ILP
+stage 1 don't depend on it) and added back only on the assignment memo.
+
+Interaction with the frozen RNG contract: the cache lives entirely inside
+``OraclePolicy.select`` — it never touches a workload, realization, or
+policy stream, so cached and cold runs draw identical randomness and the
+trajectories are bit-identical (gated by
+``tests/baselines/test_oracle_cache.py`` and the bench's equivalence gate).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from hashlib import blake2b
+from typing import Any
+
+import numpy as np
+
+from repro.obs.metrics import global_registry
+from repro.solvers.lp import SlotProblem
+from repro.utils.validation import check_positive
+
+__all__ = ["SlotProblemCache", "problem_signature", "reset_shared_cache", "shared_cache"]
+
+
+def problem_signature(problem: SlotProblem) -> bytes:
+    """16-byte blake2b content address of a slot problem (α excluded)."""
+    h = blake2b(digest_size=16)
+    h.update(
+        np.asarray(
+            [problem.num_scns, problem.num_tasks, problem.capacity], dtype=np.int64
+        ).tobytes()
+    )
+    h.update(np.float64(problem.beta).tobytes())
+    h.update(problem.edge_scn.tobytes())
+    h.update(problem.edge_task.tobytes())
+    h.update(problem.g.tobytes())
+    h.update(problem.v.tobytes())
+    h.update(problem.q.tobytes())
+    return h.digest()
+
+
+class _LruMemo:
+    """A bounded mapping with LRU eviction and hit/miss counters."""
+
+    __slots__ = ("name", "capacity", "hits", "misses", "_data")
+
+    def __init__(self, name: str, capacity: int) -> None:
+        check_positive(f"{name} capacity", capacity)
+        self.name = name
+        self.capacity = int(capacity)
+        self.hits = 0
+        self.misses = 0
+        self._data: OrderedDict[Any, Any] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: Any) -> Any | None:
+        entry = self._data.get(key)
+        if entry is None:
+            self.misses += 1
+            global_registry().counter(f"oracle.cache.{self.name}.miss").inc()
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        global_registry().counter(f"oracle.cache.{self.name}.hit").inc()
+        return entry
+
+    def put(self, key: Any, value: Any) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        if len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+class SlotProblemCache:
+    """Memoizes the Oracle's solver work by problem-content signature.
+
+    Three memos, all keyed on :func:`problem_signature`:
+
+    ``achievable``
+        The soft-QoS pre-pass output (per-SCN achievable completion,
+        α-independent) — lets the main LP run without the pre-pass solve.
+    ``stage1``
+        The two-stage ILP's stage-1 completion total (α-independent).
+    ``assignment``
+        The final :class:`~repro.env.simulator.Assignment` per
+        ``(signature, α, mode)`` — exact replay on full repeats.
+
+    Default bounds hold a full paper horizon (T=10,000) of achievable
+    vectors (~300 bytes each) while keeping the larger assignment payloads
+    on a tighter leash; both are constructor knobs.  Hit/miss counts are
+    kept per memo and mirrored into the metrics registry as
+    ``oracle.cache.<memo>.{hit,miss}`` counters.
+    """
+
+    def __init__(
+        self,
+        *,
+        achievable_entries: int = 16384,
+        assignment_entries: int = 4096,
+    ) -> None:
+        self._achievable = _LruMemo("achievable", achievable_entries)
+        self._stage1 = _LruMemo("stage1", achievable_entries)
+        self._assignment = _LruMemo("assignment", assignment_entries)
+
+    # -- signatures ----------------------------------------------------------
+
+    signature = staticmethod(problem_signature)
+
+    # -- achievable pre-pass (α-independent) ---------------------------------
+
+    def achievable(self, sig: bytes) -> np.ndarray | None:
+        return self._achievable.get(sig)
+
+    def store_achievable(self, sig: bytes, vector: np.ndarray) -> None:
+        self._achievable.put(sig, vector)
+
+    # -- ILP stage 1 (α-independent) -----------------------------------------
+
+    def stage1_completion(self, sig: bytes) -> float | None:
+        return self._stage1.get(sig)
+
+    def store_stage1_completion(self, sig: bytes, total: float) -> None:
+        self._stage1.put(sig, float(total))
+
+    # -- final assignments (α- and mode-dependent) ---------------------------
+
+    def assignment(self, sig: bytes, alpha: float, mode: str):
+        return self._assignment.get((sig, float(alpha), mode))
+
+    def store_assignment(self, sig: bytes, alpha: float, mode: str, assignment) -> None:
+        self._assignment.put((sig, float(alpha), mode), assignment)
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        """Per-memo hit/miss/size counts (for benches and tests)."""
+        return {
+            memo.name: {"hits": memo.hits, "misses": memo.misses, "size": len(memo)}
+            for memo in (self._achievable, self._stage1, self._assignment)
+        }
+
+    def clear(self) -> None:
+        for memo in (self._achievable, self._stage1, self._assignment):
+            memo.clear()
+
+
+_SHARED: SlotProblemCache | None = None
+
+
+def shared_cache() -> SlotProblemCache:
+    """The process-wide cache instance (what ``oracle_cache=True`` wires up).
+
+    Content addressing makes sharing across configs/truths/seeds sound (see
+    module docstring), and sharing is precisely what lets one sweep point
+    warm the next.  Worker processes each get their own instance.
+    """
+    global _SHARED
+    if _SHARED is None:
+        _SHARED = SlotProblemCache()
+    return _SHARED
+
+
+def reset_shared_cache() -> None:
+    """Drop the process-wide cache (tests and cold benchmark arms)."""
+    global _SHARED
+    _SHARED = None

@@ -37,6 +37,9 @@ class ILPSolution:
     objective: float
     status: str
     feasible: bool
+    #: Stage-1 best completion total (two-stage solves only) — α-independent,
+    #: so callers may memoize it and pass it back via ``stage1_completion=``.
+    stage1_completion: float | None = None
 
     def selected_edges(self) -> np.ndarray:
         """Indices of edges with x = 1."""
@@ -102,23 +105,40 @@ def solve_ilp(problem: SlotProblem, *, enforce_qos: bool = True) -> ILPSolution:
     return _milp(problem, problem.g, qos)
 
 
-def solve_two_stage_ilp(problem: SlotProblem) -> ILPSolution:
+def solve_two_stage_ilp(
+    problem: SlotProblem, *, stage1_completion: float | None = None
+) -> ILPSolution:
     """Reward-optimal among minimum-QoS-violation integral assignments.
 
     Stage 1 maximizes total expected completion Σ v̄ x under (1a)/(1b)/(1d),
     establishing the best achievable completion total V*.  Stage 2 maximizes
     Σ ḡ x with the additional floor Σ v̄ x ≥ min(M·α, V*) − ε.  When α is
     achievable the result coincides with :func:`solve_ilp`.
+
+    ``stage1_completion`` injects a previously computed V* — it depends only
+    on the problem content, not on α, so the Oracle cache can warm-start a
+    repeat solve past the stage-1 MILP (the result is identical because
+    stage 2 only sees V* through the completion floor).
     """
     if problem.num_edges == 0:
         return ILPSolution(x=np.empty(0), objective=0.0, status="empty", feasible=True)
-    stage1 = _milp(problem, problem.v, qos_levels=None)
-    require(stage1.feasible, f"stage-1 ILP unexpectedly infeasible: {stage1.status}")
-    best_completion = float(problem.v @ stage1.x)
+    if stage1_completion is None:
+        stage1 = _milp(problem, problem.v, qos_levels=None)
+        require(stage1.feasible, f"stage-1 ILP unexpectedly infeasible: {stage1.status}")
+        best_completion = float(problem.v @ stage1.x)
+    else:
+        best_completion = float(stage1_completion)
     target = min(problem.num_scns * problem.alpha, best_completion)
-    return _milp(
+    stage2 = _milp(
         problem,
         problem.g,
         qos_levels=None,
         extra_completion_floor=target - 1e-6,
+    )
+    return ILPSolution(
+        x=stage2.x,
+        objective=stage2.objective,
+        status=stage2.status,
+        feasible=stage2.feasible,
+        stage1_completion=best_completion,
     )

@@ -88,6 +88,8 @@ def solve_dual_decomposition(
     step: float = 0.1,
     penalty: float = 2.0,
     lambda_max: float = 20.0,
+    initial_lambda_qos: np.ndarray | None = None,
+    initial_lambda_resource: np.ndarray | None = None,
 ) -> DualSolution:
     """Subgradient dual decomposition; returns the best penalized iterate.
 
@@ -103,6 +105,14 @@ def solve_dual_decomposition(
         2 × the max compound reward works well.
     lambda_max:
         Projection bound for the duals.
+    initial_lambda_qos, initial_lambda_resource:
+        Warm-start multipliers (e.g. the previous slot's
+        ``DualSolution.lambda_qos/.lambda_resource``).  Subgradient ascent
+        from a warmer point typically reaches a better penalized iterate in
+        fewer rounds, but the trajectory *differs* from a cold start — the
+        Oracle's default cached path therefore never passes these (its
+        contract is bit-identity); they are an explicit opt-in for callers
+        trading exact reproducibility for convergence speed.
     """
     check_positive("iterations", iterations)
     check_positive("step", step)
@@ -118,8 +128,14 @@ def solve_dual_decomposition(
             lambda_resource=np.zeros(problem.num_scns),
             iterations=0,
         )
-    lam1 = np.zeros(problem.num_scns)
-    lam2 = np.zeros(problem.num_scns)
+    if initial_lambda_qos is None:
+        lam1 = np.zeros(problem.num_scns)
+    else:
+        lam1 = np.clip(np.asarray(initial_lambda_qos, dtype=float), 0.0, lambda_max)
+    if initial_lambda_resource is None:
+        lam2 = np.zeros(problem.num_scns)
+    else:
+        lam2 = np.clip(np.asarray(initial_lambda_resource, dtype=float), 0.0, lambda_max)
     best_x = np.zeros(E)
     best_value = -np.inf
     for k in range(1, iterations + 1):

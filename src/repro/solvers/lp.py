@@ -34,7 +34,7 @@ from scipy.optimize import linprog
 
 from repro.utils.validation import check_positive, require
 
-__all__ = ["SlotProblem", "LPSolution", "solve_lp_relaxation"]
+__all__ = ["SlotProblem", "LPSolution", "max_achievable_qos", "solve_lp_relaxation"]
 
 
 @dataclass(frozen=True)
@@ -108,13 +108,18 @@ class LPSolution:
     feasible: bool
 
 
-def _max_achievable_qos(problem: SlotProblem) -> np.ndarray:
+def max_achievable_qos(problem: SlotProblem) -> np.ndarray:
     """Per-SCN best achievable expected completion under (1a), (1b), (1d).
 
     Solves max Σ v̄ x over the same polytope without (1c); the per-SCN
     completion totals of the optimum are the levels an oracle could commit
     to.  A single LP gives a *joint* achievable vector (maximizing the sum),
     which is the natural minimum-total-violation reference.
+
+    The vector is a pure function of the problem *content* and independent
+    of α — which is what makes it cacheable across an α sweep (see
+    :mod:`repro.solvers.cache`); :func:`solve_lp_relaxation` accepts it back
+    through ``achievable=`` to skip this pre-pass.
     """
     A_cap, A_uni, _, A_res = problem.constraint_matrices()
     E = problem.num_edges
@@ -141,10 +146,22 @@ def _max_achievable_qos(problem: SlotProblem) -> np.ndarray:
     return completed
 
 
+#: Backwards-compatible alias (pre-cache name).
+_max_achievable_qos = max_achievable_qos
+
+
 def solve_lp_relaxation(
-    problem: SlotProblem, *, qos_mode: str = "soft"
+    problem: SlotProblem,
+    *,
+    qos_mode: str = "soft",
+    achievable: np.ndarray | None = None,
 ) -> LPSolution:
-    """Solve the relaxed problem (1); see module docstring for ``qos_mode``."""
+    """Solve the relaxed problem (1); see module docstring for ``qos_mode``.
+
+    ``achievable`` (soft mode only) injects a pre-computed
+    :func:`max_achievable_qos` vector, skipping the pre-pass LP — the
+    solution is bit-identical since the pre-pass is deterministic.
+    """
     require(qos_mode in ("soft", "hard", "ignore"), f"unknown qos_mode {qos_mode!r}")
     E = problem.num_edges
     if E == 0:
@@ -162,7 +179,8 @@ def solve_lp_relaxation(
     elif qos_mode == "hard":
         qos_levels = np.full(problem.num_scns, problem.alpha)
     else:  # soft
-        achievable = _max_achievable_qos(problem)
+        if achievable is None:
+            achievable = max_achievable_qos(problem)
         # Tiny slack guards against requiring the unique v-optimal vertex.
         qos_levels = np.minimum(problem.alpha, achievable * (1.0 - 1e-9))
 

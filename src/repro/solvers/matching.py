@@ -41,8 +41,7 @@ def max_weight_b_matching(
     for m, (tasks, w) in enumerate(zip(coverage, weights_per_scn)):
         tasks = np.asarray(tasks, dtype=np.int64)
         w = np.asarray(w, dtype=float)
-        for r in range(capacity):
-            big[m * capacity + r, tasks] = w
+        big[m * capacity : (m + 1) * capacity, tasks] = w
     # linear_sum_assignment needs finite entries; shift -inf to a large
     # negative so those pairs are never chosen over real edges, and allow
     # leaving slots unmatched by padding virtual zero-weight tasks.

@@ -1,0 +1,37 @@
+"""Regenerate the Oracle per-mode golden trajectories (tiny fixture).
+
+Run only when a solver change intentionally moves the Oracle's decisions::
+
+    PYTHONPATH=src:. python tests/baselines/regen_oracle_golden.py
+
+and review the diff of ``golden/oracle_modes.json`` before committing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments.runner import ExperimentConfig, build_simulation, make_policy
+
+MODES = ("lp", "greedy", "dual")
+OUT = Path(__file__).parent / "golden" / "oracle_modes.json"
+
+
+def main() -> None:
+    golden: dict[str, dict] = {}
+    for mode in MODES:
+        cfg = ExperimentConfig.tiny(horizon=25, oracle_mode=mode, oracle_cache=False)
+        sim = build_simulation(cfg)
+        res = sim.run(make_policy("Oracle", cfg, sim.truth), 25)
+        golden[mode] = {
+            "accepted": res.accepted.astype(int).tolist(),
+            "total_reward": float(res.reward.sum()),
+        }
+    OUT.parent.mkdir(parents=True, exist_ok=True)
+    OUT.write_text(json.dumps(golden, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {OUT}")
+
+
+if __name__ == "__main__":
+    main()

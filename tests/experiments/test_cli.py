@@ -240,3 +240,73 @@ class TestObservabilityCommands:
         self._run_with_trace(tmp_path)
         traced = capsys.readouterr().out
         assert plain.splitlines()[:3] == traced.splitlines()[:3]
+
+
+class TestUnifiedOptions:
+    """The shared option group (declared once) and its deprecated aliases."""
+
+    RUN_COMMANDS = ("run", "fig2a", "fig2b", "fig2-violations", "ratio",
+                    "fig3", "fig4", "ablations", "report", "replicate")
+
+    def test_every_run_subcommand_shares_the_group(self):
+        parser = build_parser()
+        for command in self.RUN_COMMANDS:
+            args = parser.parse_args([command])
+            for dest in ("window", "engine", "transport", "trace",
+                         "trace_sample", "manifest_dir", "no_oracle_cache"):
+                assert hasattr(args, dest), f"{command} lacks --{dest}"
+
+    def test_trace_subcommand_opts_out(self):
+        args = build_parser().parse_args(["trace", "x.jsonl"])
+        assert not hasattr(args, "window")
+
+    def test_engine_flows_into_config(self):
+        from repro.cli import _config_from_args
+
+        args = build_parser().parse_args(["run", "--engine", "reference"])
+        assert _config_from_args(args).lfsc_config().engine == "reference"
+
+    def test_no_oracle_cache_flows_into_config(self):
+        from repro.cli import _config_from_args
+
+        args = build_parser().parse_args(["run", "--no-oracle-cache"])
+        assert _config_from_args(args).oracle_cache is False
+        args = build_parser().parse_args(["run"])
+        assert _config_from_args(args).oracle_cache is True
+
+    def test_deprecated_aliases_forward_with_note(self, capsys):
+        args = build_parser().parse_args(
+            ["run", "--trace-path", "t.jsonl", "--sample-every", "3",
+             "--result-transport", "pickle"]
+        )
+        err = capsys.readouterr().err
+        assert args.trace == "t.jsonl"
+        assert args.trace_sample == 3
+        assert args.transport == "pickle"
+        for note in ("--trace-path", "--sample-every", "--result-transport"):
+            assert f"{note} is deprecated" in err
+
+    def test_aliases_hidden_from_help(self):
+        import io
+        from contextlib import redirect_stdout
+
+        buf = io.StringIO()
+        with redirect_stdout(buf), pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--help"])
+        text = buf.getvalue()
+        assert "--trace-path" not in text
+        assert "--result-transport" not in text
+        assert "--trace" in text and "--transport" in text
+
+    def test_gz_trace_via_cli(self, capsys, tmp_path):
+        from repro.obs.trace import read_trace
+
+        trace = tmp_path / "trace.jsonl.gz"
+        rc = main(
+            ["run", "--horizon", "8", "--workers", "1", "--policies", "Random",
+             "--trace", str(trace)]
+        )
+        assert rc == 0
+        with trace.open("rb") as fh:
+            assert fh.read(2) == b"\x1f\x8b"
+        assert [r["t"] for r in read_trace(trace)] == list(range(8))

@@ -14,6 +14,7 @@ import pytest
 from repro.experiments.runner import ExperimentConfig, build_simulation, make_policy
 from repro.obs import observe
 from repro.obs.metrics import MetricsRegistry
+from repro.solvers.cache import reset_shared_cache
 
 HORIZON = 12
 
@@ -28,6 +29,10 @@ EXPECTED_SPANS = {
 
 
 def _run(name, registry=None):
+    # The Oracle's solver cache is shared process-wide; a warm entry left by
+    # another test would turn a solve into a cache hit (span.oracle.cache_hit
+    # instead of span.oracle.solve/round), so start every run cold.
+    reset_shared_cache()
     cfg = ExperimentConfig.tiny(horizon=HORIZON)
     sim = build_simulation(cfg)
     policy = make_policy(name, cfg, sim.truth)

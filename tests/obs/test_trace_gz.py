@@ -1,0 +1,57 @@
+"""Gzip-compressed traces: suffix-driven writing, magic-byte reading."""
+
+import gzip
+
+from repro.obs.trace import TraceRecorder, iter_trace, read_trace
+from tests.obs.test_trace import _record
+
+
+class TestGzipRoundTrip:
+    def test_10k_slot_sampled_round_trip(self, tmp_path):
+        """A 10k-slot horizon sampled every 7th slot survives a gz round trip."""
+        path = tmp_path / "trace.jsonl.gz"
+        written = []
+        with TraceRecorder(path, sample_every=7, flush_every=64) as rec:
+            for t in range(10_000):
+                if rec.want(t):
+                    record = _record(t=t, reward=float(t) * 0.25)
+                    rec.record(record)
+                    written.append(record)
+        assert len(written) == 1429  # ceil(10_000 / 7)
+        assert rec.records_written == len(written)
+        assert read_trace(path) == written
+
+    def test_file_is_actually_gzip(self, tmp_path):
+        path = tmp_path / "t.jsonl.gz"
+        with TraceRecorder(path) as rec:
+            rec.record(_record())
+        with path.open("rb") as fh:
+            assert fh.read(2) == b"\x1f\x8b"
+        with gzip.open(path, "rt") as fh:
+            assert fh.read().count("\n") == 1
+
+    def test_plain_suffix_stays_uncompressed(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with TraceRecorder(path) as rec:
+            rec.record(_record())
+        assert path.read_text().startswith("{")
+
+    def test_reader_sniffs_magic_not_suffix(self, tmp_path):
+        """A renamed .gz file (no suffix) still loads via magic-byte detection."""
+        gz = tmp_path / "t.jsonl.gz"
+        with TraceRecorder(gz) as rec:
+            rec.record(_record(t=0))
+            rec.record(_record(t=1))
+        renamed = tmp_path / "t.jsonl"
+        gz.rename(renamed)
+        assert [r["t"] for r in iter_trace(renamed)] == [0, 1]
+
+    def test_smaller_than_plain(self, tmp_path):
+        plain, gz = tmp_path / "a.jsonl", tmp_path / "a.jsonl.gz"
+        records = [_record(t=t) for t in range(0, 2000)]
+        with TraceRecorder(plain) as rec_a, TraceRecorder(gz) as rec_b:
+            for r in records:
+                rec_a.record(r)
+                rec_b.record(r)
+        assert gz.stat().st_size < plain.stat().st_size / 5
+        assert read_trace(gz) == read_trace(plain)

@@ -1,0 +1,101 @@
+"""Tests for the content-addressed Oracle solver cache."""
+
+import numpy as np
+import pytest
+
+from repro.solvers.cache import (
+    SlotProblemCache,
+    problem_signature,
+    reset_shared_cache,
+    shared_cache,
+)
+from tests.solvers.test_highs_direct import random_problem
+
+
+class TestSignature:
+    def test_stable_across_calls(self, rng):
+        p = random_problem(rng)
+        assert problem_signature(p) == problem_signature(p)
+
+    def test_distinct_content_distinct_signature(self, rng):
+        p = random_problem(rng)
+        bumped = random_problem(rng)
+        assert problem_signature(p) != problem_signature(bumped)
+
+    def test_alpha_excluded(self):
+        """The base signature must be shared across an α sweep."""
+        p2 = random_problem(np.random.default_rng(99), alpha=1.0)
+        p3 = random_problem(np.random.default_rng(99), alpha=7.0)
+        assert problem_signature(p2) == problem_signature(p3)
+
+    def test_beta_included(self, rng):
+        p2 = random_problem(np.random.default_rng(5), beta=4.5)
+        p3 = random_problem(np.random.default_rng(5), beta=9.0)
+        assert problem_signature(p2) != problem_signature(p3)
+
+    def test_value_perturbation_changes_signature(self, rng):
+        import dataclasses
+
+        p = random_problem(rng)
+        g2 = p.g.copy()
+        g2[0] = np.nextafter(g2[0], 1.0)
+        bumped = dataclasses.replace(p, g=g2)
+        assert problem_signature(p) != problem_signature(bumped)
+
+
+class TestMemos:
+    def test_achievable_roundtrip(self, rng):
+        cache = SlotProblemCache()
+        sig = problem_signature(random_problem(rng))
+        assert cache.achievable(sig) is None
+        vec = np.arange(5, dtype=float)
+        cache.store_achievable(sig, vec)
+        np.testing.assert_array_equal(cache.achievable(sig), vec)
+
+    def test_assignment_keyed_by_alpha_and_mode(self, rng):
+        cache = SlotProblemCache()
+        sig = problem_signature(random_problem(rng))
+        cache.store_assignment(sig, 1.5, "lp", "payload")
+        assert cache.assignment(sig, 1.5, "lp") == "payload"
+        assert cache.assignment(sig, 2.0, "lp") is None
+        assert cache.assignment(sig, 1.5, "greedy") is None
+
+    def test_lru_bound_holds(self):
+        cache = SlotProblemCache(achievable_entries=4)
+        for k in range(10):
+            cache.store_achievable(bytes([k]), np.zeros(1))
+        assert cache.stats()["achievable"]["size"] == 4
+        # Oldest entries are the evicted ones.
+        assert cache.achievable(bytes([0])) is None
+        assert cache.achievable(bytes([9])) is not None
+
+    def test_stats_count_hits_and_misses(self, rng):
+        cache = SlotProblemCache()
+        sig = problem_signature(random_problem(rng))
+        cache.achievable(sig)
+        cache.store_achievable(sig, np.zeros(1))
+        cache.achievable(sig)
+        stats = cache.stats()["achievable"]
+        assert stats == {"hits": 1, "misses": 1, "size": 1}
+
+    def test_clear_empties_every_memo(self, rng):
+        cache = SlotProblemCache()
+        sig = problem_signature(random_problem(rng))
+        cache.store_achievable(sig, np.zeros(1))
+        cache.store_stage1_completion(sig, 3.0)
+        cache.store_assignment(sig, 1.0, "lp", "x")
+        cache.clear()
+        assert all(entry["size"] == 0 for entry in cache.stats().values())
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            SlotProblemCache(achievable_entries=0)
+
+
+class TestSharedCache:
+    def test_singleton_until_reset(self):
+        reset_shared_cache()
+        a = shared_cache()
+        assert shared_cache() is a
+        reset_shared_cache()
+        assert shared_cache() is not a

@@ -1,0 +1,111 @@
+"""Direct-HiGHS soft-QoS solves must be bit-identical to the linprog path."""
+
+import numpy as np
+import pytest
+from scipy.sparse import csc_matrix, vstack
+
+from repro.solvers.highs import (
+    HAVE_DIRECT_HIGHS,
+    SoftQosModel,
+    solve_soft_qos,
+)
+from repro.solvers.lp import SlotProblem, max_achievable_qos, solve_lp_relaxation
+
+
+def random_problem(rng: np.random.Generator, num_scns=5, num_tasks=12, **kw) -> SlotProblem:
+    """A random per-SCN coverage problem with the simulator's edge ordering
+    (edge_scn non-decreasing, tasks sorted within each SCN segment)."""
+    scn_parts, task_parts = [], []
+    for m in range(num_scns):
+        k = int(rng.integers(2, num_tasks))
+        cov = np.sort(rng.choice(num_tasks, size=k, replace=False))
+        scn_parts.append(np.full(k, m, dtype=np.int64))
+        task_parts.append(cov.astype(np.int64))
+    edge_scn = np.concatenate(scn_parts)
+    edge_task = np.concatenate(task_parts)
+    E = edge_scn.size
+    params = dict(
+        edge_scn=edge_scn,
+        edge_task=edge_task,
+        g=rng.random(E),
+        v=rng.random(E),
+        q=1.0 + rng.random(E),
+        num_scns=num_scns,
+        num_tasks=num_tasks,
+        capacity=3,
+        alpha=1.5,
+        beta=4.5,
+    )
+    params.update(kw)
+    return SlotProblem(**params)
+
+
+class TestBitIdentity:
+    def test_matches_linprog_exactly(self, rng):
+        for trial in range(20):
+            p = random_problem(rng, alpha=float(rng.uniform(0.5, 3.0)))
+            cold = solve_lp_relaxation(p, qos_mode="soft")
+            fast, achievable = solve_soft_qos(p)
+            assert fast.feasible == cold.feasible
+            assert fast.status == cold.status
+            np.testing.assert_array_equal(fast.x, cold.x)
+            np.testing.assert_array_equal(fast.qos_levels, cold.qos_levels)
+            assert fast.objective == cold.objective
+
+    def test_injected_achievable_is_bit_identical(self, rng):
+        for trial in range(10):
+            p = random_problem(rng)
+            full, achievable = solve_soft_qos(p)
+            injected, ach2 = solve_soft_qos(p, achievable=achievable)
+            np.testing.assert_array_equal(injected.x, full.x)
+            np.testing.assert_array_equal(ach2, achievable)
+            assert injected.objective == full.objective
+
+    def test_achievable_matches_prepass(self, rng):
+        p = random_problem(rng)
+        _, achievable = solve_soft_qos(p)
+        np.testing.assert_array_equal(achievable, max_achievable_qos(p))
+
+    def test_empty_problem(self):
+        p = SlotProblem(
+            edge_scn=np.empty(0, np.int64),
+            edge_task=np.empty(0, np.int64),
+            g=np.empty(0),
+            v=np.empty(0),
+            q=np.empty(0),
+            num_scns=3,
+            num_tasks=0,
+            capacity=2,
+            alpha=1.0,
+            beta=3.0,
+        )
+        sol, achievable = solve_soft_qos(p)
+        assert sol.feasible and sol.x.size == 0
+        np.testing.assert_array_equal(achievable, np.zeros(3))
+
+
+@pytest.mark.skipif(not HAVE_DIRECT_HIGHS, reason="vendored highspy unavailable")
+class TestModelAssembly:
+    def test_csc_byte_identical_to_scipy_stack(self, rng):
+        for trial in range(5):
+            p = random_problem(rng)
+            model = SoftQosModel(p)
+            A_cap, A_uni, A_qos, A_res = p.constraint_matrices()
+            ref = csc_matrix(vstack([A_cap, A_uni, A_res, -A_qos]))
+            ref.sort_indices()
+            np.testing.assert_array_equal(model.indptr, ref.indptr)
+            np.testing.assert_array_equal(model.indices, ref.indices)
+            np.testing.assert_array_equal(model.data, ref.data)
+
+    def test_row_bounds_layout(self, rng):
+        p = random_problem(rng)
+        model = SoftQosModel(p)
+        M, n = p.num_scns, p.num_tasks
+        assert model.qos_row0 == 2 * M + n
+        assert model.num_rows == 3 * M + n
+        np.testing.assert_array_equal(model.row_upper[:M], np.full(M, float(p.capacity)))
+        np.testing.assert_array_equal(model.row_upper[M : M + n], np.ones(n))
+        np.testing.assert_array_equal(
+            model.row_upper[M + n : model.qos_row0], np.full(M, p.beta)
+        )
+        assert np.all(np.isneginf(model.row_lower))
