@@ -1,0 +1,265 @@
+"""A/B benchmark of cross-replication environment reuse (DESIGN.md §9).
+
+A multi-seed fig3-style sweep replays the same few environments dozens of
+times: every α point, every policy, and every seed repeat re-derives the
+identical workload stream and re-solves Oracle problems that earlier legs
+already solved.  This benchmark times that sweep end-to-end under two arms:
+
+- **baseline** — the pre-§9 behaviour: no shared window cache, no on-disk
+  Oracle memo (the in-memory solver cache still works within the arm, as
+  it always has);
+- **reuse** — the §9 machinery: the process-wide window cache shares each
+  environment's precomputed windows across α points and policies, and the
+  Oracle's solver memos persist in an on-disk cache directory.  Reported
+  twice: with a *cold* disk (first session ever) and a *warm* disk (every
+  later session), each starting from fresh in-memory caches.
+
+Both arms must produce bit-identical per-run trajectories — the benchmark
+aborts otherwise — so the headline (baseline vs warm reuse, gate ≥2x) is a
+pure reordering of identical work.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py                # full A/B
+    PYTHONPATH=src python benchmarks/bench_sweep.py --smoke        # CI smoke
+    PYTHONPATH=src python benchmarks/bench_sweep.py --require-speedup
+    PYTHONPATH=src python -m pytest benchmarks/bench_sweep.py      # equivalence
+
+Results land in ``BENCH_sweep.json`` (see ``--output``).  Arms run serially
+(workers=None) so the comparison times compute, not pool scheduling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.env.window_cache import reset_shared_window_cache, shared_window_cache
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.obs.manifest import build_manifest
+from repro.solvers.cache import reset_shared_cache, shared_cache
+
+#: α fractions of capacity swept per seed (fig3's five points).
+ALPHA_FRACTIONS = (0.65, 0.70, 0.75, 0.80, 0.85)
+#: Policies per sweep point: the solver-heavy Oracle plus the learner.
+POLICIES = ("Oracle", "LFSC")
+
+
+def sweep_configs(
+    base: ExperimentConfig, seeds: list[int]
+) -> list[ExperimentConfig]:
+    """The multi-seed fig3-style sweep: every (seed, α) pair."""
+    alphas = [round(f * base.capacity, 3) for f in ALPHA_FRACTIONS]
+    return [
+        base.with_overrides(seed=seed, alpha=alpha)
+        for seed in seeds
+        for alpha in alphas
+    ]
+
+
+def _reset_process_caches() -> None:
+    reset_shared_cache()
+    reset_shared_window_cache()
+
+
+def _run_sweep(
+    configs: list[ExperimentConfig],
+    *,
+    shared_window: bool,
+    cache_dir: str | None,
+) -> tuple[float, dict[str, bytes]]:
+    """Run the whole sweep serially; returns (seconds, trajectory digest)."""
+    _reset_process_caches()
+    digests: dict[str, bytes] = {}
+    t0 = time.perf_counter()
+    for cfg in configs:
+        run_cfg = cfg.with_overrides(
+            shared_window=shared_window, cache_dir=cache_dir
+        )
+        results = run_experiment(run_cfg, POLICIES, workers=None)
+        for name, res in results.items():
+            digests[f"seed{cfg.seed}-a{cfg.alpha:g}-{name}"] = res.reward.tobytes()
+    return time.perf_counter() - t0, digests
+
+
+def ab_sweep(base: ExperimentConfig, seeds: list[int]) -> dict:
+    """Baseline vs reuse (cold and warm disk), equivalence-gated."""
+    configs = sweep_configs(base, seeds)
+    baseline_s, baseline_digest = _run_sweep(
+        configs, shared_window=False, cache_dir=None
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-sweep-") as disk:
+        cold_s, cold_digest = _run_sweep(
+            configs, shared_window=True, cache_dir=disk
+        )
+        window_stats = shared_window_cache().stats()
+        oracle_stats = shared_cache().stats()
+        warm_s, warm_digest = _run_sweep(
+            configs, shared_window=True, cache_dir=disk
+        )
+    for name, digest in (("cold reuse", cold_digest), ("warm reuse", warm_digest)):
+        if digest != baseline_digest:
+            raise AssertionError(
+                f"{name} arm diverged from baseline — benchmark would be invalid"
+            )
+    _reset_process_caches()
+    return {
+        "runs": len(configs),
+        "seeds": seeds,
+        "alphas": sorted({cfg.alpha for cfg in configs}),
+        "policies": list(POLICIES),
+        "baseline_s": baseline_s,
+        "reuse_cold_disk_s": cold_s,
+        "reuse_warm_disk_s": warm_s,
+        "speedup_cold": baseline_s / cold_s,
+        "speedup_warm": baseline_s / warm_s,
+        "bit_identical": True,
+        "window_cache": window_stats,
+        "oracle_cache": oracle_stats,
+    }
+
+
+def check_equivalence(base: ExperimentConfig, seeds: list[int]) -> None:
+    """Smoke-scale assertion that both reuse arms match the baseline."""
+    ab_sweep(base, seeds)  # raises on divergence
+
+
+def run_benchmark(base: ExperimentConfig, seeds: list[int]) -> dict:
+    report: dict = {
+        "schema": "bench_sweep/v1",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "manifest": build_manifest(kind="bench", config=base),
+        "config": {
+            "num_scns": base.num_scns,
+            "capacity": base.capacity,
+            "beta": base.beta,
+            "coverage_range": [base.k_min, base.k_max],
+            "horizon": base.horizon,
+        },
+        "sweep": ab_sweep(base, seeds),
+    }
+    report["headline"] = {
+        "sweep_speedup_warm_disk": report["sweep"]["speedup_warm"],
+        "sweep_speedup_cold_disk": report["sweep"]["speedup_cold"],
+    }
+    return report
+
+
+def print_report(report: dict) -> None:
+    cfg = report["config"]
+    sweep = report["sweep"]
+    print(
+        f"environment-reuse sweep A/B — M={cfg['num_scns']} c={cfg['capacity']} "
+        f"K∈{cfg['coverage_range']} horizon={cfg['horizon']}, "
+        f"{len(sweep['seeds'])} seeds x {len(sweep['alphas'])} alphas x "
+        f"{len(sweep['policies'])} policies = {sweep['runs']} runs/arm"
+    )
+    print(
+        f"\n  baseline (no reuse)    {sweep['baseline_s']:.2f}s"
+        f"\n  reuse, cold disk       {sweep['reuse_cold_disk_s']:.2f}s  "
+        f"({sweep['speedup_cold']:.2f}x)"
+        f"\n  reuse, warm disk       {sweep['reuse_warm_disk_s']:.2f}s  "
+        f"({sweep['speedup_warm']:.2f}x)"
+        f"\n  bit-identical: {sweep['bit_identical']}"
+    )
+    wc = sweep["window_cache"]
+    print(
+        f"window cache: {wc['hits']} hits / {wc['hits'] + wc['misses']} lookups, "
+        f"{wc['slots_cached']} slots held"
+    )
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        choices=("paper", "small"),
+        default=os.environ.get("REPRO_BENCH_SCALE", "paper"),
+        help="base problem size (default: REPRO_BENCH_SCALE or paper)",
+    )
+    parser.add_argument(
+        "--horizon",
+        type=int,
+        default=None,
+        help="slots per run (default: REPRO_BENCH_HORIZON, else 40 paper / 120 small)",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=3,
+        help="number of replication seeds in the sweep (default 3)",
+    )
+    parser.add_argument(
+        "--require-speedup",
+        action="store_true",
+        help="exit non-zero unless the warm-disk speedup meets --threshold",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="speedup gate for --require-speedup (default 2.0)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI smoke mode: small scale, short horizon, equivalence-gated, "
+        "no JSON unless --output given",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="where to write the JSON report (default: repo-root BENCH_sweep.json)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        scale, horizon, n_seeds = "small", args.horizon or 30, min(args.seeds, 2)
+    else:
+        scale = args.scale
+        env_horizon = os.environ.get("REPRO_BENCH_HORIZON")
+        horizon = args.horizon or (int(env_horizon) if env_horizon else None)
+        if horizon is None:
+            horizon = 40 if scale == "paper" else 120
+        n_seeds = args.seeds
+
+    base = ExperimentConfig.paper() if scale == "paper" else ExperimentConfig.small()
+    base = base.with_overrides(horizon=horizon)
+    seeds = list(range(n_seeds))
+
+    report = run_benchmark(base, seeds)
+    print_report(report)
+
+    output = args.output
+    if output is None and not args.smoke:
+        output = Path(__file__).resolve().parents[1] / "BENCH_sweep.json"
+    if output is not None:
+        output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {output}")
+
+    if args.require_speedup:
+        gated = report["headline"]["sweep_speedup_warm_disk"]
+        if gated < args.threshold:
+            print(
+                f"FAIL: warm-disk sweep speedup {gated:.2f}x < {args.threshold}x",
+                file=sys.stderr,
+            )
+            raise SystemExit(1)
+        print(f"OK: warm-disk sweep speedup {gated:.2f}x >= {args.threshold}x")
+
+
+# -- pytest entry points (equivalence only, smoke scale) ----------------------
+
+def test_reuse_arms_bit_identical_to_baseline():
+    base = ExperimentConfig.small().with_overrides(horizon=25)
+    check_equivalence(base, seeds=[0, 1])
+
+
+if __name__ == "__main__":
+    main()

@@ -188,7 +188,9 @@ def run(
         A ready :class:`ExperimentConfig`; when omitted, the ``scale``
         preset (``"paper"``/``"small"``/``"tiny"``) is built instead.
         Keyword ``overrides`` (e.g. ``horizon=500``, ``seed=3``,
-        ``alpha=14.0``) apply on top of either.
+        ``alpha=14.0``, ``cache_dir="~/.cache/repro"`` for the on-disk
+        Oracle memo, ``shared_window=False`` to disable cross-run window
+        sharing — DESIGN.md §9) apply on top of either.
     policies:
         Policy names (default: the paper's Fig. 2 line-up).
     workers:

@@ -23,15 +23,22 @@ harnesses in :mod:`repro.experiments.figures`) and can render an ASCII chart
 Observability (DESIGN.md §7): ``--trace PATH`` records one structured JSONL
 record per slot (``--trace-sample N`` keeps every N-th) without perturbing
 results — trajectories are bit-identical with tracing on or off; a ``.gz``
-suffix gzip-compresses the trace transparently; ``repro trace PATH``
-summarizes a recorded file (compressed or not).  Persisted artifacts
-(``--save``, ``report``, ``replicate``) emit a ``manifest.json`` capturing
-config, seeds, git SHA, host, and library versions.
+suffix gzip-compresses the trace transparently and a ``.zl`` suffix writes
+seekable zlib frames; ``repro trace PATH`` summarizes a recorded file
+(compressed or not — the format is sniffed from the file's magic bytes).
+Persisted artifacts (``--save``, ``report``, ``replicate``) emit a
+``manifest.json`` capturing config, seeds, git SHA, host, and library
+versions.
+
+Cross-run reuse (DESIGN.md §9): ``--cache-dir DIR`` persists the Oracle
+solver cache on disk across runs and sessions (``$REPRO_CACHE_DIR`` is the
+environment fallback), and ``--shared-window/--no-shared-window`` toggles
+the cross-replication window cache — both bit-identical, only faster.
 
 Every run-type subcommand shares one option group (declared once in
 :func:`_add_run_options`): ``--scale/--horizon/--seed/--workers/--window/
---engine/--transport/--trace/--trace-sample/--manifest-dir/--no-oracle-cache``
-plus ``--plot/--save``.  The pre-unification spellings (``--trace-path``,
+--engine/--transport/--trace/--trace-sample/--manifest-dir/--no-oracle-cache/
+--cache-dir/--shared-window/--no-shared-window`` plus ``--plot/--save``.  The pre-unification spellings (``--trace-path``,
 ``--sample-every``, ``--result-transport``) are kept as hidden aliases that
 print a deprecation note.
 """
@@ -85,6 +92,10 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         overrides["window"] = args.window
     if getattr(args, "no_oracle_cache", False):
         overrides["oracle_cache"] = False
+    if getattr(args, "cache_dir", None) is not None:
+        overrides["cache_dir"] = args.cache_dir
+    if getattr(args, "shared_window", None) is not None:
+        overrides["shared_window"] = args.shared_window
     if overrides:
         cfg = cfg.with_overrides(**overrides)
     if getattr(args, "engine", None) is not None:
@@ -162,6 +173,29 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         help="disable the Oracle solver cache (DESIGN.md §8); results are "
         "bit-identical, only slower",
     )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist the Oracle solver cache to DIR across runs "
+        "(DESIGN.md §9; default: $REPRO_CACHE_DIR, else memory-only; "
+        "results are bit-identical either way)",
+    )
+    parser.add_argument(
+        "--shared-window",
+        dest="shared_window",
+        action="store_true",
+        default=None,
+        help="share precomputed slot windows across policies, sweep points, "
+        "and worker processes (DESIGN.md §9; the default)",
+    )
+    parser.add_argument(
+        "--no-shared-window",
+        dest="shared_window",
+        action="store_false",
+        help="disable the shared window cache; results are bit-identical, "
+        "only slower on sweeps",
+    )
     parser.add_argument("--plot", action="store_true", help="render an ASCII chart")
     parser.add_argument("--save", default=None, help="persist raw series to PATH.{npz,json}")
     parser.add_argument(
@@ -169,7 +203,8 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="PATH",
         help="record a structured JSONL slot trace to PATH (off by default; "
-        "a .gz suffix compresses the file)",
+        "a .gz suffix gzip-compresses the file, a .zl suffix writes "
+        "zlib frames)",
     )
     parser.add_argument(
         "--trace-sample",

@@ -723,9 +723,11 @@ class LFSCPolicy(OffloadingPolicy):
         """Alg. 3 as one scatter over the slot's flat edge list.
 
         Reproduces :meth:`_update_reference` bit-for-bit: the per-(SCN, cube)
-        bincount accumulation visits edges in the same order the per-SCN
-        loop does, and every elementwise operation matches the reference
-        arithmetic exactly.
+        accumulation visits edges in the same order the per-SCN loop does —
+        whether through the native scatter kernel
+        (:func:`repro.core.native.scatter_update`) or the bincount fallback —
+        and every elementwise operation matches the reference arithmetic
+        exactly.
         """
         network = self._require_reset()
         cfg = self.config
@@ -771,8 +773,11 @@ class LFSCPolicy(OffloadingPolicy):
             util_hat[pos] = util / cache.p[pos]
 
         flat = pre.flat if pre is not None else edge_scn * F + edge_cube
-        sums = np.bincount(flat, weights=util_hat, minlength=M * F)
-        counts = np.bincount(flat, minlength=M * F)
+        sums = np.zeros(M * F)
+        counts = np.zeros(M * F, dtype=np.int64)
+        if not _native.scatter_update(flat, util_hat, sums, counts):
+            sums = np.bincount(flat, weights=util_hat, minlength=M * F)
+            counts = np.bincount(flat, minlength=M * F)
         present = np.flatnonzero(counts)
         means = sums[present] / counts[present]
         exponents = weight_exponents(means, cfg.eta, max_exponent=cfg.max_exponent)

@@ -36,7 +36,7 @@ import threading
 
 import numpy as np
 
-__all__ = ["available", "walk_segments", "greedy_pass"]
+__all__ = ["available", "greedy_pass", "scatter_update", "walk_segments"]
 
 _SOURCE = r"""
 #include <stddef.h>
@@ -208,6 +208,26 @@ long long greedy_pass(const long long *edge_scn,
     }
     return count;
 }
+
+/* Alg. 3's statistics scatter: accumulate each observed edge's utility
+ * estimate into its flat (scn, cube) cell.  Additions happen in edge
+ * order — exactly the element-order accumulation np.bincount performs —
+ * so the sums are bit-identical to the two-bincount formulation this
+ * replaces, while touching the E edges once instead of twice over M*F
+ * cells.
+ */
+void scatter_update(const long long *flat,
+                    long long num_edges,
+                    const double *weights,
+                    double *sums,
+                    long long *counts)
+{
+    for (long long e = 0; e < num_edges; e++) {
+        long long c = flat[e];
+        sums[c] += weights[e];
+        counts[c] += 1;
+    }
+}
 """
 
 _lock = threading.Lock()
@@ -272,6 +292,8 @@ def _build_and_load() -> ctypes.CDLL:
         _PL, _PL, _PL, ctypes.c_longlong, _PB, _PL, ctypes.c_longlong,
         _PL, _PL,
     ]
+    lib.scatter_update.restype = None
+    lib.scatter_update.argtypes = [_PL, ctypes.c_longlong, _PD, _PD, _PL]
     return lib
 
 
@@ -375,3 +397,34 @@ def greedy_pass(
         sel_scn.ctypes.data_as(_PL),
         sel_task.ctypes.data_as(_PL),
     )
+
+
+def scatter_update(
+    flat: np.ndarray,
+    weights: np.ndarray,
+    sums: np.ndarray,
+    counts: np.ndarray,
+) -> bool:
+    """Alg. 3's statistics scatter: ``sums[flat[e]] += weights[e]`` per edge.
+
+    ``flat`` (E,) int64 flat cell indices, ``weights`` (E,) float64, and two
+    accumulators the caller allocated: ``sums`` float64 and ``counts`` int64,
+    both zero-filled with one entry per flat cell.  Additions happen in edge
+    order — the element-order accumulation ``np.bincount`` performs — so the
+    result is bit-identical to the bincount formulation.  All arrays must be
+    C-contiguous with the stated dtypes.
+
+    Returns False (doing nothing) when the kernel is unavailable, so the
+    caller can fall back to the bincount path.
+    """
+    lib = _load()
+    if lib is None:
+        return False
+    lib.scatter_update(
+        flat.ctypes.data_as(_PL),
+        ctypes.c_longlong(flat.shape[0]),
+        weights.ctypes.data_as(_PD),
+        sums.ctypes.data_as(_PD),
+        counts.ctypes.data_as(_PL),
+    )
+    return True

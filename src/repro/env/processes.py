@@ -174,6 +174,16 @@ class PiecewiseConstantTruth(GroundTruth):
         """
         return self._cells(contexts)
 
+    def context_cells_token(self) -> tuple:
+        """Value token identifying the :meth:`context_cells` map (cache key).
+
+        The classification is a pure function of the uniform grid geometry —
+        never of the drawn tables or the truth seed — so two truths with the
+        same ``(dims, cells_per_dim)`` classify identically and may share
+        window-cache entries (:mod:`repro.env.window_cache`).
+        """
+        return ("uniform-grid", int(self.dims), int(self.cells_per_dim))
+
     def means(self, t: int, contexts: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         cells = self._cells(contexts)
         mean_q = (self.q_lo[:, cells] + self.q_hi[:, cells]) / 2.0
@@ -444,6 +454,9 @@ class DriftingTruth(GroundTruth):
     def context_cells(self, contexts):
         return self.base.context_cells(contexts)
 
+    def context_cells_token(self) -> tuple:
+        return self.base.context_cells_token()
+
     def realize(self, t, contexts, scn_idx, rng, *, cells=None):
         return self.base.realize(t, contexts, scn_idx, rng, cells=cells)
 
@@ -512,6 +525,9 @@ class RegimeSwitchTruth(GroundTruth):
         # Both regimes share (dims, cells_per_dim) — validated at init — so
         # the grid classification is regime-independent.
         return self.regime_a.context_cells(contexts)
+
+    def context_cells_token(self) -> tuple:
+        return self.regime_a.context_cells_token()
 
     def realize(self, t, contexts, scn_idx, rng, *, cells=None):
         return self._active.realize(t, contexts, scn_idx, rng, cells=cells)

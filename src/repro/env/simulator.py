@@ -30,6 +30,7 @@ from repro.env.channel import BlockageChannel
 from repro.env.network import NetworkConfig
 from repro.env.processes import GroundTruth
 from repro.env.window import precompute_window
+from repro.env.window_cache import cached_window, window_key_base
 from repro.env.workload import SlotWorkload, Workload
 from repro.obs import metrics as obs_metrics
 from repro.obs import runtime as obs_runtime
@@ -312,6 +313,16 @@ class Simulation:
         (DESIGN.md §8).  Purely an accelerator: cached runs are bit-identical
         to cold runs, and windowed slots feed the cache their precomputed
         edge arrays through the same window loop.
+    window_cache:
+        Optional cross-run window cache
+        (:class:`repro.env.window_cache.WindowCache`): windowed runs look
+        each window up by a content-addressed key (environment stream token,
+        workload/partition/grid value tokens, window bounds) before
+        generating it, and a hit restores the stored post-window RNG state
+        and workload cursor so the live streams stay where a cold run would
+        leave them.  Bit-identical on or off; shared across policies, sweep
+        points, and (via ``repro.env.window_cache.export_window_state``)
+        worker processes.
     """
 
     network: NetworkConfig
@@ -321,6 +332,7 @@ class Simulation:
     seed: int | None | np.random.SeedSequence = 0
     validate_assignments: bool = True
     solver_cache: object | None = None
+    window_cache: object | None = None
 
     def __post_init__(self) -> None:
         if self.workload.num_scns != self.network.num_scns:
@@ -420,11 +432,16 @@ class Simulation:
         # purely observational — they never touch an RNG — so trajectories
         # are bit-identical whether ``ctx`` is live or None.
         ctx = obs_runtime.active()
+        # Stream contract v2: environment streams derive in a spawn-key
+        # namespace disjoint from the policy namespace, so the environment's
+        # randomness is independent of which policy runs (or what it is
+        # called) — the invariant the window cache and the cross-policy
+        # sharing of precomputed artifacts rest on.
         rngs = RngFactory(self.seed)
-        workload_rng = rngs.get("workload")
-        realize_rng = rngs.get("realizations")
-        channel_rng = rngs.get("channel")
-        policy_rng = rngs.get(f"policy.{policy.name}")
+        workload_rng = rngs.env("workload")
+        realize_rng = rngs.env("realizations")
+        channel_rng = rngs.env("channel")
+        policy_rng = rngs.policy(policy.name)
 
         reset = getattr(self.workload, "reset", None)
         if callable(reset):
@@ -452,6 +469,12 @@ class Simulation:
             win_cells_fn = getattr(self.truth, "context_cells", None)
             win_slots: tuple = ()
             win_start = win_end = 0
+            wcache = self.window_cache
+            wkey_base = None
+            if wcache is not None:
+                wkey_base = window_key_base(rngs, self.workload, self.truth, win_partition)
+                if wkey_base is None:
+                    wcache = None
         reward = np.zeros(horizon)
         expected_reward = np.zeros(horizon)
         completed = np.zeros((horizon, M))
@@ -467,17 +490,31 @@ class Simulation:
                 if t >= win_end:
                     count = min(window_size, horizon - t)
                     if ctx is None:
-                        win = precompute_window(
-                            self.workload, t, count, workload_rng,
-                            partition=win_partition, context_cells=win_cells_fn,
-                        )
-                    else:
-                        ctx.begin_slot(t)
-                        with ctx.span("sim.window.precompute"):
+                        if wcache is not None:
+                            win = cached_window(
+                                wcache, self.workload, t, count, workload_rng,
+                                partition=win_partition, context_cells=win_cells_fn,
+                                key_base=wkey_base,
+                            )
+                        else:
                             win = precompute_window(
                                 self.workload, t, count, workload_rng,
                                 partition=win_partition, context_cells=win_cells_fn,
                             )
+                    else:
+                        ctx.begin_slot(t)
+                        with ctx.span("sim.window.precompute"):
+                            if wcache is not None:
+                                win = cached_window(
+                                    wcache, self.workload, t, count, workload_rng,
+                                    partition=win_partition, context_cells=win_cells_fn,
+                                    key_base=wkey_base,
+                                )
+                            else:
+                                win = precompute_window(
+                                    self.workload, t, count, workload_rng,
+                                    partition=win_partition, context_cells=win_cells_fn,
+                                )
                     win_slots = win.slots
                     win_start, win_end = t, t + count
                 slot = win_slots[t - win_start]

@@ -169,6 +169,30 @@ class SyntheticWorkload(Workload):
     def max_coverage_size(self) -> int:
         return self.coverage_model.max_coverage_size()
 
+    # -- window-cache hooks (see repro.env.window_cache) ---------------------
+
+    def cache_token(self) -> tuple | None:
+        """Value token identifying the slot distribution, or None if uncacheable.
+
+        Slots are a pure function of ``(t, rng)`` only when the coverage model
+        is stateless; a model carrying hidden state between slots (e.g.
+        mobility with ``reset``) makes cached windows unsound, so those return
+        None and the window cache stands down.  Component reprs are value
+        reprs (frozen/plain dataclasses), so equal configurations share.
+        """
+        if callable(getattr(self.coverage_model, "reset", None)):
+            return None
+        return ("synthetic", repr(self.features), repr(self.coverage_model))
+
+    def cursor(self) -> int:
+        """Non-RNG generation state (the task-id counter) for cache replay."""
+        return self._next_id
+
+    def restore_cursor(self, value: int) -> None:
+        """Fast-forward the id counter past a cache-served window, keeping
+        later cache misses bit-identical to an uncached run."""
+        self._next_id = int(value)
+
 
 @dataclass
 class TraceWorkload(Workload):

@@ -15,15 +15,18 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.env.simulator import SimulationResult
+from repro.env.window_cache import import_window_state, release_window_state
 from repro.experiments.runner import (
     DEFAULT_POLICIES,
     ExperimentConfig,
+    _prefill_window_state,
     run_experiment,
 )
 from repro.metrics.ratio import performance_ratio, performance_ratio_series
 from repro.metrics.summary import comparison_rows, format_table
 from repro.metrics.violations import early_violation_ratio, violation_series
-from repro.utils.parallel import parallel_map
+from repro.utils.parallel import parallel_map, resolve_workers
+from repro.utils.rng import describe_streams
 from repro.utils.validation import check_positive
 
 __all__ = [
@@ -169,14 +172,21 @@ def fig2_violations(
 # ---------------------------------------------------------------------------
 
 def _run_alpha_point(
-    args: tuple[ExperimentConfig, Sequence[str], float]
+    args: tuple[ExperimentConfig, Sequence[str], float, tuple | None]
 ) -> dict[str, SimulationResult]:
-    cfg, policies, alpha = args
+    cfg, policies, alpha, window_state = args
+    if window_state is not None and cfg.shared_window:
+        import_window_state(window_state)
     return run_experiment(cfg.with_overrides(alpha=alpha), policies, workers=None)
 
 
-def _alpha_label(index: int, args: tuple[ExperimentConfig, Sequence[str], float]) -> str:
+def _alpha_label(index: int, args: tuple) -> str:
     return f"alpha={args[2]:g}, seed {args[0].seed}"
+
+
+def _sweep_streams(index: int, args: tuple) -> str:
+    """Derived env/policy streams of the failing sweep point (error text)."""
+    return describe_streams(args[0].seed, args[1])
 
 
 def fig3_alpha_sweep(
@@ -192,12 +202,22 @@ def fig3_alpha_sweep(
     Oracle's; vUCB/FML's rewards are flat (α never enters their decisions);
     every algorithm's V1 grows with α, LFSC's most slowly.
     """
-    sweeps = parallel_map(
-        _run_alpha_point,
-        [(cfg, policies, float(a)) for a in alphas],
-        workers=workers,
-        label=_alpha_label,
-    )
+    # Every α point replays the same environment (α never enters the
+    # workload stream), so a parallel sweep precomputes the windows once
+    # in the parent and shares them with every point's worker.
+    window_state = None
+    if cfg.shared_window and resolve_workers(workers, len(alphas)) > 1:
+        window_state = _prefill_window_state(cfg, policies)
+    try:
+        sweeps = parallel_map(
+            _run_alpha_point,
+            [(cfg, policies, float(a), window_state) for a in alphas],
+            workers=workers,
+            label=_alpha_label,
+            diagnostics=_sweep_streams,
+        )
+    finally:
+        release_window_state(window_state)
     x = np.asarray(list(alphas), dtype=float)
     series: dict[str, np.ndarray] = {"x": x}
     rows: list[dict[str, float | str]] = []
@@ -223,15 +243,15 @@ def fig3_alpha_sweep(
 # ---------------------------------------------------------------------------
 
 def _run_v_point(
-    args: tuple[ExperimentConfig, Sequence[str], tuple[float, float]]
+    args: tuple[ExperimentConfig, Sequence[str], tuple[float, float], tuple | None]
 ) -> dict[str, SimulationResult]:
-    cfg, policies, v_range = args
+    cfg, policies, v_range, window_state = args
+    if window_state is not None and cfg.shared_window:
+        import_window_state(window_state)
     return run_experiment(cfg.with_overrides(v_range=v_range), policies, workers=None)
 
 
-def _v_label(
-    index: int, args: tuple[ExperimentConfig, Sequence[str], tuple[float, float]]
-) -> str:
+def _v_label(index: int, args: tuple) -> str:
     return f"v_range={args[2]}, seed {args[0].seed}"
 
 
@@ -249,12 +269,21 @@ def fig4_likelihood_sweep(
     grows and violations shrink with reliability; LFSC keeps the best
     reward/violation trade-off (performance ratio) across environments.
     """
-    sweeps = parallel_map(
-        _run_v_point,
-        [(cfg, policies, (float(lo), 1.0)) for lo in v_lows],
-        workers=workers,
-        label=_v_label,
-    )
+    # v_range only parameterizes the truth (realizations), never the
+    # workload stream — every point shares the same windows (see fig3).
+    window_state = None
+    if cfg.shared_window and resolve_workers(workers, len(v_lows)) > 1:
+        window_state = _prefill_window_state(cfg, policies)
+    try:
+        sweeps = parallel_map(
+            _run_v_point,
+            [(cfg, policies, (float(lo), 1.0), window_state) for lo in v_lows],
+            workers=workers,
+            label=_v_label,
+            diagnostics=_sweep_streams,
+        )
+    finally:
+        release_window_state(window_state)
     x = np.asarray(list(v_lows), dtype=float)
     series: dict[str, np.ndarray] = {"x": x}
     rows: list[dict[str, float | str]] = []

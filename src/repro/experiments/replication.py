@@ -38,7 +38,7 @@ from repro.env.simulator import SimulationResult
 from repro.experiments.runner import DEFAULT_POLICIES, ExperimentConfig, run_experiment
 from repro.obs.manifest import write_manifest
 from repro.utils.parallel import parallel_map
-from repro.utils.rng import replication_seeds
+from repro.utils.rng import describe_streams, replication_seeds
 from repro.utils.validation import check_positive, require
 
 __all__ = [
@@ -98,6 +98,11 @@ def replication_seed_list(base_seed: int, seeds: Sequence[int] | int) -> list[in
 def _seed_label(index: int, args: tuple[ExperimentConfig, Sequence[str], int]) -> str:
     """Names the failing replication in ParallelExecutionError messages."""
     return f"replication {index}, seed {args[2]}"
+
+
+def _seed_streams(index: int, args: tuple[ExperimentConfig, Sequence[str], int]) -> str:
+    """Derived env/policy streams of the failing replication (error text)."""
+    return describe_streams(args[2], args[1])
 
 
 def _emit_manifest(
@@ -181,7 +186,12 @@ def run_replications(
     _emit_manifest(manifest_dir, cfg, seed_list, list(policies), workers)
     tasks = [(cfg, tuple(policies), s) for s in seed_list]
     per_seed = parallel_map(
-        _run_seed_full, tasks, workers=workers, label=_seed_label, transport=transport
+        _run_seed_full,
+        tasks,
+        workers=workers,
+        label=_seed_label,
+        diagnostics=_seed_streams,
+        transport=transport,
     )
     return [
         ReplicationRun(index=k, seed=s, results=res)
@@ -258,7 +268,12 @@ def replicate(
     _emit_manifest(manifest_dir, cfg, seed_list, list(policies), workers)
     tasks = [(cfg, tuple(policies), s) for s in seed_list]
     per_seed = parallel_map(
-        _run_seed_summary, tasks, workers=workers, label=_seed_label, transport=transport
+        _run_seed_summary,
+        tasks,
+        workers=workers,
+        label=_seed_label,
+        diagnostics=_seed_streams,
+        transport=transport,
     )
     return _aggregate(per_seed, policies, confidence)
 

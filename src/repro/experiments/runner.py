@@ -33,8 +33,17 @@ from repro.env.geometry import CoverageSampler
 from repro.env.network import NetworkConfig
 from repro.env.processes import GroundTruth, PiecewiseConstantTruth
 from repro.env.simulator import PolicyProtocol, Simulation, SimulationResult
+from repro.env.window_cache import (
+    export_window_state,
+    import_window_state,
+    partition_token,
+    prefill_windows,
+    release_window_state,
+    shared_window_cache,
+)
 from repro.env.workload import SyntheticWorkload
-from repro.utils.parallel import parallel_map
+from repro.utils.parallel import parallel_map, resolve_workers
+from repro.utils.rng import describe_streams
 from repro.utils.validation import check_positive, require
 
 __all__ = [
@@ -90,12 +99,25 @@ class ExperimentConfig:
     #: runs.  Bit-identical to ``False`` — the cache is keyed on problem
     #: content, never provenance — just faster.
     oracle_cache: bool = True
+    #: On-disk tier for the Oracle solver cache (DESIGN.md §9): a directory
+    #: where achievable/stage-1/assignment memos persist across processes
+    #: and sessions.  ``None`` falls back to the ``REPRO_CACHE_DIR``
+    #: environment variable, and to memory-only when that is unset too.
+    #: Only meaningful with ``oracle_cache=True``; bit-identical either way.
+    cache_dir: str | None = None
     #: Slot-streaming window for the simulation driver: ``None`` — the
     #: simulator's default (windowed when eligible, see
     #: ``repro.env.simulator.DEFAULT_WINDOW``); ``0`` — force per-slot;
     #: ``W >= 1`` — precompute W slots at a time.  Trajectories are
     #: bit-identical across all values.
     window: int | None = None
+    #: Cross-run window cache (DESIGN.md §9): when True (default) windowed
+    #: runs share each environment's precomputed windows through the
+    #: process-wide :func:`repro.env.window_cache.shared_window_cache` —
+    #: across policies, sweep points, and worker processes.  Bit-identical
+    #: to ``False`` (content-addressed keys + stream-state restoration),
+    #: just faster on sweeps that replay the same environment.
+    shared_window: bool = True
     lfsc: LFSCConfig | None = None
 
     def __post_init__(self) -> None:
@@ -218,7 +240,8 @@ def build_simulation(cfg: ExperimentConfig) -> Simulation:
         workload=build_workload(cfg),
         truth=build_truth(cfg),
         seed=cfg.seed,
-        solver_cache=shared_cache() if cfg.oracle_cache else None,
+        solver_cache=shared_cache(cfg.cache_dir) if cfg.oracle_cache else None,
+        window_cache=shared_window_cache() if cfg.shared_window else None,
     )
 
 
@@ -244,21 +267,61 @@ def make_policy(name: str, cfg: ExperimentConfig, truth: GroundTruth) -> PolicyP
     raise ValueError(f"unknown policy name {name!r}")
 
 
-def _run_one(args: tuple[ExperimentConfig, str]) -> SimulationResult:
+def _run_one(args: tuple[ExperimentConfig, str, tuple | None]) -> SimulationResult:
     """Worker: rebuild the (deterministic) experiment and run one policy.
 
     Everything — workload, truth, channel, policy streams — is re-derived
     from the config's integer seeds inside the worker, so the result is a
-    pure function of ``args`` and identical across worker counts.
+    pure function of ``args`` and identical across worker counts.  The
+    optional third element is an exported window-state handle (parent-side
+    prefill); grafting it only pre-populates a content-addressed cache, so
+    it cannot change the result either.
     """
-    cfg, name = args
+    cfg, name, window_state = args
+    if window_state is not None and cfg.shared_window:
+        import_window_state(window_state)
     sim = build_simulation(cfg)
     policy = make_policy(name, cfg, sim.truth)
     return sim.run(policy, cfg.horizon, window=cfg.window)
 
 
-def _policy_label(index: int, args: tuple[ExperimentConfig, str]) -> str:
+def _policy_label(index: int, args: tuple) -> str:
     return f"policy {args[1]!r}, seed {args[0].seed}"
+
+
+def _policy_streams(index: int, args: tuple) -> str:
+    """Derived-stream diagnostics for ParallelExecutionError (see rng.py)."""
+    return describe_streams(args[0].seed, (args[1],))
+
+
+def _prefill_window_state(cfg: ExperimentConfig, policies: Sequence[str]) -> tuple | None:
+    """Precompute the sweep's windows once in the parent and export them.
+
+    One prefill pass per distinct ``(window size, partition)`` combination
+    among the requested policies — e.g. one partitioned pass for LFSC and
+    one partition-free pass shared by Oracle/vUCB/FML/Random.  Returns the
+    transport handle workers graft via :func:`import_window_state`, or None
+    when nothing is cacheable (per-slot runs, trace workloads, ...).
+    """
+    sim = build_simulation(cfg)
+    if sim.window_cache is None or not getattr(sim.workload, "windowable", False):
+        return None
+    combos: dict[tuple, object] = {}
+    for name in policies:
+        policy = make_policy(name, cfg, sim.truth)
+        size = sim._effective_window(policy, cfg.window)
+        if size <= 0:
+            continue
+        part = getattr(policy, "context_partition", None)
+        if part is not None and not getattr(part, "windowable", False):
+            part = None
+        combos.setdefault((size, partition_token(part)), part)
+    for (size, _), part in combos.items():
+        prefill_windows(
+            sim.window_cache, sim.workload, sim.truth,
+            cfg.seed, cfg.horizon, size, partition=part,
+        )
+    return export_window_state()
 
 
 def run_experiment(
@@ -287,11 +350,22 @@ def run_experiment(
     -------
     Mapping policy name → :class:`SimulationResult`, in the given order.
     """
-    results = parallel_map(
-        _run_one,
-        [(cfg, name) for name in policies],
-        workers=workers,
-        label=_policy_label,
-        transport=transport,
-    )
+    window_state = None
+    if cfg.shared_window and resolve_workers(workers, len(policies)) > 1:
+        # Parallel runs can't share the process-local window cache, so the
+        # parent precomputes the sweep's windows once and ships them through
+        # one shm block (bit-identical: a graft only pre-populates a
+        # content-addressed cache).
+        window_state = _prefill_window_state(cfg, policies)
+    try:
+        results = parallel_map(
+            _run_one,
+            [(cfg, name, window_state) for name in policies],
+            workers=workers,
+            label=_policy_label,
+            diagnostics=_policy_streams,
+            transport=transport,
+        )
+    finally:
+        release_window_state(window_state)
     return {name: res for name, res in zip(policies, results)}

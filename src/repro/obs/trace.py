@@ -13,22 +13,42 @@ multiplier values, and the monotonic timing spans recorded during the slot
 schema; :func:`read_trace` loads a file back into dicts.  Tracing is purely
 observational: it never touches a policy RNG, so trajectories are
 bit-identical with tracing on or off (``tests/obs/test_equivalence.py``).
+
+On-disk formats — negotiated by magic bytes, never by suffix, so renamed
+files always load:
+
+- plain JSONL (default, any other suffix);
+- gzip-compressed JSONL (``.gz`` suffix when writing; magic ``1f 8b``);
+- zlib-framed JSONL (``.zl`` suffix when writing; magic ``RZJ1``): after
+  the 4-byte magic, each flush becomes one frame of ``>I`` payload length
+  followed by the zlib-compressed JSONL payload.  Frames make every flush
+  durable on its own — a truncated tail frame (crash mid-write) loses only
+  that frame, while a truncated gzip stream can refuse to decode at all.
 """
 
 from __future__ import annotations
 
 import gzip
 import json
+import struct
+import zlib
 from pathlib import Path
 from typing import IO, Iterator, Mapping
 
 __all__ = [
     "TRACE_SCHEMA",
     "TraceRecorder",
+    "ZLIB_FRAME_MAGIC",
     "iter_trace",
     "read_trace",
     "validate_record",
 ]
+
+#: First 4 bytes of a zlib-framed trace file (sniffed by the readers).
+ZLIB_FRAME_MAGIC = b"RZJ1"
+
+#: ``struct`` format of a frame header: big-endian u32 payload length.
+_FRAME_HEADER = ">I"
 
 #: Required fields of a slot trace record and their types.  ``None`` is
 #: additionally allowed where marked optional (e.g. ``expected_reward`` when
@@ -74,8 +94,10 @@ class TraceRecorder:
     path:
         Output ``.jsonl`` file (parent directories are created).  A ``.gz``
         suffix (e.g. ``trace.jsonl.gz``) writes gzip-compressed JSONL —
-        same records, roughly an order of magnitude smaller on disk; the
-        readers below auto-detect the compression.
+        same records, roughly an order of magnitude smaller on disk; a
+        ``.zl`` suffix writes zlib-framed JSONL (one self-contained frame
+        per flush, see the module docstring).  The readers below sniff the
+        format from the file's magic bytes, never the suffix.
     sample_every:
         Record slot ``t`` iff ``t % sample_every == 0``; 1 records every
         slot.
@@ -106,7 +128,8 @@ class TraceRecorder:
         self.records_written = 0
         self.last_record: dict | None = None
         self._buffer: list[str] = []
-        self._file: IO[str] | None = None
+        self._file: IO | None = None
+        self._framed = self.path.suffix == ".zl"
 
     def want(self, t: int) -> bool:
         """Whether slot ``t`` falls on the sampling grid."""
@@ -124,11 +147,19 @@ class TraceRecorder:
             return
         if self._file is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            if self.path.suffix == ".gz":
+            if self._framed:
+                self._file = self.path.open("wb")
+                self._file.write(ZLIB_FRAME_MAGIC)
+            elif self.path.suffix == ".gz":
                 self._file = gzip.open(self.path, "wt")
             else:
                 self._file = self.path.open("w")
-        self._file.write("\n".join(self._buffer) + "\n")
+        payload = "\n".join(self._buffer) + "\n"
+        if self._framed:
+            comp = zlib.compress(payload.encode("utf-8"), 6)
+            self._file.write(struct.pack(_FRAME_HEADER, len(comp)) + comp)
+        else:
+            self._file.write(payload)
         self._file.flush()
         self.records_written += len(self._buffer)
         self._buffer.clear()
@@ -146,19 +177,51 @@ class TraceRecorder:
         self.close()
 
 
-def _open_trace(path: Path) -> IO[str]:
-    """Open a trace for reading, sniffing gzip by magic bytes (not suffix),
+def _sniff_format(path: Path) -> str:
+    """``"zl"``, ``"gz"``, or ``"plain"`` — from magic bytes, not suffix,
     so renamed files still load."""
     with path.open("rb") as probe:
-        magic = probe.read(2)
-    if magic == b"\x1f\x8b":
-        return gzip.open(path, "rt")
-    return path.open()
+        magic = probe.read(4)
+    if magic == ZLIB_FRAME_MAGIC:
+        return "zl"
+    if magic[:2] == b"\x1f\x8b":
+        return "gz"
+    return "plain"
+
+
+def _iter_framed_lines(path: Path) -> Iterator[str]:
+    """Yield JSONL lines from a zlib-framed trace (module docstring).
+
+    A truncated tail frame — a crash mid-write — ends iteration cleanly:
+    every complete frame before it is still readable.
+    """
+    header_size = struct.calcsize(_FRAME_HEADER)
+    with path.open("rb") as fh:
+        fh.read(len(ZLIB_FRAME_MAGIC))
+        while True:
+            header = fh.read(header_size)
+            if len(header) < header_size:
+                return
+            (length,) = struct.unpack(_FRAME_HEADER, header)
+            comp = fh.read(length)
+            if len(comp) < length:
+                return
+            yield from zlib.decompress(comp).decode("utf-8").splitlines()
 
 
 def iter_trace(path: str | Path) -> Iterator[dict]:
-    """Yield records from a (possibly gzip-compressed) JSONL trace file."""
-    with _open_trace(Path(path)) as fh:
+    """Yield records from a JSONL trace file in any of the three formats."""
+    path = Path(path)
+    fmt = _sniff_format(path)
+    if fmt == "zl":
+        lines: Iterator[str] = _iter_framed_lines(path)
+        for line in lines:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+        return
+    fh = gzip.open(path, "rt") if fmt == "gz" else path.open()
+    with fh:
         for line in fh:
             line = line.strip()
             if line:

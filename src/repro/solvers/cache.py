@@ -31,6 +31,21 @@ object).  Two consequences:
 α is deliberately excluded from the base signature (the pre-pass and ILP
 stage 1 don't depend on it) and added back only on the assignment memo.
 
+On-disk persistence
+-------------------
+
+A :class:`DiskCacheBackend` extends the memory memos across processes and
+sessions: memory misses fall through to content-addressed files under a
+cache directory (``ExperimentConfig.cache_dir`` / ``--cache-dir`` / the
+``REPRO_CACHE_DIR`` environment variable), and every store also lands on
+disk.  The format is versioned (``cache-format.json`` marker; a mismatched
+directory is left untouched and the backend stands down) and pickle-free —
+``.npy``/``.npz`` payloads written with ``allow_pickle=False`` equivalents
+and loaded the same way, so a cache directory is data, not code.  Writers
+are concurrency-safe by construction: every write goes to a unique temp
+file and lands via ``os.replace`` (atomic on POSIX), and content addressing
+makes write-write races benign — both writers carry identical bytes.
+
 Interaction with the frozen RNG contract: the cache lives entirely inside
 ``OraclePolicy.select`` — it never touches a workload, realization, or
 policy stream, so cached and cold runs draw identical randomness and the
@@ -40,8 +55,12 @@ trajectories are bit-identical (gated by
 
 from __future__ import annotations
 
+import json
+import os
+import threading
 from collections import OrderedDict
 from hashlib import blake2b
+from pathlib import Path
 from typing import Any
 
 import numpy as np
@@ -50,7 +69,19 @@ from repro.obs.metrics import global_registry
 from repro.solvers.lp import SlotProblem
 from repro.utils.validation import check_positive
 
-__all__ = ["SlotProblemCache", "problem_signature", "reset_shared_cache", "shared_cache"]
+__all__ = [
+    "CACHE_DIR_ENV",
+    "DiskCacheBackend",
+    "SlotProblemCache",
+    "problem_signature",
+    "reset_shared_cache",
+    "shared_cache",
+]
+
+#: Environment variable naming the default on-disk cache directory; explicit
+#: ``cache_dir`` arguments win over it.  Inherited by spawned workers, so a
+#: parallel sweep's processes all share one directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 
 def problem_signature(problem: SlotProblem) -> bytes:
@@ -107,6 +138,129 @@ class _LruMemo:
         self._data.clear()
 
 
+class DiskCacheBackend:
+    """Content-addressed on-disk tier behind :class:`SlotProblemCache`.
+
+    Layout (all content-addressed — file names *are* the keys)::
+
+        <root>/cache-format.json                   version marker
+        <root>/ach/<hh>/<sig>.npy                  achievable vectors
+        <root>/s1/<hh>/<sig>.npy                   stage-1 totals (scalar)
+        <root>/asn/<hh>/<sig>-<alpha>-<mode>.npz   assignments (scn, task)
+
+    ``<sig>`` is the hex problem signature, ``<hh>`` its first two chars
+    (fan-out), ``<alpha>`` the exact float64 bytes in hex.  Failure policy:
+    any I/O or decode error behaves as a miss (and a store no-op) — the
+    cache is an accelerator, never a correctness dependency.  A directory
+    whose marker names an unknown format is left untouched and the backend
+    disables itself.
+    """
+
+    FORMAT = "repro-slot-cache/v1"
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.enabled = self._init_root()
+
+    def _init_root(self) -> bool:
+        marker = self.root / "cache-format.json"
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            if marker.exists():
+                with marker.open() as fh:
+                    return json.load(fh).get("format") == self.FORMAT
+            self._replace_into(
+                marker, json.dumps({"format": self.FORMAT}).encode("ascii")
+            )
+            return True
+        except (OSError, ValueError):
+            return False
+
+    # -- low-level helpers ---------------------------------------------------
+
+    def _replace_into(self, path: Path, payload: bytes) -> None:
+        """Atomic create: unique temp file + ``os.replace`` (POSIX-atomic)."""
+        tmp = path.with_name(
+            f"{path.name}.tmp-{os.getpid()}-{threading.get_ident()}"
+        )
+        with tmp.open("wb") as fh:
+            fh.write(payload)
+        os.replace(tmp, path)
+
+    def _path(self, kind: str, name: str) -> Path:
+        return self.root / kind / name[:2] / name
+
+    def _store_array(self, kind: str, name: str, **arrays: np.ndarray) -> None:
+        if not self.enabled:
+            return
+        path = self._path(kind, name)
+        try:
+            if path.exists():  # content-addressed: identical bytes already there
+                return
+            path.parent.mkdir(parents=True, exist_ok=True)
+            import io
+
+            buf = io.BytesIO()
+            if len(arrays) == 1 and "value" in arrays:
+                np.save(buf, arrays["value"], allow_pickle=False)
+            else:
+                np.savez(buf, **arrays)
+            self._replace_into(path, buf.getvalue())
+            global_registry().counter("oracle.cache.disk.store").inc()
+        except OSError:
+            pass
+
+    def _load(self, kind: str, name: str):
+        if not self.enabled:
+            return None
+        path = self._path(kind, name)
+        try:
+            with path.open("rb") as fh:
+                data = np.load(fh, allow_pickle=False)
+                if isinstance(data, np.lib.npyio.NpzFile):
+                    with data:
+                        out = {k: data[k] for k in data.files}
+                else:
+                    out = data
+        except (OSError, ValueError):
+            global_registry().counter("oracle.cache.disk.miss").inc()
+            return None
+        global_registry().counter("oracle.cache.disk.hit").inc()
+        return out
+
+    # -- typed entries -------------------------------------------------------
+
+    @staticmethod
+    def _alpha_hex(alpha: float) -> str:
+        return np.float64(alpha).tobytes().hex()
+
+    def load_achievable(self, sig: bytes) -> np.ndarray | None:
+        return self._load("ach", f"{sig.hex()}.npy")
+
+    def store_achievable(self, sig: bytes, vector: np.ndarray) -> None:
+        self._store_array("ach", f"{sig.hex()}.npy", value=np.asarray(vector))
+
+    def load_stage1(self, sig: bytes) -> float | None:
+        value = self._load("s1", f"{sig.hex()}.npy")
+        return None if value is None else float(value)
+
+    def store_stage1(self, sig: bytes, total: float) -> None:
+        self._store_array("s1", f"{sig.hex()}.npy", value=np.float64(total))
+
+    def load_assignment(self, sig: bytes, alpha: float, mode: str):
+        name = f"{sig.hex()}-{self._alpha_hex(alpha)}-{mode}.npz"
+        data = self._load("asn", name)
+        if data is None or "scn" not in data or "task" not in data:
+            return None
+        from repro.env.simulator import Assignment
+
+        return Assignment(scn=data["scn"], task=data["task"])
+
+    def store_assignment(self, sig: bytes, alpha: float, mode: str, assignment) -> None:
+        name = f"{sig.hex()}-{self._alpha_hex(alpha)}-{mode}.npz"
+        self._store_array("asn", name, scn=assignment.scn, task=assignment.task)
+
+
 class SlotProblemCache:
     """Memoizes the Oracle's solver work by problem-content signature.
 
@@ -133,38 +287,69 @@ class SlotProblemCache:
         *,
         achievable_entries: int = 16384,
         assignment_entries: int = 4096,
+        disk: DiskCacheBackend | None = None,
     ) -> None:
         self._achievable = _LruMemo("achievable", achievable_entries)
         self._stage1 = _LruMemo("stage1", achievable_entries)
         self._assignment = _LruMemo("assignment", assignment_entries)
+        self._disk = disk
 
     # -- signatures ----------------------------------------------------------
 
     signature = staticmethod(problem_signature)
 
+    @property
+    def disk(self) -> DiskCacheBackend | None:
+        return self._disk
+
+    def set_disk(self, disk: DiskCacheBackend | None) -> None:
+        """(Re)bind the on-disk tier; sound at any time — keys are content."""
+        self._disk = disk
+
     # -- achievable pre-pass (α-independent) ---------------------------------
 
     def achievable(self, sig: bytes) -> np.ndarray | None:
-        return self._achievable.get(sig)
+        value = self._achievable.get(sig)
+        if value is None and self._disk is not None:
+            value = self._disk.load_achievable(sig)
+            if value is not None:
+                self._achievable.put(sig, value)
+        return value
 
     def store_achievable(self, sig: bytes, vector: np.ndarray) -> None:
         self._achievable.put(sig, vector)
+        if self._disk is not None:
+            self._disk.store_achievable(sig, vector)
 
     # -- ILP stage 1 (α-independent) -----------------------------------------
 
     def stage1_completion(self, sig: bytes) -> float | None:
-        return self._stage1.get(sig)
+        value = self._stage1.get(sig)
+        if value is None and self._disk is not None:
+            value = self._disk.load_stage1(sig)
+            if value is not None:
+                self._stage1.put(sig, value)
+        return value
 
     def store_stage1_completion(self, sig: bytes, total: float) -> None:
         self._stage1.put(sig, float(total))
+        if self._disk is not None:
+            self._disk.store_stage1(sig, float(total))
 
     # -- final assignments (α- and mode-dependent) ---------------------------
 
     def assignment(self, sig: bytes, alpha: float, mode: str):
-        return self._assignment.get((sig, float(alpha), mode))
+        value = self._assignment.get((sig, float(alpha), mode))
+        if value is None and self._disk is not None:
+            value = self._disk.load_assignment(sig, alpha, mode)
+            if value is not None:
+                self._assignment.put((sig, float(alpha), mode), value)
+        return value
 
     def store_assignment(self, sig: bytes, alpha: float, mode: str, assignment) -> None:
         self._assignment.put((sig, float(alpha), mode), assignment)
+        if self._disk is not None:
+            self._disk.store_assignment(sig, alpha, mode, assignment)
 
     # -- introspection -------------------------------------------------------
 
@@ -183,16 +368,35 @@ class SlotProblemCache:
 _SHARED: SlotProblemCache | None = None
 
 
-def shared_cache() -> SlotProblemCache:
+def _resolve_cache_dir(cache_dir: str | Path | None) -> str | None:
+    if cache_dir is not None:
+        return str(cache_dir)
+    return os.environ.get(CACHE_DIR_ENV) or None
+
+
+def shared_cache(cache_dir: str | Path | None = None) -> SlotProblemCache:
     """The process-wide cache instance (what ``oracle_cache=True`` wires up).
 
     Content addressing makes sharing across configs/truths/seeds sound (see
     module docstring), and sharing is precisely what lets one sweep point
-    warm the next.  Worker processes each get their own instance.
+    warm the next.  Worker processes each get their own memory instance —
+    the on-disk tier is what they share.
+
+    ``cache_dir`` (or, when omitted, the ``REPRO_CACHE_DIR`` environment
+    variable) attaches the persistent :class:`DiskCacheBackend`; a later
+    call naming a *different* directory rebinds the tier.  Calls without a
+    directory never detach one that is already bound.
     """
     global _SHARED
+    resolved = _resolve_cache_dir(cache_dir)
     if _SHARED is None:
-        _SHARED = SlotProblemCache()
+        _SHARED = SlotProblemCache(
+            disk=DiskCacheBackend(resolved) if resolved else None
+        )
+    elif resolved is not None and (
+        _SHARED.disk is None or str(_SHARED.disk.root) != str(Path(resolved))
+    ):
+        _SHARED.set_disk(DiskCacheBackend(resolved))
     return _SHARED
 
 

@@ -95,6 +95,11 @@ class ParallelExecutionError(RuntimeError):
     trace_record:
         The last slot trace record built in the failing process when
         tracing was enabled there (see :mod:`repro.obs`), else ``None``.
+    streams:
+        Human-readable description of the derived RNG streams the failing
+        item runs on (see :func:`repro.utils.rng.describe_streams`), when
+        the caller provided a ``diagnostics`` callable — lets a failure be
+        re-run standalone from the exact stream roots.  Empty otherwise.
     """
 
     def __init__(
@@ -104,12 +109,16 @@ class ParallelExecutionError(RuntimeError):
         cause: str,
         worker_traceback: str = "",
         trace_record: dict | None = None,
+        streams: str = "",
     ):
         self.index = index
         self.description = description
         self.worker_traceback = worker_traceback
         self.trace_record = trace_record
+        self.streams = streams
         message = f"parallel task failed at {description}: {cause}"
+        if streams:
+            message += f"\nderived streams: {streams}"
         if trace_record is not None:
             message += (
                 f"\nlast traced slot before failure: t={trace_record.get('t')} "
@@ -213,6 +222,15 @@ def _describe(label: Callable[[int, T], str] | None, index: int, item: T) -> str
         return f"item {index}"
 
 
+def _diagnose(diagnostics: Callable[[int, T], str] | None, index: int, item: T) -> str:
+    if diagnostics is None:
+        return ""
+    try:
+        return diagnostics(index, item)
+    except Exception:  # pragma: no cover - diagnostics must not mask the error
+        return ""
+
+
 def parallel_map(
     func: Callable[[T], R],
     items: Iterable[T],
@@ -220,6 +238,7 @@ def parallel_map(
     workers: int | None = None,
     chunksize: int = 1,
     label: Callable[[int, T], str] | None = None,
+    diagnostics: Callable[[int, T], str] | None = None,
     transport: str = "auto",
 ) -> list[R]:
     """Map ``func`` over ``items``, optionally across processes.
@@ -243,6 +262,12 @@ def parallel_map(
     label:
         Optional ``(index, item) -> str`` used to name the failing item in
         :class:`ParallelExecutionError` (e.g. its replication seed).
+    diagnostics:
+        Optional ``(index, item) -> str`` attached as the error's
+        ``streams`` text — by convention the item's derived RNG streams
+        (:func:`repro.utils.rng.describe_streams`), so the exact failing
+        streams can be re-derived standalone.  A raising diagnostics
+        callable is ignored, never masking the original failure.
     transport:
         How parallel results travel back: ``"auto"``/``"shm"`` move the
         numpy payload through shared-memory blocks (bit-identical values,
@@ -279,6 +304,7 @@ def parallel_map(
                     _describe(label, i, item),
                     repr(exc),
                     trace_record=obs_runtime.last_trace_record(),
+                    streams=_diagnose(diagnostics, i, item),
                 ) from exc
         return out
 
@@ -299,7 +325,10 @@ def parallel_map(
                     tagged = future.result()
                 except BaseException as exc:  # e.g. BrokenProcessPool, pickling errors
                     raise ParallelExecutionError(
-                        start, _describe(label, start, chunk_items[0]), repr(exc)
+                        start,
+                        _describe(label, start, chunk_items[0]),
+                        repr(exc),
+                        streams=_diagnose(diagnostics, start, chunk_items[0]),
                     ) from exc
                 for tag, value in tagged:
                     if tag == "metrics":
@@ -317,6 +346,7 @@ def parallel_map(
                             cause,
                             tb,
                             trace_record=trace_record,
+                            streams=_diagnose(diagnostics, index, work[index]),
                         )
                     else:
                         results.append(value)  # type: ignore[arg-type]

@@ -27,6 +27,32 @@ enforced by ``tests/experiments/test_stream_isolation.py``:
   chosen neighbouring base seed;
 - the mapping is **frozen**: changing it invalidates every committed golden
   summary, so it is pinned by golden-value tests and must never change.
+
+The environment/policy namespace split (stream contract v2)
+-----------------------------------------------------------
+
+Within one run, streams live in two disjoint spawn-key namespaces rooted at
+the same seed:
+
+- **environment** streams (workload, realizations, channel — everything the
+  hidden world draws) derive through :func:`env_seed_sequence`:
+  ``spawn_key = root.spawn_key + (ENV_SPAWN_KEY,) + utf8(name)``;
+- **policy** streams (one per policy, named by the policy) derive through
+  :func:`policy_seed_sequence` with :data:`POLICY_SPAWN_KEY` in the same
+  position.
+
+The tag occupies a *fixed position* in the spawn key, so no choice of policy
+name can ever produce an environment stream's key: the two namespaces are
+disjoint by construction, which makes environment randomness provably
+independent of which policy runs, what it is called, and any α/config value.
+That independence is what lets windows and Oracle solves be precomputed once
+and shared bit-identically across sweep points and policies
+(:mod:`repro.env.window_cache`, :mod:`repro.solvers.cache`).
+
+:func:`stream_token` reduces any derived sequence to a hashable 256-bit
+token — the cache key for environment-derived artifacts — and
+:func:`describe_streams` renders the derived tokens for error messages
+(:class:`repro.utils.parallel.ParallelExecutionError`).
 """
 
 from __future__ import annotations
@@ -36,19 +62,35 @@ from typing import Iterable, Sequence
 import numpy as np
 
 __all__ = [
+    "ENV_SPAWN_KEY",
+    "POLICY_SPAWN_KEY",
     "REPLICATION_SPAWN_KEY",
     "RngFactory",
     "as_generator",
+    "describe_streams",
+    "env_seed_sequence",
+    "policy_seed_sequence",
     "replication_seed",
     "replication_seed_sequence",
     "replication_seeds",
     "spawn_generators",
+    "stream_token",
 ]
 
 #: Domain-separation tag for replication streams (frozen contract — never
 #: change; see the module docstring).  Distinguishes replication children
 #: from any other ``spawn_key`` use of the same base entropy.
 REPLICATION_SPAWN_KEY: int = 0x5EED
+
+#: Domain-separation tag for *environment* streams (workload, realizations,
+#: channel).  Frozen with the v2 contract: changing it re-randomizes every
+#: environment and invalidates all committed goldens.
+ENV_SPAWN_KEY: int = 0xE27
+
+#: Domain-separation tag for *policy* streams.  Frozen with the v2 contract.
+#: Must differ from :data:`ENV_SPAWN_KEY` (and does forever): the tag sits at
+#: a fixed spawn-key position, so the namespaces cannot collide for any name.
+POLICY_SPAWN_KEY: int = 0xAC7
 
 
 def as_generator(
@@ -107,19 +149,97 @@ def replication_seeds(base_seed: int, n: int) -> list[int]:
     return [replication_seed(base_seed, k) for k in range(n)]
 
 
+def _tagged_sequence(
+    root: np.random.SeedSequence, tag: int, name: str
+) -> np.random.SeedSequence:
+    """A named child of ``root`` inside the ``tag`` namespace.
+
+    The tag occupies the spawn-key position right after the root's own key,
+    *before* the name bytes — so sequences with different tags are distinct
+    for every pair of names, and a root with a spawn key of its own (e.g. a
+    replication child) never aliases a sibling's streams.
+    """
+    return np.random.SeedSequence(
+        entropy=root.entropy,
+        spawn_key=tuple(root.spawn_key) + (tag,) + tuple(name.encode("utf-8")),
+    )
+
+
+def _as_sequence(seed: int | None | np.random.SeedSequence) -> np.random.SeedSequence:
+    return seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+
+
+def env_seed_sequence(
+    seed: int | None | np.random.SeedSequence, name: str
+) -> np.random.SeedSequence:
+    """The environment stream ``name`` derived from ``seed`` (v2 contract).
+
+    Depends only on ``(seed, name)`` — never on which policy runs, its name,
+    α, or any other stream drawn first.
+    """
+    return _tagged_sequence(_as_sequence(seed), ENV_SPAWN_KEY, name)
+
+
+def policy_seed_sequence(
+    seed: int | None | np.random.SeedSequence, name: str
+) -> np.random.SeedSequence:
+    """The policy stream ``name`` derived from ``seed`` (v2 contract).
+
+    Disjoint from :func:`env_seed_sequence` for *every* pair of names: the
+    namespace tags differ at a fixed spawn-key position.
+    """
+    return _tagged_sequence(_as_sequence(seed), POLICY_SPAWN_KEY, name)
+
+
+def stream_token(ss: np.random.SeedSequence) -> tuple[int, int, int, int]:
+    """A hashable 256-bit token identifying a derived stream.
+
+    A pure function of the sequence (``generate_state`` does not mutate), so
+    equal derivations give equal tokens across processes and sessions —
+    exactly what content-addressed caches key environment artifacts by.
+    """
+    return tuple(int(x) for x in ss.generate_state(4, np.uint64))  # type: ignore[return-value]
+
+
+def describe_streams(
+    seed: int | None | np.random.SeedSequence,
+    policy_names: Sequence[str] = (),
+    env_names: Sequence[str] = ("workload", "realizations", "channel"),
+) -> str:
+    """Render the derived env/policy stream tokens of ``seed`` for diagnostics.
+
+    Used by :class:`repro.utils.parallel.ParallelExecutionError` so a failed
+    replication reports *which derived streams* it was running — cross-stream
+    bugs (a policy perturbing environment randomness, two replications
+    aliasing) are visible from the error alone by comparing tokens.
+    """
+    parts = [
+        f"env.{name}={stream_token(env_seed_sequence(seed, name))[0]:#018x}"
+        for name in env_names
+    ]
+    parts += [
+        f"policy.{name}={stream_token(policy_seed_sequence(seed, name))[0]:#018x}"
+        for name in policy_names
+    ]
+    return " ".join(parts)
+
+
 class RngFactory:
     """Hands out named, independent random streams derived from one seed.
 
     Streams are keyed by string name; requesting the same name twice returns
     the *same* generator object, so components can share a stream explicitly
-    while distinct names never collide.
+    while distinct names never collide.  :meth:`env` and :meth:`policy`
+    derive through the v2 namespace split (module docstring) — the
+    simulator's streams; :meth:`get` keeps the historical un-namespaced
+    derivation for ad-hoc streams and backward compatibility.
 
     Example
     -------
     >>> fac = RngFactory(42)
-    >>> env_rng = fac.get("environment")
-    >>> policy_rng = fac.get("policy.lfsc")
-    >>> fac.get("environment") is env_rng
+    >>> env_rng = fac.env("workload")
+    >>> policy_rng = fac.policy("LFSC")
+    >>> fac.env("workload") is env_rng
     True
     """
 
@@ -128,6 +248,7 @@ class RngFactory:
             seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
         )
         self._streams: dict[str, np.random.Generator] = {}
+        self._sequences: dict[str, np.random.SeedSequence] = {}
 
     @property
     def root_entropy(self) -> int | Sequence[int] | None:
@@ -141,7 +262,8 @@ class RngFactory:
         the name, so the mapping name -> stream does not depend on the order
         in which streams are requested.
         """
-        if name not in self._streams:
+        key = f"named:{name}"
+        if key not in self._streams:
             # Derive a per-name child key from the UTF-8 bytes of the name so
             # the assignment is order-independent and collision-resistant.
             # The root's own spawn_key is preserved as a prefix: a factory
@@ -152,13 +274,56 @@ class RngFactory:
                 entropy=self._root.entropy,
                 spawn_key=tuple(self._root.spawn_key) + name_key,
             )
-            self._streams[name] = np.random.default_rng(child)
-        return self._streams[name]
+            self._streams[key] = np.random.default_rng(child)
+        return self._streams[key]
+
+    def env_sequence(self, name: str) -> np.random.SeedSequence:
+        """The :class:`~numpy.random.SeedSequence` of environment stream ``name``."""
+        key = f"env:{name}"
+        if key not in self._sequences:
+            self._sequences[key] = _tagged_sequence(self._root, ENV_SPAWN_KEY, name)
+        return self._sequences[key]
+
+    def policy_sequence(self, name: str) -> np.random.SeedSequence:
+        """The :class:`~numpy.random.SeedSequence` of policy stream ``name``."""
+        key = f"policy:{name}"
+        if key not in self._sequences:
+            self._sequences[key] = _tagged_sequence(self._root, POLICY_SPAWN_KEY, name)
+        return self._sequences[key]
+
+    def env(self, name: str) -> np.random.Generator:
+        """The environment stream ``name`` (v2 namespace; see module docstring).
+
+        Independent of every policy stream for *all* names — the namespace
+        tags are disjoint at a fixed spawn-key position — so swapping,
+        renaming, or re-parameterizing the policy can never consume or
+        perturb a draw of this stream.
+        """
+        key = f"env:{name}"
+        if key not in self._streams:
+            self._streams[key] = np.random.default_rng(self.env_sequence(name))
+        return self._streams[key]
+
+    def policy(self, name: str) -> np.random.Generator:
+        """The policy stream ``name`` (v2 namespace), disjoint from all env streams."""
+        key = f"policy:{name}"
+        if key not in self._streams:
+            self._streams[key] = np.random.default_rng(self.policy_sequence(name))
+        return self._streams[key]
 
     def spawn(self, n: int) -> list[np.random.Generator]:
         """Spawn ``n`` anonymous independent generators (for worker pools)."""
         return [np.random.default_rng(s) for s in self._root.spawn(n)]
 
     def stream_names(self) -> Iterable[str]:
-        """Names of all streams created so far (for diagnostics)."""
-        return tuple(self._streams)
+        """Names of all streams created so far (for diagnostics).
+
+        Legacy :meth:`get` streams appear under their plain name; the v2
+        namespaced streams appear qualified — ``env:workload``,
+        ``policy:LFSC`` — mirroring how they were requested.
+        """
+        prefix = "named:"
+        return tuple(
+            name[len(prefix):] if name.startswith(prefix) else name
+            for name in self._streams
+        )

@@ -198,17 +198,25 @@ def pack_to_shm(values: list) -> tuple[list, str | None, list]:
     return skeletons, name, manifest
 
 
-def unpack_from_shm(skeletons: list, name: str, manifest: list) -> list:
+def unpack_from_shm(skeletons: list, name: str, manifest: list, *, unlink: bool = True) -> list:
     """Rebuild the values :func:`pack_to_shm` lifted, then free the block.
 
     Each array is materialized out of the block (results must outlive the
-    segment), and the block is closed and unlinked even when a rebuild
-    fails.
+    segment), and the block is closed — and, by default, unlinked — even
+    when a rebuild fails.  ``unlink=False`` leaves the segment alive for
+    other readers (e.g. several pool workers grafting one shared window
+    block); exactly one owner must then call :func:`discard_block` later.
     """
     from multiprocessing import shared_memory
 
     shm = shared_memory.SharedMemory(name=name)
-    _ensure_tracked(shm)
+    if unlink:
+        _ensure_tracked(shm)
+    else:
+        # A reader that will not unlink must not let the resource tracker
+        # adopt the segment either — on 3.12+ attach auto-registers, and the
+        # worker exiting would then reap the block under the other readers.
+        _untrack(shm)
     try:
         arrays: list[np.ndarray] = []
         for shape, dtype, off in manifest:
@@ -224,10 +232,11 @@ def unpack_from_shm(skeletons: list, name: str, manifest: list) -> list:
         return [_map_tree(s, graft) for s in skeletons]
     finally:
         shm.close()
-        try:
-            shm.unlink()
-        except FileNotFoundError:  # pragma: no cover - racing cleanup
-            pass
+        if unlink:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - racing cleanup
+                pass
 
 
 def discard_block(name: str) -> None:

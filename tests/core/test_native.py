@@ -1,7 +1,8 @@
 """The optional C kernels are bit-identical to their Python references.
 
-``repro.core.native`` transliterates the DepRound walk and the Alg. 4
-greedy pass into C for the windowed engine's hot path.  The contract is
+``repro.core.native`` transliterates the DepRound walk, the Alg. 4
+greedy pass, and the Alg. 3 statistics scatter into C for the windowed
+engine's hot path.  The contract is
 exact: given the same probabilities and pooled uniforms, the native walk
 must select exactly the coordinates the Python walk selects (the C code
 performs the identical IEEE-754 operations in the identical order), and the
@@ -144,6 +145,56 @@ def test_kill_switch_runs_pure_python():
     sim = build_simulation(cfg)
     here = float(sim.run(LFSCPolicy(cfg.lfsc_config()), cfg.horizon).reward.sum())
     assert proc.stdout.strip() == repr(here)
+
+
+@needs_native
+@pytest.mark.parametrize("seed", range(40))
+def test_scatter_update_matches_bincount(seed):
+    """Alg. 3's scatter kernel is bit-identical to the bincount pair."""
+    rng = np.random.default_rng(seed)
+    E = int(rng.integers(0, 60))
+    MF = int(rng.integers(1, 50))
+    flat = rng.integers(0, MF, size=E).astype(np.int64)
+    weights = rng.normal(size=E)
+    sums = np.zeros(MF)
+    counts = np.zeros(MF, dtype=np.int64)
+    assert native.scatter_update(flat, weights, sums, counts)
+    np.testing.assert_array_equal(
+        sums, np.bincount(flat, weights=weights, minlength=MF)
+    )
+    np.testing.assert_array_equal(counts, np.bincount(flat, minlength=MF))
+
+
+@needs_native
+def test_scatter_update_accumulation_order_is_bitwise():
+    """Cancellation-heavy weights into one cell: byte-equality proves the
+    kernel adds in bincount's element order, not merely 'close enough'."""
+    rng = np.random.default_rng(123)
+    n = 2000
+    flat = np.zeros(n, dtype=np.int64)
+    weights = rng.normal(size=n) * np.power(
+        10.0, rng.integers(-8, 8, size=n).astype(float)
+    )
+    sums = np.zeros(1)
+    counts = np.zeros(1, dtype=np.int64)
+    assert native.scatter_update(flat, weights, sums, counts)
+    assert sums.tobytes() == np.bincount(flat, weights=weights, minlength=1).tobytes()
+    assert counts[0] == n
+
+
+def test_scatter_update_reports_unavailable():
+    """With the kernel disabled the wrapper must refuse (False) untouched."""
+    lib = native._lib
+    native._lib = None
+    try:
+        sums = np.zeros(3)
+        counts = np.zeros(3, dtype=np.int64)
+        assert not native.scatter_update(
+            np.zeros(0, dtype=np.int64), np.zeros(0), sums, counts
+        )
+        assert not sums.any() and not counts.any()
+    finally:
+        native._lib = lib
 
 
 def test_available_is_bool():

@@ -1,0 +1,85 @@
+"""Zlib-framed traces: suffix-driven writing, magic-byte reading, frames.
+
+The ``.zl`` format (see :mod:`repro.obs.trace`): 4-byte magic ``RZJ1``,
+then one self-contained frame per flush — big-endian u32 payload length
+followed by the zlib-compressed JSONL payload.  Unlike a gzip stream, a
+truncated tail frame costs only that frame's records.
+"""
+
+import struct
+import zlib
+
+from repro.obs.trace import (
+    ZLIB_FRAME_MAGIC,
+    TraceRecorder,
+    iter_trace,
+    read_trace,
+)
+from tests.obs.test_trace import _record
+
+
+class TestZlibRoundTrip:
+    def test_10k_slot_sampled_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl.zl"
+        written = []
+        with TraceRecorder(path, sample_every=7, flush_every=64) as rec:
+            for t in range(10_000):
+                if rec.want(t):
+                    record = _record(t=t, reward=float(t) * 0.25)
+                    rec.record(record)
+                    written.append(record)
+        assert rec.records_written == len(written)
+        assert read_trace(path) == written
+
+    def test_file_leads_with_magic(self, tmp_path):
+        path = tmp_path / "t.jsonl.zl"
+        with TraceRecorder(path) as rec:
+            rec.record(_record())
+        with path.open("rb") as fh:
+            assert fh.read(4) == ZLIB_FRAME_MAGIC
+
+    def test_one_frame_per_flush(self, tmp_path):
+        path = tmp_path / "t.jsonl.zl"
+        with TraceRecorder(path, flush_every=10) as rec:
+            for t in range(25):
+                rec.record(_record(t=t))
+        data = path.read_bytes()
+        frames = 0
+        at = len(ZLIB_FRAME_MAGIC)
+        while at < len(data):
+            (length,) = struct.unpack(">I", data[at : at + 4])
+            payload = zlib.decompress(data[at + 4 : at + 4 + length])
+            assert payload.endswith(b"\n")
+            frames += 1
+            at += 4 + length
+        assert frames == 3  # 10 + 10 + 5 (close() flushes the tail)
+
+    def test_reader_sniffs_magic_not_suffix(self, tmp_path):
+        zl = tmp_path / "t.jsonl.zl"
+        with TraceRecorder(zl) as rec:
+            rec.record(_record(t=0))
+            rec.record(_record(t=1))
+        renamed = tmp_path / "t.jsonl"
+        zl.rename(renamed)
+        assert [r["t"] for r in iter_trace(renamed)] == [0, 1]
+
+    def test_truncated_tail_frame_keeps_earlier_frames(self, tmp_path):
+        """Chopping bytes off the last frame loses only that frame."""
+        path = tmp_path / "t.jsonl.zl"
+        with TraceRecorder(path, flush_every=8) as rec:
+            for t in range(24):
+                rec.record(_record(t=t))
+        data = path.read_bytes()
+        path.write_bytes(data[:-5])
+        salvaged = read_trace(path)
+        assert [r["t"] for r in salvaged] == list(range(16))
+
+    def test_smaller_than_plain(self, tmp_path):
+        plain, zl = tmp_path / "a.jsonl", tmp_path / "a.jsonl.zl"
+        records = [_record(t=t) for t in range(0, 2000)]
+        with TraceRecorder(plain) as rec_a, TraceRecorder(zl) as rec_b:
+            for r in records:
+                rec_a.record(r)
+                rec_b.record(r)
+        assert zl.stat().st_size < plain.stat().st_size / 5
+        assert read_trace(zl) == read_trace(plain)

@@ -1,0 +1,135 @@
+"""On-disk Oracle solver cache: persistence, equivalence, resilience.
+
+The disk tier (DESIGN.md §9) extends the in-memory ``SlotProblemCache``
+with content-addressed ``.npy``/``.npz`` files so Oracle memos survive
+process boundaries and sessions.  Soundness inherits from the memory tier —
+keys are blake2b signatures of problem content — so these tests focus on
+the disk-specific claims: cold vs warm bit-equivalence across processes,
+the versioned on-disk format, concurrent-writer safety, and the everything-
+is-a-miss behaviour on unreadable state.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.solvers.cache import (
+    CACHE_DIR_ENV,
+    DiskCacheBackend,
+    SlotProblemCache,
+    shared_cache,
+)
+
+_RUN_SNIPPET = """
+import json, sys
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.obs.metrics import global_registry
+cfg = ExperimentConfig(
+    horizon=30, num_scns=3, k_min=4, k_max=8, seed=9, cache_dir=sys.argv[1]
+)
+res = run_experiment(cfg, ["Oracle", "LFSC"], workers=None)
+counters = global_registry().snapshot()["counters"]
+print(json.dumps({
+    "rewards": {k: r.reward.tolist() for k, r in res.items()},
+    "disk": {k: v for k, v in counters.items() if "disk" in k},
+}))
+"""
+
+
+def _run_subprocess(cache_dir: Path) -> dict:
+    proc = subprocess.run(
+        [sys.executable, "-c", _RUN_SNIPPET, str(cache_dir)],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(proc.stdout)
+
+
+class TestCrossProcess:
+    def test_cold_vs_warm_bit_equivalent(self, tmp_path):
+        cold = _run_subprocess(tmp_path)
+        warm = _run_subprocess(tmp_path)
+        assert cold["rewards"] == warm["rewards"]
+        assert cold["disk"].get("oracle.cache.disk.store", 0) > 0
+        assert warm["disk"].get("oracle.cache.disk.hit", 0) > 0
+        assert warm["disk"].get("oracle.cache.disk.store", 0) == 0
+
+    def test_disk_off_matches_disk_on(self, tmp_path):
+        on = _run_subprocess(tmp_path)
+        cfg = ExperimentConfig(horizon=30, num_scns=3, k_min=4, k_max=8, seed=9)
+        off = run_experiment(cfg, ["Oracle", "LFSC"], workers=None)
+        assert on["rewards"] == {k: r.reward.tolist() for k, r in off.items()}
+
+
+class TestFormat:
+    def test_marker_file_written(self, tmp_path):
+        backend = DiskCacheBackend(tmp_path)
+        assert backend.enabled
+        marker = json.loads((tmp_path / "cache-format.json").read_text())
+        assert marker["format"] == DiskCacheBackend.FORMAT
+
+    def test_foreign_format_disables_backend(self, tmp_path):
+        (tmp_path / "cache-format.json").write_text(
+            json.dumps({"format": "someone-elses-cache/v9"})
+        )
+        backend = DiskCacheBackend(tmp_path)
+        assert not backend.enabled
+
+    def test_store_then_load_achievable(self, tmp_path):
+        backend = DiskCacheBackend(tmp_path)
+        value = np.array([1.5, 2.5, 3.5])
+        backend.store_achievable(b"sig00", value)
+        loaded = backend.load_achievable(b"sig00")
+        assert np.array_equal(loaded, value)
+        assert backend.load_achievable(b"missing") is None
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        backend = DiskCacheBackend(tmp_path)
+        backend.store_achievable(b"sigbad", np.arange(3.0))
+        path = next((tmp_path / "ach").rglob("*.npy"))
+        path.write_bytes(b"not numpy at all")
+        assert backend.load_achievable(b"sigbad") is None
+
+    def test_concurrent_store_converges(self, tmp_path):
+        a = DiskCacheBackend(tmp_path)
+        b = DiskCacheBackend(tmp_path)
+        value = np.arange(5.0)
+        a.store_achievable(b"sig11", value)
+        b.store_achievable(b"sig11", value)  # second writer: exists-check no-op
+        assert np.array_equal(a.load_achievable(b"sig11"), value)
+        assert len(list((tmp_path / "ach").rglob("*.npy"))) == 1
+
+
+class TestWiring:
+    def test_memory_promotes_disk_hits(self, tmp_path):
+        disk = DiskCacheBackend(tmp_path)
+        disk.store_achievable(b"sig22", np.arange(4.0))
+        cache = SlotProblemCache(disk=disk)
+        first = cache.achievable(b"sig22")
+        assert first is not None
+        # Promotion: a second read must come from memory (delete the file).
+        for p in (tmp_path / "ach").rglob("*.npy"):
+            p.unlink()
+        assert np.array_equal(cache.achievable(b"sig22"), first)
+
+    def test_shared_cache_env_var(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        cache = shared_cache()
+        assert cache.disk is not None
+        assert cache.disk.enabled
+
+    def test_shared_cache_rebinds_on_new_dir(self, tmp_path):
+        a = shared_cache(str(tmp_path / "a"))
+        assert Path(a.disk.root) == tmp_path / "a"
+        b = shared_cache(str(tmp_path / "b"))
+        assert a is b
+        assert Path(b.disk.root) == tmp_path / "b"
+        # No explicit dir: keeps the current binding, never detaches.
+        c = shared_cache()
+        assert c.disk is b.disk

@@ -222,6 +222,43 @@ class TestErrorSurfacing:
         with pytest.raises(ParallelExecutionError, match="item 2"):
             parallel_map(_crash_on_three, [1, 2, 3], workers=2)
 
+    def test_serial_error_carries_derived_streams(self):
+        from repro.utils.rng import describe_streams
+
+        with pytest.raises(ParallelExecutionError) as err:
+            parallel_map(
+                _crash_on_three,
+                [1, 2, 3],
+                workers=1,
+                diagnostics=lambda i, item: describe_streams(item, ("LFSC",)),
+            )
+        expected = describe_streams(3, ("LFSC",))
+        assert err.value.streams == expected
+        assert f"derived streams: {expected}" in str(err.value)
+        assert "env.workload=0x" in str(err.value)
+        assert "policy.LFSC=0x" in str(err.value)
+
+    def test_parallel_error_carries_derived_streams(self):
+        from repro.utils.rng import describe_streams
+
+        with pytest.raises(ParallelExecutionError) as err:
+            parallel_map(
+                _crash_on_three,
+                [0, 1, 2, 3, 4],
+                workers=2,
+                diagnostics=lambda i, item: describe_streams(item, ()),
+            )
+        assert err.value.streams == describe_streams(3, ())
+
+    def test_broken_diagnostics_never_masks_the_error(self):
+        def boom_diag(i, item):
+            raise RuntimeError("diagnostics are broken")
+
+        with pytest.raises(ParallelExecutionError) as err:
+            parallel_map(_crash_on_three, [1, 2, 3], workers=1, diagnostics=boom_diag)
+        assert err.value.streams == ""
+        assert err.value.index == 2
+
 
 def _bump_metrics(x: int) -> int:
     from repro.obs.metrics import global_registry
