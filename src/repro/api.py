@@ -13,6 +13,15 @@ is the supported facade over that boilerplate:
 >>> rep = api.replicate(scale="small", horizon=200, seeds=3)
 >>> comp = api.compare("LFSC", "Oracle", scale="small", horizon=300)
 
+The online service (DESIGN.md §10) surfaces here too: ``open_session``
+builds a checkpointable slot-by-slot session, ``resume_session`` restores
+one bit-identically from a ``repro-checkpoint/v1`` file, ``serve`` starts
+the socket daemon, and ``describe_checkpoint`` inspects a snapshot:
+
+>>> sess = api.open_session(scale="tiny", horizon=100)
+>>> sess.run(50).save("run.ckpt")                       # doctest: +SKIP
+>>> api.resume_session("run.ckpt").run()                # doctest: +SKIP
+
 Each function accepts either a ready :class:`ExperimentConfig` (positional
 or ``config=``) or a ``scale`` preset name plus keyword overrides, and
 returns a typed result object carrying the resolved config, the raw
@@ -47,8 +56,12 @@ __all__ = [
     "ReplicationResult",
     "RunResult",
     "compare",
+    "describe_checkpoint",
+    "open_session",
     "replicate",
+    "resume_session",
     "run",
+    "serve",
 ]
 
 _SCALES = {
@@ -269,3 +282,93 @@ def compare(
             early_violation_ratio(result[policy], result[baseline])
         ),
     )
+
+
+# ---------------------------------------------------------------------------
+# Online service (DESIGN.md §10).
+# ---------------------------------------------------------------------------
+
+
+def open_session(
+    config: ExperimentConfig | None = None,
+    *,
+    policy: str = "LFSC",
+    scale: str = "small",
+    record_expected: bool = True,
+    validate_assignments: bool = True,
+    **overrides,
+):
+    """A fresh checkpointable :class:`~repro.service.session.OnlineSession`.
+
+    Config resolution matches :func:`run` (explicit config, or a scale
+    preset plus overrides).  The session advances with ``decide()`` /
+    ``feedback()`` / ``run(n)``, snapshots with ``save(path)``, and its
+    ``result()`` is bit-identical to the batch simulator's per-slot run.
+    """
+    from repro.service import OnlineSession
+
+    cfg = _resolve_config(config, scale, overrides)
+    return OnlineSession(
+        cfg,
+        policy=policy,
+        record_expected=record_expected,
+        validate_assignments=validate_assignments,
+    )
+
+
+def resume_session(path: str | Path):
+    """Restore a session from a ``repro-checkpoint/v1`` file.
+
+    The restored session continues bit-identically to one that never
+    stopped — same assignments, same realizations, same recorded series
+    (``tests/service/test_resume_equivalence.py``).
+    """
+    from repro.service import OnlineSession
+
+    return OnlineSession.from_checkpoint(path)
+
+
+def describe_checkpoint(path: str | Path) -> dict:
+    """Digest-verify a checkpoint file and summarize its coordinates."""
+    from repro.service.session import describe_checkpoint as _describe
+
+    return _describe(path)
+
+
+def serve(
+    config: ExperimentConfig | None = None,
+    *,
+    policy: str = "LFSC",
+    scale: str = "small",
+    host: str = "127.0.0.1",
+    port: int = 0,
+    checkpoint_path: str | Path | None = None,
+    checkpoint_every: int = 0,
+    resume_from: str | Path | None = None,
+    **overrides,
+):
+    """Start a :class:`~repro.service.daemon.PolicyDaemon` (background thread).
+
+    Returns the started daemon; ``daemon.address`` is the bound (host,
+    port).  ``resume_from`` restores the session from a checkpoint instead
+    of starting fresh (``config``/``policy`` are then taken from the
+    snapshot and must not conflict).
+    """
+    from repro.service import OnlineSession, PolicyDaemon
+
+    if resume_from is not None:
+        if config is not None:
+            raise ValueError("pass either config or resume_from, not both")
+        session = OnlineSession.from_checkpoint(resume_from)
+    else:
+        cfg = _resolve_config(config, scale, overrides)
+        session = OnlineSession(cfg, policy=policy)
+    daemon = PolicyDaemon(
+        session,
+        host=host,
+        port=port,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+    )
+    daemon.start()
+    return daemon

@@ -313,6 +313,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="check every record against the trace schema before summarizing",
     )
 
+    serve_p = sub.add_parser(
+        "serve",
+        parents=[common],
+        help="run the online offloading daemon (DESIGN.md §10)",
+    )
+    serve_p.add_argument("--policy", default="LFSC", help="policy to serve (default LFSC)")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=0, help="0 = OS-assigned")
+    serve_p.add_argument(
+        "--checkpoint",
+        dest="checkpoint_path",
+        default=None,
+        metavar="PATH",
+        help="repro-checkpoint/v1 file for autosaves and the stop checkpoint",
+    )
+    serve_p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="autosave every N served slots (requires --checkpoint)",
+    )
+    serve_p.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help="restore the session from a checkpoint instead of starting fresh "
+        "(config and policy come from the snapshot)",
+    )
+    serve_p.add_argument(
+        "--drive",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve N synthetic decisions in-process, then checkpoint (if "
+        "configured) and exit — no socket client needed",
+    )
+
+    ckpt_p = sub.add_parser(
+        "checkpoint", help="verify a repro-checkpoint/v1 file and print its summary"
+    )
+    ckpt_p.add_argument("path", help="checkpoint file to inspect")
+
+    res_p = sub.add_parser(
+        "resume",
+        help="restore a session from a checkpoint and run it forward",
+    )
+    res_p.add_argument("path", help="checkpoint file to resume from")
+    res_p.add_argument(
+        "--slots",
+        type=int,
+        default=None,
+        metavar="N",
+        help="slots to advance (default: to the snapshot's horizon)",
+    )
+    res_p.add_argument(
+        "--checkpoint",
+        dest="checkpoint_out",
+        default=None,
+        metavar="PATH",
+        help="write a fresh checkpoint after advancing",
+    )
+
     repl_p = sub.add_parser(
         "replicate",
         parents=[common],
@@ -375,6 +438,47 @@ def _dispatch(args: argparse.Namespace, cfg: ExperimentConfig, workers: int) -> 
         for name in names:
             print(f"\n=== ablation: {name} ===")
             _emit(studies[name](cfg, workers=workers), args, cfg)
+    elif args.command == "serve":
+        from repro.service import OnlineSession, PolicyDaemon
+
+        if args.resume is not None:
+            session = OnlineSession.from_checkpoint(args.resume)
+            print(
+                f"[serve] resumed {session.policy_name} at t={session.t}/"
+                f"{session.horizon} from {args.resume}"
+            )
+        else:
+            session = OnlineSession(cfg, policy=args.policy)
+        daemon = PolicyDaemon(
+            session,
+            host=args.host,
+            port=args.port,
+            checkpoint_path=args.checkpoint_path,
+            checkpoint_every=args.checkpoint_every,
+        )
+        if args.drive is not None:
+            for _ in range(args.drive):
+                reply = daemon.handle({"op": "decide"})
+                if not reply.get("ok"):
+                    print(f"[serve] decide failed: {reply.get('message')}")
+                    return 1
+            reply = daemon.handle({"op": "stop"})
+            status = daemon.handle({"op": "status"})
+            print(
+                f"[serve] drove {args.drive} slots to t={session.t}; "
+                f"p50={status['latency_p50_ms']:.3f}ms "
+                f"p99={status['latency_p99_ms']:.3f}ms"
+            )
+            if reply.get("path"):
+                print(f"[serve] checkpoint: {reply['path']}")
+        else:
+            host, port = daemon.start()
+            print(
+                f"[serve] {session.policy_name} listening on {host}:{port} "
+                f"(t={session.t}/{session.horizon}); "
+                "send {\"op\": \"stop\"} to exit"
+            )
+            daemon.serve_forever()
     elif args.command == "replicate":
         from repro.experiments.replication import replicate, replication_rows
         from repro.metrics.summary import format_table
@@ -464,6 +568,44 @@ def main(argv: Sequence[str] | None = None) -> int:
                 validate_record(rec)
             print(f"schema OK: every record in {args.path} is valid")
         print(format_trace_summary(summarize_trace_file(args.path)))
+        return 0
+
+    if args.command == "checkpoint":
+        import json
+
+        from repro.service import CheckpointError, describe_checkpoint
+
+        try:
+            info = describe_checkpoint(args.path)
+        except CheckpointError as exc:
+            print(f"invalid checkpoint: {exc}", file=sys.stderr)
+            return 1
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0
+
+    if args.command == "resume":
+        from repro.service import CheckpointError, OnlineSession
+
+        try:
+            session = OnlineSession.from_checkpoint(args.path)
+        except CheckpointError as exc:
+            print(f"invalid checkpoint: {exc}", file=sys.stderr)
+            return 1
+        start_t = session.t
+        session.run(args.slots)
+        print(
+            f"[resume] {session.policy_name}: t={start_t} -> {session.t} "
+            f"(horizon {session.horizon})"
+        )
+        if session.t > 0:
+            summary = session.result().summary()
+            print(
+                f"[resume] total_reward={summary['total_reward']:.3f} "
+                f"violations={summary['total_violations']:.3f}"
+            )
+        if args.checkpoint_out is not None:
+            written = session.save(args.checkpoint_out)
+            print(f"[resume] wrote {written}")
         return 0
 
     cfg = _config_from_args(args)

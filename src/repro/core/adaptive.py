@@ -121,6 +121,54 @@ class AdaptivePartition:
         self._counts: dict[int, int] = {0: 0}
         self._next_id = 1
 
+    def state_dict(self) -> dict:
+        """The full tree state (for checkpoint/restore).
+
+        Observation counts are stored as one array aligned with
+        ``leaf_ids`` — the count keys are exactly the live leaves — so the
+        snapshot is pure arrays plus the id cursor.
+        """
+        counts = np.fromiter(
+            (self._counts[int(i)] for i in self._leaf_ids),
+            dtype=np.int64,
+            count=self.num_leaves,
+        )
+        return {
+            "leaf_ids": self._leaf_ids.copy(),
+            "leaf_lows": self._leaf_lows.copy(),
+            "leaf_sides": self._leaf_sides.copy(),
+            "leaf_levels": self._leaf_levels.copy(),
+            "leaf_counts": counts,
+            "next_id": int(self._next_id),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (consistency-checked)."""
+        leaf_ids = np.asarray(state["leaf_ids"], dtype=np.int64)
+        leaf_lows = np.asarray(state["leaf_lows"], dtype=float)
+        leaf_sides = np.asarray(state["leaf_sides"], dtype=float)
+        leaf_levels = np.asarray(state["leaf_levels"], dtype=np.int64)
+        counts = np.asarray(state["leaf_counts"], dtype=np.int64)
+        n = leaf_ids.shape[0]
+        if (
+            leaf_lows.shape != (n, self.dims)
+            or leaf_sides.shape != (n,)
+            or leaf_levels.shape != (n,)
+            or counts.shape != (n,)
+        ):
+            raise ValueError("adaptive-partition state arrays are inconsistent")
+        next_id = int(state["next_id"])
+        if n == 0 or int(leaf_ids.max(initial=0)) >= next_id:
+            raise ValueError("adaptive-partition state has ids beyond the id cursor")
+        self._leaf_ids = leaf_ids.copy()
+        self._leaf_lows = leaf_lows.copy()
+        self._leaf_sides = leaf_sides.copy()
+        self._leaf_levels = leaf_levels.copy()
+        self._counts = {
+            int(i): int(c) for i, c in zip(leaf_ids.tolist(), counts.tolist())
+        }
+        self._next_id = next_id
+
     def level_of(self, leaf_id: int) -> int:
         pos = np.flatnonzero(self._leaf_ids == leaf_id)
         require(pos.size == 1, f"{leaf_id} is not a live leaf")
@@ -232,3 +280,21 @@ class AdaptiveLFSCPolicy(LFSCPolicy):
         for parent, children in self.adaptive.observe(np.asarray(observed)):
             for child in children:
                 self.log_w[:, child] = self.log_w[:, parent]
+
+    def checkpoint_state(self) -> dict:
+        state = super().checkpoint_state()
+        for name, value in self.adaptive.state_dict().items():
+            state[f"partition_{name}"] = value
+        return state
+
+    def restore_checkpoint_state(self, state: dict) -> None:
+        super().restore_checkpoint_state(state)
+        self.adaptive.load_state_dict(
+            {
+                name: state[f"partition_{name}"]
+                for name in (
+                    "leaf_ids", "leaf_lows", "leaf_sides", "leaf_levels",
+                    "leaf_counts", "next_id",
+                )
+            }
+        )

@@ -59,6 +59,27 @@ class OffloadingPolicy(ABC):
     def _update(self, slot: SlotObservation, feedback: SlotFeedback) -> None:
         """Subclass hook; default is stateless (e.g. the Random baseline)."""
 
+    # -- checkpoint/restore --------------------------------------------------
+
+    def checkpoint_state(self) -> dict:
+        """Learning state beyond what :meth:`reset` rebuilds.
+
+        Values may be numpy arrays or JSON scalars; the checkpoint container
+        (:mod:`repro.service.checkpoint`) routes each kind to the right
+        section.  The RNG stream is captured separately by the session —
+        policies must never serialize ``self.rng`` themselves.  Subclasses
+        extend the dict via ``super().checkpoint_state()``.
+        """
+        return {"t": int(self.t)}
+
+    def restore_checkpoint_state(self, state: dict) -> None:
+        """Restore a :meth:`checkpoint_state` snapshot onto a reset policy.
+
+        Called after :meth:`reset`, so only the mutated state needs
+        reassigning; a stateless baseline restores just the slot counter.
+        """
+        self.t = int(state["t"])
+
     # -- shared helpers -----------------------------------------------------
 
     def _require_reset(self) -> NetworkConfig:

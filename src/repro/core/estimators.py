@@ -135,6 +135,28 @@ class CubeStatistics:
             ) / new_n
         self.counts.reshape(-1)[touched] += batch_counts[touched]
 
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Counts and running means, copied (for checkpoint/restore)."""
+        return {
+            "counts": self.counts.copy(),
+            "mean_g": self.mean_g.copy(),
+            "mean_v": self.mean_v.copy(),
+            "mean_q": self.mean_q.copy(),
+        }
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore :meth:`state_dict` values (shape-checked)."""
+        shape = (self.num_scns, self.num_cubes)
+        for name, dtype in (
+            ("counts", np.int64), ("mean_g", float), ("mean_v", float), ("mean_q", float),
+        ):
+            value = np.asarray(state[name], dtype=dtype)
+            if value.shape != shape:
+                raise ValueError(
+                    f"statistic {name!r} has shape {value.shape}, expected {shape}"
+                )
+            setattr(self, name, value.copy())
+
     def total_observations(self) -> int:
         """Total number of processed-task observations so far."""
         return int(self.counts.sum())

@@ -792,6 +792,60 @@ class LFSCPolicy(OffloadingPolicy):
         if len(asn):
             self.stats.observe(asn.scn, edge_cube[pos], feedback.g, feedback.v, feedback.q)
 
+    # -- checkpoint/restore ----------------------------------------------------
+
+    def checkpoint_state(self) -> dict:
+        """Every mutable learning quantity of Alg. 1-3 (see base class).
+
+        Only legal at a slot boundary: between ``select()`` and ``update()``
+        the policy holds per-slot scratch (``_cache``) that references the
+        live slot and cannot be serialized, so checkpointing there would
+        break the resume bit-identity guarantee.
+        """
+        if self._cache is not None:
+            raise RuntimeError(
+                "cannot checkpoint between select() and update(): "
+                "finish the slot's feedback first"
+            )
+        if self.log_w is None or self.multipliers is None or self.stats is None:
+            raise RuntimeError("policy not reset yet — nothing to checkpoint")
+        state = super().checkpoint_state()
+        state["log_w"] = self.log_w.copy()
+        state["mult_qos"] = self.multipliers.qos.copy()
+        state["mult_resource"] = self.multipliers.resource.copy()
+        for name, value in self.stats.state_dict().items():
+            state[f"stats_{name}"] = value
+        if self.multiplier_history_qos is not None:
+            state["mult_history_qos"] = self.multiplier_history_qos.copy()
+            state["mult_history_resource"] = self.multiplier_history_resource.copy()
+        return state
+
+    def restore_checkpoint_state(self, state: dict) -> None:
+        if self.log_w is None or self.multipliers is None or self.stats is None:
+            raise RuntimeError("restore requires a reset policy (call reset() first)")
+        super().restore_checkpoint_state(state)
+        log_w = np.ascontiguousarray(np.asarray(state["log_w"], dtype=float))
+        if log_w.shape != self.log_w.shape:
+            raise ValueError(
+                f"log_w has shape {log_w.shape}, expected {self.log_w.shape}"
+            )
+        self.log_w = log_w
+        self.multipliers.load_state_dict(
+            {"qos": state["mult_qos"], "resource": state["mult_resource"]}
+        )
+        self.stats.load_state_dict(
+            {
+                name: state[f"stats_{name}"]
+                for name in ("counts", "mean_g", "mean_v", "mean_q")
+            }
+        )
+        if "mult_history_qos" in state:
+            self.multiplier_history_qos = np.array(state["mult_history_qos"], dtype=float)
+            self.multiplier_history_resource = np.array(
+                state["mult_history_resource"], dtype=float
+            )
+        self._cache = None
+
     # -- diagnostics ----------------------------------------------------------
 
     def weights_snapshot(self) -> np.ndarray:

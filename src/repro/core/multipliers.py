@@ -95,3 +95,17 @@ class LagrangeMultipliers:
         """Zero both multiplier vectors (fresh run)."""
         self.qos = np.zeros(self.num_scns)
         self.resource = np.zeros(self.num_scns)
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """The dual variables, copied (for checkpoint/restore)."""
+        return {"qos": self.qos.copy(), "resource": self.resource.copy()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore :meth:`state_dict` values (shape-checked)."""
+        for name in ("qos", "resource"):
+            value = np.asarray(state[name], dtype=float)
+            if value.shape != (self.num_scns,):
+                raise ValueError(
+                    f"multiplier {name!r} has shape {value.shape}, expected ({self.num_scns},)"
+                )
+            setattr(self, name, value.copy())

@@ -102,6 +102,19 @@ class GroundTruth(ABC):
         """Advance any internal non-stationary state to slot ``t+1``."""
         # Stationary truths have nothing to do.
 
+    def checkpoint_state(self) -> dict:
+        """State mutated by :meth:`advance` (for checkpoint/restore).
+
+        Stationary truths are a pure function of their construction seed, so
+        the default snapshot is empty; non-stationary truths return whatever
+        :meth:`advance` walks (the RNG streams are captured separately by
+        the session).  Values may be numpy arrays or JSON scalars.
+        """
+        return {}
+
+    def restore_checkpoint_state(self, state: dict) -> None:
+        """Restore a :meth:`checkpoint_state` snapshot onto a fresh truth."""
+
     def reward_bound(self) -> float:
         """An upper bound on the compound reward g (for normalization)."""
         return 1.0
@@ -468,6 +481,17 @@ class DriftingTruth(GroundTruth):
         folded = np.abs((walked - lo) % (2.0 * span))
         self.base.mu_u = lo + (span - np.abs(span - folded))
 
+    def checkpoint_state(self) -> dict:
+        return {"mu_u": self.base.mu_u.copy()}
+
+    def restore_checkpoint_state(self, state: dict) -> None:
+        mu_u = np.asarray(state["mu_u"], dtype=float)
+        if mu_u.shape != self.base.mu_u.shape:
+            raise ValueError(
+                f"mu_u has shape {mu_u.shape}, expected {self.base.mu_u.shape}"
+            )
+        self.base.mu_u = mu_u.copy()
+
     def reward_bound(self) -> float:
         return self.base.reward_bound()
 
@@ -535,6 +559,15 @@ class RegimeSwitchTruth(GroundTruth):
     def advance(self, t: int, rng: np.random.Generator) -> None:
         if rng.random() < self.switch_prob:
             self._active = self.regime_b if self._active is self.regime_a else self.regime_a
+
+    def checkpoint_state(self) -> dict:
+        return {"active": self.active_regime}
+
+    def restore_checkpoint_state(self, state: dict) -> None:
+        active = state["active"]
+        if active not in ("a", "b"):
+            raise ValueError(f"active regime must be 'a' or 'b', got {active!r}")
+        self._active = self.regime_a if active == "a" else self.regime_b
 
     def reward_bound(self) -> float:
         return max(self.regime_a.reward_bound(), self.regime_b.reward_bound())

@@ -1,0 +1,56 @@
+"""Online offloading service: daemon mode with bit-identical checkpoint/restore.
+
+The batch simulator answers "what would policy π have done over T slots";
+this package answers the *online* form of the same question: a long-lived
+:class:`~repro.service.session.OnlineSession` advances slot by slot, a
+:class:`~repro.service.daemon.PolicyDaemon` answers assignment queries over
+a local socket, and a versioned ``repro-checkpoint/v1`` snapshot
+(:mod:`repro.service.checkpoint`) lets the process die and resume without
+perturbing a single random draw — restored trajectories are bit-identical
+to never having stopped (``tests/service/``).
+
+Entry points: ``repro serve`` / ``repro checkpoint`` / ``repro resume`` on
+the CLI, and :func:`repro.api.open_session` / :func:`repro.api.resume_session`
+/ :func:`repro.api.serve` on the facade.
+"""
+
+from repro.service.checkpoint import (
+    CHECKPOINT_MAGIC,
+    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointError,
+    CheckpointFormatError,
+    CheckpointIntegrityError,
+    deserialize_checkpoint,
+    read_checkpoint,
+    serialize_checkpoint,
+    write_checkpoint,
+)
+from repro.service.daemon import PolicyDaemon, ServiceClient
+from repro.service.events import Arrival, ArrivalQueue, build_slot
+from repro.service.session import (
+    OnlineSession,
+    config_from_dict,
+    config_to_dict,
+    describe_checkpoint,
+)
+
+__all__ = [
+    "Arrival",
+    "ArrivalQueue",
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_SCHEMA_VERSION",
+    "CheckpointError",
+    "CheckpointFormatError",
+    "CheckpointIntegrityError",
+    "OnlineSession",
+    "PolicyDaemon",
+    "ServiceClient",
+    "build_slot",
+    "config_from_dict",
+    "config_to_dict",
+    "describe_checkpoint",
+    "deserialize_checkpoint",
+    "read_checkpoint",
+    "serialize_checkpoint",
+    "write_checkpoint",
+]

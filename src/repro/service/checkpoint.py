@@ -1,0 +1,229 @@
+"""The ``repro-checkpoint/v1`` snapshot container (DESIGN.md §10).
+
+One self-contained, pickle-free file holds everything a restored session
+needs to continue bit-identically: a canonical-JSON header (config, slot
+cursor, RNG stream states, scalar policy/truth state, a ``repro-manifest/v1``
+provenance block) followed by the raw bytes of every numpy array (weights,
+multipliers, hypercube statistics, recorded series), sealed by a blake2b
+digest.  Layout::
+
+    magic   b"repro-checkpoint/v1\\n"                      (20 bytes)
+    hlen    header length, big-endian uint64                (8 bytes)
+    header  canonical JSON (sorted keys, no whitespace)     (hlen bytes)
+    arrays  C-order raw bytes, in the header's order        (Σ nbytes)
+    digest  blake2b-256 over every preceding byte           (32 bytes)
+
+Design rules, mirrored from the ``solvers/cache.py`` on-disk discipline:
+
+- **versioned magic** — a foreign or future file fails loudly
+  (:class:`CheckpointFormatError`), never half-parses;
+- **atomic writes** — serialize to a same-directory temp file and
+  ``os.replace`` into place, so readers only ever see complete files;
+- **fail closed** — truncation or bit corruption anywhere raises
+  :class:`CheckpointIntegrityError` before any value is returned: there is
+  no partial restore;
+- **canonical bytes** — the header is canonical JSON and arrays are stored
+  in sorted-name order, so serialize→deserialize→serialize is byte-stable
+  (the property ``tests/service/test_checkpoint_format.py`` enforces);
+- **no pickle** — the payload is JSON scalars and raw array bytes only;
+  object dtypes are rejected at serialization time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_SCHEMA_VERSION",
+    "CheckpointError",
+    "CheckpointFormatError",
+    "CheckpointIntegrityError",
+    "deserialize_checkpoint",
+    "read_checkpoint",
+    "serialize_checkpoint",
+    "write_checkpoint",
+]
+
+CHECKPOINT_SCHEMA_VERSION = "repro-checkpoint/v1"
+CHECKPOINT_MAGIC = b"repro-checkpoint/v1\n"
+
+_DIGEST_SIZE = 32
+_LEN_STRUCT = struct.Struct(">Q")
+#: Hard cap on the declared header length: a corrupted length field must not
+#: turn into a multi-gigabyte allocation before the digest check can run.
+_MAX_HEADER_BYTES = 64 * 1024 * 1024
+
+
+class CheckpointError(Exception):
+    """Base class for every checkpoint read/write failure."""
+
+
+class CheckpointFormatError(CheckpointError):
+    """Not a ``repro-checkpoint/v1`` file, or its contents are malformed."""
+
+
+class CheckpointIntegrityError(CheckpointError):
+    """The file is truncated or its bytes fail the digest check."""
+
+
+def _canonical_json(doc: object) -> bytes:
+    try:
+        return json.dumps(
+            doc, sort_keys=True, separators=(",", ":"), allow_nan=False
+        ).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise CheckpointFormatError(
+            f"checkpoint header is not canonical-JSON serializable: {exc}"
+        ) from exc
+
+
+def _check_array(name: str, arr: np.ndarray) -> np.ndarray:
+    arr = np.asarray(arr)
+    if arr.dtype.hasobject:
+        raise CheckpointFormatError(
+            f"array {name!r} has object dtype {arr.dtype} — checkpoints are pickle-free"
+        )
+    # ascontiguousarray would promote 0-d to shape (1,); 0-d is already
+    # trivially contiguous.
+    return arr if arr.ndim == 0 else np.ascontiguousarray(arr)
+
+
+def serialize_checkpoint(header: dict, arrays: dict[str, np.ndarray]) -> bytes:
+    """The full container bytes for ``header`` + ``arrays``.
+
+    Arrays are laid out in sorted-name order; the header must be JSON-safe
+    (ints, floats, strings, bools, lists, dicts — no NaN/Inf).
+    """
+    names = sorted(arrays)
+    checked = {name: _check_array(name, arrays[name]) for name in names}
+    doc = {
+        "schema": CHECKPOINT_SCHEMA_VERSION,
+        "header": header,
+        "arrays": [
+            {
+                "name": name,
+                "dtype": checked[name].dtype.str,
+                "shape": list(checked[name].shape),
+            }
+            for name in names
+        ],
+    }
+    header_bytes = _canonical_json(doc)
+    parts = [CHECKPOINT_MAGIC, _LEN_STRUCT.pack(len(header_bytes)), header_bytes]
+    parts.extend(checked[name].tobytes(order="C") for name in names)
+    body = b"".join(parts)
+    digest = hashlib.blake2b(body, digest_size=_DIGEST_SIZE).digest()
+    return body + digest
+
+
+def deserialize_checkpoint(data: bytes) -> tuple[dict, dict[str, np.ndarray]]:
+    """Parse container bytes back into ``(header, arrays)``.
+
+    Raises :class:`CheckpointFormatError` for foreign/malformed files and
+    :class:`CheckpointIntegrityError` for truncated or corrupted ones —
+    always before returning any value, never a partial result.
+    """
+    if len(data) < len(CHECKPOINT_MAGIC) or not data.startswith(CHECKPOINT_MAGIC):
+        raise CheckpointFormatError(
+            f"not a {CHECKPOINT_SCHEMA_VERSION} file (bad magic)"
+        )
+    offset = len(CHECKPOINT_MAGIC)
+    if len(data) < offset + _LEN_STRUCT.size + _DIGEST_SIZE:
+        raise CheckpointIntegrityError("checkpoint truncated before the header")
+    (hlen,) = _LEN_STRUCT.unpack_from(data, offset)
+    if hlen > _MAX_HEADER_BYTES:
+        raise CheckpointIntegrityError(
+            f"declared header length {hlen} exceeds the {_MAX_HEADER_BYTES}-byte cap"
+        )
+    offset += _LEN_STRUCT.size
+    body_end = len(data) - _DIGEST_SIZE
+    if offset + hlen > body_end:
+        raise CheckpointIntegrityError("checkpoint truncated inside the header")
+    digest = hashlib.blake2b(data[:body_end], digest_size=_DIGEST_SIZE).digest()
+    if digest != data[body_end:]:
+        raise CheckpointIntegrityError("checkpoint digest mismatch (corrupted file)")
+
+    try:
+        doc = json.loads(data[offset : offset + hlen].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CheckpointFormatError(f"checkpoint header is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("schema") != CHECKPOINT_SCHEMA_VERSION:
+        raise CheckpointFormatError(
+            f"checkpoint schema is {doc.get('schema')!r}, "
+            f"expected {CHECKPOINT_SCHEMA_VERSION!r}"
+        )
+    header = doc.get("header")
+    specs = doc.get("arrays")
+    if not isinstance(header, dict) or not isinstance(specs, list):
+        raise CheckpointFormatError("checkpoint header/arrays sections are malformed")
+
+    offset += hlen
+    arrays: dict[str, np.ndarray] = {}
+    for spec in specs:
+        try:
+            name = spec["name"]
+            dtype = np.dtype(spec["dtype"])
+            shape = tuple(int(s) for s in spec["shape"])
+        except (TypeError, KeyError, ValueError) as exc:
+            raise CheckpointFormatError(f"malformed array spec {spec!r}: {exc}") from exc
+        if dtype.hasobject:
+            raise CheckpointFormatError(f"array {name!r} declares an object dtype")
+        if any(s < 0 for s in shape):
+            raise CheckpointFormatError(f"array {name!r} declares a negative dimension")
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        if count < 0:
+            raise CheckpointFormatError(f"array {name!r} declares an overflowing shape")
+        nbytes = count * dtype.itemsize
+        if offset + nbytes > body_end:
+            raise CheckpointIntegrityError("checkpoint truncated inside the array payload")
+        arr = np.frombuffer(data[offset : offset + nbytes], dtype=dtype, count=count)
+        arrays[name] = arr.reshape(shape).copy()
+        offset += nbytes
+    if offset != body_end:
+        raise CheckpointFormatError(
+            f"{body_end - offset} unaccounted payload bytes after the declared arrays"
+        )
+    return header, arrays
+
+
+def write_checkpoint(
+    path: str | Path, header: dict, arrays: dict[str, np.ndarray]
+) -> Path:
+    """Atomically write a checkpoint file (temp file + ``os.replace``)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    data = serialize_checkpoint(header, arrays)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=target.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return target
+
+
+def read_checkpoint(path: str | Path) -> tuple[dict, dict[str, np.ndarray]]:
+    """Read and verify a checkpoint file written by :func:`write_checkpoint`."""
+    target = Path(path)
+    try:
+        data = target.read_bytes()
+    except FileNotFoundError:
+        raise CheckpointError(f"checkpoint file not found: {target}") from None
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {target}: {exc}") from exc
+    return deserialize_checkpoint(data)

@@ -1,0 +1,342 @@
+"""The offloading policy daemon: a socket front-end over :class:`OnlineSession`.
+
+:class:`PolicyDaemon` serializes every request through one lock, so the
+stateful session underneath sees a strict decide → feedback → decide slot
+cycle no matter how many client connections race.  The protocol is
+newline-delimited JSON over a local TCP socket (port 0 by default — the OS
+picks a free port, which :attr:`PolicyDaemon.address` reports):
+
+    {"op": "status"}                         → run coordinates + latency stats
+    {"op": "arrive", "slot": 7,
+     "context": [...], "scns": [...]}        → queue a task arrival
+    {"op": "decide"}                         → answer slot t's assignment
+    {"op": "feedback"}                       → realize + learn (explicit mode)
+    {"op": "checkpoint", "path": "..."}      → atomic repro-checkpoint/v1 write
+    {"op": "stop"}                           → final checkpoint (if configured) + exit
+    {"op": "kill"}                           → exit WITHOUT checkpointing
+
+Replies are ``{"ok": true, ...}`` or ``{"ok": false, "error": kind,
+"message": ...}`` — client mistakes (bad op, bad arrival, horizon
+exhausted) report cleanly instead of tearing the daemon down.
+
+``decide`` serves the session's synthetic workload by default; when
+arrivals are queued for the current slot (via ``arrive``), the drained
+batch becomes the slot instead — the live-serving path.  With
+``auto_feedback=True`` (default) each ``decide`` realizes its feedback
+before replying, so every reply carries the decision *and* the realized
+outcome; ``auto_feedback=False`` splits the two ops for callers that sit
+between decision and realization.
+
+``kill`` exists for the crash-recovery tests: it drops the process state on
+the floor exactly like a SIGKILL would, so a restart must come from the
+last on-disk checkpoint (``checkpoint_every=N`` autosaves one every N
+slots).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+from collections import deque
+from pathlib import Path
+from statistics import median
+from time import monotonic
+
+import numpy as np
+
+from repro.obs import runtime as obs_runtime
+from repro.service.checkpoint import CheckpointError
+from repro.service.events import ArrivalQueue, build_slot
+from repro.service.session import OnlineSession
+
+__all__ = ["PolicyDaemon", "ServiceClient"]
+
+#: Sliding window of per-decision latencies kept for the status report.
+_LATENCY_WINDOW = 4096
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile (small fixed windows; no numpy detour)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+class PolicyDaemon:
+    """Lock-serialized request handler plus an optional TCP front-end.
+
+    The request surface is :meth:`handle` — a pure ``dict → dict`` function,
+    so tests (and the CLI's ``--drive`` mode) can exercise the full protocol
+    in-process; :meth:`serve_forever` merely pumps socket lines through it.
+
+    Parameters
+    ----------
+    session:
+        The stateful session to serve.
+    host, port:
+        Bind address for :meth:`serve_forever`; port 0 lets the OS choose.
+    checkpoint_path:
+        Where autosaves and the ``stop`` checkpoint go (``None`` disables).
+    checkpoint_every:
+        Autosave period in slots (0 disables autosaves).
+    auto_feedback:
+        Realize each decision's feedback inside ``decide`` (default True).
+    """
+
+    def __init__(
+        self,
+        session: OnlineSession,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        checkpoint_path: str | Path | None = None,
+        checkpoint_every: int = 0,
+        auto_feedback: bool = True,
+    ) -> None:
+        if checkpoint_every < 0:
+            raise ValueError(f"checkpoint_every must be >= 0, got {checkpoint_every}")
+        if checkpoint_every > 0 and checkpoint_path is None:
+            raise ValueError("checkpoint_every requires a checkpoint_path")
+        self.session = session
+        self.host = host
+        self.port = int(port)
+        self.checkpoint_path = (
+            Path(checkpoint_path) if checkpoint_path is not None else None
+        )
+        self.checkpoint_every = int(checkpoint_every)
+        self.auto_feedback = bool(auto_feedback)
+        self.queue = ArrivalQueue()
+        self._lock = threading.Lock()
+        self._latencies: deque[float] = deque(maxlen=_LATENCY_WINDOW)
+        self._decisions = 0
+        self._checkpoints = 0
+        self._stopping = threading.Event()
+        self._server: socketserver.ThreadingTCPServer | None = None
+
+    # -- request surface ----------------------------------------------------
+
+    def handle(self, request: dict) -> dict:
+        """Serve one protocol request; never raises for client mistakes."""
+        if not isinstance(request, dict) or "op" not in request:
+            return self._error("protocol", "request must be an object with an 'op'")
+        op = request["op"]
+        handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
+        if handler is None or op.startswith("_"):
+            return self._error("protocol", f"unknown op {op!r}")
+        with self._lock:
+            try:
+                return handler(request)
+            except CheckpointError as exc:
+                return self._error("checkpoint", str(exc))
+            except (ValueError, RuntimeError, KeyError, TypeError) as exc:
+                return self._error("request", str(exc))
+
+    @staticmethod
+    def _error(kind: str, message: str) -> dict:
+        return {"ok": False, "error": kind, "message": message}
+
+    def _op_status(self, request: dict) -> dict:
+        lat = list(self._latencies)
+        return {
+            "ok": True,
+            "policy": self.session.policy_name,
+            "t": self.session.t,
+            "horizon": self.session.horizon,
+            "pending": self.session.pending,
+            "queued_arrivals": len(self.queue),
+            "decisions": self._decisions,
+            "checkpoints": self._checkpoints,
+            "latency_p50_ms": 1e3 * (median(lat) if lat else 0.0),
+            "latency_p99_ms": 1e3 * _percentile(lat, 0.99),
+        }
+
+    def _op_arrive(self, request: dict) -> dict:
+        slot = request.get("slot", self.session.t)
+        arrival = self.queue.push(slot, request["context"], request["scns"])
+        return {"ok": True, "slot": arrival.slot, "seq": arrival.seq}
+
+    def _op_decide(self, request: dict) -> dict:
+        session = self.session
+        t = session.t
+        start = monotonic()
+        arrivals = self.queue.drain(t)
+        if arrivals:
+            slot = build_slot(
+                t,
+                arrivals,
+                num_scns=session.network.num_scns,
+                dims=session.config.dims,
+            )
+            assignment = session.decide(slot)
+        else:
+            assignment = session.decide()
+        reply: dict = {
+            "ok": True,
+            "t": t,
+            "external_arrivals": len(arrivals),
+            "assignment": {
+                "task": assignment.task.tolist(),
+                "scn": assignment.scn.tolist(),
+            },
+        }
+        if self.auto_feedback:
+            reply["feedback"] = self._apply_feedback()
+        self._latencies.append(monotonic() - start)
+        self._decisions += 1
+        return reply
+
+    def _op_feedback(self, request: dict) -> dict:
+        if self.auto_feedback:
+            return self._error(
+                "request", "daemon runs with auto_feedback: decide already learned"
+            )
+        return {"ok": True, "t": self.session.t, "feedback": self._apply_feedback()}
+
+    def _apply_feedback(self) -> dict:
+        session = self.session
+        feedback = session.feedback()
+        done = session.t  # feedback advanced the cursor past the served slot
+        if (
+            self.checkpoint_every > 0
+            and done % self.checkpoint_every == 0
+            and self.checkpoint_path is not None
+        ):
+            self._write_checkpoint(self.checkpoint_path)
+        return {
+            "realized_reward": float(feedback.g.sum()),
+            "completed": int(np.asarray(feedback.v).sum()) if len(feedback.v) else 0,
+        }
+
+    def _op_checkpoint(self, request: dict) -> dict:
+        path = request.get("path") or self.checkpoint_path
+        if path is None:
+            return self._error(
+                "request", "no checkpoint path: pass 'path' or configure one"
+            )
+        written = self._write_checkpoint(Path(path))
+        return {"ok": True, "path": str(written), "t": self.session.t}
+
+    def _write_checkpoint(self, path: Path) -> Path:
+        with obs_runtime.span("service.checkpoint"):
+            written = self.session.save(path)
+        self._checkpoints += 1
+        return written
+
+    def _op_stop(self, request: dict) -> dict:
+        reply: dict = {"ok": True, "t": self.session.t, "stopping": True}
+        if self.checkpoint_path is not None and not self.session.pending:
+            reply["path"] = str(self._write_checkpoint(self.checkpoint_path))
+        self._stopping.set()
+        self._shutdown_server()
+        return reply
+
+    def _op_kill(self, request: dict) -> dict:
+        # Crash simulation: NO final checkpoint — recovery must come from
+        # the last autosave, exactly as after a real process death.
+        self._stopping.set()
+        self._shutdown_server()
+        return {"ok": True, "t": self.session.t, "stopping": True, "checkpointed": False}
+
+    # -- socket front-end ---------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — valid once :meth:`start` returned."""
+        if self._server is None:
+            return (self.host, self.port)
+        return self._server.server_address[:2]
+
+    def start(self) -> tuple[str, int]:
+        """Bind and serve on a background thread; returns the bound address."""
+        if self._server is not None:
+            raise RuntimeError("daemon already started")
+        daemon = self
+
+        class _Handler(socketserver.StreamRequestHandler):
+            def handle(self) -> None:
+                while not daemon._stopping.is_set():
+                    line = self.rfile.readline()
+                    if not line:
+                        return
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        request = json.loads(line)
+                    except json.JSONDecodeError as exc:
+                        reply = daemon._error("protocol", f"bad JSON: {exc}")
+                    else:
+                        reply = daemon.handle(request)
+                    self.wfile.write(json.dumps(reply).encode("utf-8") + b"\n")
+                    self.wfile.flush()
+                    if reply.get("stopping"):
+                        return
+
+        class _Server(socketserver.ThreadingTCPServer):
+            allow_reuse_address = True
+            daemon_threads = True
+
+        self._server = _Server((self.host, self.port), _Handler)
+        thread = threading.Thread(
+            target=self._server.serve_forever, name="repro-serve", daemon=True
+        )
+        thread.start()
+        self._thread = thread
+        return self.address
+
+    def serve_forever(self) -> None:
+        """Blocking variant of :meth:`start` (the CLI foreground mode)."""
+        if self._server is None:
+            self.start()
+        try:
+            self._stopping.wait()
+        finally:
+            self._shutdown_server()
+
+    def _shutdown_server(self) -> None:
+        server = self._server
+        if server is not None:
+            # shutdown() joins the serve_forever loop; do it off-thread when
+            # called from inside a request handler.
+            threading.Thread(target=server.shutdown, daemon=True).start()
+
+    def close(self) -> None:
+        """Stop serving (no checkpoint side effects)."""
+        self._stopping.set()
+        server = self._server
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+            self._server = None
+
+
+class ServiceClient:
+    """Minimal blocking client for the daemon's line-JSON protocol."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 10.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def request(self, obj: dict) -> dict:
+        self._file.write(json.dumps(obj).encode("utf-8") + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("daemon closed the connection")
+        return json.loads(line)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

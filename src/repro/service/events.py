@@ -1,0 +1,148 @@
+"""Event plumbing for the offloading daemon: arrivals in, slots out.
+
+The daemon accepts task arrivals asynchronously (possibly from several
+client connections at once) but the policy server consumes them as ordered
+per-slot batches.  :class:`ArrivalQueue` is the boundary between the two
+worlds: a thread-safe min-heap keyed by ``(slot, seq)`` where ``seq`` is a
+monotonic admission counter — so arrivals targeting earlier slots always
+drain first, and same-slot arrivals drain in admission order regardless of
+which thread pushed them (the property
+``tests/service/test_daemon.py::test_burst_preserves_slot_order`` locks in).
+
+:func:`build_slot` turns one slot's drained arrivals into the
+:class:`~repro.env.workload.SlotWorkload` the policy protocol speaks:
+contexts are validated into Φ = [0,1]^D and each arrival's SCN coverage
+list becomes a column of the paper's D_{m,t} sets.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.env.tasks import TaskBatch
+from repro.env.workload import SlotWorkload
+
+__all__ = ["Arrival", "ArrivalQueue", "build_slot"]
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One task arrival admitted to the queue.
+
+    ``slot`` is the earliest slot the task may be scheduled in; ``seq`` is
+    the queue's admission stamp (total order across threads); ``context``
+    is the task's feature vector in [0,1]^D; ``scns`` lists the SCNs whose
+    coverage area contains the task.
+    """
+
+    slot: int
+    seq: int
+    context: np.ndarray
+    scns: tuple[int, ...]
+
+
+class ArrivalQueue:
+    """Thread-safe arrival buffer ordered by ``(slot, admission seq)``."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._heap: list[tuple[int, int, Arrival]] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    def push(
+        self,
+        slot: int,
+        context: Sequence[float] | np.ndarray,
+        scns: Iterable[int],
+    ) -> Arrival:
+        """Admit one arrival; returns it (with its admission stamp)."""
+        slot = int(slot)
+        if slot < 0:
+            raise ValueError(f"arrival slot must be >= 0, got {slot}")
+        ctx = np.asarray(context, dtype=float)
+        if ctx.ndim != 1:
+            raise ValueError(f"arrival context must be 1-D, got shape {ctx.shape}")
+        if np.any(ctx < 0.0) or np.any(ctx > 1.0) or not np.all(np.isfinite(ctx)):
+            raise ValueError("arrival context must lie in [0,1]^D")
+        scn_tuple = tuple(sorted({int(m) for m in scns}))
+        if not scn_tuple:
+            raise ValueError("arrival must be covered by at least one SCN")
+        if scn_tuple[0] < 0:
+            raise ValueError("SCN indices must be >= 0")
+        with self._lock:
+            arrival = Arrival(slot, next(self._seq), ctx, scn_tuple)
+            heapq.heappush(self._heap, (arrival.slot, arrival.seq, arrival))
+        return arrival
+
+    def drain(self, slot: int) -> list[Arrival]:
+        """Pop every queued arrival with ``arrival.slot <= slot``, in order.
+
+        Late arrivals (targeted at an already-served slot) are swept into
+        the current slot rather than dropped — the online analogue of a
+        task waiting for the next decision epoch.
+        """
+        slot = int(slot)
+        out: list[Arrival] = []
+        with self._lock:
+            while self._heap and self._heap[0][0] <= slot:
+                out.append(heapq.heappop(self._heap)[2])
+        return out
+
+    def peek_slot(self) -> int | None:
+        """The earliest queued slot, or ``None`` when empty."""
+        with self._lock:
+            return self._heap[0][0] if self._heap else None
+
+
+def build_slot(
+    t: int,
+    arrivals: Sequence[Arrival | Mapping],
+    *,
+    num_scns: int,
+    dims: int,
+    start_id: int = 0,
+) -> SlotWorkload:
+    """Assemble a :class:`SlotWorkload` for slot ``t`` from drained arrivals.
+
+    Accepts :class:`Arrival` objects or raw mappings with ``context`` and
+    ``scns`` keys (the daemon's wire format).  Task ids are assigned
+    ``start_id, start_id+1, ...`` in arrival order.
+    """
+    contexts: list[np.ndarray] = []
+    coverage: list[list[int]] = [[] for _ in range(num_scns)]
+    for i, item in enumerate(arrivals):
+        if isinstance(item, Arrival):
+            ctx, scns = item.context, item.scns
+        else:
+            ctx = np.asarray(item["context"], dtype=float)
+            scns = tuple(int(m) for m in item["scns"])
+        if ctx.shape != (dims,):
+            raise ValueError(
+                f"arrival {i} context has shape {ctx.shape}, expected ({dims},)"
+            )
+        if np.any(ctx < 0.0) or np.any(ctx > 1.0):
+            raise ValueError(f"arrival {i} context lies outside [0,1]^{dims}")
+        for m in scns:
+            if not 0 <= m < num_scns:
+                raise ValueError(f"arrival {i} names SCN {m}, network has {num_scns}")
+            coverage[m].append(i)
+        contexts.append(ctx)
+    if contexts:
+        batch = TaskBatch.from_contexts(np.vstack(contexts), start_id=start_id)
+    else:
+        batch = TaskBatch.from_contexts(np.empty((0, dims)), start_id=start_id)
+    return SlotWorkload(
+        t=int(t),
+        tasks=batch,
+        coverage=[np.asarray(idx, dtype=np.int64) for idx in coverage],
+    )

@@ -1,0 +1,589 @@
+"""The stateful online offloading session behind ``repro serve``.
+
+:class:`OnlineSession` is the per-slot form of
+:meth:`repro.env.simulator.Simulation.run`: the same environment objects,
+the same frozen RNG streams (stream contract v2), and slot arithmetic
+mirrored operation for operation — so a session driven to slot T produces
+trajectories bit-identical to the batch simulator's per-slot path (gated by
+``tests/service/test_resume_equivalence.py``).  What it adds over the batch
+loop is *control*: each slot splits into
+
+- :meth:`decide` — generate (or accept) the slot's arrivals and answer the
+  assignment query, and
+- :meth:`feedback` — realize the bandit feedback, record the slot's series,
+  and let the policy learn,
+
+so a daemon can answer queries with bounded latency, and the session can be
+checkpointed at any slot boundary (:meth:`save`) and restored in a fresh
+process (:meth:`from_checkpoint`) without perturbing a single draw.
+
+The snapshot captures the five state families an uninterrupted run threads
+through time: policy learning state (weights, multipliers, statistics,
+adaptive partition), the four live RNG stream positions, the workload's
+non-RNG cursor, non-stationary truth state, and the recorded series.
+Everything else is rebuilt deterministically from the embedded config.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.adaptive import AdaptiveLFSCPolicy, AdaptivePartition
+from repro.core.config import LFSCConfig
+from repro.core.hypercube import ContextPartition
+from repro.env.simulator import (
+    Assignment,
+    PolicyProtocol,
+    SimulationResult,
+    SlotFeedback,
+    SlotObservation,
+)
+from repro.experiments.runner import (
+    ExperimentConfig,
+    build_truth,
+    build_workload,
+    make_policy,
+)
+from repro.obs import runtime as obs_runtime
+from repro.obs.manifest import build_manifest
+from repro.service.checkpoint import (
+    CheckpointError,
+    CheckpointFormatError,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.utils.rng import RngFactory, generator_state, restore_generator_state
+
+__all__ = [
+    "OnlineSession",
+    "config_from_dict",
+    "config_to_dict",
+    "describe_checkpoint",
+    "make_session_policy",
+]
+
+#: Config fields whose values are tuples (JSON stores them as lists).
+_TUPLE_FIELDS = ("u_range", "v_range", "q_range")
+
+#: Series recorded per slot, in the array-payload naming used by snapshots.
+_SERIES = (
+    "reward",
+    "expected_reward",
+    "completed",
+    "consumption",
+    "accepted",
+    "violation_qos",
+    "violation_resource",
+    "violation_qos_realized",
+    "violation_resource_realized",
+)
+
+
+# ---------------------------------------------------------------------------
+# Config <-> JSON (the checkpoint header embeds the full experiment config).
+# ---------------------------------------------------------------------------
+
+
+def _partition_to_dict(partition) -> dict:
+    if isinstance(partition, AdaptivePartition):
+        return {
+            "kind": "adaptive",
+            "dims": partition.dims,
+            "max_leaves": partition.max_leaves,
+            "split_base": partition.split_base,
+            "split_rho": partition.split_rho,
+        }
+    if isinstance(partition, ContextPartition):
+        return {"kind": "grid", "dims": partition.dims, "parts": partition.parts}
+    raise CheckpointFormatError(
+        f"cannot serialize partition type {type(partition).__name__}"
+    )
+
+
+def _partition_from_dict(spec: Mapping) -> ContextPartition | AdaptivePartition:
+    kind = spec.get("kind")
+    if kind == "adaptive":
+        return AdaptivePartition(
+            dims=int(spec["dims"]),
+            max_leaves=int(spec["max_leaves"]),
+            split_base=float(spec["split_base"]),
+            split_rho=float(spec["split_rho"]),
+        )
+    if kind == "grid":
+        return ContextPartition(dims=int(spec["dims"]), parts=int(spec["parts"]))
+    raise CheckpointFormatError(f"unknown partition kind {kind!r}")
+
+
+def config_to_dict(cfg: ExperimentConfig) -> dict:
+    """A JSON-safe dict that :func:`config_from_dict` inverts exactly."""
+    out: dict = {}
+    for f in dataclasses.fields(cfg):
+        value = getattr(cfg, f.name)
+        if f.name == "lfsc":
+            if value is None:
+                out[f.name] = None
+            else:
+                lfsc = {
+                    lf.name: getattr(value, lf.name)
+                    for lf in dataclasses.fields(value)
+                    if lf.name != "partition"
+                }
+                lfsc["partition"] = _partition_to_dict(value.partition)
+                out[f.name] = lfsc
+        elif isinstance(value, tuple):
+            out[f.name] = list(value)
+        else:
+            out[f.name] = value
+    return out
+
+
+def config_from_dict(doc: Mapping) -> ExperimentConfig:
+    """Rebuild an :class:`ExperimentConfig` from :func:`config_to_dict` output."""
+    known = {f.name for f in dataclasses.fields(ExperimentConfig)}
+    unknown = set(doc) - known
+    if unknown:
+        raise CheckpointFormatError(
+            f"config has unknown fields {sorted(unknown)} — "
+            "written by a newer repro version?"
+        )
+    kwargs: dict = {}
+    for name, value in doc.items():
+        if name == "lfsc":
+            if value is None:
+                kwargs[name] = None
+            else:
+                lfsc = dict(value)
+                lfsc["partition"] = _partition_from_dict(lfsc["partition"])
+                kwargs[name] = LFSCConfig(**lfsc)
+        elif name in _TUPLE_FIELDS:
+            kwargs[name] = tuple(value)
+        else:
+            kwargs[name] = value
+    try:
+        return ExperimentConfig(**kwargs)
+    except (TypeError, ValueError) as exc:
+        raise CheckpointFormatError(f"config does not validate: {exc}") from exc
+
+
+def make_session_policy(name: str, cfg: ExperimentConfig, truth) -> PolicyProtocol:
+    """The runner's policy factory plus the adaptive-partition variant.
+
+    ``"LFSC-adaptive"`` builds an :class:`AdaptiveLFSCPolicy`, reusing the
+    config's partition when it already is adaptive (so a restored config
+    reconstructs the same tree spec) and a default tree otherwise.
+    """
+    if name == "LFSC-adaptive":
+        base = cfg.lfsc_config()
+        if isinstance(base.partition, AdaptivePartition):
+            return AdaptiveLFSCPolicy(base, partition=base.partition)
+        return AdaptiveLFSCPolicy(base)
+    return make_policy(name, cfg, truth)
+
+
+def _split_state(state: Mapping) -> tuple[dict, dict[str, np.ndarray]]:
+    """Route a checkpoint-state dict into (JSON scalars, array payload)."""
+    scalars: dict = {}
+    arrays: dict[str, np.ndarray] = {}
+    for key, value in state.items():
+        if isinstance(value, np.ndarray):
+            arrays[key] = value
+        elif isinstance(value, (np.integer, np.floating, np.bool_)):
+            scalars[key] = value.item()
+        else:
+            scalars[key] = value
+    return scalars, arrays
+
+
+# ---------------------------------------------------------------------------
+# The session.
+# ---------------------------------------------------------------------------
+
+
+class OnlineSession:
+    """A long-lived, checkpointable slot-by-slot offloading run.
+
+    Parameters
+    ----------
+    config:
+        The experiment spec; environment, streams, and policy all derive
+        from it, so ``(config, policy_name)`` fully determines the run.
+    policy:
+        Policy name (``"LFSC"``, ``"LFSC-adaptive"``, any runner baseline).
+    record_expected:
+        Record the paper's expected-basis violation series (default True,
+        matching :meth:`Simulation.run`).
+    validate_assignments:
+        Validate every assignment against (1a)/(1b)/coverage (default True).
+
+    Note: when ``config.lfsc`` embeds an :class:`AdaptivePartition`, the
+    partition *object* is shared with the session's policy and mutates as
+    the tree refines — build one config per concurrent session.
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        policy: str = "LFSC",
+        *,
+        record_expected: bool = True,
+        validate_assignments: bool = True,
+    ) -> None:
+        self.config = config
+        self.policy_name = str(policy)
+        self.record_expected = bool(record_expected)
+        self.validate_assignments = bool(validate_assignments)
+        self.horizon = int(config.horizon)
+
+        self.network = config.network()
+        self.workload = build_workload(config)
+        self.truth = build_truth(config)
+        self.channel = None
+        # Stream contract v2 — the exact derivations Simulation.run makes,
+        # in the same order, so a session and a batch run share randomness.
+        self._rngs = RngFactory(config.seed)
+        self.workload_rng = self._rngs.env("workload")
+        self.realize_rng = self._rngs.env("realizations")
+        self.channel_rng = self._rngs.env("channel")
+        self.policy = make_session_policy(self.policy_name, config, self.truth)
+        policy_rng = self._rngs.policy(self.policy.name)
+        self._has_pair_api = hasattr(
+            self.truth, "expected_compound_pairs"
+        ) and hasattr(self.truth, "means_pairs")
+
+        self.workload.reset()
+        if config.oracle_cache:
+            attach = getattr(self.policy, "attach_solver_cache", None)
+            if callable(attach):
+                from repro.solvers.cache import shared_cache
+
+                attach(shared_cache(config.cache_dir))
+        self.policy.reset(self.network, self.horizon, policy_rng)
+
+        M = self.network.num_scns
+        T = self.horizon
+        self.t = 0
+        self._pending: tuple[SlotObservation, Assignment] | None = None
+        self._series: dict[str, np.ndarray] = {
+            "reward": np.zeros(T),
+            "expected_reward": np.zeros(T),
+            "completed": np.zeros((T, M)),
+            "consumption": np.zeros((T, M)),
+            "accepted": np.zeros((T, M), dtype=np.int64),
+            "violation_qos": np.zeros(T),
+            "violation_resource": np.zeros(T),
+            "violation_qos_realized": np.zeros(T),
+            "violation_resource_realized": np.zeros(T),
+        }
+
+    # -- the decide/feedback slot cycle --------------------------------------
+
+    @property
+    def pending(self) -> bool:
+        """True between a :meth:`decide` and its :meth:`feedback`."""
+        return self._pending is not None
+
+    def decide(self, slot: SlotObservation | None = None) -> Assignment:
+        """Answer slot ``t``'s assignment query.
+
+        With no argument the session's synthetic workload generates the
+        slot's arrivals (consuming the workload stream exactly as the batch
+        simulator would).  An explicit ``slot`` — e.g. one built by the
+        daemon from externally queued arrivals — is used verbatim and must
+        carry the current slot index; external slots leave the workload
+        stream untouched, so they are for live serving, not for replaying
+        the synthetic trajectory.
+        """
+        if self._pending is not None:
+            raise RuntimeError(
+                "decide() called twice for one slot: feedback() must run first"
+            )
+        if self.t >= self.horizon:
+            raise RuntimeError(
+                f"session horizon {self.horizon} exhausted (t={self.t}); "
+                "start a new session with a longer config.horizon"
+            )
+        with obs_runtime.span("service.decide"):
+            if slot is None:
+                slot = self.workload.slot(self.t, self.workload_rng)
+            elif slot.t != self.t:
+                raise ValueError(
+                    f"external slot carries t={slot.t}, session expects t={self.t}"
+                )
+            assignment = self.policy.select(slot)
+            if self.validate_assignments:
+                assignment.validate(slot, self.network.capacity)
+        self._pending = (slot, assignment)
+        return assignment
+
+    def feedback(self) -> SlotFeedback:
+        """Realize slot ``t``'s bandit feedback, record it, let the policy learn.
+
+        Every operation mirrors :meth:`Simulation.run`'s per-slot branch —
+        same ufuncs, same operand values, same RNG consumption order — which
+        is what makes session trajectories (and checkpoints taken between
+        slots) bit-identical to the batch simulator's.
+        """
+        if self._pending is None:
+            raise RuntimeError("feedback() called with no pending decision")
+        slot, assignment = self._pending
+        t = self.t
+        M = self.network.num_scns
+        alpha, beta = self.network.alpha, self.network.beta
+        with obs_runtime.span("service.feedback"):
+            if len(assignment) > 0:
+                pair_contexts = slot.tasks.contexts[assignment.task]
+                u, v, q = self.truth.realize(
+                    t, pair_contexts, assignment.scn, self.realize_rng
+                )
+                if self.channel is not None:
+                    v = v * self.channel.link_up(
+                        t, assignment.scn, assignment.task, self.channel_rng
+                    )
+                g = u * v / q
+            else:
+                u = v = q = g = np.empty(0)
+
+            feedback = SlotFeedback(assignment=assignment, u=u, v=v, q=q, g=g)
+
+            s = self._series
+            s["reward"][t] = g.sum()
+            comp = feedback.per_scn_completed(M)
+            cons = feedback.per_scn_consumption(M)
+            s["completed"][t] = comp
+            s["consumption"][t] = cons
+            s["accepted"][t] = np.bincount(assignment.scn, minlength=M)
+            s["violation_qos_realized"][t] = np.maximum(alpha - comp, 0.0).sum()
+            s["violation_resource_realized"][t] = np.maximum(cons - beta, 0.0).sum()
+
+            if self.record_expected:
+                if len(assignment) > 0:
+                    if self._has_pair_api:
+                        exp_g = self.truth.expected_compound_pairs(
+                            t, pair_contexts, assignment.scn
+                        )
+                        _, p_v, mu_q = self.truth.means_pairs(
+                            t, pair_contexts, assignment.scn
+                        )
+                    else:
+                        rows = np.arange(len(assignment))
+                        exp_g = self.truth.expected_compound(t, pair_contexts)[
+                            assignment.scn, rows
+                        ]
+                        p_v_dense, mu_q_dense = self.truth.means(t, pair_contexts)[1:]
+                        p_v = p_v_dense[assignment.scn, rows]
+                        mu_q = mu_q_dense[assignment.scn, rows]
+                    s["expected_reward"][t] = exp_g.sum()
+                    exp_comp = np.bincount(assignment.scn, weights=p_v, minlength=M)
+                    exp_cons = np.bincount(assignment.scn, weights=mu_q, minlength=M)
+                else:
+                    exp_comp = np.zeros(M)
+                    exp_cons = np.zeros(M)
+                s["violation_qos"][t] = np.maximum(alpha - exp_comp, 0.0).sum()
+                s["violation_resource"][t] = np.maximum(exp_cons - beta, 0.0).sum()
+
+            self.policy.update(slot, feedback)
+            self.truth.advance(t, self.realize_rng)
+            if self.channel is not None:
+                self.channel.advance(t, self.channel_rng)
+        self._pending = None
+        self.t += 1
+        return feedback
+
+    def step(self) -> SlotFeedback:
+        """One full slot: :meth:`decide` then :meth:`feedback`."""
+        self.decide()
+        return self.feedback()
+
+    def run(self, slots: int | None = None) -> "OnlineSession":
+        """Advance ``slots`` full slots (default: to the horizon)."""
+        remaining = self.horizon - self.t
+        count = remaining if slots is None else int(slots)
+        if count < 0 or count > remaining:
+            raise ValueError(
+                f"cannot run {count} slots from t={self.t} with horizon {self.horizon}"
+            )
+        for _ in range(count):
+            self.step()
+        return self
+
+    def result(self) -> SimulationResult:
+        """The recorded series so far as a :class:`SimulationResult`.
+
+        Series are truncated to the completed slots, so a session driven to
+        the horizon returns arrays directly comparable (``np.array_equal``)
+        to a :meth:`Simulation.run` result.
+        """
+        t = self.t
+        s = self._series
+        expected = self.record_expected
+        return SimulationResult(
+            policy_name=self.policy.name,
+            horizon=t,
+            num_scns=self.network.num_scns,
+            reward=s["reward"][:t].copy(),
+            expected_reward=s["expected_reward"][:t].copy(),
+            completed=s["completed"][:t].copy(),
+            consumption=s["consumption"][:t].copy(),
+            accepted=s["accepted"][:t].copy(),
+            violation_qos=s["violation_qos" if expected else "violation_qos_realized"][:t].copy(),
+            violation_resource=s[
+                "violation_resource" if expected else "violation_resource_realized"
+            ][:t].copy(),
+            violation_qos_realized=s["violation_qos_realized"][:t].copy(),
+            violation_resource_realized=s["violation_resource_realized"][:t].copy(),
+            has_expected=expected,
+        )
+
+    # -- checkpoint / restore -------------------------------------------------
+
+    def snapshot(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """The session's full state as ``(header, arrays)``.
+
+        Only legal at a slot boundary — a pending decision references the
+        live slot object and cannot be serialized faithfully.
+        """
+        if self._pending is not None:
+            raise CheckpointError(
+                "cannot checkpoint with a pending decision: feedback() must run first"
+            )
+        policy_scalars, policy_arrays = _split_state(self.policy.checkpoint_state())
+        truth_scalars, truth_arrays = _split_state(self.truth.checkpoint_state())
+        cursor = getattr(self.workload, "cursor", None)
+        engine = getattr(getattr(self.policy, "config", None), "engine", None)
+        header = {
+            "kind": "session",
+            "config": config_to_dict(self.config),
+            "policy": self.policy_name,
+            "t": int(self.t),
+            "horizon": int(self.horizon),
+            "record_expected": self.record_expected,
+            "validate_assignments": self.validate_assignments,
+            "rng": {
+                "workload": generator_state(self.workload_rng),
+                "realizations": generator_state(self.realize_rng),
+                "channel": generator_state(self.channel_rng),
+                "policy": generator_state(self.policy.rng),
+            },
+            "workload_cursor": int(cursor()) if callable(cursor) else None,
+            "policy_state": policy_scalars,
+            "truth_state": truth_scalars,
+            "manifest": build_manifest(
+                kind="checkpoint",
+                config=self.config,
+                policies=[self.policy_name],
+                engine=engine,
+                extra={"t": int(self.t), "horizon": int(self.horizon)},
+            ),
+        }
+        arrays: dict[str, np.ndarray] = {}
+        for name in _SERIES:
+            arrays[f"series.{name}"] = self._series[name]
+        for key, value in policy_arrays.items():
+            arrays[f"policy.{key}"] = value
+        for key, value in truth_arrays.items():
+            arrays[f"truth.{key}"] = value
+        return header, arrays
+
+    def save(self, path: str | Path) -> Path:
+        """Atomically write a ``repro-checkpoint/v1`` file for this session."""
+        header, arrays = self.snapshot()
+        return write_checkpoint(path, header, arrays)
+
+    @classmethod
+    def from_checkpoint(cls, path: str | Path) -> "OnlineSession":
+        """Rebuild a session from a checkpoint, bit-identical to never stopping.
+
+        The constructor re-derives every config-determined object; the
+        snapshot then overwrites exactly the state an uninterrupted run
+        would have mutated — stream positions are restored *in place* on
+        the factory-cached generator objects the components already hold.
+        """
+        header, arrays = read_checkpoint(path)
+        if header.get("kind") != "session":
+            raise CheckpointFormatError(
+                f"checkpoint kind is {header.get('kind')!r}, expected 'session'"
+            )
+        cfg = config_from_dict(header["config"])
+        session = cls(
+            cfg,
+            policy=header["policy"],
+            record_expected=bool(header.get("record_expected", True)),
+            validate_assignments=bool(header.get("validate_assignments", True)),
+        )
+        try:
+            rng = header["rng"]
+            restore_generator_state(session.workload_rng, rng["workload"])
+            restore_generator_state(session.realize_rng, rng["realizations"])
+            restore_generator_state(session.channel_rng, rng["channel"])
+            restore_generator_state(session.policy.rng, rng["policy"])
+
+            cursor = header.get("workload_cursor")
+            if cursor is not None:
+                restore = getattr(session.workload, "restore_cursor", None)
+                if callable(restore):
+                    restore(int(cursor))
+
+            policy_state = dict(header.get("policy_state", {}))
+            truth_state = dict(header.get("truth_state", {}))
+            for key, value in arrays.items():
+                section, _, name = key.partition(".")
+                if section == "policy":
+                    policy_state[name] = value
+                elif section == "truth":
+                    truth_state[name] = value
+                elif section == "series":
+                    target = session._series.get(name)
+                    if target is None or target.shape != value.shape:
+                        raise CheckpointFormatError(
+                            f"series {name!r} has shape {value.shape}, "
+                            f"expected {None if target is None else target.shape}"
+                        )
+                    target[...] = value
+                else:
+                    raise CheckpointFormatError(f"unknown array section in {key!r}")
+            session.policy.restore_checkpoint_state(policy_state)
+            session.truth.restore_checkpoint_state(truth_state)
+
+            t = int(header["t"])
+            if not 0 <= t <= session.horizon:
+                raise CheckpointFormatError(
+                    f"slot cursor {t} outside horizon {session.horizon}"
+                )
+            session.t = t
+        except CheckpointError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointFormatError(
+                f"checkpoint state does not restore cleanly: {exc}"
+            ) from exc
+        return session
+
+
+def describe_checkpoint(path: str | Path) -> dict:
+    """Validate a checkpoint file and summarize it (for ``repro checkpoint``).
+
+    Reads and digest-verifies the full file, then reports the header's
+    run coordinates plus array inventory — without building a session.
+    """
+    header, arrays = read_checkpoint(path)
+    cfg = header.get("config", {})
+    return {
+        "path": str(path),
+        "schema": "repro-checkpoint/v1",
+        "kind": header.get("kind"),
+        "policy": header.get("policy"),
+        "t": header.get("t"),
+        "horizon": header.get("horizon"),
+        "seed": cfg.get("seed"),
+        "num_scns": cfg.get("num_scns"),
+        "engine": (header.get("manifest") or {}).get("engine"),
+        "arrays": {
+            name: {"dtype": str(arr.dtype), "shape": list(arr.shape)}
+            for name, arr in sorted(arrays.items())
+        },
+        "created_at": (header.get("manifest") or {}).get("created_at"),
+    }

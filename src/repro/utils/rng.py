@@ -53,10 +53,27 @@ and shared bit-identically across sweep points and policies
 token — the cache key for environment-derived artifacts — and
 :func:`describe_streams` renders the derived tokens for error messages
 (:class:`repro.utils.parallel.ParallelExecutionError`).
+
+Generator state snapshots (stream contract v2 extension)
+--------------------------------------------------------
+
+Checkpoint/restore (:mod:`repro.service.checkpoint`) needs the *position* of
+each live stream, not just its derivation: a restored run must consume the
+exact draws an uninterrupted run would.  :func:`generator_state` captures a
+generator's bit-generator state as a JSON-safe dict (numpy defines this
+round-trip: assigning the dict back to ``bit_generator.state`` restores the
+stream bit-for-bit), :func:`restore_generator_state` rewinds an existing
+generator in place — the form checkpoint restore uses, since the factory's
+cached stream objects are shared by reference — and
+:func:`generator_from_state` builds a fresh generator at that position.
+The dict is versioned by numpy itself (the ``bit_generator`` name field);
+restoring onto a mismatched bit-generator class is an error, not a silent
+re-seed.
 """
 
 from __future__ import annotations
 
+import copy
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -69,7 +86,10 @@ __all__ = [
     "as_generator",
     "describe_streams",
     "env_seed_sequence",
+    "generator_from_state",
+    "generator_state",
     "policy_seed_sequence",
+    "restore_generator_state",
     "replication_seed",
     "replication_seed_sequence",
     "replication_seeds",
@@ -222,6 +242,57 @@ def describe_streams(
         for name in policy_names
     ]
     return " ".join(parts)
+
+
+def generator_state(gen: np.random.Generator) -> dict:
+    """JSON-safe snapshot of ``gen``'s stream position.
+
+    The returned dict is numpy's own bit-generator state (plain ints and
+    strings all the way down — PCG64's 128-bit words are arbitrary-precision
+    Python ints, which JSON carries exactly), deep-copied so later draws
+    from ``gen`` cannot mutate a saved snapshot.
+    """
+    return copy.deepcopy(gen.bit_generator.state)
+
+
+def _state_bit_generator_name(state: dict) -> str:
+    try:
+        name = state["bit_generator"]
+    except (TypeError, KeyError):
+        raise ValueError(
+            f"not a bit-generator state dict (missing 'bit_generator'): {type(state).__name__}"
+        ) from None
+    return str(name)
+
+
+def restore_generator_state(gen: np.random.Generator, state: dict) -> None:
+    """Rewind ``gen`` in place to a :func:`generator_state` snapshot.
+
+    In-place restoration is what checkpoint restore needs: the simulator and
+    the policy hold the *same* stream objects a :class:`RngFactory` cached,
+    so replacing the object would silently fork the stream.  The
+    bit-generator classes must match — numpy raises otherwise, and we check
+    first to give a typed, actionable message.
+    """
+    name = _state_bit_generator_name(state)
+    actual = type(gen.bit_generator).__name__
+    if name != actual:
+        raise ValueError(
+            f"bit-generator mismatch: snapshot is {name!r}, generator is {actual!r}"
+        )
+    gen.bit_generator.state = copy.deepcopy(state)
+
+
+def generator_from_state(state: dict) -> np.random.Generator:
+    """A fresh generator positioned exactly at a :func:`generator_state` snapshot."""
+    name = _state_bit_generator_name(state)
+    cls = getattr(np.random, name, None)
+    if cls is None or not isinstance(cls, type):
+        raise ValueError(f"unknown bit-generator class {name!r}")
+    bg = cls()
+    gen = np.random.Generator(bg)
+    restore_generator_state(gen, state)
+    return gen
 
 
 class RngFactory:

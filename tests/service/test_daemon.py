@@ -1,0 +1,245 @@
+"""Service-protocol tests: ordering under concurrency, crash recovery, latency.
+
+The daemon's contract: arrivals drain in (slot, admission) order no matter
+which thread pushed them; a killed-and-restarted daemon resumes from its
+last checkpoint and answers the next decision exactly as the uninterrupted
+one would; decisions come back within a bounded (generous, smoke-level)
+latency.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import ExperimentConfig
+from repro.service import (
+    ArrivalQueue,
+    CheckpointError,
+    OnlineSession,
+    PolicyDaemon,
+    ServiceClient,
+    build_slot,
+)
+
+HORIZON = 20
+
+
+def tiny_session(**overrides) -> OnlineSession:
+    return OnlineSession(ExperimentConfig.tiny(horizon=HORIZON, **overrides))
+
+
+# -- arrival ordering -------------------------------------------------------
+
+
+def test_burst_preserves_slot_order():
+    """Concurrent pushes drain sorted by (slot, admission seq)."""
+    queue = ArrivalQueue()
+    n_threads, per_thread = 8, 25
+    barrier = threading.Barrier(n_threads)
+
+    def blast(tid: int) -> None:
+        rng = np.random.default_rng(tid)
+        barrier.wait()
+        for i in range(per_thread):
+            queue.push(int(rng.integers(0, 5)), rng.random(3), [tid % 3])
+
+    threads = [threading.Thread(target=blast, args=(tid,)) for tid in range(n_threads)]
+    for th in threads:
+        th.start()
+    for th in threads:
+        th.join()
+
+    assert len(queue) == n_threads * per_thread
+    drained = queue.drain(10)
+    keys = [(a.slot, a.seq) for a in drained]
+    assert keys == sorted(keys)
+    # seq stamps are unique even under contention
+    assert len({a.seq for a in drained}) == len(drained)
+    assert len(queue) == 0
+
+
+def test_drain_takes_only_due_slots():
+    queue = ArrivalQueue()
+    queue.push(3, [0.1, 0.2, 0.3], [0])
+    queue.push(1, [0.4, 0.5, 0.6], [1])
+    queue.push(5, [0.7, 0.8, 0.9], [0, 1])
+    due = queue.drain(3)
+    assert [a.slot for a in due] == [1, 3]
+    assert queue.peek_slot() == 5
+
+
+def test_build_slot_validates_and_indexes():
+    queue = ArrivalQueue()
+    queue.push(0, [0.1, 0.2, 0.3], [2, 0])
+    queue.push(0, [0.9, 0.8, 0.7], [1])
+    slot = build_slot(0, queue.drain(0), num_scns=3, dims=3)
+    assert len(slot.tasks) == 2
+    assert [c.tolist() for c in slot.coverage] == [[0], [1], [0]]
+    with pytest.raises(ValueError, match="SCN"):
+        build_slot(0, [{"context": [0.1, 0.2, 0.3], "scns": [9]}], num_scns=3, dims=3)
+    with pytest.raises(ValueError, match="shape"):
+        build_slot(0, [{"context": [0.1], "scns": [0]}], num_scns=3, dims=3)
+
+
+def test_queue_rejects_bad_arrivals():
+    queue = ArrivalQueue()
+    with pytest.raises(ValueError):
+        queue.push(0, [0.5, 1.5, 0.5], [0])  # context off the unit cube
+    with pytest.raises(ValueError):
+        queue.push(0, [0.5, 0.5, 0.5], [])  # uncovered task
+    with pytest.raises(ValueError):
+        queue.push(-1, [0.5, 0.5, 0.5], [0])  # negative slot
+
+
+# -- protocol over TCP ------------------------------------------------------
+
+
+def test_tcp_round_trip(tmp_path):
+    daemon = PolicyDaemon(
+        tiny_session(),
+        checkpoint_path=tmp_path / "serve.ckpt",
+        checkpoint_every=0,
+    )
+    host, port = daemon.start()
+    try:
+        with ServiceClient(host, port) as client:
+            status = client.request({"op": "status"})
+            assert status["ok"] and status["t"] == 0
+
+            reply = client.request({"op": "decide"})
+            assert reply["ok"]
+            assert sorted(reply["assignment"]) == ["scn", "task"]
+            assert "feedback" in reply  # auto_feedback mode
+
+            arr = client.request(
+                {"op": "arrive", "slot": 1, "context": [0.2, 0.4, 0.6], "scns": [0]}
+            )
+            assert arr["ok"]
+            reply = client.request({"op": "decide"})
+            assert reply["ok"] and reply["external_arrivals"] == 1
+
+            bad = client.request({"op": "warp"})
+            assert not bad["ok"] and bad["error"] == "protocol"
+
+            ck = client.request({"op": "checkpoint"})
+            assert ck["ok"] and ck["t"] == 2
+
+            stop = client.request({"op": "stop"})
+            assert stop["ok"] and stop["stopping"] and "path" in stop
+    finally:
+        daemon.close()
+
+
+def test_malformed_json_gets_an_error_reply():
+    daemon = PolicyDaemon(tiny_session())
+    host, port = daemon.start()
+    try:
+        import json
+        import socket
+
+        with socket.create_connection((host, port), timeout=10) as sock:
+            fh = sock.makefile("rwb")
+            fh.write(b"this is not json\n")
+            fh.flush()
+            reply = json.loads(fh.readline())
+            assert not reply["ok"] and reply["error"] == "protocol"
+    finally:
+        daemon.close()
+
+
+def test_client_errors_do_not_kill_the_daemon():
+    daemon = PolicyDaemon(tiny_session())
+    try:
+        bad = daemon.handle({"op": "arrive", "context": [2.0, 2.0, 2.0], "scns": [0]})
+        assert not bad["ok"] and bad["error"] == "request"
+        # Session unharmed: decisions still flow.
+        assert daemon.handle({"op": "decide"})["ok"]
+        # Horizon exhaustion is a clean request error too.
+        for _ in range(HORIZON - 1):
+            assert daemon.handle({"op": "decide"})["ok"]
+        worn = daemon.handle({"op": "decide"})
+        assert not worn["ok"] and "horizon" in worn["message"]
+    finally:
+        daemon.close()
+
+
+# -- crash recovery ---------------------------------------------------------
+
+
+def test_killed_daemon_resumes_identically(tmp_path):
+    """kill (no checkpoint) → restart from autosave → identical decisions.
+
+    The uninterrupted reference and the crashed+restored daemon must agree
+    on every assignment after the restore point, bit for bit.
+    """
+    ckpt = tmp_path / "auto.ckpt"
+    # Reference: never crashes.
+    reference = PolicyDaemon(tiny_session())
+    expected = [reference.handle({"op": "decide"}) for _ in range(HORIZON)]
+    reference.close()
+
+    # Victim: autosaves every 4 slots, killed at t=10 (last autosave t=8).
+    victim = PolicyDaemon(tiny_session(), checkpoint_path=ckpt, checkpoint_every=4)
+    for _ in range(10):
+        assert victim.handle({"op": "decide"})["ok"]
+    killed = victim.handle({"op": "kill"})
+    assert killed["ok"] and killed["checkpointed"] is False
+    victim.close()
+
+    resumed_session = OnlineSession.from_checkpoint(ckpt)
+    assert resumed_session.t == 8  # the last autosave, not the crash point
+    restarted = PolicyDaemon(resumed_session)
+    try:
+        for t in range(8, HORIZON):
+            reply = restarted.handle({"op": "decide"})
+            assert reply["ok"]
+            assert reply["assignment"] == expected[t]["assignment"], f"slot {t}"
+            assert reply["feedback"] == expected[t]["feedback"], f"slot {t}"
+    finally:
+        restarted.close()
+
+
+def test_stop_checkpoint_resumes_at_exact_slot(tmp_path):
+    ckpt = tmp_path / "stop.ckpt"
+    daemon = PolicyDaemon(tiny_session(), checkpoint_path=ckpt)
+    for _ in range(7):
+        daemon.handle({"op": "decide"})
+    stop = daemon.handle({"op": "stop"})
+    daemon.close()
+    assert stop["ok"] and stop["path"] == str(ckpt)
+    assert OnlineSession.from_checkpoint(ckpt).t == 7
+
+
+def test_corrupt_checkpoint_fails_restart_cleanly(tmp_path):
+    ckpt = tmp_path / "auto.ckpt"
+    daemon = PolicyDaemon(tiny_session(), checkpoint_path=ckpt, checkpoint_every=2)
+    for _ in range(4):
+        daemon.handle({"op": "decide"})
+    daemon.close()
+    blob = bytearray(ckpt.read_bytes())
+    blob[-10] ^= 0x01  # clip a bit inside the digest/payload tail
+    ckpt.write_bytes(bytes(blob))
+    with pytest.raises(CheckpointError):
+        OnlineSession.from_checkpoint(ckpt)
+
+
+# -- latency smoke ----------------------------------------------------------
+
+
+def test_decision_latency_smoke():
+    """p99 decide latency stays under a generous bound on the tiny config."""
+    daemon = PolicyDaemon(tiny_session())
+    try:
+        for _ in range(HORIZON):
+            daemon.handle({"op": "decide"})
+        status = daemon.handle({"op": "status"})
+        assert status["decisions"] == HORIZON
+        assert 0.0 <= status["latency_p50_ms"] <= status["latency_p99_ms"]
+        # Smoke bound only — catches pathological regressions (e.g. a full
+        # re-reset per decide), not micro-drift; bench_service.py measures.
+        assert status["latency_p99_ms"] < 2000.0
+    finally:
+        daemon.close()
