@@ -1,0 +1,184 @@
+"""Scenario benchmark: slots/sec of every registered scenario family.
+
+Runs each scenario in the registry (DESIGN.md §11) through ``repro.api.run``
+with the standard LFSC policy and reports per-scenario throughput — how much
+a scenario's environment machinery (trajectory mobility, blockage channels,
+activation layers, feedback censoring) costs relative to the plain paper
+workload.
+
+Before timing anything the script asserts the correctness gate the scenario
+subsystem promises: a short windowed run equals the per-slot run bit for bit
+for every scenario (the full matrix lives in ``tests/scenarios/``; the bench
+re-checks a prefix so a broken build cannot publish numbers).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scenarios.py            # full
+    PYTHONPATH=src python benchmarks/bench_scenarios.py --smoke    # CI smoke
+    PYTHONPATH=src python -m pytest benchmarks/bench_scenarios.py  # pytest-benchmark
+
+Results land in ``BENCH_scenarios.json`` (see ``--output``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import api, scenarios
+from repro.obs.manifest import build_manifest
+
+POLICY = "LFSC"
+
+
+# -- correctness gate ---------------------------------------------------------
+
+
+def check_window_equivalence(name: str, horizon: int = 16) -> None:
+    windowed = api.run(scenario=name, policies=(POLICY,), horizon=horizon, window=8, workers=1)
+    per_slot = api.run(scenario=name, policies=(POLICY,), horizon=horizon, window=0, workers=1)
+    for field in ("reward", "accepted", "violation_qos"):
+        if not np.array_equal(
+            getattr(windowed[POLICY], field), getattr(per_slot[POLICY], field)
+        ):
+            raise AssertionError(
+                f"scenario {name!r}: windowed run diverged from per-slot on {field!r}"
+            )
+
+
+# -- timed section ------------------------------------------------------------
+
+
+def bench_scenario(name: str, horizon: int, repeats: int) -> dict:
+    check_window_equivalence(name)
+    info = scenarios.describe(name)
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = api.run(scenario=name, policies=(POLICY,), horizon=horizon, workers=1)
+        times.append(time.perf_counter() - t0)
+    best = min(times)
+    entry = {
+        "hash": info["hash"],
+        "tags": info["tags"],
+        "horizon": horizon,
+        "slots_per_sec": horizon / best,
+        "wall_s_best": best,
+        "total_reward": float(out[POLICY].total_reward),
+    }
+    summary = out[POLICY].summary()
+    if "energy_per_decision" in summary:
+        entry["energy_per_decision"] = summary["energy_per_decision"]
+    return entry
+
+
+def run_benchmark(horizon: int, repeats: int) -> dict:
+    per_scenario = {}
+    for name in scenarios.names():
+        per_scenario[name] = bench_scenario(name, horizon, repeats)
+    return {
+        "schema": "bench-scenarios/v1",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "manifest": build_manifest(kind="bench", policies=[POLICY]),
+        "policy": POLICY,
+        "horizon": horizon,
+        "gates": {"windowed_equals_per_slot": True},
+        "scenarios": per_scenario,
+        "headline": {
+            name: round(entry["slots_per_sec"], 1)
+            for name, entry in per_scenario.items()
+        },
+    }
+
+
+def print_report(report: dict) -> None:
+    print(f"scenario registry — {POLICY}, horizon={report['horizon']} per scenario")
+    width = max(len(n) for n in report["scenarios"])
+    for name, entry in report["scenarios"].items():
+        extra = (
+            f"   energy/decision {entry['energy_per_decision']:.3f}"
+            if "energy_per_decision" in entry
+            else ""
+        )
+        print(
+            f"  {name:<{width}} : {entry['slots_per_sec']:8.1f} slots/s   "
+            f"hash {entry['hash'][:12]}{extra}"
+        )
+    print()
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--horizon",
+        type=int,
+        default=None,
+        help="slots per scenario (default: REPRO_BENCH_HORIZON, else 200)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats, best-of (default 3)"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI smoke mode: short horizon, single repeat, no JSON unless --output given",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="where to write the JSON report (default: repo-root BENCH_scenarios.json)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        horizon, repeats = args.horizon or 30, 1
+    else:
+        env_horizon = os.environ.get("REPRO_BENCH_HORIZON")
+        horizon = args.horizon or (int(env_horizon) if env_horizon else 200)
+        repeats = args.repeats
+
+    report = run_benchmark(horizon, repeats)
+    print_report(report)
+
+    output = args.output
+    if output is None and not args.smoke:
+        output = Path(__file__).resolve().parents[1] / "BENCH_scenarios.json"
+    if output is not None:
+        output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {output}")
+
+
+# -- pytest-benchmark entry points (smoke coverage in CI) ---------------------
+
+
+def test_scenario_throughput(benchmark):
+    result = benchmark.pedantic(
+        lambda: bench_scenario("vehicular", horizon=24, repeats=1),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\n[scenarios] vehicular {result['slots_per_sec']:.1f} slots/s")
+    assert result["slots_per_sec"] > 0
+
+
+def test_sleep_mode_energy_reported(benchmark):
+    result = benchmark.pedantic(
+        lambda: bench_scenario("sleep_mode", horizon=24, repeats=1),
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        f"\n[scenarios] sleep_mode {result['slots_per_sec']:.1f} slots/s, "
+        f"energy/decision {result['energy_per_decision']:.3f}"
+    )
+    assert result["energy_per_decision"] > 0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,67 +1,40 @@
 """Robustness scenario: geometric coverage, WD mobility, mmWave blockage.
 
-The paper's evaluation samples coverage sets directly; this example instead
-instantiates the physical picture of its Fig. 1:
+The paper's evaluation samples coverage sets directly; this scenario instead
+instantiates the physical picture of its Fig. 1 — 9 SCNs on a grid over a
+6x6 km service area, 160 wireless devices moving by a random-waypoint
+process, and a Gilbert-Elliott blockage channel on top of the Bernoulli
+completion likelihood.  Temporally correlated failures are exactly the
+"uncertainty in the task offloading process" §1 motivates V with; LFSC
+keeps learning because its importance-weighted estimates average over
+blocked and clear slots.
 
-- 9 SCNs on a grid over a 6x6 km service area (paper §1: small cells cover
-  up to ~2 km), 160 wireless devices moving by a random-waypoint process;
-- a Gilbert-Elliott blockage channel on top of the Bernoulli completion
-  likelihood — when a SCN's mmWave beam is blocked (a bus parks in front of
-  the street-light node) every task it accepted that slot is interrupted.
+The environment assembly lives in the scenario registry (DESIGN.md §11);
+this script is a thin wrapper over the committed scenario file:
 
-Temporally correlated failures are exactly the "uncertainty in the task
-offloading process" §1 motivates V with; LFSC keeps learning because its
-importance-weighted estimates average over blocked and clear slots.
-
-Usage:
     python examples/mobility_blockage.py
+    python -m repro run --scenario examples/scenarios/mobility_blockage.toml
 """
 
 from __future__ import annotations
 
-from repro import ExperimentConfig, comparison_rows, format_table
-from repro.env import (
-    GeometricCoverage,
-    MarkovBlockage,
-    NetworkConfig,
-    Simulation,
-    SyntheticWorkload,
-    TaskFeatureModel,
-)
-from repro.experiments.runner import build_truth, make_policy
+from pathlib import Path
+
+from repro import api
+
+SCENARIO = Path(__file__).parent / "scenarios" / "mobility_blockage.toml"
 
 
 def main() -> None:
-    cfg = ExperimentConfig.small(num_scns=9, horizon=800)
-    network = NetworkConfig(num_scns=9, capacity=6, alpha=4.5, beta=8.1)
-    workload = SyntheticWorkload(
-        features=TaskFeatureModel(),
-        coverage_model=GeometricCoverage(
-            num_scns=9, num_wds=160, area_km=6.0, radius_km=2.0, speed_km=0.3
-        ),
-    )
-    channel = MarkovBlockage(num_scns=9, p_block=0.08, p_recover=0.4)
-    print(
-        "9 SCNs on a 6x6 km grid, 160 mobile WDs, blockage: "
-        f"{channel.stationary_block_probability():.0%} of slots blocked per SCN"
-    )
-
-    truth = build_truth(cfg)
-    sim = Simulation(
-        network=network, workload=workload, truth=truth, channel=channel, seed=7
-    )
-
-    results = {}
-    for name in ("Oracle", "LFSC", "vUCB", "Random"):
-        results[name] = sim.run(make_policy(name, cfg, truth), cfg.horizon)
-
+    out = api.run(scenario=SCENARIO, policies=("Oracle", "LFSC", "vUCB", "Random"))
+    print("9 SCNs on a 6x6 km grid, 160 mobile WDs, Gilbert-Elliott blockage")
     print("\nSummary under mobility + blockage:")
-    print(format_table(comparison_rows(results)))
+    print(out.table())
 
     # The Oracle knows the long-run truth but not the instantaneous blockage
     # state, so even it loses reward to blocked slots — the gap between its
     # expected and realized reward measures the channel's toll.
-    oracle = results["Oracle"]
+    oracle = out["Oracle"]
     toll = 1.0 - oracle.total_reward / oracle.expected_reward.sum()
     print(f"\nBlockage toll on the Oracle (expected vs realized reward): {toll:.1%}")
 

@@ -1,73 +1,47 @@
 """Non-stationary rewards: drifting means and regime switches (paper §3.2).
 
 The paper only assumes V and Q stationary; the reward process U "is not
-necessarily stationary".  This example runs LFSC in the two non-stationary
-environments the library ships:
+necessarily stationary".  This script runs LFSC in the two non-stationary
+scenario families the registry ships:
 
-- :class:`DriftingTruth` — per-cube mean rewards follow a bounded random
+- ``nonstationary_drift`` — per-cube mean rewards follow a bounded random
   walk (slow concept drift, e.g. demand patterns shifting through the day);
-- :class:`RegimeSwitchTruth` — rewards flip between two regimes (abrupt
+- ``nonstationary_regime`` — rewards flip between two regimes (abrupt
   change, e.g. a flash crowd arriving).
 
 The exponential-weights core keeps adapting because recent feedback always
 moves the weights; compare the reward LFSC retains with Random's.
 
-Usage:
+The environment assembly lives in the scenario registry (DESIGN.md §11);
+this script is a thin wrapper over the committed scenario files:
+
     python examples/nonstationary.py
+    python -m repro run --scenario examples/scenarios/nonstationary_drift.toml
 """
 
 from __future__ import annotations
 
-from repro import ExperimentConfig, NetworkConfig, Simulation, comparison_rows, format_table
-from repro.env import DriftingTruth, PiecewiseConstantTruth, RegimeSwitchTruth
-from repro.experiments.runner import build_truth, build_workload, make_policy
+from pathlib import Path
 
+from repro import api
 
-def run_environment(label: str, truth, cfg) -> None:
-    sim = Simulation(
-        network=cfg.network(), workload=build_workload(cfg), truth=truth, seed=3
-    )
-    results = {}
-    for name in ("Oracle", "LFSC", "Random"):
-        results[name] = sim.run(make_policy(name, cfg, truth), cfg.horizon)
-    print(f"\n=== {label} ===")
-    print(format_table(comparison_rows(results)))
+SCENARIO_DIR = Path(__file__).parent / "scenarios"
+POLICIES = ("Oracle", "LFSC", "Random")
 
 
 def main() -> None:
-    cfg = ExperimentConfig.small(horizon=800)
+    # The stationary §5 setting at the same scale, for reference.
+    out = api.run(policies=POLICIES, horizon=800, seed=3)
+    print("=== stationary (paper §5 setting) ===")
+    print(out.table())
 
-    stationary = build_truth(cfg)
-    run_environment("stationary (paper §5 setting)", stationary, cfg)
-
-    def base():
-        return PiecewiseConstantTruth(
-            num_scns=cfg.num_scns,
-            dims=cfg.dims,
-            cells_per_dim=cfg.cells_per_dim,
-            seed=cfg.truth_seed,
-        )
-
-    run_environment(
-        "drifting rewards (random walk, sigma=0.02/slot)",
-        DriftingTruth(base=base(), drift=0.02),
-        cfg,
-    )
-
-    run_environment(
-        "regime switching (p=0.005/slot)",
-        RegimeSwitchTruth(
-            regime_a=base(),
-            regime_b=PiecewiseConstantTruth(
-                num_scns=cfg.num_scns,
-                dims=cfg.dims,
-                cells_per_dim=cfg.cells_per_dim,
-                seed=cfg.truth_seed + 1,
-            ),
-            switch_prob=0.005,
-        ),
-        cfg,
-    )
+    for label, name in (
+        ("drifting rewards (random walk, sigma=0.02/slot)", "nonstationary_drift"),
+        ("regime switching (p=0.005/slot)", "nonstationary_regime"),
+    ):
+        out = api.run(scenario=SCENARIO_DIR / f"{name}.toml", policies=POLICIES)
+        print(f"\n=== {label} ===")
+        print(out.table())
 
     print(
         "\nNote: the Oracle tracks the *current* regime's means every slot, so"

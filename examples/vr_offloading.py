@@ -2,49 +2,47 @@
 
 The paper's introduction motivates small-cell edge computing with emerging
 latency-critical services — virtual reality, security surveillance,
-automatic driving.  This example models a VR-heavy hotspot:
+automatic driving.  The ``vr`` scenario models a VR-heavy hotspot: the QoS
+threshold α is raised to 0.8·c (a VR session that misses its frame budget
+is worthless), links are reliable (V ~ U[0.5, 1]) and frames always worth
+something (U ~ U[0.3, 1]).  LFSC sacrifices a little raw reward to honour
+the tighter QoS constraint.
 
-- tasks are GPU-dominated (rendering offload) with large inputs (pose +
-  scene deltas up to 20 Mbit) and small outputs (encoded frames);
-- the QoS threshold α is raised to 0.8·c — a VR session that misses its
-  frame budget is worthless, so the operator demands more completions;
-- link reliability is high (V ~ U[0.5, 1]): hotspot SCNs are close by.
+The config assembly lives in the scenario registry (DESIGN.md §11); this
+script is a thin wrapper over the committed scenario file:
 
-We compare LFSC against vUCB and Random and show LFSC sacrifices a little
-raw reward to honour the tighter QoS constraint.
-
-Usage:
     python examples/vr_offloading.py
+    python -m repro run --scenario examples/scenarios/vr_offloading.toml
 """
 
 from __future__ import annotations
 
-from repro import ExperimentConfig, comparison_rows, format_table, run_experiment
+from pathlib import Path
+
+from repro import api
 from repro.metrics import per_slot_violation_rate
+
+SCENARIO = Path(__file__).parent / "scenarios" / "vr_offloading.toml"
 
 
 def main() -> None:
-    cfg = ExperimentConfig.small(horizon=1200).with_overrides(
-        alpha=0.8 * 6,  # tighter QoS: 80% of the capacity must complete
-        v_range=(0.5, 1.0),  # reliable hotspot links
-        u_range=(0.3, 1.0),  # VR frames are always worth something
-    )
+    out = api.run(scenario=SCENARIO, policies=("Oracle", "LFSC", "vUCB", "Random"))
+    cfg = out.config
     print(
         "VR hotspot: alpha raised to "
         f"{cfg.alpha:.1f}/{cfg.capacity} accepted tasks, links V~U{cfg.v_range}"
     )
-    results = run_experiment(cfg, ("Oracle", "LFSC", "vUCB", "Random"), workers=0)
 
     print("\nSummary:")
-    print(format_table(comparison_rows(results)))
+    print(out.table())
 
     print("\nQoS violation rate (per-slot moving average), first -> last quarter:")
-    for name, res in results.items():
-        rate = per_slot_violation_rate(res, window=100, kind="qos")
+    for name in out.policies:
+        rate = per_slot_violation_rate(out[name], window=100, kind="qos")
         q = len(rate) // 4
         print(f"  {name:8s} {rate[:q].mean():6.2f} -> {rate[-q:].mean():6.2f}")
 
-    lfsc, vucb = results["LFSC"], results["vUCB"]
+    lfsc, vucb = out["LFSC"], out["vUCB"]
     print(
         f"\nLFSC finishes with {lfsc.violation_qos.sum() / vucb.violation_qos.sum():.0%} "
         "of vUCB's QoS violations."

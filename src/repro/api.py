@@ -72,9 +72,24 @@ _SCALES = {
 
 
 def _resolve_config(
-    config: ExperimentConfig | None, scale: str, overrides: Mapping[str, object]
+    config: ExperimentConfig | None,
+    scale: str,
+    overrides: Mapping[str, object],
+    scenario: "str | Path | None" = None,
 ) -> ExperimentConfig:
-    """An explicit config (plus optional overrides), or a preset by name."""
+    """An explicit config, a scenario (name or file), or a preset by name.
+
+    ``scenario`` resolves through the registry (DESIGN.md §11): a registered
+    name or a TOML/JSON scenario file, yielding the scenario's base config
+    with the spec attached; keyword ``overrides`` apply on top.  Mutually
+    exclusive with an explicit ``config``; takes precedence over ``scale``.
+    """
+    if scenario is not None:
+        if config is not None:
+            raise ValueError("pass either config or scenario, not both")
+        from repro import scenarios
+
+        return scenarios.resolve_scenario(scenario).config(**overrides)
     if config is not None:
         return config.with_overrides(**overrides) if overrides else config
     try:
@@ -189,6 +204,7 @@ def run(
     policies: Sequence[str] = DEFAULT_POLICIES,
     *,
     scale: str = "small",
+    scenario: str | Path | None = None,
     workers: int | None = None,
     transport: str = "auto",
     **overrides,
@@ -206,13 +222,18 @@ def run(
         sharing — DESIGN.md §9) apply on top of either.
     policies:
         Policy names (default: the paper's Fig. 2 line-up).
+    scenario:
+        A registered scenario name (``"vehicular"``, ``"sleep_mode"``, …)
+        or a TOML/JSON scenario file; resolves to the scenario's config
+        with the spec attached (DESIGN.md §11).  Mutually exclusive with
+        ``config``.
     workers:
         ``None``/``1`` serial, ``0`` one process per core, ``n`` a pool of n
         — bit-identical results across all settings.
     transport:
         Parallel result transport (``"auto"``/``"shm"``/``"pickle"``).
     """
-    cfg = _resolve_config(config, scale, overrides)
+    cfg = _resolve_config(config, scale, overrides, scenario)
     results = run_experiment(cfg, policies, workers=workers, transport=transport)
     return RunResult(config=cfg, results=results)
 
@@ -222,6 +243,7 @@ def replicate(
     policies: Sequence[str] = DEFAULT_POLICIES,
     *,
     scale: str = "small",
+    scenario: str | Path | None = None,
     seeds: Sequence[int] | int = 5,
     confidence: float = 0.95,
     workers: int | None = 0,
@@ -233,10 +255,10 @@ def replicate(
 
     ``seeds`` is either a replication count (seeds derived from
     ``config.seed`` via the frozen stream contract) or an explicit list.
-    Other parameters follow :func:`run`;
+    Other parameters follow :func:`run` (including ``scenario``);
     ``manifest_dir`` writes the sweep's provenance manifest up front.
     """
-    cfg = _resolve_config(config, scale, overrides)
+    cfg = _resolve_config(config, scale, overrides, scenario)
     summaries = _replicate_summaries(
         cfg,
         policies,
@@ -260,6 +282,7 @@ def compare(
     config: ExperimentConfig | None = None,
     *,
     scale: str = "small",
+    scenario: str | Path | None = None,
     workers: int | None = None,
     **overrides,
 ) -> ComparisonResult:
@@ -268,7 +291,7 @@ def compare(
     Returns the reward ratio and the paper's early-stage violation ratio
     alongside the full :class:`RunResult` of both policies.
     """
-    cfg = _resolve_config(config, scale, overrides)
+    cfg = _resolve_config(config, scale, overrides, scenario)
     result = run(cfg, (baseline, policy), workers=workers)
     base_reward = result[baseline].total_reward
     ratio = result[policy].total_reward / base_reward if base_reward else float("nan")
@@ -294,20 +317,22 @@ def open_session(
     *,
     policy: str = "LFSC",
     scale: str = "small",
+    scenario: str | Path | None = None,
     record_expected: bool = True,
     validate_assignments: bool = True,
     **overrides,
 ):
     """A fresh checkpointable :class:`~repro.service.session.OnlineSession`.
 
-    Config resolution matches :func:`run` (explicit config, or a scale
-    preset plus overrides).  The session advances with ``decide()`` /
-    ``feedback()`` / ``run(n)``, snapshots with ``save(path)``, and its
-    ``result()`` is bit-identical to the batch simulator's per-slot run.
+    Config resolution matches :func:`run` (explicit config, a ``scenario``
+    name/file, or a scale preset plus overrides).  The session advances
+    with ``decide()`` / ``feedback()`` / ``run(n)``, snapshots with
+    ``save(path)``, and its ``result()`` is bit-identical to the batch
+    simulator's per-slot run.
     """
     from repro.service import OnlineSession
 
-    cfg = _resolve_config(config, scale, overrides)
+    cfg = _resolve_config(config, scale, overrides, scenario)
     return OnlineSession(
         cfg,
         policy=policy,
@@ -340,6 +365,7 @@ def serve(
     *,
     policy: str = "LFSC",
     scale: str = "small",
+    scenario: str | Path | None = None,
     host: str = "127.0.0.1",
     port: int = 0,
     checkpoint_path: str | Path | None = None,
@@ -357,11 +383,11 @@ def serve(
     from repro.service import OnlineSession, PolicyDaemon
 
     if resume_from is not None:
-        if config is not None:
-            raise ValueError("pass either config or resume_from, not both")
+        if config is not None or scenario is not None:
+            raise ValueError("pass either config/scenario or resume_from, not both")
         session = OnlineSession.from_checkpoint(resume_from)
     else:
-        cfg = _resolve_config(config, scale, overrides)
+        cfg = _resolve_config(config, scale, overrides, scenario)
         session = OnlineSession(cfg, policy=policy)
     daemon = PolicyDaemon(
         session,

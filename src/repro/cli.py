@@ -10,6 +10,13 @@ Usage (module form)::
     python -m repro ablations --study lagrangian
     python -m repro replicate --seeds 8 --policies LFSC vUCB Random
     python -m repro report --manifest
+    python -m repro scenarios list
+    python -m repro run --scenario vehicular
+
+Scenarios (DESIGN.md §11): ``repro scenarios list`` / ``describe NAME``
+inspect the declarative scenario registry, and every run-type subcommand
+accepts ``--scenario NAME_OR_PATH`` (a registered name or a TOML/JSON
+scenario config file) in place of ``--scale``.
 
 Sweeps and replications are process-parallel by default (``--workers 0`` =
 one process per CPU core, with serial fallback on single-core hosts); pass
@@ -36,7 +43,7 @@ environment fallback), and ``--shared-window/--no-shared-window`` toggles
 the cross-replication window cache — both bit-identical, only faster.
 
 Every run-type subcommand shares one option group (declared once in
-:func:`_add_run_options`): ``--scale/--horizon/--seed/--workers/--window/
+:func:`_add_run_options`): ``--scale/--scenario/--horizon/--seed/--workers/--window/
 --engine/--transport/--trace/--trace-sample/--manifest-dir/--no-oracle-cache/
 --cache-dir/--shared-window/--no-shared-window`` plus ``--plot/--save``.  The pre-unification spellings (``--trace-path``,
 ``--sample-every``, ``--result-transport``) are kept as hidden aliases that
@@ -78,11 +85,16 @@ __all__ = ["main", "build_parser"]
 
 
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
-    cfg = (
-        ExperimentConfig.paper()
-        if args.scale == "paper"
-        else ExperimentConfig.small()
-    )
+    if getattr(args, "scenario", None) is not None:
+        from repro import scenarios
+
+        cfg = scenarios.resolve_scenario(args.scenario).config()
+    else:
+        cfg = (
+            ExperimentConfig.paper()
+            if args.scale == "paper"
+            else ExperimentConfig.small()
+        )
     overrides = {}
     if args.horizon is not None:
         overrides["horizon"] = args.horizon
@@ -141,6 +153,13 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
     produce them).
     """
     parser.add_argument("--scale", choices=("small", "paper"), default="small")
+    parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME_OR_PATH",
+        help="run a registered scenario (see `repro scenarios list`) or a "
+        "TOML/JSON scenario config file; takes precedence over --scale",
+    )
     parser.add_argument("--horizon", type=int, default=None)
     parser.add_argument("--seed", type=int, default=None)
     parser.add_argument("--workers", type=int, default=0, help="0 = all CPUs, 1 = serial")
@@ -350,6 +369,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve N synthetic decisions in-process, then checkpoint (if "
         "configured) and exit — no socket client needed",
     )
+
+    scen_p = sub.add_parser(
+        "scenarios",
+        help="list or describe the registered scenario families (DESIGN.md §11)",
+    )
+    scen_sub = scen_p.add_subparsers(dest="scenario_command", required=True)
+    scen_list = scen_sub.add_parser("list", help="one line per registered scenario")
+    scen_list.add_argument("--tag", default=None, help="only scenarios carrying this tag")
+    scen_desc = scen_sub.add_parser(
+        "describe", help="params, defaults, tags, and content hash of one scenario"
+    )
+    scen_desc.add_argument("name", help="registered scenario name")
 
     ckpt_p = sub.add_parser(
         "checkpoint", help="verify a repro-checkpoint/v1 file and print its summary"
@@ -568,6 +599,29 @@ def main(argv: Sequence[str] | None = None) -> int:
                 validate_record(rec)
             print(f"schema OK: every record in {args.path} is valid")
         print(format_trace_summary(summarize_trace_file(args.path)))
+        return 0
+
+    if args.command == "scenarios":
+        import json
+
+        from repro import scenarios
+
+        if args.scenario_command == "list":
+            entries = scenarios.list_scenarios(tag=args.tag)
+            if not entries:
+                print("no scenarios registered" + (f" with tag {args.tag!r}" if args.tag else ""))
+                return 0
+            width = max(len(s.name) for s in entries)
+            for s in entries:
+                tags = f"  [{', '.join(s.tags)}]" if s.tags else ""
+                print(f"{s.name:<{width}}  {s.description}{tags}")
+            return 0
+        try:
+            info = scenarios.describe(args.name)
+        except scenarios.UnknownScenarioError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 1
+        print(json.dumps(info, indent=2, sort_keys=True))
         return 0
 
     if args.command == "checkpoint":

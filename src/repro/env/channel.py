@@ -96,3 +96,12 @@ class MarkovBlockage(BlockageChannel):
         newly_blocked = ~self._blocked & (draws < self.p_block)
         newly_up = self._blocked & (draws < self.p_recover)
         self._blocked = (self._blocked | newly_blocked) & ~newly_up
+
+    # -- checkpoint hooks (repro-checkpoint/v1, DESIGN.md §10) ---------------
+
+    def checkpoint_state(self) -> dict:
+        """Markov chain state (the per-SCN blocked flags, as int8)."""
+        return {"blocked": self._blocked.astype(np.int8)}
+
+    def restore_checkpoint_state(self, state: dict) -> None:
+        self._blocked = np.asarray(state["blocked"]).astype(bool).copy()

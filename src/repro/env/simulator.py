@@ -220,6 +220,9 @@ class SimulationResult:
     violation_qos_realized: np.ndarray | None = None
     violation_resource_realized: np.ndarray | None = None
     has_expected: bool = True
+    #: Scenario-contributed per-slot series (e.g. sleep-mode ``"energy"``),
+    #: exported by policies through a duck-typed ``result_extras()`` hook.
+    extras: dict[str, np.ndarray] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         # The realized series default to the recorded violation series, so
@@ -268,7 +271,7 @@ class SimulationResult:
     def summary(self) -> dict[str, float]:
         """Headline scalars for tables and EXPERIMENTS.md."""
         total_viol = self.total_violations
-        return {
+        out = {
             "total_reward": self.total_reward,
             "total_expected_reward": float(self.expected_reward.sum()),
             "violation_qos": float(self.violation_qos.sum()),
@@ -279,6 +282,14 @@ class SimulationResult:
             "mean_accepted_per_scn": float(self.accepted.mean()),
             "mean_completed_per_scn": float(self.completed.mean()),
         }
+        if "energy" in self.extras:
+            # Sleep-mode scenarios: total energy spent and its cost per
+            # offloading decision (see repro.metrics.energy).
+            total_energy = float(np.asarray(self.extras["energy"]).sum())
+            decisions = float(self.accepted.sum())
+            out["total_energy"] = total_energy
+            out["energy_per_decision"] = total_energy / max(decisions, 1.0)
+        return out
 
 
 @dataclass
@@ -629,6 +640,9 @@ class Simulation:
         reg.counter("sim.assigned_pairs").inc(float(accepted.sum()))
         reg.gauge("sim.last_total_reward").set(float(reward.sum()))
 
+        extras_fn = getattr(policy, "result_extras", None)
+        extras = dict(extras_fn()) if callable(extras_fn) else {}
+
         return SimulationResult(
             policy_name=policy.name,
             horizon=horizon,
@@ -643,4 +657,5 @@ class Simulation:
             violation_qos_realized=viol_qos_real,
             violation_resource_realized=viol_res_real,
             has_expected=record_expected,
+            extras=extras,
         )

@@ -193,6 +193,33 @@ class SyntheticWorkload(Workload):
         later cache misses bit-identical to an uncached run."""
         self._next_id = int(value)
 
+    # -- checkpoint hooks (repro-checkpoint/v1, DESIGN.md §10) ---------------
+
+    def checkpoint_state(self) -> dict:
+        """Generation state beyond the RNG stream: the id counter plus any
+        stateful coverage (mobility fleets) via its ``state_dict`` hook.
+
+        Coverage keys are flattened with a ``coverage_`` prefix so the
+        checkpoint container's scalar/array routing applies per entry.
+        """
+        state: dict = {"next_id": int(self._next_id)}
+        state_dict = getattr(self.coverage_model, "state_dict", None)
+        if callable(state_dict):
+            for key, value in state_dict().items():
+                state[f"coverage_{key}"] = value
+        return state
+
+    def restore_checkpoint_state(self, state: dict) -> None:
+        self._next_id = int(state["next_id"])
+        restore = getattr(self.coverage_model, "restore_state", None)
+        if callable(restore):
+            coverage_state = {
+                key[len("coverage_") :]: value
+                for key, value in state.items()
+                if key.startswith("coverage_")
+            }
+            restore(coverage_state)
+
 
 @dataclass
 class TraceWorkload(Workload):

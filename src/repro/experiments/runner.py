@@ -41,7 +41,8 @@ from repro.env.window_cache import (
     release_window_state,
     shared_window_cache,
 )
-from repro.env.workload import SyntheticWorkload
+from repro.env.workload import SyntheticWorkload, Workload
+from repro.scenarios.spec import ScenarioSpec
 from repro.utils.parallel import parallel_map, resolve_workers
 from repro.utils.rng import describe_streams
 from repro.utils.validation import check_positive, require
@@ -51,6 +52,7 @@ __all__ = [
     "ExperimentConfig",
     "build_truth",
     "build_workload",
+    "build_channel",
     "build_simulation",
     "make_policy",
     "run_experiment",
@@ -119,6 +121,12 @@ class ExperimentConfig:
     #: just faster on sweeps that replay the same environment.
     shared_window: bool = True
     lfsc: LFSCConfig | None = None
+    #: Declarative scenario coordinate (DESIGN.md §11): when set, the build
+    #: helpers below consult the scenario registry for environment overrides
+    #: (workload / truth / channel) and policy wrappers, and the spec's
+    #: content hash flows into manifests and checkpoint headers.  ``None``
+    #: keeps the paper's default environment.
+    scenario: ScenarioSpec | None = None
 
     def __post_init__(self) -> None:
         check_positive("horizon", self.horizon)
@@ -203,8 +211,21 @@ class ExperimentConfig:
         )
 
 
-def build_truth(cfg: ExperimentConfig) -> GroundTruth:
-    """The hidden stationary ground truth for this experiment."""
+def _scenario_env(cfg: ExperimentConfig):
+    """The scenario's environment overrides, or None without a scenario.
+
+    Imported lazily: the registry's builder table needs this module, so the
+    dependency must stay one-way at import time (DESIGN.md §11).
+    """
+    if cfg.scenario is None:
+        return None
+    from repro import scenarios
+
+    return scenarios.build_env(cfg)
+
+
+def default_truth(cfg: ExperimentConfig) -> PiecewiseConstantTruth:
+    """The paper's stationary piecewise-constant ground truth."""
     return PiecewiseConstantTruth(
         num_scns=cfg.num_scns,
         dims=cfg.dims,
@@ -218,7 +239,7 @@ def build_truth(cfg: ExperimentConfig) -> GroundTruth:
     )
 
 
-def build_workload(cfg: ExperimentConfig) -> SyntheticWorkload:
+def default_workload(cfg: ExperimentConfig) -> SyntheticWorkload:
     """The §5 synthetic workload (features + coverage sampler)."""
     return SyntheticWorkload(
         features=TaskFeatureModel(),
@@ -231,14 +252,41 @@ def build_workload(cfg: ExperimentConfig) -> SyntheticWorkload:
     )
 
 
+def build_truth(cfg: ExperimentConfig) -> GroundTruth:
+    """The hidden ground truth (scenario override or the paper default)."""
+    env = _scenario_env(cfg)
+    if env is not None and env.truth is not None:
+        return env.truth
+    return default_truth(cfg)
+
+
+def build_workload(cfg: ExperimentConfig) -> Workload:
+    """The slot workload (scenario override or the paper default)."""
+    env = _scenario_env(cfg)
+    if env is not None and env.workload is not None:
+        return env.workload
+    return default_workload(cfg)
+
+
+def build_channel(cfg: ExperimentConfig):
+    """The blockage channel, if the scenario declares one (default: None)."""
+    env = _scenario_env(cfg)
+    return None if env is None else env.channel
+
+
 def build_simulation(cfg: ExperimentConfig) -> Simulation:
     """Simulation bound to this config's network, workload, and truth."""
     from repro.solvers.cache import shared_cache
 
+    env = _scenario_env(cfg)
+    workload = truth = channel = None
+    if env is not None:
+        workload, truth, channel = env.workload, env.truth, env.channel
     return Simulation(
         network=cfg.network(),
-        workload=build_workload(cfg),
-        truth=build_truth(cfg),
+        workload=workload if workload is not None else default_workload(cfg),
+        truth=truth if truth is not None else default_truth(cfg),
+        channel=channel,
         seed=cfg.seed,
         solver_cache=shared_cache(cfg.cache_dir) if cfg.oracle_cache else None,
         window_cache=shared_window_cache() if cfg.shared_window else None,
@@ -246,25 +294,37 @@ def build_simulation(cfg: ExperimentConfig) -> Simulation:
 
 
 def make_policy(name: str, cfg: ExperimentConfig, truth: GroundTruth) -> PolicyProtocol:
-    """Instantiate a policy of the evaluation line-up by name."""
+    """Instantiate a policy of the evaluation line-up by name.
+
+    When the config carries a scenario, the scenario's policy wrapper (e.g.
+    sleep-mode activation, one-bit censoring) is applied around the base
+    policy; wrappers preserve the policy name, so RNG stream derivation is
+    unchanged.
+    """
     partition = cfg.partition
     if name == "Oracle":
-        return OraclePolicy(truth, mode=cfg.oracle_mode)
-    if name == "Oracle-unconstrained":
-        return UnconstrainedOraclePolicy(truth)
-    if name == "LFSC":
-        return LFSCPolicy(cfg.lfsc_config())
-    if name == "vUCB":
-        return VUCBPolicy(partition)
-    if name == "FML":
-        return FMLPolicy(partition)
-    if name == "Random":
-        return RandomPolicy()
-    if name == "eps-greedy":
-        return EpsilonGreedyPolicy(partition)
-    if name == "thompson":
-        return ThompsonSamplingPolicy(partition)
-    raise ValueError(f"unknown policy name {name!r}")
+        policy = OraclePolicy(truth, mode=cfg.oracle_mode)
+    elif name == "Oracle-unconstrained":
+        policy = UnconstrainedOraclePolicy(truth)
+    elif name == "LFSC":
+        policy = LFSCPolicy(cfg.lfsc_config())
+    elif name == "vUCB":
+        policy = VUCBPolicy(partition)
+    elif name == "FML":
+        policy = FMLPolicy(partition)
+    elif name == "Random":
+        policy = RandomPolicy()
+    elif name == "eps-greedy":
+        policy = EpsilonGreedyPolicy(partition)
+    elif name == "thompson":
+        policy = ThompsonSamplingPolicy(partition)
+    else:
+        raise ValueError(f"unknown policy name {name!r}")
+    if cfg.scenario is not None:
+        from repro import scenarios
+
+        policy = scenarios.wrap_policy(policy, cfg)
+    return policy
 
 
 def _run_one(args: tuple[ExperimentConfig, str, tuple | None]) -> SimulationResult:

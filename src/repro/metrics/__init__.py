@@ -11,6 +11,7 @@ from repro.metrics.violations import (
     per_slot_violation_rate,
 )
 from repro.metrics.ratio import performance_ratio, performance_ratio_series
+from repro.metrics.energy import energy_series, energy_per_decision, energy_summary
 from repro.metrics.fairness import fairness_summary, jain_index
 from repro.metrics.summary import comparison_rows, format_table
 
@@ -23,6 +24,9 @@ __all__ = [
     "per_slot_violation_rate",
     "performance_ratio",
     "performance_ratio_series",
+    "energy_series",
+    "energy_per_decision",
+    "energy_summary",
     "fairness_summary",
     "jain_index",
     "comparison_rows",

@@ -1,0 +1,61 @@
+"""Energy metrics for sleep-mode scenarios (DESIGN.md §11).
+
+The ``sleep_mode`` scenario's activation layer records the power drawn by
+the SCN fleet at every slot (``active_power`` per awake SCN plus
+``sleep_power`` per sleeping one) into ``SimulationResult.extras["energy"]``.
+This module turns that series into the derived views the scenario reports:
+the cumulative energy curve, the headline *energy per accepted decision*
+(how many joules the network spends to serve one offloaded task), and a
+combined summary row.
+
+Results recorded without an energy series (every non-sleep scenario) raise
+:class:`KeyError` with a pointed message rather than inventing zeros.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.env.simulator import SimulationResult
+
+__all__ = ["energy_series", "energy_per_decision", "energy_summary"]
+
+
+def _energy(result: SimulationResult) -> np.ndarray:
+    try:
+        return np.asarray(result.extras["energy"], dtype=np.float64)
+    except KeyError:
+        raise KeyError(
+            "result has no 'energy' extras series; energy metrics apply to "
+            "runs of an energy-aware scenario (e.g. --scenario sleep_mode)"
+        ) from None
+
+
+def energy_series(result: SimulationResult, *, cumulative: bool = True) -> np.ndarray:
+    """The recorded per-slot energy draw, cumulative by default."""
+    series = _energy(result)
+    return np.cumsum(series) if cumulative else series
+
+
+def energy_per_decision(result: SimulationResult) -> float:
+    """Total energy divided by the number of accepted offloading decisions.
+
+    The denominator is floored at one so an all-reject run reports its total
+    energy rather than dividing by zero — matching
+    :meth:`SimulationResult.summary`.
+    """
+    total = float(_energy(result).sum())
+    accepted = float(np.asarray(result.accepted, dtype=np.float64).sum())
+    return total / max(accepted, 1.0)
+
+
+def energy_summary(result: SimulationResult) -> dict:
+    """Headline energy numbers of one run, as a JSON-safe dict."""
+    series = _energy(result)
+    accepted = float(np.asarray(result.accepted, dtype=np.float64).sum())
+    return {
+        "total_energy": float(series.sum()),
+        "mean_slot_energy": float(series.mean()) if series.size else 0.0,
+        "energy_per_decision": float(series.sum()) / max(accepted, 1.0),
+        "accepted_decisions": accepted,
+    }

@@ -123,10 +123,32 @@ def build_manifest(
         "seeds": [int(s) for s in seeds] if seeds is not None else None,
         "policies": list(policies) if policies is not None else None,
         "engine": engine,
+        "scenario": _scenario_block(config),
     }
     if extra:
         manifest["extra"] = _jsonable(extra)
     return manifest
+
+
+def _scenario_block(config: Any) -> dict | None:
+    """Scenario name + params + content hash, when the config carries one.
+
+    Manifests are descriptive, never load-bearing, so a spec that fails to
+    resolve against the current registry records the error string instead of
+    failing the run.
+    """
+    spec = getattr(config, "scenario", None)
+    if spec is None:
+        return None
+    block = {"name": spec.name, "params": _jsonable(spec.param_dict())}
+    try:
+        from repro import scenarios
+
+        block["hash"] = scenarios.scenario_hash(spec)
+    except Exception as exc:
+        block["hash"] = None
+        block["error"] = repr(exc)
+    return block
 
 
 def write_manifest(path: str | Path, manifest: Mapping[str, Any] | None = None, **kwargs) -> Path:

@@ -1,0 +1,66 @@
+"""Declarative scenario registry (DESIGN.md §11).
+
+Public surface::
+
+    from repro import scenarios
+
+    scenarios.names()                     # registered scenario names
+    scenarios.describe("vehicular")       # defaults, tags, content hash
+    cfg = scenarios.config_for(ScenarioSpec.make("sleep_mode"), horizon=200)
+    loaded = scenarios.resolve_scenario("examples/scenarios/vehicular.toml")
+
+This package imports only the spec / registry / loader layers at module
+import time; the built-in scenario families (which need the experiment
+runner) register lazily on first lookup, keeping
+``repro.experiments.runner -> repro.scenarios.spec`` acyclic.
+"""
+
+from repro.scenarios.loader import (
+    LoadedScenario,
+    ScenarioConfigError,
+    load_scenario_file,
+    looks_like_path,
+    resolve_scenario,
+)
+from repro.scenarios.registry import (
+    Scenario,
+    ScenarioEnv,
+    ScenarioError,
+    UnknownScenarioError,
+    build_env,
+    config_for,
+    describe,
+    get,
+    list_scenarios,
+    names,
+    register,
+    resolve_params,
+    scenario_hash,
+    wrap_policy,
+)
+from repro.scenarios.spec import ScenarioSpec, canonical_json, content_hash
+
+__all__ = [
+    "LoadedScenario",
+    "Scenario",
+    "ScenarioConfigError",
+    "ScenarioEnv",
+    "ScenarioError",
+    "ScenarioSpec",
+    "UnknownScenarioError",
+    "build_env",
+    "canonical_json",
+    "config_for",
+    "content_hash",
+    "describe",
+    "get",
+    "list_scenarios",
+    "load_scenario_file",
+    "looks_like_path",
+    "names",
+    "register",
+    "resolve_params",
+    "resolve_scenario",
+    "scenario_hash",
+    "wrap_policy",
+]

@@ -1,0 +1,256 @@
+"""The built-in scenario families.
+
+Each entry here replaces (or generalizes) a bespoke example script: the
+environment assembly that used to live in ``examples/*.py`` is now a
+registry builder, so the same scenario runs through ``repro.api``, the
+windowed driver, manifests, checkpoints, and process-parallel replication.
+
+Loaded lazily by :func:`repro.scenarios.registry._ensure_builtins` — this
+module may import the experiment runner, the registry itself must not.
+"""
+
+from __future__ import annotations
+
+from repro.env.channel import MarkovBlockage
+from repro.env.contexts import TaskFeatureModel
+from repro.env.geometry import GeometricCoverage, TrajectoryMobility
+from repro.env.processes import DriftingTruth, RegimeSwitchTruth
+from repro.env.workload import SyntheticWorkload
+from repro.scenarios.one_bit import OneBitFeedbackPolicy
+from repro.scenarios.registry import Scenario, ScenarioEnv, register
+from repro.scenarios.sleep import SleepModePolicy
+
+__all__ = ["register_all"]
+
+
+def _paper_config(params):
+    from repro.experiments.runner import ExperimentConfig
+
+    return ExperimentConfig.paper()
+
+
+def _small_config(horizon, seed=0, **overrides):
+    from repro.experiments.runner import ExperimentConfig
+
+    return ExperimentConfig.small(horizon=horizon, seed=seed, **overrides)
+
+
+# -- mobility + blockage (ex examples/mobility_blockage.py) ------------------
+
+
+def _mobility_config(params):
+    return _small_config(horizon=800, seed=7, num_scns=int(params["num_scns"]))
+
+
+def _mobility_env(cfg, params):
+    workload = SyntheticWorkload(
+        features=TaskFeatureModel(),
+        coverage_model=GeometricCoverage(
+            num_scns=cfg.num_scns,
+            num_wds=int(params["num_wds"]),
+            area_km=float(params["area_km"]),
+            radius_km=float(params["radius_km"]),
+            speed_km=float(params["speed_km"]),
+        ),
+    )
+    channel = MarkovBlockage(
+        num_scns=cfg.num_scns,
+        p_block=float(params["p_block"]),
+        p_recover=float(params["p_recover"]),
+    )
+    return ScenarioEnv(workload=workload, channel=channel)
+
+
+# -- VR hotspot (ex examples/vr_offloading.py) -------------------------------
+
+
+def _vr_config(params):
+    cfg = _small_config(horizon=1200)
+    return cfg.with_overrides(
+        alpha=float(params["alpha_frac"]) * cfg.capacity,
+        v_range=(float(params["v_low"]), 1.0),
+        u_range=(float(params["u_low"]), 1.0),
+    )
+
+
+# -- non-stationary truths (ex examples/nonstationary.py) --------------------
+
+
+def _nonstationary_config(params):
+    return _small_config(horizon=800, seed=3)
+
+
+def _drift_env(cfg, params):
+    from repro.experiments.runner import default_truth
+
+    return ScenarioEnv(
+        truth=DriftingTruth(base=default_truth(cfg), drift=float(params["drift"]))
+    )
+
+
+def _regime_env(cfg, params):
+    from repro.experiments.runner import default_truth
+
+    return ScenarioEnv(
+        truth=RegimeSwitchTruth(
+            regime_a=default_truth(cfg),
+            regime_b=default_truth(cfg.with_overrides(truth_seed=cfg.truth_seed + 1)),
+            switch_prob=float(params["switch_prob"]),
+        )
+    )
+
+
+# -- vehicular trajectories (new) --------------------------------------------
+
+
+def _vehicular_config(params):
+    return _small_config(horizon=800, num_scns=9)
+
+
+def _vehicular_env(cfg, params):
+    workload = SyntheticWorkload(
+        features=TaskFeatureModel(),
+        coverage_model=TrajectoryMobility(
+            num_scns=cfg.num_scns,
+            num_vehicles=int(params["num_vehicles"]),
+            area_km=float(params["area_km"]),
+            radius_km=float(params["radius_km"]),
+            roads_per_axis=int(params["roads_per_axis"]),
+            speed_min_km=float(params["speed_min_km"]),
+            speed_max_km=float(params["speed_max_km"]),
+            turn_prob=float(params["turn_prob"]),
+        ),
+    )
+    return ScenarioEnv(workload=workload)
+
+
+# -- SCN sleep-mode (new) ----------------------------------------------------
+
+
+def _sleep_config(params):
+    return _small_config(horizon=800)
+
+
+def _sleep_wrap(policy, cfg, params):
+    return SleepModePolicy(
+        policy,
+        active_scns=int(params["active_scns"]),
+        explore=float(params["explore"]),
+        active_power=float(params["active_power"]),
+        sleep_power=float(params["sleep_power"]),
+    )
+
+
+# -- one-bit feedback (new) --------------------------------------------------
+
+
+def _one_bit_config(params):
+    return _small_config(horizon=800)
+
+
+def _one_bit_wrap(policy, cfg, params):
+    return OneBitFeedbackPolicy(policy)
+
+
+def register_all() -> None:
+    """Register every built-in scenario (idempotent: replace=True)."""
+    entries = [
+        Scenario(
+            name="paper",
+            description="The paper's §5 evaluation setup (M=30, T=10,000, stationary).",
+            config=_paper_config,
+            tags=("paper", "stationary"),
+        ),
+        Scenario(
+            name="mobility_blockage",
+            description=(
+                "Fig. 1 physical picture: grid SCNs, random-waypoint WDs, "
+                "Gilbert-Elliott mmWave blockage channel."
+            ),
+            config=_mobility_config,
+            env=_mobility_env,
+            defaults={
+                "num_scns": 9,
+                "num_wds": 160,
+                "area_km": 6.0,
+                "radius_km": 2.0,
+                "speed_km": 0.3,
+                "p_block": 0.08,
+                "p_recover": 0.4,
+            },
+            tags=("mobility", "channel"),
+        ),
+        Scenario(
+            name="vr",
+            description=(
+                "VR/AR hotspot: tighter QoS (alpha = alpha_frac*c), reliable "
+                "links V~U[v_low,1], valuable frames U~U[u_low,1]."
+            ),
+            config=_vr_config,
+            defaults={"alpha_frac": 0.8, "v_low": 0.5, "u_low": 0.3},
+            tags=("domain",),
+        ),
+        Scenario(
+            name="nonstationary_drift",
+            description="Per-cube mean rewards follow a bounded random walk (concept drift).",
+            config=_nonstationary_config,
+            env=_drift_env,
+            defaults={"drift": 0.02},
+            tags=("nonstationary",),
+        ),
+        Scenario(
+            name="nonstationary_regime",
+            description="Rewards switch abruptly between two regimes (flash crowds).",
+            config=_nonstationary_config,
+            env=_regime_env,
+            defaults={"switch_prob": 0.005},
+            tags=("nonstationary",),
+        ),
+        Scenario(
+            name="vehicular",
+            description=(
+                "Vehicles on a Manhattan road grid sweep through SCN coverage "
+                "discs with fast handovers (stresses the context partition)."
+            ),
+            config=_vehicular_config,
+            env=_vehicular_env,
+            defaults={
+                "num_vehicles": 160,
+                "area_km": 6.0,
+                "radius_km": 1.5,
+                "roads_per_axis": 4,
+                "speed_min_km": 0.1,
+                "speed_max_km": 0.4,
+                "turn_prob": 0.2,
+            },
+            tags=("mobility", "vehicular"),
+        ),
+        Scenario(
+            name="sleep_mode",
+            description=(
+                "Per-SCN on/off energy states: a CUCB top-m activation layer "
+                "wakes active_scns SCNs per slot; energy-per-decision reported."
+            ),
+            config=_sleep_config,
+            wrap_policy=_sleep_wrap,
+            defaults={
+                "active_scns": 5,
+                "explore": 1.5,
+                "active_power": 1.0,
+                "sleep_power": 0.1,
+            },
+            tags=("energy", "combinatorial"),
+        ),
+        Scenario(
+            name="one_bit",
+            description=(
+                "One-bit feedback: policies observe only success/failure per "
+                "pair, never the raw compound reward G = U*V/Q."
+            ),
+            config=_one_bit_config,
+            wrap_policy=_one_bit_wrap,
+            tags=("feedback", "censoring"),
+        ),
+    ]
+    for scenario in entries:
+        register(scenario, replace=True)

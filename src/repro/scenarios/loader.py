@@ -1,0 +1,165 @@
+"""Scenario config files: declare a run in TOML or JSON.
+
+A scenario file names a *registered* scenario and optionally overrides its
+parameters and the experiment config::
+
+    # examples/scenarios/vehicular.toml
+    scenario = "vehicular"
+
+    [params]            # scenario parameters (schema = the registry defaults)
+    num_vehicles = 160
+    turn_prob = 0.3
+
+    [config]            # ExperimentConfig field overrides
+    horizon = 800
+    seed = 3
+
+JSON files carry the same three keys.  Keeping files *references into the
+registry* (rather than self-contained env descriptions) is what lets worker
+processes rebuild the environment from the ``(name, params)`` spec alone,
+and what gives every file-declared run the same content hash as the
+equivalent ``--scenario name`` run.
+
+Validation is fail-closed: unknown top-level keys, unknown scenario names,
+unknown parameters, type mismatches, and unknown config fields all raise
+:class:`ScenarioConfigError` with the offending key named.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping
+
+from repro.scenarios.registry import ScenarioError, get, resolve_params, scenario_hash
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = [
+    "LoadedScenario",
+    "ScenarioConfigError",
+    "load_scenario_file",
+    "looks_like_path",
+    "resolve_scenario",
+]
+
+_TOP_LEVEL_KEYS = {"scenario", "params", "config", "description"}
+
+
+class ScenarioConfigError(ScenarioError):
+    """A scenario config file fails to parse or validate."""
+
+
+@dataclass(frozen=True)
+class LoadedScenario:
+    """A validated scenario declaration: the spec + config overrides."""
+
+    spec: ScenarioSpec
+    config_overrides: Mapping[str, object]
+    source: str | None = None
+
+    @property
+    def hash(self) -> str:
+        return scenario_hash(self.spec)
+
+    def config(self, **overrides):
+        """The fully-resolved :class:`ExperimentConfig` for this declaration.
+
+        Keyword ``overrides`` (e.g. a CLI ``--horizon``) apply *after* the
+        file's ``[config]`` table.
+        """
+        from repro.scenarios.registry import config_for
+
+        merged = {**self.config_overrides, **overrides}
+        return config_for(self.spec, **merged)
+
+
+def _parse(path: Path) -> dict:
+    text = path.read_text()
+    if path.suffix.lower() == ".json":
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioConfigError(f"{path}: invalid JSON: {exc}") from exc
+    elif path.suffix.lower() == ".toml":
+        import tomllib
+
+        try:
+            doc = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise ScenarioConfigError(f"{path}: invalid TOML: {exc}") from exc
+    else:
+        raise ScenarioConfigError(
+            f"{path}: unsupported scenario file suffix {path.suffix!r} "
+            "(expected .toml or .json)"
+        )
+    if not isinstance(doc, dict):
+        raise ScenarioConfigError(f"{path}: top level must be a table/object")
+    return doc
+
+
+def _check_config_overrides(path: Path, overrides: Mapping) -> dict:
+    """Validate ``[config]`` keys against the ExperimentConfig schema."""
+    from repro.experiments.runner import ExperimentConfig
+
+    known = {f.name for f in dataclasses.fields(ExperimentConfig)}
+    # The scenario coordinate itself is loader-owned, never file-settable.
+    known.discard("scenario")
+    out: dict = {}
+    for key, value in overrides.items():
+        if key not in known:
+            raise ScenarioConfigError(
+                f"{path}: [config] has unknown ExperimentConfig field {key!r}"
+            )
+        out[key] = tuple(value) if isinstance(value, list) else value
+    return out
+
+
+def load_scenario_file(path: str | Path) -> LoadedScenario:
+    """Parse and validate one scenario declaration file."""
+    path = Path(path)
+    if not path.is_file():
+        raise ScenarioConfigError(f"scenario file not found: {path}")
+    doc = _parse(path)
+    unknown = set(doc) - _TOP_LEVEL_KEYS
+    if unknown:
+        raise ScenarioConfigError(
+            f"{path}: unknown top-level key(s) {sorted(unknown)}; "
+            f"expected {sorted(_TOP_LEVEL_KEYS)}"
+        )
+    name = doc.get("scenario")
+    if not isinstance(name, str) or not name:
+        raise ScenarioConfigError(
+            f"{path}: 'scenario' must name a registered scenario (a string)"
+        )
+    params = doc.get("params", {})
+    if not isinstance(params, dict):
+        raise ScenarioConfigError(f"{path}: [params] must be a table/object")
+    config_overrides = doc.get("config", {})
+    if not isinstance(config_overrides, dict):
+        raise ScenarioConfigError(f"{path}: [config] must be a table/object")
+
+    scenario = get(name)  # raises UnknownScenarioError with the known list
+    resolve_params(scenario, params)  # raises on unknown/ill-typed params
+    overrides = _check_config_overrides(path, config_overrides)
+    try:
+        spec = ScenarioSpec.make(name, params)
+    except TypeError as exc:
+        raise ScenarioConfigError(f"{path}: {exc}") from exc
+    return LoadedScenario(spec=spec, config_overrides=overrides, source=str(path))
+
+
+def looks_like_path(name_or_path: str) -> bool:
+    """Heuristic used by ``--scenario``: file suffix or path separator."""
+    s = str(name_or_path)
+    return s.endswith((".toml", ".json")) or "/" in s or "\\" in s
+
+
+def resolve_scenario(name_or_path: str | Path) -> LoadedScenario:
+    """A registry name or a scenario file, as one :class:`LoadedScenario`."""
+    s = str(name_or_path)
+    if looks_like_path(s) or Path(s).is_file():
+        return load_scenario_file(s)
+    get(s)  # raises UnknownScenarioError with the registered list
+    return LoadedScenario(spec=ScenarioSpec.make(s), config_overrides={}, source=None)

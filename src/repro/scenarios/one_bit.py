@@ -1,0 +1,43 @@
+"""One-bit feedback: policies observe success/failure, never G = U·V/Q.
+
+The harder-information regime of the one-bit feedback literature (see
+PAPERS.md, arXiv 1806.10547): instead of the realized utility ``u``, the
+completion indicator ``v``, the consumption ``q`` and the compound reward
+``g`` per assigned pair, the policy observes a single bit — did the
+offloaded task yield reward or not.
+
+:func:`censor_feedback` rewrites a :class:`~repro.env.simulator.SlotFeedback`
+so that ``u' = v' = g' = 1[g > 0]`` and ``q' = 1`` — the algebraic identity
+``g = u·v/q`` still holds on the censored view, so every estimator update
+path stays well-defined, but all magnitude information is gone.  The
+environment, the recorder, and the regret/violation metrics keep the *true*
+realizations; only the policy's ``update`` is censored.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.env.simulator import SlotFeedback
+from repro.scenarios.wrappers import PolicyWrapper
+
+__all__ = ["OneBitFeedbackPolicy", "censor_feedback"]
+
+
+def censor_feedback(feedback: SlotFeedback) -> SlotFeedback:
+    """The one-bit view of a slot's bandit feedback."""
+    success = (np.asarray(feedback.g) > 0.0).astype(np.float64)
+    return SlotFeedback(
+        assignment=feedback.assignment,
+        u=success,
+        v=success.copy(),
+        q=np.ones_like(success),
+        g=success.copy(),
+    )
+
+
+class OneBitFeedbackPolicy(PolicyWrapper):
+    """Stateless censoring wrapper: the base policy never sees raw G."""
+
+    def update(self, slot, feedback) -> None:
+        self.base.update(slot, censor_feedback(feedback))

@@ -1,0 +1,274 @@
+"""The scenario registry: declarative workloads behind ``repro.api``.
+
+A :class:`Scenario` packages everything one evaluation regime needs —
+
+- a base :class:`~repro.experiments.runner.ExperimentConfig` builder,
+- optional environment overrides (workload / truth / channel), and
+- an optional policy wrapper (information censoring, activation layers),
+
+keyed by name with a description, tags, and typed parameter defaults.
+Runs are then *declared* (``repro run --scenario vehicular``, a TOML file,
+``api.run(scenario=...)``) instead of assembled by bespoke scripts, and
+every layer of the stack — the windowed driver, obs manifests, checkpoints,
+process-parallel replication — sees the same content-addressed coordinate:
+``scenario_hash`` digests the resolved ``(name, params)`` document, so a
+registry whose defaults drifted since a checkpoint was written is detected
+instead of silently rebuilding a different environment (DESIGN.md §11).
+
+Everything here resolves lazily: the built-in entries register on first
+use, and worker processes rebuild scenario environments from the spec
+embedded in the config — a run stays a pure function of ``(config, seed)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Mapping
+
+from repro.scenarios.spec import ScenarioSpec, content_hash
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids the runner cycle
+    from repro.env.channel import BlockageChannel
+    from repro.env.processes import GroundTruth
+    from repro.env.workload import Workload
+    from repro.experiments.runner import ExperimentConfig
+
+__all__ = [
+    "Scenario",
+    "ScenarioEnv",
+    "ScenarioError",
+    "UnknownScenarioError",
+    "build_env",
+    "config_for",
+    "describe",
+    "get",
+    "list_scenarios",
+    "names",
+    "register",
+    "resolve_params",
+    "scenario_hash",
+    "wrap_policy",
+]
+
+
+class ScenarioError(ValueError):
+    """A scenario definition, lookup, or parameterization is invalid."""
+
+
+class UnknownScenarioError(ScenarioError, KeyError):
+    """The requested scenario name is not registered."""
+
+
+@dataclass(frozen=True)
+class ScenarioEnv:
+    """Environment overrides a scenario contributes to the simulation.
+
+    ``None`` fields fall back to the config-derived default (the paper's
+    synthetic workload / stationary truth / no channel), so most scenarios
+    override only what they change.
+    """
+
+    workload: "Workload | None" = None
+    truth: "GroundTruth | None" = None
+    channel: "BlockageChannel | None" = None
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registry entry.
+
+    Parameters
+    ----------
+    name:
+        Registry key (``[a-z0-9_]+`` by convention).
+    description:
+        One-line human description (``repro scenarios list``).
+    defaults:
+        Every scenario parameter with its default value — the parameter
+        *schema*: explicit overrides must name keys from this mapping and
+        match the default's JSON type.
+    config:
+        ``config(params) -> ExperimentConfig`` — the base experiment
+        config for resolved ``params`` (the registry attaches the spec).
+    env:
+        Optional ``env(cfg, params) -> ScenarioEnv`` building the
+        scenario's environment overrides.  ``None`` — all defaults.
+    wrap_policy:
+        Optional ``wrap_policy(policy, cfg, params) -> policy`` applied to
+        every policy the runner instantiates (censoring wrappers,
+        activation layers).  Must preserve the policy protocol.
+    tags:
+        Free-form labels (``repro scenarios list`` filters on them).
+    """
+
+    name: str
+    description: str
+    config: Callable = None
+    env: Callable | None = None
+    wrap_policy: Callable | None = None
+    defaults: Mapping[str, object] = field(default_factory=dict)
+    tags: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ScenarioError(f"scenario name must be a non-empty string, got {self.name!r}")
+        if not callable(self.config):
+            raise ScenarioError(f"scenario {self.name!r} needs a callable config builder")
+
+
+_REGISTRY: dict[str, Scenario] = {}
+_builtins_loaded = False
+
+
+def _ensure_builtins() -> None:
+    """Idempotently register the built-in scenario families.
+
+    Deferred to first lookup so importing :mod:`repro.scenarios` (e.g. for
+    :class:`ScenarioSpec` inside ``ExperimentConfig``) never circularly
+    imports the experiment runner.
+    """
+    global _builtins_loaded
+    if not _builtins_loaded:
+        _builtins_loaded = True
+        from repro.scenarios import builtin
+
+        builtin.register_all()
+
+
+def register(scenario: Scenario, *, replace: bool = False) -> Scenario:
+    """Add a scenario to the registry; duplicate names fail unless ``replace``."""
+    if not replace and scenario.name in _REGISTRY:
+        raise ScenarioError(
+            f"scenario {scenario.name!r} is already registered "
+            "(pass replace=True to override)"
+        )
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get(name: str) -> Scenario:
+    """Look a scenario up by name (built-ins register on first call)."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownScenarioError(
+            f"unknown scenario {name!r}; registered: {', '.join(names())}"
+        ) from None
+
+
+def names() -> list[str]:
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def list_scenarios(*, tag: str | None = None) -> list[Scenario]:
+    """All registered scenarios (optionally filtered by tag), sorted by name."""
+    _ensure_builtins()
+    entries = (_REGISTRY[n] for n in sorted(_REGISTRY))
+    return [s for s in entries if tag is None or tag in s.tags]
+
+
+def _type_compatible(default, value) -> bool:
+    """Does an override's JSON type match the default's? (int ≤ float)."""
+    if isinstance(default, bool):
+        return isinstance(value, bool)
+    if isinstance(default, (int, float)):
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if isinstance(default, str):
+        return isinstance(value, str)
+    if isinstance(default, (list, tuple)):
+        return isinstance(value, (list, tuple))
+    return True
+
+
+def resolve_params(scenario: Scenario, explicit: Mapping | None = None) -> dict:
+    """Defaults overlaid with explicit overrides; unknown keys / types fail."""
+    explicit = dict(explicit or {})
+    unknown = set(explicit) - set(scenario.defaults)
+    if unknown:
+        raise ScenarioError(
+            f"scenario {scenario.name!r} has no parameter(s) {sorted(unknown)}; "
+            f"known: {sorted(scenario.defaults)}"
+        )
+    resolved = dict(scenario.defaults)
+    for key, value in explicit.items():
+        default = resolved[key]
+        if not _type_compatible(default, value):
+            raise ScenarioError(
+                f"scenario {scenario.name!r} parameter {key!r} expects "
+                f"{type(default).__name__}, got {type(value).__name__} ({value!r})"
+            )
+        resolved[key] = value
+    return resolved
+
+
+def scenario_hash(spec: ScenarioSpec) -> str:
+    """Content hash of the *resolved* scenario document.
+
+    Digests ``{"name", "params": defaults | explicit}``, so the hash moves
+    when the registry's defaults change out from under a stored spec — the
+    fail-closed signal checkpoints and manifests rely on.
+    """
+    scenario = get(spec.name)
+    resolved = resolve_params(scenario, spec.param_dict())
+    return content_hash({"name": spec.name, "params": resolved})
+
+
+def describe(name: str) -> dict:
+    """Everything ``repro scenarios describe`` prints, as a JSON-safe dict."""
+    scenario = get(name)
+    spec = ScenarioSpec.make(name)
+    return {
+        "name": scenario.name,
+        "description": scenario.description,
+        "tags": list(scenario.tags),
+        "defaults": dict(scenario.defaults),
+        "hash": scenario_hash(spec),
+        "env_overrides": scenario.env is not None,
+        "policy_wrapper": scenario.wrap_policy is not None,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Build hooks the experiment runner calls (spec -> concrete objects).
+# ---------------------------------------------------------------------------
+
+
+def config_for(spec: ScenarioSpec, **overrides) -> "ExperimentConfig":
+    """The scenario's base config with the spec attached (plus overrides)."""
+    scenario = get(spec.name)
+    params = resolve_params(scenario, spec.param_dict())
+    cfg = scenario.config(params)
+    cfg = cfg.with_overrides(scenario=spec, **overrides)
+    return cfg
+
+
+def build_env(cfg: "ExperimentConfig") -> ScenarioEnv:
+    """The environment overrides for a config carrying a scenario spec."""
+    spec = cfg.scenario
+    if spec is None:
+        return ScenarioEnv()
+    scenario = get(spec.name)
+    if scenario.env is None:
+        return ScenarioEnv()
+    params = resolve_params(scenario, spec.param_dict())
+    env = scenario.env(cfg, params)
+    if not isinstance(env, ScenarioEnv):
+        raise ScenarioError(
+            f"scenario {spec.name!r} env builder must return ScenarioEnv, "
+            f"got {type(env).__name__}"
+        )
+    return env
+
+
+def wrap_policy(policy, cfg: "ExperimentConfig"):
+    """Apply the scenario's policy wrapper (identity without one)."""
+    spec = cfg.scenario
+    if spec is None:
+        return policy
+    scenario = get(spec.name)
+    if scenario.wrap_policy is None:
+        return policy
+    params = resolve_params(scenario, spec.param_dict())
+    return scenario.wrap_policy(policy, cfg, params)

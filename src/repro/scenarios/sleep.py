@@ -1,0 +1,147 @@
+"""SCN sleep-mode: combinatorial top-m activation over the base policy.
+
+Following the sleep-mode load-balancing line of work (see PAPERS.md,
+arXiv 2602.04808), each slot only ``active_scns`` of the M SCNs are powered
+on; the rest sleep and accept no tasks.  The activation layer is a CUCB-style
+combinatorial bandit over SCN indices: each SCN's activation index is its
+empirical per-slot reward plus an exploration bonus, the top-m are woken,
+and the wrapped policy (LFSC or a baseline) then solves the offloading
+problem *inside* the active set — it simply sees a slot whose sleeping SCNs
+have empty coverage.
+
+The wrapper is deterministic (no RNG draws — ties break by SCN index), so
+the frozen stream contract is untouched, and it hands the base policy a
+*plain* :class:`~repro.env.workload.SlotWorkload` (windowed ``edges`` /
+``truth_cells`` extras stripped): the base policy's bit-identical fallback
+paths make windowed and per-slot sleep-mode trajectories trivially equal.
+
+Energy accounting: every slot costs ``active·active_power +
+(M−active)·sleep_power``; the per-slot series is exported through
+``result_extras()`` into ``SimulationResult.extras["energy"]`` and summarized
+by :mod:`repro.metrics.energy` as energy-per-decision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.env.workload import SlotWorkload
+from repro.scenarios.wrappers import PolicyWrapper
+
+__all__ = ["SleepModePolicy"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class SleepModePolicy(PolicyWrapper):
+    """Top-m SCN activation layer with per-slot energy accounting.
+
+    Parameters
+    ----------
+    base:
+        The offloading policy deciding assignments within the active set.
+    active_scns:
+        m — how many SCNs are powered on per slot (clamped to M at reset).
+    explore:
+        CUCB exploration weight: index = mean + sqrt(explore·ln t / plays).
+    active_power / sleep_power:
+        Per-slot energy cost of an awake / sleeping SCN (arbitrary units).
+    """
+
+    def __init__(
+        self,
+        base,
+        *,
+        active_scns: int,
+        explore: float = 1.5,
+        active_power: float = 1.0,
+        sleep_power: float = 0.1,
+    ) -> None:
+        super().__init__(base)
+        if active_scns < 1:
+            raise ValueError(f"active_scns must be >= 1, got {active_scns}")
+        self.active_scns = int(active_scns)
+        self.explore = float(explore)
+        self.active_power = float(active_power)
+        self.sleep_power = float(sleep_power)
+        self._plays = np.empty(0)
+        self._reward_sum = np.empty(0)
+        self._energy = np.empty(0)
+        self._active_mask: np.ndarray | None = None
+        self._censored: SlotWorkload | None = None
+
+    def reset(self, network, horizon, rng) -> None:
+        super().reset(network, horizon, rng)
+        M = network.num_scns
+        self._m = min(self.active_scns, M)
+        self._plays = np.zeros(M)
+        self._reward_sum = np.zeros(M)
+        self._energy = np.zeros(int(horizon))
+        self._active_mask = None
+        self._censored = None
+
+    def _activation(self, M: int) -> np.ndarray:
+        """Boolean active mask: CUCB top-m, unplayed SCNs first, ties by index."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            mean = self._reward_sum / self._plays
+            bonus = np.sqrt(self.explore * np.log(max(self.base.t + 1, 2)) / self._plays)
+        index = np.where(self._plays > 0, mean + bonus, np.inf)
+        # Stable argsort on the negated index: ties (and the +inf block of
+        # never-played SCNs) resolve to the lowest SCN id — deterministic,
+        # no RNG consumed.
+        order = np.argsort(-index, kind="stable")
+        mask = np.zeros(M, dtype=bool)
+        mask[order[: self._m]] = True
+        return mask
+
+    def select(self, slot):
+        M = slot.num_scns
+        mask = self._activation(M)
+        censored = SlotWorkload(
+            t=slot.t,
+            tasks=slot.tasks,
+            coverage=[
+                np.asarray(cov, dtype=np.int64) if mask[m] else _EMPTY
+                for m, cov in enumerate(slot.coverage)
+            ],
+        )
+        self._active_mask = mask
+        self._censored = censored
+        t = self.base.t
+        if t < self._energy.shape[0]:
+            active = int(mask.sum())
+            self._energy[t] = active * self.active_power + (M - active) * self.sleep_power
+        return self.base.select(censored)
+
+    def update(self, slot, feedback) -> None:
+        # The base policy learns from the slot it actually saw.
+        censored = self._censored if self._censored is not None else slot
+        mask = self._active_mask
+        self.base.update(censored, feedback)
+        if mask is not None:
+            per_scn = feedback.per_scn_reward(mask.shape[0])
+            self._plays[mask] += 1.0
+            self._reward_sum[mask] += per_scn[mask]
+        self._censored = None
+        self._active_mask = None
+
+    # -- energy export (picked up by Simulation.run / OnlineSession) --------
+
+    def result_extras(self) -> dict[str, np.ndarray]:
+        return {"energy": self._energy.copy()}
+
+    # -- checkpoint/restore --------------------------------------------------
+
+    def checkpoint_state(self) -> dict:
+        state = dict(self.base.checkpoint_state())
+        state["sleep_plays"] = self._plays.copy()
+        state["sleep_reward_sum"] = self._reward_sum.copy()
+        state["sleep_energy"] = self._energy.copy()
+        return state
+
+    def restore_checkpoint_state(self, state: dict) -> None:
+        state = dict(state)
+        self._plays = np.asarray(state.pop("sleep_plays"), dtype=float).copy()
+        self._reward_sum = np.asarray(state.pop("sleep_reward_sum"), dtype=float).copy()
+        self._energy = np.asarray(state.pop("sleep_energy"), dtype=float).copy()
+        self.base.restore_checkpoint_state(state)

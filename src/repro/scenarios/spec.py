@@ -1,0 +1,85 @@
+"""The scenario coordinate an :class:`ExperimentConfig` carries around.
+
+:class:`ScenarioSpec` is deliberately tiny and dependency-free: it names a
+registered scenario and pins the *explicit* parameter overrides the user
+chose (defaults are resolved through the registry at build time, so the
+spec stays meaningful across registry evolution — and the content hash
+catches exactly the case where evolution changed what a spec builds).
+
+It lives in its own module so :mod:`repro.experiments.runner` can embed a
+spec in ``ExperimentConfig`` without importing the registry (which imports
+the runner back); only :mod:`repro.scenarios.registry` resolves specs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = ["ScenarioSpec", "canonical_json", "content_hash"]
+
+#: JSON scalar / list types a scenario parameter may hold.
+_LEGAL = (str, int, float, bool, type(None))
+
+
+def _freeze(value):
+    """Canonical immutable form of a parameter value (lists become tuples)."""
+    if isinstance(value, _LEGAL):
+        return value
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    raise TypeError(
+        f"scenario parameter values must be JSON scalars or lists, got {type(value).__name__}"
+    )
+
+
+def _thaw(value):
+    """JSON view of a frozen value (tuples back to lists)."""
+    if isinstance(value, tuple):
+        return [_thaw(v) for v in value]
+    return value
+
+
+def canonical_json(doc) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, no NaN."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def content_hash(doc) -> str:
+    """blake2b-128 hex digest of a JSON document's canonical form."""
+    return hashlib.blake2b(canonical_json(doc).encode(), digest_size=16).hexdigest()
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A registered scenario name plus the explicit parameter overrides.
+
+    ``params`` is a sorted tuple of ``(key, value)`` pairs so the spec is
+    hashable and its repr is a value repr — two specs built from equal
+    mappings compare (and cache) equal.  Use :meth:`make` to build one from
+    a mapping and :meth:`param_dict` to read the overrides back.
+    """
+
+    name: str
+    params: tuple = field(default_factory=tuple)
+
+    @staticmethod
+    def make(name: str, params: Mapping | None = None) -> "ScenarioSpec":
+        items = tuple(
+            sorted((str(k), _freeze(v)) for k, v in (params or {}).items())
+        )
+        return ScenarioSpec(name=str(name), params=items)
+
+    def param_dict(self) -> dict:
+        """The explicit overrides as a plain (JSON-safe) dict."""
+        return {k: _thaw(v) for k, v in self.params}
+
+    def to_dict(self) -> dict:
+        """JSON form for manifests and checkpoint headers."""
+        return {"name": self.name, "params": self.param_dict()}
+
+    @staticmethod
+    def from_dict(doc: Mapping) -> "ScenarioSpec":
+        return ScenarioSpec.make(doc["name"], doc.get("params") or {})

@@ -44,10 +44,12 @@ from repro.env.simulator import (
 )
 from repro.experiments.runner import (
     ExperimentConfig,
+    build_channel,
     build_truth,
     build_workload,
     make_policy,
 )
+from repro.scenarios.spec import ScenarioSpec
 from repro.obs import runtime as obs_runtime
 from repro.obs.manifest import build_manifest
 from repro.service.checkpoint import (
@@ -134,6 +136,8 @@ def config_to_dict(cfg: ExperimentConfig) -> dict:
                 }
                 lfsc["partition"] = _partition_to_dict(value.partition)
                 out[f.name] = lfsc
+        elif f.name == "scenario":
+            out[f.name] = None if value is None else value.to_dict()
         elif isinstance(value, tuple):
             out[f.name] = list(value)
         else:
@@ -159,6 +163,8 @@ def config_from_dict(doc: Mapping) -> ExperimentConfig:
                 lfsc = dict(value)
                 lfsc["partition"] = _partition_from_dict(lfsc["partition"])
                 kwargs[name] = LFSCConfig(**lfsc)
+        elif name == "scenario":
+            kwargs[name] = None if value is None else ScenarioSpec.from_dict(value)
         elif name in _TUPLE_FIELDS:
             kwargs[name] = tuple(value)
         else:
@@ -179,9 +185,60 @@ def make_session_policy(name: str, cfg: ExperimentConfig, truth) -> PolicyProtoc
     if name == "LFSC-adaptive":
         base = cfg.lfsc_config()
         if isinstance(base.partition, AdaptivePartition):
-            return AdaptiveLFSCPolicy(base, partition=base.partition)
-        return AdaptiveLFSCPolicy(base)
+            policy = AdaptiveLFSCPolicy(base, partition=base.partition)
+        else:
+            policy = AdaptiveLFSCPolicy(base)
+        if cfg.scenario is not None:
+            from repro import scenarios
+
+            policy = scenarios.wrap_policy(policy, cfg)
+        return policy
     return make_policy(name, cfg, truth)
+
+
+def _scenario_header(cfg: ExperimentConfig) -> dict | None:
+    """The checkpoint header's scenario block: spec + content hash.
+
+    The hash digests the *resolved* parameter document, so a registry whose
+    defaults drifted since the checkpoint was written produces a different
+    hash — the fail-closed signal :meth:`OnlineSession.from_checkpoint`
+    verifies before rebuilding the environment.
+    """
+    if cfg.scenario is None:
+        return None
+    from repro import scenarios
+
+    return {
+        "name": cfg.scenario.name,
+        "params": cfg.scenario.param_dict(),
+        "hash": scenarios.scenario_hash(cfg.scenario),
+    }
+
+
+def _verify_scenario_header(cfg: ExperimentConfig, header: Mapping) -> None:
+    """Fail closed when the stored scenario no longer resolves identically."""
+    stored = header.get("scenario")
+    if cfg.scenario is None and stored is None:
+        return
+    if (cfg.scenario is None) != (stored is None):
+        raise CheckpointFormatError(
+            "checkpoint scenario block and config scenario field disagree"
+        )
+    from repro import scenarios
+
+    try:
+        current = scenarios.scenario_hash(cfg.scenario)
+    except scenarios.ScenarioError as exc:
+        raise CheckpointFormatError(
+            f"checkpoint scenario {cfg.scenario.name!r} does not resolve "
+            f"against the current registry: {exc}"
+        ) from exc
+    if current != stored.get("hash"):
+        raise CheckpointFormatError(
+            f"scenario hash mismatch for {cfg.scenario.name!r}: checkpoint has "
+            f"{stored.get('hash')}, current registry resolves to {current} — "
+            "the scenario's definition changed since this checkpoint was written"
+        )
 
 
 def _split_state(state: Mapping) -> tuple[dict, dict[str, np.ndarray]]:
@@ -241,7 +298,7 @@ class OnlineSession:
         self.network = config.network()
         self.workload = build_workload(config)
         self.truth = build_truth(config)
-        self.channel = None
+        self.channel = build_channel(config)
         # Stream contract v2 — the exact derivations Simulation.run makes,
         # in the same order, so a session and a batch run share randomness.
         self._rngs = RngFactory(config.seed)
@@ -436,7 +493,15 @@ class OnlineSession:
             violation_qos_realized=s["violation_qos_realized"][:t].copy(),
             violation_resource_realized=s["violation_resource_realized"][:t].copy(),
             has_expected=expected,
+            extras=self._result_extras(t),
         )
+
+    def _result_extras(self, t: int) -> dict[str, np.ndarray]:
+        """Scenario-contributed series (e.g. sleep-mode energy), truncated."""
+        extras_fn = getattr(self.policy, "result_extras", None)
+        if not callable(extras_fn):
+            return {}
+        return {k: np.asarray(v)[:t].copy() for k, v in extras_fn().items()}
 
     # -- checkpoint / restore -------------------------------------------------
 
@@ -452,6 +517,16 @@ class OnlineSession:
             )
         policy_scalars, policy_arrays = _split_state(self.policy.checkpoint_state())
         truth_scalars, truth_arrays = _split_state(self.truth.checkpoint_state())
+        workload_state_fn = getattr(self.workload, "checkpoint_state", None)
+        workload_scalars: dict | None = None
+        workload_arrays: dict[str, np.ndarray] = {}
+        if callable(workload_state_fn):
+            workload_scalars, workload_arrays = _split_state(workload_state_fn())
+        channel_state_fn = getattr(self.channel, "checkpoint_state", None)
+        channel_scalars: dict | None = None
+        channel_arrays: dict[str, np.ndarray] = {}
+        if callable(channel_state_fn):
+            channel_scalars, channel_arrays = _split_state(channel_state_fn())
         cursor = getattr(self.workload, "cursor", None)
         engine = getattr(getattr(self.policy, "config", None), "engine", None)
         header = {
@@ -471,6 +546,9 @@ class OnlineSession:
             "workload_cursor": int(cursor()) if callable(cursor) else None,
             "policy_state": policy_scalars,
             "truth_state": truth_scalars,
+            "workload_state": workload_scalars,
+            "channel_state": channel_scalars,
+            "scenario": _scenario_header(self.config),
             "manifest": build_manifest(
                 kind="checkpoint",
                 config=self.config,
@@ -486,6 +564,10 @@ class OnlineSession:
             arrays[f"policy.{key}"] = value
         for key, value in truth_arrays.items():
             arrays[f"truth.{key}"] = value
+        for key, value in workload_arrays.items():
+            arrays[f"workload.{key}"] = value
+        for key, value in channel_arrays.items():
+            arrays[f"channel.{key}"] = value
         return header, arrays
 
     def save(self, path: str | Path) -> Path:
@@ -508,6 +590,9 @@ class OnlineSession:
                 f"checkpoint kind is {header.get('kind')!r}, expected 'session'"
             )
         cfg = config_from_dict(header["config"])
+        # Fail closed before building anything: a scenario whose registry
+        # definition drifted would silently rebuild a different environment.
+        _verify_scenario_header(cfg, header)
         session = cls(
             cfg,
             policy=header["policy"],
@@ -529,12 +614,20 @@ class OnlineSession:
 
             policy_state = dict(header.get("policy_state", {}))
             truth_state = dict(header.get("truth_state", {}))
+            workload_state = dict(header.get("workload_state") or {})
+            channel_state = dict(header.get("channel_state") or {})
+            has_workload_state = header.get("workload_state") is not None
+            has_channel_state = header.get("channel_state") is not None
             for key, value in arrays.items():
                 section, _, name = key.partition(".")
                 if section == "policy":
                     policy_state[name] = value
                 elif section == "truth":
                     truth_state[name] = value
+                elif section == "workload":
+                    workload_state[name] = value
+                elif section == "channel":
+                    channel_state[name] = value
                 elif section == "series":
                     target = session._series.get(name)
                     if target is None or target.shape != value.shape:
@@ -547,6 +640,14 @@ class OnlineSession:
                     raise CheckpointFormatError(f"unknown array section in {key!r}")
             session.policy.restore_checkpoint_state(policy_state)
             session.truth.restore_checkpoint_state(truth_state)
+            if has_workload_state:
+                restore_wl = getattr(session.workload, "restore_checkpoint_state", None)
+                if callable(restore_wl):
+                    restore_wl(workload_state)
+            if has_channel_state:
+                restore_ch = getattr(session.channel, "restore_checkpoint_state", None)
+                if callable(restore_ch):
+                    restore_ch(channel_state)
 
             t = int(header["t"])
             if not 0 <= t <= session.horizon:
@@ -578,6 +679,7 @@ def describe_checkpoint(path: str | Path) -> dict:
         "policy": header.get("policy"),
         "t": header.get("t"),
         "horizon": header.get("horizon"),
+        "scenario": header.get("scenario"),
         "seed": cfg.get("seed"),
         "num_scns": cfg.get("num_scns"),
         "engine": (header.get("manifest") or {}).get("engine"),

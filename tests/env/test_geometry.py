@@ -6,6 +6,7 @@ import pytest
 from repro.env.geometry import (
     CoverageSampler,
     GeometricCoverage,
+    TrajectoryMobility,
     random_waypoint_step,
 )
 
@@ -97,6 +98,108 @@ class TestGeometricCoverage:
 
     def test_max_coverage_size(self):
         assert GeometricCoverage(num_wds=123).max_coverage_size() == 123
+
+
+class TestTrajectoryMobility:
+    def _model(self, **kw):
+        defaults = dict(
+            num_scns=4, num_vehicles=30, area_km=4.0, radius_km=1.5, roads_per_axis=4
+        )
+        defaults.update(kw)
+        return TrajectoryMobility(**defaults)
+
+    def test_coverage_matches_distance(self, rng):
+        traj = self._model()
+        n, cov = traj.sample_slot(rng)
+        assert n == 30
+        xy = traj.vehicle_positions()
+        for m, c in enumerate(cov):
+            dists = np.linalg.norm(xy - traj.scn_positions[m], axis=1)
+            np.testing.assert_array_equal(np.flatnonzero(dists <= 1.5), c)
+
+    def test_vehicles_stay_on_roads(self, rng):
+        traj = self._model()
+        spacing = 4.0 / 4
+        for _ in range(10):
+            traj.sample_slot(rng)
+            xy = traj.vehicle_positions()
+            # every vehicle sits on a horizontal or vertical road line
+            on_line = np.zeros(len(xy), dtype=bool)
+            for coord in (xy[:, 0], xy[:, 1]):
+                frac = coord / spacing - 0.5
+                on_line |= np.abs(frac - np.round(frac)) < 1e-9
+            assert on_line.all()
+            assert xy.min() >= 0.0 and xy.max() <= 4.0
+
+    def test_vehicles_move(self, rng):
+        traj = self._model(turn_prob=0.0, speed_min_km=0.2, speed_max_km=0.4)
+        traj.sample_slot(rng)
+        first = traj.vehicle_positions()
+        traj.sample_slot(rng)
+        assert not np.allclose(traj.vehicle_positions(), first)
+
+    def test_fixed_draw_count_per_step(self):
+        # The stream layout must not depend on the turn realization: two
+        # models with different turn_prob consume identical stream amounts.
+        probe_a, probe_b = np.random.default_rng(5), np.random.default_rng(5)
+        never = self._model(turn_prob=0.0)
+        always = self._model(turn_prob=1.0)
+        for _ in range(5):
+            never.sample_slot(probe_a)
+            always.sample_slot(probe_b)
+        # after identical consumption the generators are in the same state
+        assert probe_a.bit_generator.state == probe_b.bit_generator.state
+
+    def test_deterministic_given_stream(self):
+        a, b = self._model(), self._model()
+        rng_a, rng_b = np.random.default_rng(11), np.random.default_rng(11)
+        for _ in range(5):
+            _, cov_a = a.sample_slot(rng_a)
+            _, cov_b = b.sample_slot(rng_b)
+            for ca, cb in zip(cov_a, cov_b):
+                np.testing.assert_array_equal(ca, cb)
+
+    def test_reset_forgets_fleet(self, rng):
+        traj = self._model()
+        traj.sample_slot(rng)
+        traj.reset()
+        assert traj.vehicle_positions() is None
+
+    def test_state_roundtrip(self, rng):
+        traj = self._model()
+        for _ in range(3):
+            traj.sample_slot(rng)
+        state = traj.state_dict()
+        clone = self._model()
+        clone.restore_state(state)
+        rng_a, rng_b = np.random.default_rng(7), np.random.default_rng(7)
+        _, cov_a = traj.sample_slot(rng_a)
+        _, cov_b = clone.sample_slot(rng_b)
+        for ca, cb in zip(cov_a, cov_b):
+            np.testing.assert_array_equal(ca, cb)
+
+    def test_state_roundtrip_uninitialized(self):
+        traj = self._model()
+        state = traj.state_dict()
+        assert state == {"initialized": 0}
+        clone = self._model()
+        clone.restore_state(state)
+        assert clone.vehicle_positions() is None
+
+    def test_max_coverage_size(self):
+        assert self._model(num_vehicles=17).max_coverage_size() == 17
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"turn_prob": 1.5},
+            {"speed_min_km": 0.5, "speed_max_km": 0.1},
+            {"roads_per_axis": 0},
+        ],
+    )
+    def test_invalid_params(self, bad):
+        with pytest.raises(ValueError):
+            self._model(**bad)
 
 
 class TestRandomWaypointStep:

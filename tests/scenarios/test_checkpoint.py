@@ -1,0 +1,111 @@
+"""Scenario checkpoints: state round-trips and the fail-closed hash gate.
+
+A checkpoint taken mid-run of a scenario session must resume bit-identically
+— including mobility fleet state, channel state, and the sleep wrapper's
+activation statistics — and must *refuse* to resume when the registry's
+resolved ``(name, params)`` document no longer hashes to what the snapshot
+recorded (DESIGN.md §11).
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.scenarios import registry as registry_mod
+from repro.service.checkpoint import CheckpointFormatError
+from repro.service.session import OnlineSession
+
+SCENARIOS = ("vehicular", "sleep_mode", "one_bit", "mobility_blockage")
+HORIZON = 16
+SPLIT = 7
+
+
+def straight_run(name):
+    session = api.open_session(scenario=name, horizon=HORIZON, policy="LFSC")
+    session.run(HORIZON)
+    return session.result()
+
+
+class TestResumeBitEquivalence:
+    @pytest.mark.parametrize("name", SCENARIOS)
+    def test_split_resume_matches_straight_run(self, name, tmp_path):
+        reference = straight_run(name)
+
+        session = api.open_session(scenario=name, horizon=HORIZON, policy="LFSC")
+        session.run(SPLIT)
+        path = tmp_path / f"{name}.ckpt"
+        session.save(path)
+
+        resumed = OnlineSession.from_checkpoint(path)
+        resumed.run(HORIZON - SPLIT)
+        result = resumed.result()
+
+        np.testing.assert_array_equal(reference.reward, result.reward)
+        np.testing.assert_array_equal(reference.violation_qos, result.violation_qos)
+        np.testing.assert_array_equal(reference.accepted, result.accepted)
+        for key, series in reference.extras.items():
+            np.testing.assert_array_equal(series, result.extras[key])
+
+    def test_sleep_energy_survives_resume(self, tmp_path):
+        session = api.open_session(scenario="sleep_mode", horizon=HORIZON, policy="LFSC")
+        session.run(SPLIT)
+        path = tmp_path / "sleep.ckpt"
+        session.save(path)
+        resumed = OnlineSession.from_checkpoint(path)
+        resumed.run(HORIZON - SPLIT)
+        energy = resumed.result().extras["energy"]
+        assert energy.shape == (HORIZON,)
+        assert (energy > 0).all()  # the pre-split slots were not zeroed
+
+
+class TestFailClosed:
+    def _checkpoint(self, tmp_path, name="vehicular"):
+        session = api.open_session(scenario=name, horizon=HORIZON, policy="LFSC")
+        session.run(SPLIT)
+        path = tmp_path / f"{name}.ckpt"
+        session.save(path)
+        return path
+
+    def test_registry_default_drift_rejected(self, tmp_path, monkeypatch):
+        path = self._checkpoint(tmp_path)
+        entry = registry_mod._REGISTRY["vehicular"]
+        tampered = dataclasses.replace(
+            entry, defaults={**entry.defaults, "radius_km": 99.0}
+        )
+        monkeypatch.setitem(registry_mod._REGISTRY, "vehicular", tampered)
+        with pytest.raises(CheckpointFormatError, match="hash mismatch"):
+            OnlineSession.from_checkpoint(path)
+
+    def test_unregistered_scenario_rejected(self, tmp_path, monkeypatch):
+        path = self._checkpoint(tmp_path)
+        monkeypatch.delitem(registry_mod._REGISTRY, "vehicular")
+        with pytest.raises(CheckpointFormatError, match="vehicular"):
+            OnlineSession.from_checkpoint(path)
+
+    def test_untampered_checkpoint_accepted(self, tmp_path):
+        path = self._checkpoint(tmp_path)
+        session = OnlineSession.from_checkpoint(path)
+        assert session.t == SPLIT
+
+    def test_describe_checkpoint_reports_scenario(self, tmp_path):
+        from repro import scenarios
+        from repro.service import describe_checkpoint
+
+        path = self._checkpoint(tmp_path)
+        info = describe_checkpoint(path)
+        block = info["scenario"]
+        assert block["name"] == "vehicular"
+        assert block["hash"] == scenarios.scenario_hash(
+            scenarios.ScenarioSpec.make("vehicular")
+        )
+
+    def test_scenario_free_checkpoint_still_resumes(self, tmp_path):
+        session = api.open_session(scale="tiny", policy="LFSC")
+        session.run(5)
+        path = tmp_path / "plain.ckpt"
+        session.save(path)
+        resumed = OnlineSession.from_checkpoint(path)
+        assert resumed.t == 5
+        assert resumed.config.scenario is None

@@ -1,0 +1,168 @@
+"""Tests for repro.scenarios.loader — TOML/JSON scenario declarations."""
+
+import json
+
+import pytest
+
+from repro import scenarios
+from repro.scenarios import (
+    ScenarioConfigError,
+    ScenarioSpec,
+    UnknownScenarioError,
+    load_scenario_file,
+    looks_like_path,
+    resolve_scenario,
+)
+
+
+def write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+class TestParsing:
+    def test_toml_round_trip(self, tmp_path):
+        path = write(
+            tmp_path,
+            "veh.toml",
+            """
+            scenario = "vehicular"
+            description = "smaller fleet"
+
+            [params]
+            num_vehicles = 24
+
+            [config]
+            horizon = 40
+            seed = 5
+            """,
+        )
+        loaded = load_scenario_file(path)
+        assert loaded.spec == ScenarioSpec.make("vehicular", {"num_vehicles": 24})
+        assert loaded.source == str(path)
+        cfg = loaded.config()
+        assert cfg.horizon == 40 and cfg.seed == 5
+        assert cfg.scenario == loaded.spec
+
+    def test_json_round_trip(self, tmp_path):
+        path = write(
+            tmp_path,
+            "sleep.json",
+            json.dumps(
+                {
+                    "scenario": "sleep_mode",
+                    "params": {"active_scns": 3},
+                    "config": {"horizon": 25},
+                }
+            ),
+        )
+        loaded = load_scenario_file(path)
+        assert loaded.spec.param_dict() == {"active_scns": 3}
+        assert loaded.config().horizon == 25
+
+    def test_kwarg_overrides_beat_file_config(self, tmp_path):
+        path = write(
+            tmp_path, "v.toml", 'scenario = "vehicular"\n[config]\nhorizon = 40\n'
+        )
+        assert load_scenario_file(path).config(horizon=7).horizon == 7
+
+    def test_committed_example_files_load(self):
+        from pathlib import Path
+
+        scenario_dir = Path(__file__).resolve().parents[2] / "examples" / "scenarios"
+        for path in sorted(scenario_dir.iterdir()):
+            loaded = load_scenario_file(path)
+            assert loaded.hash  # resolves against the current registry
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ScenarioConfigError, match="not found"):
+            load_scenario_file(tmp_path / "nope.toml")
+
+    def test_bad_suffix(self, tmp_path):
+        path = write(tmp_path, "s.yaml", "scenario: vehicular")
+        with pytest.raises(ScenarioConfigError, match="suffix"):
+            load_scenario_file(path)
+
+    def test_invalid_toml(self, tmp_path):
+        path = write(tmp_path, "s.toml", "scenario = [unclosed")
+        with pytest.raises(ScenarioConfigError, match="invalid TOML"):
+            load_scenario_file(path)
+
+    def test_invalid_json(self, tmp_path):
+        path = write(tmp_path, "s.json", "{not json")
+        with pytest.raises(ScenarioConfigError, match="invalid JSON"):
+            load_scenario_file(path)
+
+    def test_unknown_top_level_key(self, tmp_path):
+        path = write(tmp_path, "s.toml", 'scenario = "vehicular"\nworkers = 4\n')
+        with pytest.raises(ScenarioConfigError, match="workers"):
+            load_scenario_file(path)
+
+    def test_missing_scenario_name(self, tmp_path):
+        path = write(tmp_path, "s.toml", "[params]\nx = 1\n")
+        with pytest.raises(ScenarioConfigError, match="'scenario'"):
+            load_scenario_file(path)
+
+    def test_unknown_scenario_name(self, tmp_path):
+        path = write(tmp_path, "s.toml", 'scenario = "warp_drive"\n')
+        with pytest.raises(UnknownScenarioError, match="warp_drive"):
+            load_scenario_file(path)
+
+    def test_unknown_param(self, tmp_path):
+        path = write(
+            tmp_path, "s.toml", 'scenario = "vehicular"\n[params]\nwheels = 4\n'
+        )
+        with pytest.raises(scenarios.ScenarioError, match="wheels"):
+            load_scenario_file(path)
+
+    def test_ill_typed_param(self, tmp_path):
+        path = write(
+            tmp_path, "s.toml", 'scenario = "vehicular"\n[params]\nnum_vehicles = "x"\n'
+        )
+        with pytest.raises(scenarios.ScenarioError, match="expects"):
+            load_scenario_file(path)
+
+    def test_unknown_config_field(self, tmp_path):
+        path = write(
+            tmp_path, "s.toml", 'scenario = "vehicular"\n[config]\nwarp = 1\n'
+        )
+        with pytest.raises(ScenarioConfigError, match="warp"):
+            load_scenario_file(path)
+
+    def test_config_cannot_set_scenario(self, tmp_path):
+        path = write(
+            tmp_path, "s.toml", 'scenario = "vehicular"\n[config]\nscenario = "vr"\n'
+        )
+        with pytest.raises(ScenarioConfigError, match="scenario"):
+            load_scenario_file(path)
+
+
+class TestResolveScenario:
+    def test_name_resolves_via_registry(self):
+        loaded = resolve_scenario("vehicular")
+        assert loaded.spec == ScenarioSpec.make("vehicular")
+        assert loaded.source is None
+
+    def test_file_and_name_share_hash(self, tmp_path):
+        path = write(tmp_path, "v.toml", 'scenario = "vehicular"\n')
+        assert resolve_scenario(path).hash == resolve_scenario("vehicular").hash
+
+    def test_unknown_name(self):
+        with pytest.raises(UnknownScenarioError):
+            resolve_scenario("warp_drive")
+
+    @pytest.mark.parametrize(
+        "s, expected",
+        [
+            ("vehicular", False),
+            ("x.toml", True),
+            ("x.json", True),
+            ("dir/x", True),
+            ("dir\\x", True),
+        ],
+    )
+    def test_looks_like_path(self, s, expected):
+        assert looks_like_path(s) is expected

@@ -1,0 +1,173 @@
+"""Tests for repro.scenarios.registry — entries, params, hashing."""
+
+import dataclasses
+
+import pytest
+
+from repro import scenarios
+from repro.scenarios import (
+    Scenario,
+    ScenarioEnv,
+    ScenarioError,
+    ScenarioSpec,
+    UnknownScenarioError,
+)
+from repro.scenarios import registry as registry_mod
+
+BUILTINS = {
+    "paper",
+    "mobility_blockage",
+    "vr",
+    "nonstationary_drift",
+    "nonstationary_regime",
+    "vehicular",
+    "sleep_mode",
+    "one_bit",
+}
+
+
+class TestRegistryLookup:
+    def test_builtins_registered(self):
+        assert BUILTINS <= set(scenarios.names())
+
+    def test_names_sorted(self):
+        names = scenarios.names()
+        assert names == sorted(names)
+
+    def test_get_round_trip(self):
+        for name in BUILTINS:
+            assert scenarios.get(name).name == name
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(UnknownScenarioError, match="vehicular"):
+            scenarios.get("definitely_not_a_scenario")
+
+    def test_list_filters_by_tag(self):
+        mobile = scenarios.list_scenarios(tag="mobility")
+        assert {s.name for s in mobile} == {"mobility_blockage", "vehicular"}
+        assert scenarios.list_scenarios(tag="no_such_tag") == []
+
+    def test_duplicate_register_fails_without_replace(self):
+        scenario = scenarios.get("paper")
+        with pytest.raises(ScenarioError, match="already registered"):
+            scenarios.register(scenario)
+        # replace=True is how builtins stay idempotent
+        scenarios.register(scenario, replace=True)
+
+    def test_register_rejects_bad_entries(self):
+        with pytest.raises(ScenarioError):
+            Scenario(name="", description="x", config=lambda p: None)
+        with pytest.raises(ScenarioError):
+            Scenario(name="x", description="x", config=None)
+
+    def test_describe_is_json_safe(self):
+        import json
+
+        info = scenarios.describe("sleep_mode")
+        json.dumps(info)  # must not raise
+        assert info["name"] == "sleep_mode"
+        assert info["policy_wrapper"] is True
+        assert info["env_overrides"] is False
+        assert set(info["defaults"]) == {
+            "active_scns",
+            "explore",
+            "active_power",
+            "sleep_power",
+        }
+
+
+class TestResolveParams:
+    def test_defaults_when_no_overrides(self):
+        scenario = scenarios.get("vehicular")
+        assert scenarios.resolve_params(scenario) == dict(scenario.defaults)
+
+    def test_override_applies(self):
+        scenario = scenarios.get("vehicular")
+        params = scenarios.resolve_params(scenario, {"num_vehicles": 20})
+        assert params["num_vehicles"] == 20
+        assert params["turn_prob"] == scenario.defaults["turn_prob"]
+
+    def test_unknown_param_fails(self):
+        scenario = scenarios.get("vehicular")
+        with pytest.raises(ScenarioError, match="no parameter"):
+            scenarios.resolve_params(scenario, {"warp_speed": 9})
+
+    def test_type_mismatch_fails(self):
+        scenario = scenarios.get("vehicular")
+        with pytest.raises(ScenarioError, match="expects"):
+            scenarios.resolve_params(scenario, {"num_vehicles": "many"})
+
+    def test_int_accepted_for_float_default(self):
+        scenario = scenarios.get("vehicular")
+        params = scenarios.resolve_params(scenario, {"area_km": 5})
+        assert params["area_km"] == 5
+
+
+class TestScenarioHash:
+    def test_stable_across_calls(self):
+        spec = ScenarioSpec.make("vehicular")
+        assert scenarios.scenario_hash(spec) == scenarios.scenario_hash(spec)
+
+    def test_explicit_defaults_hash_like_implicit(self):
+        scenario = scenarios.get("vehicular")
+        implicit = ScenarioSpec.make("vehicular")
+        explicit = ScenarioSpec.make("vehicular", dict(scenario.defaults))
+        assert scenarios.scenario_hash(implicit) == scenarios.scenario_hash(explicit)
+
+    def test_param_override_moves_hash(self):
+        base = scenarios.scenario_hash(ScenarioSpec.make("vehicular"))
+        other = scenarios.scenario_hash(
+            ScenarioSpec.make("vehicular", {"num_vehicles": 7})
+        )
+        assert base != other
+
+    def test_registry_default_drift_moves_hash(self, monkeypatch):
+        base = scenarios.scenario_hash(ScenarioSpec.make("vehicular"))
+        entry = registry_mod._REGISTRY["vehicular"]
+        tampered = dataclasses.replace(
+            entry, defaults={**entry.defaults, "radius_km": 99.0}
+        )
+        monkeypatch.setitem(registry_mod._REGISTRY, "vehicular", tampered)
+        assert scenarios.scenario_hash(ScenarioSpec.make("vehicular")) != base
+
+
+class TestBuildHooks:
+    def test_config_for_attaches_spec(self):
+        spec = ScenarioSpec.make("vehicular")
+        cfg = scenarios.config_for(spec, horizon=12)
+        assert cfg.scenario == spec
+        assert cfg.horizon == 12
+        assert cfg.num_scns == 9
+
+    def test_build_env_returns_overrides(self):
+        from repro.env.geometry import TrajectoryMobility
+
+        cfg = scenarios.config_for(ScenarioSpec.make("vehicular", {"num_vehicles": 12}))
+        env = scenarios.build_env(cfg)
+        assert isinstance(env, ScenarioEnv)
+        assert isinstance(env.workload.coverage_model, TrajectoryMobility)
+        assert env.workload.coverage_model.num_vehicles == 12
+        assert env.truth is None and env.channel is None
+
+    def test_build_env_empty_without_scenario(self):
+        from repro.experiments.runner import ExperimentConfig
+
+        env = scenarios.build_env(ExperimentConfig.tiny())
+        assert env == ScenarioEnv()
+
+    def test_wrap_policy_identity_without_wrapper(self):
+        cfg = scenarios.config_for(ScenarioSpec.make("paper"))
+        sentinel = object()
+        assert scenarios.wrap_policy(sentinel, cfg) is sentinel
+
+    def test_wrap_policy_applies_scenario_wrapper(self):
+        from repro.experiments.runner import build_truth, make_policy
+        from repro.scenarios.sleep import SleepModePolicy
+
+        cfg = scenarios.config_for(
+            ScenarioSpec.make("sleep_mode", {"active_scns": 3}), horizon=10
+        )
+        policy = make_policy("Random", cfg, build_truth(cfg))
+        assert isinstance(policy, SleepModePolicy)
+        assert policy.active_scns == 3
+        assert policy.name == "Random"  # RNG stream name preserved

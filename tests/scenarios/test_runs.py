@@ -1,0 +1,192 @@
+"""End-to-end scenario runs: determinism gates, energy, censoring.
+
+Every registered scenario must run through ``repro.api`` with trajectories
+bit-identical across worker counts (serial vs process-parallel) and window
+sizes (windowed vs per-slot) — the determinism contract of DESIGN.md §11.
+"""
+
+import numpy as np
+import pytest
+
+from repro import api, scenarios
+from repro.scenarios.one_bit import OneBitFeedbackPolicy, censor_feedback
+from repro.scenarios.wrappers import PolicyWrapper
+
+# Tiny horizons keep the full cross-product affordable in CI.
+ALL_SCENARIOS = (
+    "mobility_blockage",
+    "nonstationary_drift",
+    "nonstationary_regime",
+    "one_bit",
+    "sleep_mode",
+    "vehicular",
+    "vr",
+)
+POLICIES = ("LFSC", "Random")
+HORIZON = 24
+
+
+def run_scenario(name, **overrides):
+    overrides.setdefault("horizon", HORIZON)
+    overrides.setdefault("workers", 1)
+    return api.run(scenario=name, policies=POLICIES, **overrides)
+
+
+def assert_results_equal(a, b):
+    for name in POLICIES:
+        np.testing.assert_array_equal(a[name].reward, b[name].reward)
+        np.testing.assert_array_equal(a[name].violation_qos, b[name].violation_qos)
+        np.testing.assert_array_equal(a[name].accepted, b[name].accepted)
+
+
+class TestScenarioRuns:
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_runs_and_attaches_spec(self, name):
+        out = run_scenario(name)
+        assert out.config.scenario.name == name
+        for policy in POLICIES:
+            assert out[policy].reward.shape == (HORIZON,)
+
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_serial_parallel_bit_equal(self, name):
+        assert_results_equal(run_scenario(name), run_scenario(name, workers=2))
+
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_windowed_per_slot_bit_equal(self, name):
+        assert_results_equal(run_scenario(name, window=8), run_scenario(name, window=0))
+
+    def test_manifest_carries_scenario_hash(self):
+        from repro.obs.manifest import build_manifest
+
+        out = run_scenario("vehicular")
+        manifest = build_manifest(kind="test", config=out.config)
+        block = manifest["scenario"]
+        assert block["name"] == "vehicular"
+        assert block["hash"] == scenarios.scenario_hash(out.config.scenario)
+        assert "error" not in block
+
+    def test_manifest_none_without_scenario(self):
+        from repro.obs.manifest import build_manifest
+
+        assert build_manifest(kind="test", config=None)["scenario"] is None
+
+
+class TestSleepMode:
+    def test_energy_reported(self):
+        out = run_scenario("sleep_mode")
+        for policy in POLICIES:
+            res = out[policy]
+            assert res.extras["energy"].shape == (HORIZON,)
+            summary = res.summary()
+            assert summary["total_energy"] == pytest.approx(res.extras["energy"].sum())
+            assert summary["energy_per_decision"] > 0.0
+
+    def test_energy_matches_activation_budget(self):
+        out = api.run(scenario="sleep_mode", policies=("Random",), horizon=10, workers=1)
+        # Default params on the small preset's 8 SCNs: 5 awake at 1.0 each,
+        # 3 asleep at 0.1 each, every slot.
+        expected = 5 * 1.0 + 3 * 0.1
+        np.testing.assert_allclose(out["Random"].extras["energy"], expected)
+
+    def test_energy_metrics(self):
+        from repro.metrics import energy_per_decision, energy_series, energy_summary
+
+        res = run_scenario("sleep_mode")["LFSC"]
+        series = energy_series(res, cumulative=False)
+        np.testing.assert_array_equal(series, res.extras["energy"])
+        assert energy_series(res)[-1] == pytest.approx(series.sum())
+        summary = energy_summary(res)
+        assert summary["total_energy"] == pytest.approx(series.sum())
+        assert energy_per_decision(res) == pytest.approx(
+            summary["energy_per_decision"]
+        )
+
+    def test_energy_metrics_require_energy_extras(self):
+        from repro.metrics import energy_per_decision
+
+        res = run_scenario("vehicular")["LFSC"]
+        with pytest.raises(KeyError, match="sleep_mode"):
+            energy_per_decision(res)
+
+    def test_sleeping_scns_accept_nothing(self):
+        out = api.run(scenario="sleep_mode", policies=("Random",), horizon=12, workers=1)
+        accepted = out["Random"].accepted  # (T, M) per-slot accept counts
+        # With m=5 of 8 SCNs awake, every slot has >= 3 SCNs accepting zero.
+        assert (np.sort(accepted, axis=1)[:, :3] == 0).all()
+
+
+class _RecordingPolicy(PolicyWrapper):
+    """Forwards to the base policy while recording every feedback seen."""
+
+    def __init__(self, base):
+        super().__init__(base)
+        self.seen = []
+
+    def update(self, slot, feedback):
+        self.seen.append(feedback)
+        self.base.update(slot, feedback)
+
+
+class TestOneBit:
+    def test_censor_feedback_identity(self, rng):
+        from repro.env.simulator import Assignment, SlotFeedback
+
+        n = 16
+        u = rng.random(n)
+        v = (rng.random(n) < 0.7).astype(float)
+        q = rng.uniform(0.5, 1.5, n)
+        fb = SlotFeedback(
+            assignment=Assignment(
+                scn=rng.integers(0, 3, n), task=np.arange(n, dtype=np.int64)
+            ),
+            u=u,
+            v=v,
+            q=q,
+            g=u * v / q,
+        )
+        censored = censor_feedback(fb)
+        success = (fb.g > 0).astype(float)
+        np.testing.assert_array_equal(censored.g, success)
+        np.testing.assert_array_equal(censored.u, success)
+        np.testing.assert_array_equal(censored.v, success)
+        np.testing.assert_array_equal(censored.q, np.ones(n))
+        # the compound-reward identity g = u*v/q survives censoring
+        np.testing.assert_array_equal(
+            censored.g, censored.u * censored.v / censored.q
+        )
+        assert censored.assignment is fb.assignment
+
+    def test_policy_never_sees_raw_g(self):
+        """The hard ISSUE gate: one-bit policies observe only {0, 1}."""
+        from repro.env.simulator import Simulation
+        from repro.experiments.runner import (
+            build_channel,
+            build_simulation,
+            build_truth,
+            make_policy,
+        )
+
+        loaded = scenarios.resolve_scenario("one_bit")
+        cfg = loaded.config(horizon=20)
+        sim = build_simulation(cfg)
+        assert isinstance(sim, Simulation)
+        truth = build_truth(cfg)
+        policy = make_policy("LFSC", cfg, truth)
+        assert isinstance(policy, OneBitFeedbackPolicy)
+        # splice a recorder between the censoring wrapper and the base
+        recorder = _RecordingPolicy(policy.base)
+        spy = OneBitFeedbackPolicy(recorder)
+        sim.run(spy, cfg.horizon)
+        assert recorder.seen, "recorder never saw feedback"
+        for fb in recorder.seen:
+            assert set(np.unique(fb.g)) <= {0.0, 1.0}
+            np.testing.assert_array_equal(fb.u, fb.g)
+            np.testing.assert_array_equal(fb.v, fb.g)
+            np.testing.assert_array_equal(fb.q, np.ones_like(fb.q))
+
+    def test_one_bit_changes_learning_signal(self):
+        censored = run_scenario("one_bit")
+        clear = api.run(policies=POLICIES, horizon=HORIZON, seed=0, workers=1)
+        # same environment randomness, different information: LFSC's
+        # trajectory must actually differ under censoring
+        assert not np.array_equal(censored["LFSC"].reward, clear["LFSC"].reward)
