@@ -32,11 +32,11 @@ import json
 import os
 import time
 from pathlib import Path
-from statistics import median
 
 import numpy as np
 
 from repro.experiments.runner import ExperimentConfig, build_simulation, make_policy
+from repro.metrics.latency import latency_summary, percentile
 from repro.obs.manifest import build_manifest
 from repro.service import OnlineSession, PolicyDaemon, ServiceClient
 
@@ -46,20 +46,9 @@ def _config(scale: str, horizon: int) -> ExperimentConfig:
     return base.with_overrides(horizon=horizon)
 
 
-def _percentile(samples: list[float], q: float) -> float:
-    if not samples:
-        return 0.0
-    ordered = sorted(samples)
-    rank = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
-    return ordered[rank]
-
-
 def _latency_stats(samples: list[float]) -> dict:
-    return {
-        "p50_ms": 1e3 * (median(samples) if samples else 0.0),
-        "p99_ms": 1e3 * _percentile(samples, 0.99),
-        "mean_ms": 1e3 * (sum(samples) / len(samples) if samples else 0.0),
-    }
+    stats = latency_summary(samples).as_dict(unit="ms")
+    return {"p50_ms": stats["p50_ms"], "p99_ms": stats["p99_ms"], "mean_ms": stats["mean_ms"]}
 
 
 # -- correctness gates -------------------------------------------------------
@@ -149,8 +138,8 @@ def bench_checkpoint(session: OnlineSession, tmp: Path, repeats: int = 5) -> dic
     return {
         "at_slot": session.t,
         "file_bytes": path.stat().st_size,
-        "save_ms": 1e3 * median(save_s),
-        "restore_ms": 1e3 * median(load_s),
+        "save_ms": 1e3 * percentile(save_s, 0.50),
+        "restore_ms": 1e3 * percentile(load_s, 0.50),
     }
 
 

@@ -61,6 +61,7 @@ __all__ = [
     "replicate",
     "resume_session",
     "run",
+    "run_fleet",
     "serve",
 ]
 
@@ -305,6 +306,64 @@ def compare(
             early_violation_ratio(result[policy], result[baseline])
         ),
     )
+
+
+# ---------------------------------------------------------------------------
+# Fleet-scale sharded simulation (DESIGN.md §12).
+# ---------------------------------------------------------------------------
+
+
+def run_fleet(
+    config=None,
+    *,
+    shards: int = 1,
+    mode: str = "auto",
+    verify: bool = False,
+    **overrides,
+):
+    """Run a metro-scale tiled fleet, sharded over worker processes.
+
+    Parameters
+    ----------
+    config:
+        A ready :class:`~repro.fleet.topology.FleetConfig`; when omitted one
+        is built from keyword ``overrides`` (e.g. ``tiles_x=4, tiles_y=4,
+        scns_per_tile=25, horizon=1000, coverage="mobility"``).
+    shards:
+        Worker-shard count (clamped to the tile count).  Per-tile series
+        are bit-identical at every value — tile streams derive from
+        ``(seed, tile)`` under the fleet RNG namespace.
+    mode:
+        ``"auto"`` (processes when ``shards >= 2`` and supported),
+        ``"serial"``, or ``"process"``.
+    verify:
+        Re-run unsharded (``shards=1``, serial) and assert the per-tile
+        series match the sharded run exactly before returning.
+
+    Returns
+    -------
+    :class:`~repro.fleet.driver.FleetResult` — per-tile series, per-shard
+    decision-latency percentiles, migrant/round counts, and throughput
+    (``decisions_per_min``).
+    """
+    from repro.fleet import FleetConfig, fleet_series_equal
+    from repro.fleet import run_fleet as _run_fleet
+
+    if config is None:
+        cfg = FleetConfig(**overrides)
+    elif overrides:
+        cfg = config.with_overrides(**overrides)
+    else:
+        cfg = config
+    result = _run_fleet(cfg, shards=shards, mode=mode)
+    if verify and result.shards > 1:
+        reference = _run_fleet(cfg, shards=1, mode="serial")
+        if not fleet_series_equal(result, reference):
+            raise AssertionError(
+                f"sharded fleet run (shards={result.shards}) diverged from "
+                "the unsharded reference"
+            )
+    return result
 
 
 # ---------------------------------------------------------------------------

@@ -407,6 +407,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a fresh checkpoint after advancing",
     )
 
+    fleet_p = sub.add_parser(
+        "fleet",
+        help="sharded metro-scale fleet run (DESIGN.md §12)",
+    )
+    fleet_p.add_argument(
+        "--tiles",
+        default="2x2",
+        metavar="WxH",
+        help="tile grid, e.g. 4x4 (default 2x2)",
+    )
+    fleet_p.add_argument("--scns-per-tile", type=int, default=8)
+    fleet_p.add_argument("--wds-per-tile", type=int, default=120)
+    fleet_p.add_argument(
+        "--coverage",
+        choices=("mobility", "sampler"),
+        default="mobility",
+        help="mobility = coupled tiles with border exchange; "
+        "sampler = independent tiles (no-exchange fast path)",
+    )
+    fleet_p.add_argument("--shards", type=int, default=1)
+    fleet_p.add_argument(
+        "--mode",
+        choices=("auto", "serial", "process"),
+        default="auto",
+        help="shard execution mode (auto: processes when shards >= 2)",
+    )
+    fleet_p.add_argument("--horizon", type=int, default=200)
+    fleet_p.add_argument("--seed", type=int, default=0)
+    fleet_p.add_argument("--truth-seed", type=int, default=7)
+    fleet_p.add_argument("--policy", default="LFSC")
+    fleet_p.add_argument("--engine", choices=("batched", "reference"), default="batched")
+    fleet_p.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        help="slot-streaming window (default: simulator default; 0 = per-slot)",
+    )
+    fleet_p.add_argument("--exchange-every", type=int, default=16)
+    fleet_p.add_argument(
+        "--mbs-capacity",
+        type=int,
+        default=0,
+        help="per-tile MBS fallback admission limit (0 disables the tier)",
+    )
+    fleet_p.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-run unsharded and assert bit-identical per-tile series",
+    )
+    fleet_p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the summary + per-shard latency as JSON",
+    )
+
     repl_p = sub.add_parser(
         "replicate",
         parents=[common],
@@ -660,6 +715,62 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.checkpoint_out is not None:
             written = session.save(args.checkpoint_out)
             print(f"[resume] wrote {written}")
+        return 0
+
+    if args.command == "fleet":
+        import json
+
+        from repro import api
+
+        try:
+            tiles_x, tiles_y = (int(v) for v in args.tiles.lower().split("x"))
+        except ValueError:
+            print(f"error: --tiles expects WxH (e.g. 4x4), got {args.tiles!r}", file=sys.stderr)
+            return 2
+        result = api.run_fleet(
+            tiles_x=tiles_x,
+            tiles_y=tiles_y,
+            scns_per_tile=args.scns_per_tile,
+            wds_per_tile=args.wds_per_tile,
+            coverage=args.coverage,
+            horizon=args.horizon,
+            seed=args.seed,
+            truth_seed=args.truth_seed,
+            policy=args.policy,
+            engine=args.engine,
+            window=args.window,
+            exchange_every=args.exchange_every,
+            mbs_capacity=args.mbs_capacity,
+            shards=args.shards,
+            mode=args.mode,
+            verify=args.verify,
+        )
+        summary = result.summary()
+        if args.json:
+            summary["shard_latency"] = result.latency_rows()
+            summary["verified"] = bool(args.verify and result.shards > 1)
+            print(json.dumps(summary, indent=2, sort_keys=True))
+            return 0
+        print(
+            f"[fleet] {result.config.tiles_x}x{result.config.tiles_y} tiles, "
+            f"{summary['num_scns']} SCNs, horizon {summary['horizon']}, "
+            f"{result.shards} shard(s) [{result.mode}]"
+        )
+        print(
+            f"[fleet] {summary['decisions']} decisions in {summary['wall_s']:.2f}s "
+            f"({summary['decisions_per_min']:,.0f}/min), "
+            f"reward {summary['total_reward']:.1f}, "
+            f"{summary['rounds']} round(s), {summary['migrants']} migrant(s)"
+            + (" [independent fast path]" if result.independent else "")
+        )
+        for row in result.latency_rows():
+            print(
+                f"[fleet] shard {row['shard']} ({row['tiles']} tiles): decide "
+                f"p50 {row['p50_ms']:.3f} ms  p90 {row['p90_ms']:.3f} ms  "
+                f"p99 {row['p99_ms']:.3f} ms  ({row['count']} slots)"
+            )
+        if args.verify and result.shards > 1:
+            print("[fleet] verified: sharded run matches the unsharded reference bit for bit")
         return 0
 
     cfg = _config_from_args(args)

@@ -1,0 +1,201 @@
+"""Open-border random-waypoint mobility for fleet tiles.
+
+:class:`BorderMobility` is the per-tile coverage model of the sharded
+driver (DESIGN.md §12).  It behaves like
+:class:`~repro.env.geometry.GeometricCoverage` — SCNs on a grid inside the
+tile, WDs random-waypointing, coverage = "within radius" — with one change:
+borders shared with a neighbouring tile are **open**.  A WD stepping past
+an open border keeps moving (and keeps being served by home-tile SCNs whose
+discs reach past the border — the one-round handover latency of a real
+handover procedure) until the next exchange round, when
+:meth:`collect_migrants` emits it toward the neighbour and
+:meth:`receive_migrants` splices arrivals in on the other side.  Metro-edge
+borders (no neighbour) reflect, exactly like the single-area models.
+
+Determinism rules the sharded equivalence proof rests on:
+
+- per-slot draws are fixed-count (two vectorized draws sized by the current
+  population), so the stream layout depends only on the population size
+  sequence — which is itself a pure function of the synchronized rounds;
+- WD identity is a globally unique id (``id_base + k``); arrivals are
+  appended in ascending-id order (the driver sorts each round's incoming
+  batch), so the tile's WD ordering — and with it every coverage list and
+  context draw — is independent of the shard count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.env.geometry import CoverageModel, _grid_positions
+from repro.utils.validation import check_positive, require
+
+__all__ = ["BorderMobility"]
+
+
+@dataclass
+class BorderMobility(CoverageModel):
+    """Random-waypoint coverage inside one tile with open interior borders.
+
+    Parameters
+    ----------
+    num_scns:
+        SCNs in this tile (grid placement inside ``[0, tile_km]²``).
+    num_wds:
+        Initial WD population of the tile.
+    tile_km, radius_km, speed_km:
+        Tile side, SCN coverage radius, and max per-slot WD step.
+    id_base:
+        First WD id of this tile's initial population; ids must be globally
+        unique across the fleet (the driver uses ``tile · wds_per_tile``).
+    open_left, open_right, open_down, open_up:
+        Which borders have a neighbouring tile (WDs may exit); the others
+        reflect.
+    """
+
+    num_scns: int = 8
+    num_wds: int = 120
+    tile_km: float = 4.0
+    radius_km: float = 1.2
+    speed_km: float = 0.15
+    id_base: int = 0
+    open_left: bool = False
+    open_right: bool = False
+    open_down: bool = False
+    open_up: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive("num_scns", self.num_scns)
+        check_positive("num_wds", self.num_wds)
+        check_positive("tile_km", self.tile_km)
+        check_positive("radius_km", self.radius_km)
+        check_positive("speed_km", self.speed_km, strict=False)
+        require(
+            self.speed_km < self.tile_km,
+            f"speed_km must stay below tile_km ({self.speed_km} >= {self.tile_km})",
+        )
+        self._scn_xy = _grid_positions(self.num_scns, self.tile_km)
+        self._wd_xy: np.ndarray | None = None
+        self._wd_ids: np.ndarray | None = None
+
+    @property
+    def scn_positions(self) -> np.ndarray:
+        """``(M, 2)`` SCN coordinates in tile-local km."""
+        return self._scn_xy.copy()
+
+    @property
+    def wd_ids(self) -> np.ndarray | None:
+        """Current globally-unique WD ids (None before the first slot)."""
+        return None if self._wd_ids is None else self._wd_ids.copy()
+
+    @property
+    def wd_positions(self) -> np.ndarray | None:
+        """Current ``(n, 2)`` tile-local WD coordinates (may exit the tile)."""
+        return None if self._wd_xy is None else self._wd_xy.copy()
+
+    def reset(self) -> None:
+        """Forget the population; the next slot re-initializes from the stream."""
+        self._wd_xy = None
+        self._wd_ids = None
+
+    def sample_slot(self, rng: np.random.Generator) -> tuple[int, list[np.ndarray]]:
+        if self._wd_xy is None:
+            self._wd_xy = rng.uniform(0.0, self.tile_km, size=(self.num_wds, 2))
+            self._wd_ids = np.arange(
+                self.id_base, self.id_base + self.num_wds, dtype=np.int64
+            )
+        else:
+            self._step(rng)
+        # Coverage by distance to *home* SCNs only — a WD hovering past an
+        # open border is still served from home until its handover lands.
+        diff = self._scn_xy[:, None, :] - self._wd_xy[None, :, :]
+        within = np.einsum("mnd,mnd->mn", diff, diff) <= self.radius_km**2
+        coverage = [np.flatnonzero(within[m]) for m in range(self.num_scns)]
+        return int(self._wd_xy.shape[0]), coverage
+
+    def _step(self, rng: np.random.Generator) -> None:
+        # Fixed-count draws: two vectorized draws sized by the population,
+        # regardless of who reflects or wanders out.
+        n = self._wd_xy.shape[0]
+        angles = rng.uniform(0.0, 2.0 * np.pi, size=n)
+        steps = rng.uniform(0.0, self.speed_km, size=n)
+        moved = self._wd_xy + steps[:, None] * np.column_stack(
+            [np.cos(angles), np.sin(angles)]
+        )
+        L = self.tile_km
+        # Reflect only at closed (metro-edge) borders; one fold suffices
+        # because a slot's step is < L.  Open borders let the coordinate
+        # run out of [0, L] — the pending-handover state.
+        x, y = moved[:, 0], moved[:, 1]
+        if not self.open_left:
+            x = np.where(x < 0.0, -x, x)
+        if not self.open_right:
+            x = np.where(x > L, 2.0 * L - x, x)
+        if not self.open_down:
+            y = np.where(y < 0.0, -y, y)
+        if not self.open_up:
+            y = np.where(y > L, 2.0 * L - y, y)
+        self._wd_xy = np.column_stack([x, y])
+
+    def max_coverage_size(self) -> int:
+        return self.num_wds
+
+    # -- border exchange ------------------------------------------------------
+
+    def collect_migrants(self) -> list[tuple[int, int, np.ndarray, np.ndarray]]:
+        """Remove WDs that left the tile; return them grouped by direction.
+
+        Returns ``(dx, dy, ids, xy)`` entries with ``dx, dy ∈ {-1, 0, +1}``
+        (8-neighbourhood — the config guarantees a WD cannot cross two tiles
+        between exchanges) and ``xy`` already transformed into the
+        *destination* tile's local frame.  Deterministic: a pure function of
+        the current population state.
+        """
+        if self._wd_xy is None:
+            return []
+        L = self.tile_km
+        x, y = self._wd_xy[:, 0], self._wd_xy[:, 1]
+        ox = np.where(x < 0.0, -1, np.where(x > L, 1, 0))
+        oy = np.where(y < 0.0, -1, np.where(y > L, 1, 0))
+        leaving = (ox != 0) | (oy != 0)
+        if not leaving.any():
+            return []
+        out: list[tuple[int, int, np.ndarray, np.ndarray]] = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                if dx == 0 and dy == 0:
+                    continue
+                sel = leaving & (ox == dx) & (oy == dy)
+                if not sel.any():
+                    continue
+                xy = self._wd_xy[sel].copy()
+                xy[:, 0] -= dx * L
+                xy[:, 1] -= dy * L
+                out.append((dx, dy, self._wd_ids[sel].copy(), xy))
+        keep = ~leaving
+        self._wd_xy = self._wd_xy[keep]
+        self._wd_ids = self._wd_ids[keep]
+        return out
+
+    def receive_migrants(self, ids: np.ndarray, xy: np.ndarray) -> None:
+        """Splice one round's arrivals into the population.
+
+        The driver hands each round's incoming batch sorted by ascending id
+        (after merging across source shards), so appending keeps the tile's
+        WD ordering a pure function of the trajectory — never of how tiles
+        were grouped into shards.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        xy = np.asarray(xy, dtype=float).reshape(-1, 2)
+        if ids.shape[0] != xy.shape[0]:
+            raise ValueError(
+                f"ids and xy disagree in length: {ids.shape[0]} vs {xy.shape[0]}"
+            )
+        if ids.size == 0:
+            return
+        if self._wd_xy is None:
+            raise RuntimeError("cannot receive migrants before the first slot")
+        self._wd_xy = np.concatenate([self._wd_xy, xy])
+        self._wd_ids = np.concatenate([self._wd_ids, ids])

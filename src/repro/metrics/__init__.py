@@ -13,6 +13,12 @@ from repro.metrics.violations import (
 from repro.metrics.ratio import performance_ratio, performance_ratio_series
 from repro.metrics.energy import energy_series, energy_per_decision, energy_summary
 from repro.metrics.fairness import fairness_summary, jain_index
+from repro.metrics.latency import (
+    LatencyRecorder,
+    LatencySummary,
+    latency_summary,
+    percentile,
+)
 from repro.metrics.summary import comparison_rows, format_table
 
 __all__ = [
@@ -29,6 +35,10 @@ __all__ = [
     "energy_summary",
     "fairness_summary",
     "jain_index",
+    "LatencyRecorder",
+    "LatencySummary",
+    "latency_summary",
+    "percentile",
     "comparison_rows",
     "format_table",
 ]

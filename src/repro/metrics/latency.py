@@ -1,0 +1,139 @@
+"""Decision-latency percentiles: nearest-rank quantiles + mergeable recorder.
+
+"Heavy traffic" claims need tail latencies, not means (ROADMAP; the
+topology-aware scheduler snippet in SNIPPETS.md quantifies per-node cost the
+same way).  This module is the one home for that arithmetic:
+
+- :func:`percentile` is the nearest-rank estimator the service daemon's
+  status report has always used (factored out of ``service/daemon.py``;
+  ``benchmarks/bench_service.py`` shared a copy too).  No numpy detour —
+  the inputs are small latency windows on a request path.
+- :class:`LatencyRecorder` accumulates per-slot decision latencies and
+  summarizes them as p50/p90/p99.  Recorders **merge associatively**
+  (sample multisets concatenate, and :func:`percentile` sorts), so
+  per-shard recorders from fleet worker processes (:mod:`repro.fleet`)
+  combine into fleet-wide percentiles in any grouping or order —
+  ``merge(merge(a, b), c) == merge(a, merge(b, c))`` exactly.
+- :meth:`LatencyRecorder.observe_registry` folds the samples into an obs
+  registry histogram (:mod:`repro.obs.metrics`), whose fixed-bound buckets
+  already merge associatively across processes — so fleet latencies travel
+  the same snapshot/merge path as every other worker metric.
+
+Exact percentiles require the raw samples; a recorder holds one float per
+recorded slot, which is bounded by ``horizon × tiles`` in fleet runs (a few
+MB at metro scale) — deliberately simple over a sketch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+__all__ = ["LatencySummary", "LatencyRecorder", "latency_summary", "percentile"]
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``samples`` at quantile ``q`` in [0, 1].
+
+    Returns 0.0 for an empty sequence (idle status reports).  Nearest rank
+    keeps the estimate an actual observed sample — the convention the
+    service daemon's latency report established.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if len(samples) == 0:
+        return 0.0
+    # Coerce to plain floats: callers hand in lists, deques, and numpy
+    # arrays (fleet workers ship samples as ndarrays), and the result must
+    # stay JSON-serializable.
+    ordered = sorted(float(s) for s in samples)
+    rank = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """p50/p90/p99 + mean of one latency population, in seconds."""
+
+    count: int
+    mean_s: float
+    p50_s: float
+    p90_s: float
+    p99_s: float
+
+    def as_dict(self, *, unit: str = "ms") -> dict[str, float]:
+        """JSON-ready dict; ``unit="ms"`` scales to milliseconds (reports)."""
+        scale = 1e3 if unit == "ms" else 1.0
+        return {
+            "count": self.count,
+            f"mean_{unit}": scale * self.mean_s,
+            f"p50_{unit}": scale * self.p50_s,
+            f"p90_{unit}": scale * self.p90_s,
+            f"p99_{unit}": scale * self.p99_s,
+        }
+
+
+def latency_summary(samples: Sequence[float]) -> LatencySummary:
+    """Summarize a latency sample list (seconds) as p50/p90/p99 + mean."""
+    n = len(samples)
+    ordered = sorted(float(s) for s in samples)
+
+    def rank(q: float) -> float:
+        if n == 0:
+            return 0.0
+        return ordered[min(n - 1, max(0, int(round(q * (n - 1)))))]
+
+    return LatencySummary(
+        count=n,
+        mean_s=(sum(ordered) / n) if n else 0.0,
+        p50_s=rank(0.50),
+        p90_s=rank(0.90),
+        p99_s=rank(0.99),
+    )
+
+
+@dataclass
+class LatencyRecorder:
+    """Accumulates latency samples; merges associatively across recorders.
+
+    One recorder per fleet shard records every slot's decision latency;
+    the driver merges worker recorders into fleet-wide percentiles.  The
+    merge is multiset union, so grouping and order cannot change any
+    quantile — the same algebra the obs registry's histogram merge obeys.
+    """
+
+    samples: list[float] = field(default_factory=list)
+
+    def record(self, seconds: float) -> None:
+        """Record one latency observation (seconds)."""
+        self.samples.append(float(seconds))
+
+    def extend(self, seconds: Iterable[float]) -> None:
+        """Record many observations at once (e.g. a worker's sample ship)."""
+        self.samples.extend(float(s) for s in seconds)
+
+    def merge(self, other: "LatencyRecorder") -> "LatencyRecorder":
+        """Fold ``other``'s samples into this recorder (returns ``self``)."""
+        self.samples.extend(other.samples)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def summary(self) -> LatencySummary:
+        return latency_summary(self.samples)
+
+    def observe_registry(self, name: str, registry=None) -> None:
+        """Fold every sample into obs histogram ``name``.
+
+        Uses the process-global registry by default; the histogram's
+        fixed-bound buckets then ride the ordinary snapshot merge/diff
+        machinery across worker processes (:mod:`repro.utils.parallel`,
+        the fleet driver).
+        """
+        from repro.obs import metrics as obs_metrics
+
+        reg = registry if registry is not None else obs_metrics.global_registry()
+        hist = reg.histogram(name)
+        for s in self.samples:
+            hist.observe(s)

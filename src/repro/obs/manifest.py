@@ -105,13 +105,24 @@ def build_manifest(
     extra:
         Arbitrary additional JSON-serializable context.
     """
+    git = _git_info()
+    if kind == "bench" and git.get("dirty"):
+        # Bench artifacts get committed (BENCH_*.json); a dirty tree means
+        # the recorded SHA does not describe the measured code.  Still only
+        # descriptive — warn loudly, never fail the run.
+        print(
+            "warning: bench manifest built from a dirty git tree — the "
+            f"recorded sha {git.get('sha')!r} does not match the working "
+            "copy (provenance will carry git.dirty=true)",
+            file=sys.stderr,
+        )
     manifest = {
         "schema": MANIFEST_SCHEMA_VERSION,
         "kind": kind,
         "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "argv": list(sys.argv),
         "cwd": os.getcwd(),
-        "git": _git_info(),
+        "git": git,
         "host": {
             "node": platform.node(),
             "machine": platform.machine(),

@@ -41,11 +41,11 @@ import socketserver
 import threading
 from collections import deque
 from pathlib import Path
-from statistics import median
 from time import monotonic
 
 import numpy as np
 
+from repro.metrics.latency import percentile
 from repro.obs import runtime as obs_runtime
 from repro.service.checkpoint import CheckpointError
 from repro.service.events import ArrivalQueue, build_slot
@@ -55,15 +55,6 @@ __all__ = ["PolicyDaemon", "ServiceClient"]
 
 #: Sliding window of per-decision latencies kept for the status report.
 _LATENCY_WINDOW = 4096
-
-
-def _percentile(samples: list[float], q: float) -> float:
-    """Nearest-rank percentile (small fixed windows; no numpy detour)."""
-    if not samples:
-        return 0.0
-    ordered = sorted(samples)
-    rank = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
-    return ordered[rank]
 
 
 class PolicyDaemon:
@@ -150,8 +141,8 @@ class PolicyDaemon:
             "queued_arrivals": len(self.queue),
             "decisions": self._decisions,
             "checkpoints": self._checkpoints,
-            "latency_p50_ms": 1e3 * (median(lat) if lat else 0.0),
-            "latency_p99_ms": 1e3 * _percentile(lat, 0.99),
+            "latency_p50_ms": 1e3 * percentile(lat, 0.50),
+            "latency_p99_ms": 1e3 * percentile(lat, 0.99),
         }
 
     def _op_arrive(self, request: dict) -> dict:

@@ -313,6 +313,11 @@ def parallel_map(
         (func, start, work[start : start + chunksize], use_shm)
         for start in range(0, len(work), chunksize)
     ]
+    # A chunk is the unit of scheduling: with chunksize > 1 a tiny sweep can
+    # produce fewer chunks than resolved workers, and every surplus process
+    # would be forked only to sit idle.  Clamp the pool to the work that
+    # exists (resolve_workers already capped by item count for chunksize 1).
+    resolved = min(resolved, len(chunks))
     with ProcessPoolExecutor(max_workers=resolved) as pool:
         # Submission order == collection order: futures are resolved in the
         # order the chunks were created, so scheduling cannot reorder results.

@@ -49,6 +49,25 @@ That independence is what lets windows and Oracle solves be precomputed once
 and shared bit-identically across sweep points and policies
 (:mod:`repro.env.window_cache`, :mod:`repro.solvers.cache`).
 
+The fleet tile namespace (stream contract v2 extension)
+-------------------------------------------------------
+
+Sharded fleet runs (:mod:`repro.fleet`) partition a metro-scale network into
+tiles and distribute groups of tiles (shards) over worker processes.  Every
+tile's streams derive through :func:`fleet_seed_sequence`:
+
+    ``spawn_key = root.spawn_key + (FLEET_SPAWN_KEY, tile_index)``
+
+and the tile's env/policy streams then nest *under* that tile root through
+the v2 namespaces above.  The derivation depends only on ``(seed,
+tile_index)`` — never on the shard count, which shard a tile landed in, or
+worker scheduling — which is the mechanism that makes a sharded fleet run
+bit-identical to the unsharded reference at any shard count.  The tag sits
+at the same fixed spawn-key position as :data:`ENV_SPAWN_KEY` /
+:data:`POLICY_SPAWN_KEY` and differs from both (and from
+:data:`REPLICATION_SPAWN_KEY`), so tile roots can never alias a
+replication child or any direct env/policy stream of the same seed.
+
 :func:`stream_token` reduces any derived sequence to a hashable 256-bit
 token — the cache key for environment-derived artifacts — and
 :func:`describe_streams` renders the derived tokens for error messages
@@ -80,12 +99,15 @@ import numpy as np
 
 __all__ = [
     "ENV_SPAWN_KEY",
+    "FLEET_SPAWN_KEY",
     "POLICY_SPAWN_KEY",
     "REPLICATION_SPAWN_KEY",
     "RngFactory",
     "as_generator",
     "describe_streams",
     "env_seed_sequence",
+    "fleet_seed",
+    "fleet_seed_sequence",
     "generator_from_state",
     "generator_state",
     "policy_seed_sequence",
@@ -111,6 +133,13 @@ ENV_SPAWN_KEY: int = 0xE27
 #: Must differ from :data:`ENV_SPAWN_KEY` (and does forever): the tag sits at
 #: a fixed spawn-key position, so the namespaces cannot collide for any name.
 POLICY_SPAWN_KEY: int = 0xAC7
+
+#: Domain-separation tag for fleet *tile* roots (sharded metro-scale runs,
+#: :mod:`repro.fleet`).  Frozen with the v2 extension: a tile's streams are a
+#: pure function of ``(seed, tile_index)``, independent of the shard count
+#: and worker topology — the bit-identity mechanism for sharded runs.  Must
+#: stay distinct from the other three tags (same fixed spawn-key position).
+FLEET_SPAWN_KEY: int = 0xF1EE
 
 
 def as_generator(
@@ -209,6 +238,37 @@ def policy_seed_sequence(
     namespace tags differ at a fixed spawn-key position.
     """
     return _tagged_sequence(_as_sequence(seed), POLICY_SPAWN_KEY, name)
+
+
+def fleet_seed_sequence(
+    seed: int | None | np.random.SeedSequence, tile: int
+) -> np.random.SeedSequence:
+    """The root :class:`~numpy.random.SeedSequence` of fleet tile ``tile``.
+
+    Frozen contract (module docstring): the tile root is fully determined by
+    ``(seed, tile)`` and is independent of the fleet's shard count, the
+    shard a tile is grouped into, and worker scheduling.  A tile's own
+    env/policy streams derive *under* this root through the v2 namespaces
+    (e.g. ``RngFactory(fleet_seed_sequence(seed, k)).env("workload")``), so
+    they inherit the same independence.
+    """
+    if tile < 0:
+        raise ValueError(f"tile index must be non-negative, got {tile}")
+    root = _as_sequence(seed)
+    return np.random.SeedSequence(
+        entropy=root.entropy,
+        spawn_key=tuple(root.spawn_key) + (FLEET_SPAWN_KEY, tile),
+    )
+
+
+def fleet_seed(seed: int | None | np.random.SeedSequence, tile: int) -> int:
+    """Tile ``tile``'s integer seed under the fleet contract.
+
+    The first ``uint64`` word of the tile root's ``generate_state`` — a
+    plain int for components that take integer seeds (e.g. each tile's
+    independent ground-truth tables).
+    """
+    return int(fleet_seed_sequence(seed, tile).generate_state(1, np.uint64)[0])
 
 
 def stream_token(ss: np.random.SeedSequence) -> tuple[int, int, int, int]:

@@ -1,0 +1,137 @@
+"""Border mobility: determinism of draws, reflection vs open borders, exchange."""
+
+import numpy as np
+import pytest
+
+from repro.fleet.mobility import BorderMobility
+
+
+def _model(**kw):
+    base = dict(num_scns=4, num_wds=16, tile_km=2.0, radius_km=0.8, speed_km=0.3)
+    base.update(kw)
+    return BorderMobility(**base)
+
+
+class TestDeterminism:
+    def test_same_stream_same_trajectory(self):
+        a, b = _model(), _model()
+        ra, rb = np.random.default_rng(3), np.random.default_rng(3)
+        for _ in range(20):
+            na, cov_a = a.sample_slot(ra)
+            nb, cov_b = b.sample_slot(rb)
+            assert na == nb
+            for x, y in zip(cov_a, cov_b):
+                np.testing.assert_array_equal(x, y)
+        np.testing.assert_array_equal(a.wd_positions, b.wd_positions)
+
+    def test_fixed_count_draws_per_slot(self):
+        """A slot consumes draws by population size only — the invariant the
+        sharded equivalence proof rests on (stream layout cannot depend on
+        who reflected or wandered out)."""
+        m = _model(open_right=True)
+        rng = np.random.default_rng(7)
+        m.sample_slot(rng)  # init: one (n, 2) uniform
+        before = rng.bit_generator.state
+        m.sample_slot(rng)
+        after = rng.bit_generator.state
+
+        shadow = np.random.default_rng(1)
+        shadow.bit_generator.state = before
+        n = 16
+        shadow.uniform(0.0, 2.0 * np.pi, size=n)
+        shadow.uniform(0.0, 0.3, size=n)
+        assert shadow.bit_generator.state == after
+
+    def test_ids_are_globally_unique_offsets(self):
+        m = _model(id_base=32)
+        m.sample_slot(np.random.default_rng(0))
+        np.testing.assert_array_equal(m.wd_ids, np.arange(32, 48))
+
+
+class TestBorders:
+    def test_closed_borders_reflect_inside(self):
+        m = _model()  # all borders closed
+        rng = np.random.default_rng(11)
+        for _ in range(200):
+            m.sample_slot(rng)
+        xy = m.wd_positions
+        assert (xy >= 0.0).all() and (xy <= m.tile_km).all()
+
+    def test_open_border_lets_wds_exit(self):
+        m = _model(open_left=True, open_right=True, open_down=True, open_up=True)
+        rng = np.random.default_rng(11)
+        exited = False
+        for _ in range(200):
+            m.sample_slot(rng)
+            xy = m.wd_positions
+            if (xy < 0.0).any() or (xy > m.tile_km).any():
+                exited = True
+                break
+        assert exited, "no WD ever crossed an open border in 200 slots"
+
+    def test_speed_must_fit_tile(self):
+        with pytest.raises(ValueError, match="speed_km"):
+            _model(speed_km=3.0)
+
+
+class TestExchange:
+    def _run_until_migrants(self, m, rng, max_slots=500):
+        for _ in range(max_slots):
+            m.sample_slot(rng)
+            x, y = m.wd_positions[:, 0], m.wd_positions[:, 1]
+            if ((x < 0) | (x > m.tile_km) | (y < 0) | (y > m.tile_km)).any():
+                return m.collect_migrants()
+        pytest.fail("no migrants produced")
+
+    def test_collect_removes_and_localizes(self):
+        m = _model(open_left=True, open_right=True, open_down=True, open_up=True)
+        rng = np.random.default_rng(5)
+        out = self._run_until_migrants(m, rng)
+        assert out
+        total_out = 0
+        for dx, dy, ids, xy in out:
+            assert (dx, dy) != (0, 0) and abs(dx) <= 1 and abs(dy) <= 1
+            total_out += len(ids)
+            # Positions are already in the destination tile's frame and,
+            # since a step is < tile_km, inside it along the crossed axis.
+            if dx:
+                assert ((xy[:, 0] >= 0) & (xy[:, 0] <= m.tile_km)).all()
+            if dy:
+                assert ((xy[:, 1] >= 0) & (xy[:, 1] <= m.tile_km)).all()
+        assert len(m.wd_ids) == 16 - total_out
+        # Leavers are gone from the home population.
+        for _, _, ids, _ in out:
+            assert not np.isin(ids, m.wd_ids).any()
+
+    def test_collect_receive_round_trip(self):
+        m = _model(open_left=True, open_right=True, open_down=True, open_up=True)
+        rng = np.random.default_rng(5)
+        out = self._run_until_migrants(m, rng)
+        ids = np.concatenate([e[2] for e in out])
+        xy = np.concatenate([e[3] for e in out])
+        order = np.argsort(ids, kind="stable")
+        m.receive_migrants(ids[order], xy[order])
+        assert len(m.wd_ids) == 16
+        np.testing.assert_array_equal(np.sort(m.wd_ids), np.arange(16))
+
+    def test_collect_without_leavers_is_empty(self):
+        m = _model()
+        m.sample_slot(np.random.default_rng(0))
+        assert m.collect_migrants() == []
+
+    def test_receive_validates_shapes(self):
+        m = _model()
+        m.sample_slot(np.random.default_rng(0))
+        with pytest.raises(ValueError, match="disagree"):
+            m.receive_migrants(np.array([99]), np.zeros((2, 2)))
+
+    def test_receive_before_first_slot_rejected(self):
+        m = _model()
+        with pytest.raises(RuntimeError, match="first slot"):
+            m.receive_migrants(np.array([99]), np.zeros((1, 2)))
+
+    def test_reset_forgets_population(self):
+        m = _model()
+        m.sample_slot(np.random.default_rng(0))
+        m.reset()
+        assert m.wd_ids is None and m.wd_positions is None

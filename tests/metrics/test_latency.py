@@ -1,0 +1,112 @@
+"""Latency percentiles: nearest-rank values, merge algebra, registry fold-in."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.metrics.latency import (
+    LatencyRecorder,
+    LatencySummary,
+    latency_summary,
+    percentile,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestPercentile:
+    def test_nearest_rank_values(self):
+        samples = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 0.5) == 3.0
+        assert percentile(samples, 1.0) == 5.0
+        # Nearest rank returns an observed sample, never an interpolation.
+        assert percentile(samples, 0.9) in samples
+
+    def test_single_sample(self):
+        assert percentile([7.25], 0.99) == 7.25
+
+    def test_empty_returns_zero(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile(np.empty(0), 0.99) == 0.0
+
+    def test_quantile_bounds(self):
+        with pytest.raises(ValueError, match="quantile"):
+            percentile([1.0], 1.5)
+        with pytest.raises(ValueError, match="quantile"):
+            percentile([1.0], -0.1)
+
+    def test_ndarray_input_yields_plain_float(self):
+        """Fleet workers ship samples as ndarrays; the result must stay
+        JSON-serializable (np.float64 is not)."""
+        out = percentile(np.array([0.3, 0.1, 0.2]), 0.5)
+        assert type(out) is float
+        json.dumps(out)
+
+    def test_unsorted_input(self):
+        assert percentile([9.0, 1.0, 5.0], 0.5) == 5.0
+
+
+class TestLatencySummary:
+    def test_summary_fields(self):
+        s = latency_summary([0.010, 0.020, 0.030, 0.040])
+        assert isinstance(s, LatencySummary)
+        assert s.count == 4
+        assert s.mean_s == pytest.approx(0.025)
+        # Nearest rank with banker's rounding: round(0.5 · 3) = 2 → third sample.
+        assert s.p50_s == 0.030
+        assert s.p99_s == 0.040
+
+    def test_empty_summary(self):
+        s = latency_summary([])
+        assert s.count == 0 and s.mean_s == 0.0 and s.p99_s == 0.0
+
+    def test_as_dict_units(self):
+        s = latency_summary([0.002])
+        ms = s.as_dict(unit="ms")
+        assert ms["p50_ms"] == pytest.approx(2.0)
+        sec = s.as_dict(unit="s")
+        assert sec["p50_s"] == pytest.approx(0.002)
+
+    def test_as_dict_is_json_safe(self):
+        json.dumps(latency_summary(np.array([0.001, 0.002])).as_dict())
+
+
+class TestLatencyRecorder:
+    def test_record_and_summary(self):
+        r = LatencyRecorder()
+        for v in (0.3, 0.1, 0.2):
+            r.record(v)
+        assert len(r) == 3
+        assert r.summary().p50_s == 0.2
+
+    def test_extend_coerces_to_float(self):
+        r = LatencyRecorder()
+        r.extend(np.array([0.5, 0.6]))
+        assert all(type(s) is float for s in r.samples)
+
+    def test_merge_is_associative(self):
+        def rec(vals):
+            r = LatencyRecorder()
+            r.extend(vals)
+            return r
+
+        a, b, c = [0.1, 0.9], [0.5], [0.2, 0.8, 0.4]
+        left = rec(a).merge(rec(b).merge(rec(c)))
+        right = rec(a).merge(rec(b)).merge(rec(c))
+        assert left.summary() == right.summary()
+        # Order-insensitive too: quantiles sort, so grouping cannot matter.
+        assert rec(c).merge(rec(a)).merge(rec(b)).summary() == left.summary()
+
+    def test_merge_returns_self(self):
+        r = LatencyRecorder()
+        assert r.merge(LatencyRecorder(samples=[0.1])) is r
+        assert len(r) == 1
+
+    def test_observe_registry_folds_into_histogram(self):
+        reg = MetricsRegistry()
+        r = LatencyRecorder(samples=[0.001, 0.010, 0.100])
+        r.observe_registry("fleet.decide_s", reg)
+        hist = reg.histogram("fleet.decide_s")
+        assert hist.total == 3
+        assert hist.sum == pytest.approx(0.111)

@@ -4,9 +4,12 @@ import numpy as np
 import pytest
 
 from repro.utils.rng import (
+    FLEET_SPAWN_KEY,
     REPLICATION_SPAWN_KEY,
     RngFactory,
     as_generator,
+    fleet_seed,
+    fleet_seed_sequence,
     replication_seed,
     replication_seed_sequence,
     replication_seeds,
@@ -137,3 +140,46 @@ class TestReplicationSeedContract:
             replication_seeds(0, -2)
         with pytest.raises(ValueError):
             replication_seed(0, -1)
+
+
+class TestFleetTileNamespace:
+    """The frozen seed → tile-stream mapping behind sharded fleets.
+
+    Tile roots must be pure functions of (seed, tile) — never of the shard
+    count — and must stay disjoint from the replication namespace so a fleet
+    and a replication sweep on the same seed cannot share a stream.
+    """
+
+    def test_deterministic(self):
+        assert fleet_seed(0, 5) == fleet_seed(0, 5)
+        a = RngFactory(fleet_seed_sequence(0, 3)).env("workload").random(8)
+        b = RngFactory(fleet_seed_sequence(0, 3)).env("workload").random(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_matches_seed_sequence_definition(self):
+        ss = fleet_seed_sequence(3, 2)
+        assert tuple(ss.spawn_key) == (FLEET_SPAWN_KEY, 2)
+        assert fleet_seed(3, 2) == int(ss.generate_state(1, np.uint64)[0])
+
+    def test_tiles_independent(self):
+        seeds = {fleet_seed(0, t) for t in range(64)}
+        assert len(seeds) == 64
+        a = RngFactory(fleet_seed_sequence(0, 0)).env("workload").random(8)
+        b = RngFactory(fleet_seed_sequence(0, 1)).env("workload").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_disjoint_from_replication_namespace(self):
+        # Same (base, index) across namespaces must not collide: the spawn
+        # keys differ, so a fleet tile never replays a replication's streams.
+        assert FLEET_SPAWN_KEY != REPLICATION_SPAWN_KEY
+        for k in range(16):
+            assert fleet_seed(0, k) != replication_seed(0, k)
+
+    def test_not_additive(self):
+        assert fleet_seed(0, 1) != fleet_seed(1, 0)
+
+    def test_negative_tile_raises(self):
+        with pytest.raises(ValueError):
+            fleet_seed(0, -1)
+        with pytest.raises(ValueError):
+            fleet_seed_sequence(0, -1)

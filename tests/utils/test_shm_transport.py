@@ -10,6 +10,10 @@ consumed block is unlinked, and ``discard_block`` tolerates missing blocks.
 
 import collections
 import dataclasses
+import os
+import subprocess
+import sys
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -115,6 +119,34 @@ class TestPackUnpack:
     def test_discard_block_tolerates_missing(self):
         discard_block("psm_definitely_not_there")
 
+    def test_all_zero_length_arrays_fall_back_inline(self):
+        # Nothing liftable → no block is ever created; skeletons are the
+        # values themselves and the empties come back as-is.
+        empties = [np.empty(0), np.zeros((0, 3)), np.empty(0, dtype=np.int64)]
+        skeletons, name, manifest = pack_to_shm(empties)
+        # Inline fallback contract: no block, and the skeletons ARE the
+        # values (callers skip unpack_from_shm when name is None).
+        assert name is None and manifest == []
+        assert skeletons is empties
+
+    @needs_shm
+    def test_zero_length_alongside_lifted_round_trips(self):
+        payload = {"empty": np.zeros((0, 2)), "full": np.arange(6.0)}
+        skeletons, name, manifest = pack_to_shm([payload])
+        rebuilt = unpack_from_shm(skeletons, name, manifest)
+        assert rebuilt[0]["empty"].shape == (0, 2)
+        np.testing.assert_array_equal(rebuilt[0]["full"], payload["full"])
+
+    @needs_shm
+    def test_transposed_array_round_trips(self):
+        base = np.arange(12.0).reshape(3, 4)
+        view = base.T  # non-contiguous in C order
+        assert not view.flags["C_CONTIGUOUS"]
+        skeletons, name, manifest = pack_to_shm([view])
+        rebuilt = unpack_from_shm(skeletons, name, manifest)
+        assert rebuilt[0].shape == (4, 3)
+        np.testing.assert_array_equal(rebuilt[0], view)
+
 
 def _simulate(seed: int):
     """Worker: a small simulation whose result is a frozen-dataclass tree."""
@@ -156,3 +188,66 @@ def _boom_after_result(i: int):
     if i == 1:
         raise RuntimeError("boom")
     return {"payload": np.arange(64.0)}
+
+
+_DIE_MID_CHUNK = '''\
+import os
+import time
+
+import numpy as np
+
+from repro.utils.parallel import parallel_map
+
+
+def work(i):
+    if i == 1:
+        time.sleep(0.2)
+        os._exit(1)  # hard death: no atexit hooks, no finalizers
+    return {"payload": np.arange(256.0)}
+
+
+if __name__ == "__main__":
+    try:
+        parallel_map(work, [0, 1], workers=2, chunksize=1, transport="shm")
+    except Exception as exc:
+        print(f"raised:{type(exc).__name__}")
+        raise SystemExit(0)
+    print("no-error")
+'''
+
+
+class TestWorkerDeathCleanup:
+    """A worker killed mid-chunk must not leak segments or tracker warnings.
+
+    Runs in a subprocess: the resource tracker only reports leaked
+    shared-memory objects on interpreter exit, so the warning is observable
+    only on a fresh interpreter's stderr.
+    """
+
+    @needs_shm
+    @pytest.mark.skipif(not os.path.isdir("/dev/shm"), reason="no /dev/shm")
+    def test_hard_death_leaves_no_segments(self, tmp_path):
+        script = tmp_path / "die_mid_chunk.py"
+        script.write_text(_DIE_MID_CHUNK)
+        src = Path(shm_transport.__file__).resolve().parents[2]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+        before = set(os.listdir("/dev/shm"))
+        proc = subprocess.run(
+            [sys.executable, str(script)],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "raised:" in proc.stdout, proc.stdout
+        # The tracker prints "resource_tracker: There appear to be N leaked
+        # shared_memory objects ..." at exit when a segment was registered
+        # but never unlinked.
+        assert "resource_tracker" not in proc.stderr, proc.stderr
+        assert "leaked" not in proc.stderr, proc.stderr
+        leftover = {
+            n for n in set(os.listdir("/dev/shm")) - before if n.startswith("psm_")
+        }
+        assert not leftover, f"leaked shm segments: {leftover}"

@@ -145,6 +145,46 @@ class TestParallelMap:
             parallel_map(_square, [1, 2], workers=-1)
 
 
+class TestWorkerClamp:
+    """The pool must never fork more processes than there are chunks."""
+
+    @pytest.mark.skipif(not process_pool_supported(), reason="no process pools")
+    def test_pool_clamped_to_chunk_count(self, monkeypatch):
+        import repro.utils.parallel as par
+
+        seen = {}
+        real = par.ProcessPoolExecutor
+
+        class Recorder(real):
+            def __init__(self, max_workers=None, **kw):
+                seen["max_workers"] = max_workers
+                super().__init__(max_workers=max_workers, **kw)
+
+        monkeypatch.setattr(par, "ProcessPoolExecutor", Recorder)
+        # 8 items in chunks of 4 → 2 chunks: a 4-worker request must clamp
+        # to 2 processes (the surplus two would only be forked to sit idle).
+        out = par.parallel_map(_square, list(range(8)), workers=4, chunksize=4)
+        assert out == [x * x for x in range(8)]
+        assert seen["max_workers"] == 2
+
+    @pytest.mark.skipif(not process_pool_supported(), reason="no process pools")
+    def test_no_clamp_when_chunks_exceed_workers(self, monkeypatch):
+        import repro.utils.parallel as par
+
+        seen = {}
+        real = par.ProcessPoolExecutor
+
+        class Recorder(real):
+            def __init__(self, max_workers=None, **kw):
+                seen["max_workers"] = max_workers
+                super().__init__(max_workers=max_workers, **kw)
+
+        monkeypatch.setattr(par, "ProcessPoolExecutor", Recorder)
+        out = par.parallel_map(_square, list(range(8)), workers=2, chunksize=1)
+        assert out == [x * x for x in range(8)]
+        assert seen["max_workers"] == 2
+
+
 class TestResolveWorkers:
     def test_serial_requests(self):
         assert resolve_workers(None) == 1
