@@ -1,0 +1,242 @@
+"""Learned-tier benchmark: throughput and quality of the contextual scorers.
+
+Times the learned policies (``linucb``, ``linthompson``, ``dqn``) against
+LFSC's windowed path at paper dimensions (M=30, c=20, |D| ∈ [35,100]) on a
+reduced horizon, and compares reward quality across the evaluation worlds
+(stationary paper workload, both non-stationary truths, vehicular mobility)
+on the small scale.
+
+Before timing anything the script asserts the correctness gates the learned
+tier promises (the full matrices live in ``tests/learned/``; the bench
+re-checks a prefix so a broken build cannot publish numbers):
+
+- windowed ≡ per-slot bit-identical trajectories per learner;
+- a default replay over a recorded stream ≡ the live run, bit for bit.
+
+The acceptance criterion — each learned policy's slot throughput stays
+within 2× of LFSC's windowed path — is recorded per policy in the report's
+``throughput.<spec>.within_2x_of_lfsc``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_learned.py            # full
+    PYTHONPATH=src python benchmarks/bench_learned.py --smoke    # CI smoke
+    PYTHONPATH=src python -m pytest benchmarks/bench_learned.py  # pytest-benchmark
+
+Results land in ``BENCH_learned.json`` (see ``--output``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import api
+from repro.experiments.runner import ExperimentConfig, build_simulation, make_policy
+from repro.learned import record_stream, replay
+from repro.obs.manifest import build_manifest
+
+BASELINE = "LFSC"
+LEARNED = ("linucb", "linthompson", "dqn")
+SCENARIOS = ("nonstationary_drift", "nonstationary_regime", "vehicular")
+
+
+# -- correctness gates --------------------------------------------------------
+
+
+def check_window_equivalence(spec: str, horizon: int = 16) -> None:
+    cfg = ExperimentConfig.tiny(horizon=horizon)
+    sim = build_simulation(cfg)
+    per_slot = sim.run(make_policy(spec, cfg, sim.truth), horizon, window=0)
+    sim2 = build_simulation(cfg)
+    windowed = sim2.run(make_policy(spec, cfg, sim2.truth), horizon, window=8)
+    for field in ("reward", "accepted", "violation_qos"):
+        if not np.array_equal(getattr(per_slot, field), getattr(windowed, field)):
+            raise AssertionError(
+                f"{spec!r}: windowed run diverged from per-slot on {field!r}"
+            )
+
+
+def check_replay_equivalence(spec: str, horizon: int = 16) -> None:
+    cfg = ExperimentConfig.tiny(horizon=horizon)
+    sim = build_simulation(cfg)
+    live = sim.run(make_policy(spec, cfg, sim.truth), horizon)
+    replayed = replay(record_stream(cfg), spec)
+    if not np.array_equal(live.reward, replayed.reward):
+        raise AssertionError(f"{spec!r}: replay diverged from the live run")
+
+
+def run_gates() -> dict:
+    for spec in LEARNED:
+        check_window_equivalence(spec)
+        check_replay_equivalence(spec)
+    return {"windowed_equals_per_slot": True, "replay_equals_live": True}
+
+
+# -- timed section ------------------------------------------------------------
+
+
+def time_policy(cfg: ExperimentConfig, spec: str, repeats: int) -> dict:
+    times = []
+    for _ in range(repeats):
+        sim = build_simulation(cfg)
+        policy = make_policy(spec, cfg, sim.truth)
+        t0 = time.perf_counter()
+        out = sim.run(policy, cfg.horizon)
+        times.append(time.perf_counter() - t0)
+    best = min(times)
+    return {
+        "horizon": cfg.horizon,
+        "slots_per_sec": cfg.horizon / best,
+        "wall_s_best": best,
+        "total_reward": float(out.total_reward),
+    }
+
+
+def bench_throughput(horizon: int, repeats: int) -> dict:
+    """Paper dimensions (M=30, c=20), reduced horizon, LFSC vs the learners."""
+    cfg = ExperimentConfig.paper().with_overrides(horizon=horizon)
+    entries = {BASELINE: time_policy(cfg, BASELINE, repeats)}
+    for spec in LEARNED:
+        entry = time_policy(cfg, spec, repeats)
+        ratio = entries[BASELINE]["slots_per_sec"] / entry["slots_per_sec"]
+        entry["slowdown_vs_lfsc"] = ratio
+        entry["within_2x_of_lfsc"] = bool(ratio <= 2.0)
+        entries[spec] = entry
+    return entries
+
+
+def bench_quality(horizon: int) -> dict:
+    """Reward comparison across worlds (small scale, shared randomness)."""
+    line_up = (BASELINE, *LEARNED)
+    worlds: dict[str, dict] = {}
+    stationary = api.run(scale="small", horizon=horizon, policies=line_up, workers=1)
+    worlds["stationary"] = {
+        spec: float(stationary[spec].total_reward) for spec in line_up
+    }
+    for scenario in SCENARIOS:
+        out = api.run(scenario=scenario, horizon=horizon, policies=line_up, workers=1)
+        worlds[scenario] = {spec: float(out[spec].total_reward) for spec in line_up}
+    return worlds
+
+
+def run_benchmark(horizon: int, repeats: int, quality_horizon: int) -> dict:
+    gates = run_gates()
+    throughput = bench_throughput(horizon, repeats)
+    quality = bench_quality(quality_horizon)
+    return {
+        "schema": "bench-learned/v1",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "manifest": build_manifest(kind="bench", policies=list((BASELINE, *LEARNED))),
+        "horizon": horizon,
+        "quality_horizon": quality_horizon,
+        "gates": gates,
+        "throughput": throughput,
+        "quality": quality,
+        "headline": {
+            spec: {
+                "slots_per_sec": round(entry["slots_per_sec"], 1),
+                **(
+                    {"slowdown_vs_lfsc": round(entry["slowdown_vs_lfsc"], 2)}
+                    if spec != BASELINE
+                    else {}
+                ),
+            }
+            for spec, entry in throughput.items()
+        },
+    }
+
+
+def print_report(report: dict) -> None:
+    print(
+        f"learned tier — paper dims, horizon={report['horizon']}; "
+        f"quality horizon={report['quality_horizon']}"
+    )
+    for spec, entry in report["throughput"].items():
+        extra = (
+            f"   {entry['slowdown_vs_lfsc']:.2f}x vs LFSC"
+            f" ({'ok' if entry['within_2x_of_lfsc'] else 'OVER 2x'})"
+            if spec != BASELINE
+            else ""
+        )
+        print(f"  {spec:<12}: {entry['slots_per_sec']:8.1f} slots/s{extra}")
+    print("  reward by world (small scale):")
+    for world, rewards in report["quality"].items():
+        cells = "  ".join(f"{spec}={val:.0f}" for spec, val in rewards.items())
+        print(f"    {world:<22} {cells}")
+    print()
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--horizon",
+        type=int,
+        default=None,
+        help="throughput slots at paper dims (default: REPRO_BENCH_HORIZON, else 200)",
+    )
+    parser.add_argument(
+        "--quality-horizon",
+        type=int,
+        default=None,
+        help="slots per world for the reward comparison (default: horizon)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats, best-of (default 3)"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI smoke mode: short horizon, single repeat, no JSON unless --output given",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="where to write the JSON report (default: repo-root BENCH_learned.json)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        horizon, repeats = args.horizon or 30, 1
+    else:
+        env_horizon = os.environ.get("REPRO_BENCH_HORIZON")
+        horizon = args.horizon or (int(env_horizon) if env_horizon else 200)
+        repeats = args.repeats
+    quality_horizon = args.quality_horizon or horizon
+
+    report = run_benchmark(horizon, repeats, quality_horizon)
+    print_report(report)
+
+    output = args.output
+    if output is None and not args.smoke:
+        output = Path(__file__).resolve().parents[1] / "BENCH_learned.json"
+    if output is not None:
+        output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {output}")
+
+
+# -- pytest-benchmark entry points (smoke coverage in CI) ---------------------
+
+
+def test_learned_gates(benchmark):
+    result = benchmark.pedantic(run_gates, rounds=1, iterations=1)
+    assert result["windowed_equals_per_slot"] and result["replay_equals_live"]
+
+
+def test_linucb_throughput(benchmark):
+    cfg = ExperimentConfig.small(horizon=60)
+    result = benchmark.pedantic(
+        lambda: time_policy(cfg, "linucb", repeats=1), rounds=1, iterations=1
+    )
+    print(f"\n[learned] linucb {result['slots_per_sec']:.1f} slots/s (small scale)")
+    assert result["slots_per_sec"] > 0
+
+
+if __name__ == "__main__":
+    main()

@@ -19,6 +19,7 @@ directly.
 """
 
 from repro import api
+from repro import policies
 from repro.core import (
     ContextPartition,
     LFSCConfig,
@@ -59,6 +60,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "api",
+    "policies",
     "ContextPartition",
     "LFSCConfig",
     "LFSCPolicy",

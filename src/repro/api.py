@@ -44,11 +44,11 @@ from repro.experiments.replication import (
     replication_seed_list,
 )
 from repro.experiments.runner import (
-    DEFAULT_POLICIES,
     ExperimentConfig,
     run_experiment,
 )
 from repro.metrics import comparison_rows, format_table
+from repro.policies import DEFAULT_POLICIES, normalize_policy_arg, normalize_specs
 from repro.metrics.violations import early_violation_ratio
 
 __all__ = [
@@ -222,7 +222,13 @@ def run(
         Oracle memo, ``shared_window=False`` to disable cross-run window
         sharing — DESIGN.md §9) apply on top of either.
     policies:
-        Policy names (default: the paper's Fig. 2 line-up).
+        Registry policy specs (default: the paper's Fig. 2 line-up) — name
+        strings (``"LFSC"``), parameterized spec strings
+        (``"linucb(alpha=0.5)"``), :class:`~repro.policies.PolicySpec`
+        objects, or pre-built :class:`~repro.policies.PolicyDefinition`
+        entries.  Every entry is validated fail-closed up front
+        (:func:`repro.policies.normalize_specs`); result keys are the
+        canonical spec strings.
     scenario:
         A registered scenario name (``"vehicular"``, ``"sleep_mode"``, …)
         or a TOML/JSON scenario file; resolves to the scenario's config
@@ -235,7 +241,9 @@ def run(
         Parallel result transport (``"auto"``/``"shm"``/``"pickle"``).
     """
     cfg = _resolve_config(config, scale, overrides, scenario)
-    results = run_experiment(cfg, policies, workers=workers, transport=transport)
+    results = run_experiment(
+        cfg, normalize_specs(policies), workers=workers, transport=transport
+    )
     return RunResult(config=cfg, results=results)
 
 
@@ -262,7 +270,7 @@ def replicate(
     cfg = _resolve_config(config, scale, overrides, scenario)
     summaries = _replicate_summaries(
         cfg,
-        policies,
+        normalize_specs(policies),
         seeds=seeds,
         confidence=confidence,
         workers=workers,
@@ -293,6 +301,8 @@ def compare(
     alongside the full :class:`RunResult` of both policies.
     """
     cfg = _resolve_config(config, scale, overrides, scenario)
+    policy = normalize_policy_arg(policy)
+    baseline = normalize_policy_arg(baseline)
     result = run(cfg, (baseline, policy), workers=workers)
     base_reward = result[baseline].total_reward
     ratio = result[policy].total_reward / base_reward if base_reward else float("nan")

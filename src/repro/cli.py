@@ -75,11 +75,11 @@ from repro.experiments.figures import (
 )
 from repro.experiments.io import save_results
 from repro.experiments.runner import (
-    DEFAULT_POLICIES,
     ExperimentConfig,
     run_experiment,
 )
 from repro.metrics.summary import comparison_rows
+from repro.policies import DEFAULT_POLICIES
 
 __all__ = ["main", "build_parser"]
 
@@ -273,7 +273,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_p = sub.add_parser(
         "run", parents=[common], help="run a policy comparison and print the summary"
     )
-    run_p.add_argument("--policies", nargs="+", default=list(DEFAULT_POLICIES))
+    run_p.add_argument(
+        "--policies",
+        nargs="+",
+        default=list(DEFAULT_POLICIES),
+        help="registry policy specs — names (LFSC, vUCB) or parameterized "
+        "forms like 'linucb(alpha=0.5)'; see 'repro policies list'",
+    )
 
     for name, help_text in (
         ("fig2a", "cumulative compound reward (Fig. 2a)"),
@@ -382,6 +388,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scen_desc.add_argument("name", help="registered scenario name")
 
+    pol_p = sub.add_parser(
+        "policies",
+        help="list or describe the registered offloading policies (DESIGN.md §13)",
+    )
+    pol_sub = pol_p.add_subparsers(dest="policy_command", required=True)
+    pol_list = pol_sub.add_parser("list", help="one line per registered policy")
+    pol_list.add_argument("--tag", default=None, help="only policies carrying this tag")
+    pol_desc = pol_sub.add_parser(
+        "describe", help="description, tags, and parameter schema of one policy"
+    )
+    pol_desc.add_argument("name", help="registered policy name")
+
     ckpt_p = sub.add_parser(
         "checkpoint", help="verify a repro-checkpoint/v1 file and print its summary"
     )
@@ -467,7 +485,13 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[common],
         help="multi-seed replication with confidence intervals (parallel by default)",
     )
-    repl_p.add_argument("--policies", nargs="+", default=list(DEFAULT_POLICIES))
+    repl_p.add_argument(
+        "--policies",
+        nargs="+",
+        default=list(DEFAULT_POLICIES),
+        help="registry policy specs — names (LFSC, vUCB) or parameterized "
+        "forms like 'linucb(alpha=0.5)'; see 'repro policies list'",
+    )
     repl_p.add_argument(
         "--seeds",
         type=int,
@@ -485,6 +509,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _dispatch(args: argparse.Namespace, cfg: ExperimentConfig, workers: int) -> int:
+    if getattr(args, "policies", None) is not None:
+        # Fail closed before any simulation work: every spec must name a
+        # registered policy with well-typed parameters.
+        from repro import policies as policy_registry
+
+        try:
+            args.policies = list(policy_registry.normalize_specs(args.policies))
+        except policy_registry.PolicyError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if args.command == "run":
         results = run_experiment(
             cfg, tuple(args.policies), workers=workers, transport=args.transport
@@ -674,6 +708,29 @@ def main(argv: Sequence[str] | None = None) -> int:
         try:
             info = scenarios.describe(args.name)
         except scenarios.UnknownScenarioError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 1
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0
+
+    if args.command == "policies":
+        import json
+
+        from repro import policies as policy_registry
+
+        if args.policy_command == "list":
+            entries = policy_registry.list_policies(tag=args.tag)
+            if not entries:
+                print("no policies registered" + (f" with tag {args.tag!r}" if args.tag else ""))
+                return 0
+            width = max(len(p.name) for p in entries)
+            for p in entries:
+                tags = f"  [{', '.join(p.tags)}]" if p.tags else ""
+                print(f"{p.name:<{width}}  {p.description}{tags}")
+            return 0
+        try:
+            info = policy_registry.describe(args.name)
+        except policy_registry.UnknownPolicyError as exc:
             print(f"error: {exc.args[0]}", file=sys.stderr)
             return 1
         print(json.dumps(info, indent=2, sort_keys=True))

@@ -17,11 +17,11 @@ import numpy as np
 from repro.env.simulator import SimulationResult
 from repro.env.window_cache import import_window_state, release_window_state
 from repro.experiments.runner import (
-    DEFAULT_POLICIES,
     ExperimentConfig,
     _prefill_window_state,
     run_experiment,
 )
+from repro.policies import DEFAULT_POLICIES
 from repro.metrics.ratio import performance_ratio, performance_ratio_series
 from repro.metrics.summary import comparison_rows, format_table
 from repro.metrics.violations import early_violation_ratio, violation_series

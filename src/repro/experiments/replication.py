@@ -35,7 +35,8 @@ import numpy as np
 from scipy import stats
 
 from repro.env.simulator import SimulationResult
-from repro.experiments.runner import DEFAULT_POLICIES, ExperimentConfig, run_experiment
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.policies import DEFAULT_POLICIES
 from repro.obs.manifest import write_manifest
 from repro.utils.parallel import parallel_map
 from repro.utils.rng import describe_streams, replication_seeds

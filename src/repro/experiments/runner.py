@@ -20,14 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Sequence
 
-from repro.baselines.extras import EpsilonGreedyPolicy, ThompsonSamplingPolicy
-from repro.baselines.fml import FMLPolicy
-from repro.baselines.oracle import OraclePolicy, UnconstrainedOraclePolicy
-from repro.baselines.random_policy import RandomPolicy
-from repro.baselines.vucb import VUCBPolicy
 from repro.core.config import LFSCConfig
 from repro.core.hypercube import ContextPartition
-from repro.core.lfsc import LFSCPolicy
 from repro.env.contexts import TaskFeatureModel
 from repro.env.geometry import CoverageSampler
 from repro.env.network import NetworkConfig
@@ -58,8 +52,9 @@ __all__ = [
     "run_experiment",
 ]
 
-#: The paper's Fig. 2 line-up.
-DEFAULT_POLICIES: tuple[str, ...] = ("Oracle", "LFSC", "vUCB", "FML", "Random")
+#: The paper's Fig. 2 line-up — canonical home is the policy registry;
+#: re-exported here for backward compatibility.
+from repro.policies import DEFAULT_POLICIES
 
 
 @dataclass(frozen=True)
@@ -294,37 +289,18 @@ def build_simulation(cfg: ExperimentConfig) -> Simulation:
 
 
 def make_policy(name: str, cfg: ExperimentConfig, truth: GroundTruth) -> PolicyProtocol:
-    """Instantiate a policy of the evaluation line-up by name.
+    """Instantiate a policy of the evaluation line-up by registry spec.
 
-    When the config carries a scenario, the scenario's policy wrapper (e.g.
-    sleep-mode activation, one-bit censoring) is applied around the base
-    policy; wrappers preserve the policy name, so RNG stream derivation is
-    unchanged.
+    Thin delegate to :func:`repro.policies.make_policy` — the historical
+    if/elif chain now lives in the registry, so ``name`` may be any
+    registered spec, parameterized forms (``"linucb(alpha=0.5)"``)
+    included.  Scenario wrapping (when the config carries a scenario) is
+    applied by the registry; wrappers preserve the policy ``name``, so RNG
+    stream derivation is unchanged.
     """
-    partition = cfg.partition
-    if name == "Oracle":
-        policy = OraclePolicy(truth, mode=cfg.oracle_mode)
-    elif name == "Oracle-unconstrained":
-        policy = UnconstrainedOraclePolicy(truth)
-    elif name == "LFSC":
-        policy = LFSCPolicy(cfg.lfsc_config())
-    elif name == "vUCB":
-        policy = VUCBPolicy(partition)
-    elif name == "FML":
-        policy = FMLPolicy(partition)
-    elif name == "Random":
-        policy = RandomPolicy()
-    elif name == "eps-greedy":
-        policy = EpsilonGreedyPolicy(partition)
-    elif name == "thompson":
-        policy = ThompsonSamplingPolicy(partition)
-    else:
-        raise ValueError(f"unknown policy name {name!r}")
-    if cfg.scenario is not None:
-        from repro import scenarios
+    from repro import policies as policy_registry
 
-        policy = scenarios.wrap_policy(policy, cfg)
-    return policy
+    return policy_registry.make_policy(name, cfg, truth)
 
 
 def _run_one(args: tuple[ExperimentConfig, str, tuple | None]) -> SimulationResult:

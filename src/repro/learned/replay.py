@@ -1,0 +1,270 @@
+"""The shared replay-evaluation harness: record a slot stream once, replay it.
+
+Comparing learners is noisy when every variant re-generates its own
+environment.  The harness splits the run in two:
+
+- :func:`record_stream` draws the config's slot stream **once** — through
+  the windowed precompute (:func:`repro.env.window.precompute_window`) when
+  the workload allows it, so every recorded slot already carries its flat
+  coverage edge list and ground-truth cells — and freezes it as a
+  :class:`RecordedStream`.
+- :func:`replay` runs any policy over the frozen slots via a
+  :class:`ReplayWorkload`, a workload that *never draws*: it hands back the
+  recorded slots verbatim.  Realization, channel, and policy streams are
+  derived from the config seed exactly as in a live run (they live in
+  spawn-key namespaces disjoint from the workload stream — stream contract
+  v2), so a default replay is **bit-identical to a live run** of the same
+  config; the only thing saved is the slot-generation work, once per
+  variant instead of once per run.
+
+Hyperparameter variants add one twist: parameterized specs such as
+``linucb(alpha=0.5)`` and ``linucb(alpha=2.0)`` share the policy *name*
+``linucb``, so under the frozen contract they would share one policy
+stream.  That is exactly right for A/B-ing hyperparameters (the exploration
+randomness is held fixed), but grid evaluations sometimes want independent
+exploration noise per variant.  Passing ``variant=<label>`` to
+:func:`replay` re-keys the policy stream into the dedicated ``LEARNED``
+spawn-key namespace (:func:`repro.utils.rng.learned_seed_sequence`) under
+that label — disjoint from every replication/env/policy/fleet stream by
+construction, and deterministic per (seed, label).
+
+:func:`replay_grid` strings the two together: one recorded stream, many
+policy specs, one result per spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.env.simulator import DEFAULT_WINDOW, Simulation, SimulationResult
+from repro.env.window import PrecomputedSlot, precompute_window
+from repro.env.workload import SlotWorkload, Workload
+from repro.scenarios.wrappers import PolicyWrapper
+from repro.utils.rng import RngFactory, learned_seed_sequence
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "RecordedStream",
+    "ReplayError",
+    "ReplayWorkload",
+    "record_stream",
+    "replay",
+    "replay_grid",
+]
+
+
+class ReplayError(ValueError):
+    """A replay request inconsistent with the recorded stream."""
+
+
+@dataclass(frozen=True)
+class RecordedStream:
+    """A frozen slot stream: one config's workload draws, made immutable.
+
+    Attributes
+    ----------
+    config:
+        The :class:`~repro.experiments.runner.ExperimentConfig` the stream
+        was recorded from (network constants, seeds, scenario).
+    horizon:
+        Number of recorded slots.
+    slots:
+        ``slots[t]`` is slot t — a :class:`~repro.env.window.PrecomputedSlot`
+        carrying the flat edge list (and ground-truth cells) whenever the
+        workload was windowable at record time.
+    """
+
+    config: object
+    horizon: int
+    slots: tuple[PrecomputedSlot, ...]
+
+    @property
+    def num_scns(self) -> int:
+        return self.slots[0].num_scns if self.slots else 0
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+
+def record_stream(cfg, *, horizon: int | None = None, window: int = DEFAULT_WINDOW) -> RecordedStream:
+    """Draw and freeze ``cfg``'s slot stream (workload randomness only).
+
+    The workload stream is consumed exactly as a live run consumes it
+    (same :class:`~repro.utils.rng.RngFactory` derivation, same per-slot
+    draw order), so the recorded slots equal the slots any live run of
+    ``cfg`` would see.  Windowable workloads are recorded through
+    :func:`~repro.env.window.precompute_window` in chunks of ``window``
+    slots — each recorded slot then carries its precomputed edge list and
+    truth cells, which the learned policies' batch inference path picks up
+    for free at replay time.  Non-windowable workloads (feedback-coupled
+    wrappers) fall back to plain per-slot generation.
+    """
+    from repro.experiments.runner import build_truth, build_workload
+
+    if horizon is None:
+        horizon = cfg.horizon
+    check_positive("horizon", horizon)
+    check_positive("window", window)
+    workload = build_workload(cfg)
+    reset = getattr(workload, "reset", None)
+    if callable(reset):
+        reset()
+    truth = build_truth(cfg)
+    rng = RngFactory(cfg.seed).env("workload")
+    slots: list[PrecomputedSlot] = []
+    if getattr(workload, "windowable", False):
+        cells_fn = getattr(truth, "context_cells", None)
+        t0 = 0
+        while t0 < horizon:
+            count = min(window, horizon - t0)
+            win = precompute_window(
+                workload, t0, count, rng, partition=None, context_cells=cells_fn
+            )
+            slots.extend(win.slots)
+            t0 += count
+    else:
+        for t in range(horizon):
+            raw = workload.slot(t, rng)
+            slots.append(
+                PrecomputedSlot(t=raw.t, tasks=raw.tasks, coverage=raw.coverage)
+            )
+    return RecordedStream(config=cfg, horizon=int(horizon), slots=tuple(slots))
+
+
+class ReplayWorkload(Workload):
+    """A workload that replays a :class:`RecordedStream` verbatim.
+
+    ``slot`` never touches the RNG it is handed — the draws already happened
+    at record time, on the same stream a live run would use.  Deliberately
+    *not* windowable: the slots are already precomputed, so the per-slot
+    driver path reads them straight out of the tuple (and their attached
+    edge lists keep every windowed fast path alive).
+    """
+
+    windowable = False
+
+    def __init__(self, stream: RecordedStream) -> None:
+        self.stream = stream
+        self.num_scns = stream.num_scns
+
+    def slot(self, t: int, rng: np.random.Generator) -> SlotWorkload:
+        if not 0 <= t < len(self.stream.slots):
+            raise ReplayError(
+                f"slot {t} outside the recorded stream (recorded horizon "
+                f"{self.stream.horizon})"
+            )
+        return self.stream.slots[t]
+
+    def max_coverage_size(self) -> int:
+        return max(
+            (int(len(c)) for s in self.stream.slots for c in s.coverage),
+            default=0,
+        )
+
+
+class _VariantStream(PolicyWrapper):
+    """Re-key the wrapped policy's RNG into the ``LEARNED`` namespace.
+
+    Transparent like every :class:`~repro.scenarios.wrappers.PolicyWrapper`
+    (``name`` and all duck-typed attributes pass through), except that
+    ``reset`` substitutes a generator derived from
+    :func:`~repro.utils.rng.learned_seed_sequence` under the variant label —
+    giving each grid variant its own exploration stream, disjoint from all
+    frozen-contract streams, deterministic per (seed, label).
+    """
+
+    def __init__(self, base, seed, label: str) -> None:
+        super().__init__(base)
+        self._seed = seed
+        self._label = str(label)
+
+    def reset(self, network, horizon, rng) -> None:
+        variant_rng = np.random.default_rng(
+            learned_seed_sequence(self._seed, self._label)
+        )
+        self.base.reset(network, horizon, variant_rng)
+
+
+def replay(
+    stream: RecordedStream,
+    policy,
+    *,
+    variant: str | None = None,
+    horizon: int | None = None,
+    record_expected: bool = True,
+) -> SimulationResult:
+    """Run ``policy`` over the recorded slots.
+
+    Parameters
+    ----------
+    policy:
+        A registry spec (``"linucb"``, ``"linucb(alpha=0.5)"``, a
+        :class:`~repro.policies.PolicySpec`) resolved through
+        :func:`repro.policies.make_policy` — scenario wrappers included —
+        or an already-built policy object (anything with ``select``).
+    variant:
+        When set, the policy's RNG is re-derived in the ``LEARNED``
+        spawn-key namespace under this label (see :class:`_VariantStream`).
+        When None (default) the replay is bit-identical to a live
+        ``Simulation.run`` of ``stream.config``.
+    horizon:
+        Replay only the first ``horizon`` recorded slots (default: all).
+    """
+    import repro.policies as policy_registry
+
+    from repro.experiments.runner import build_channel, build_truth
+
+    cfg = stream.config
+    if horizon is None:
+        horizon = stream.horizon
+    if horizon > stream.horizon:
+        raise ReplayError(
+            f"replay horizon {horizon} exceeds the recorded horizon {stream.horizon}"
+        )
+    truth = build_truth(cfg)
+    if not hasattr(policy, "select"):
+        policy = policy_registry.make_policy(policy, cfg, truth)
+    if variant is not None:
+        policy = _VariantStream(policy, cfg.seed, variant)
+    sim = Simulation(
+        network=cfg.network(),
+        workload=ReplayWorkload(stream),
+        truth=truth,
+        channel=build_channel(cfg),
+        seed=cfg.seed,
+    )
+    return sim.run(policy, horizon, record_expected=record_expected)
+
+
+def replay_grid(
+    stream: RecordedStream,
+    specs,
+    *,
+    variant_streams: bool = False,
+    record_expected: bool = True,
+) -> dict[str, SimulationResult]:
+    """Replay every spec in ``specs`` over one recorded stream.
+
+    Returns ``{canonical spec label: result}`` in spec order.  With
+    ``variant_streams=True`` each spec's policy RNG is re-keyed under its
+    own label in the ``LEARNED`` namespace (independent exploration noise
+    per variant); the default shares streams by policy *name*, the frozen
+    contract's A/B semantics (hyperparameter variants face identical
+    exploration randomness).
+    """
+    import repro.policies as policy_registry
+
+    out: dict[str, SimulationResult] = {}
+    for spec in specs:
+        label = str(policy_registry.normalize_policy_arg(spec))
+        if label in out:
+            raise ReplayError(f"duplicate spec in replay grid: {label!r}")
+        out[label] = replay(
+            stream,
+            spec,
+            variant=label if variant_streams else None,
+            record_expected=record_expected,
+        )
+    return out

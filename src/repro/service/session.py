@@ -32,7 +32,7 @@ from typing import Mapping
 
 import numpy as np
 
-from repro.core.adaptive import AdaptiveLFSCPolicy, AdaptivePartition
+from repro.core.adaptive import AdaptivePartition
 from repro.core.config import LFSCConfig
 from repro.core.hypercube import ContextPartition
 from repro.env.simulator import (
@@ -47,7 +47,6 @@ from repro.experiments.runner import (
     build_channel,
     build_truth,
     build_workload,
-    make_policy,
 )
 from repro.scenarios.spec import ScenarioSpec
 from repro.obs import runtime as obs_runtime
@@ -176,24 +175,17 @@ def config_from_dict(doc: Mapping) -> ExperimentConfig:
 
 
 def make_session_policy(name: str, cfg: ExperimentConfig, truth) -> PolicyProtocol:
-    """The runner's policy factory plus the adaptive-partition variant.
+    """Thin delegate to the policy registry's factory.
 
-    ``"LFSC-adaptive"`` builds an :class:`AdaptiveLFSCPolicy`, reusing the
-    config's partition when it already is adaptive (so a restored config
-    reconstructs the same tree spec) and a default tree otherwise.
+    Kept as a named seam for checkpoint headers: the stored ``policy`` field
+    is a registry spec string (``"LFSC-adaptive"``, ``"linucb(alpha=0.5)"``,
+    ...) and resolves through :func:`repro.policies.make_policy` — the
+    historical special-casing of ``"LFSC-adaptive"`` now lives in the
+    registry's builder table.
     """
-    if name == "LFSC-adaptive":
-        base = cfg.lfsc_config()
-        if isinstance(base.partition, AdaptivePartition):
-            policy = AdaptiveLFSCPolicy(base, partition=base.partition)
-        else:
-            policy = AdaptiveLFSCPolicy(base)
-        if cfg.scenario is not None:
-            from repro import scenarios
+    from repro import policies as policy_registry
 
-            policy = scenarios.wrap_policy(policy, cfg)
-        return policy
-    return make_policy(name, cfg, truth)
+    return policy_registry.make_policy(name, cfg, truth)
 
 
 def _scenario_header(cfg: ExperimentConfig) -> dict | None:

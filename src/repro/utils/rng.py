@@ -68,6 +68,23 @@ at the same fixed spawn-key position as :data:`ENV_SPAWN_KEY` /
 :data:`REPLICATION_SPAWN_KEY`), so tile roots can never alias a
 replication child or any direct env/policy stream of the same seed.
 
+The learned-evaluation namespace (stream contract v2 extension)
+---------------------------------------------------------------
+
+The replay-evaluation harness (:mod:`repro.learned.replay`) records one
+environment slot stream and replays it under many learner variants.  A
+variant's private stream derives through :func:`learned_seed_sequence`:
+
+    ``spawn_key = root.spawn_key + (LEARNED_SPAWN_KEY,) + utf8(label)``
+
+with :data:`LEARNED_SPAWN_KEY` at the same fixed spawn-key position as the
+other tags and distinct from all of them — so no variant label can alias an
+environment stream (the recorded slots stay valid for every variant), a
+policy stream (a variant run never perturbs the standard evaluation
+streams), a replication child, or a fleet tile root.  The derivation is a
+pure function of ``(seed, label)``, which is what makes a hyperparameter
+sweep over one recorded stream reproducible label by label.
+
 :func:`stream_token` reduces any derived sequence to a hashable 256-bit
 token — the cache key for environment-derived artifacts — and
 :func:`describe_streams` renders the derived tokens for error messages
@@ -100,6 +117,7 @@ import numpy as np
 __all__ = [
     "ENV_SPAWN_KEY",
     "FLEET_SPAWN_KEY",
+    "LEARNED_SPAWN_KEY",
     "POLICY_SPAWN_KEY",
     "REPLICATION_SPAWN_KEY",
     "RngFactory",
@@ -110,6 +128,7 @@ __all__ = [
     "fleet_seed_sequence",
     "generator_from_state",
     "generator_state",
+    "learned_seed_sequence",
     "policy_seed_sequence",
     "restore_generator_state",
     "replication_seed",
@@ -140,6 +159,14 @@ POLICY_SPAWN_KEY: int = 0xAC7
 #: and worker topology — the bit-identity mechanism for sharded runs.  Must
 #: stay distinct from the other three tags (same fixed spawn-key position).
 FLEET_SPAWN_KEY: int = 0xF1EE
+
+#: Domain-separation tag for learned-evaluation variant streams (the replay
+#: harness, :mod:`repro.learned.replay`).  Frozen with the v2 extension: a
+#: variant's stream is a pure function of ``(seed, label)``, disjoint from
+#: every env/policy/fleet/replication stream at the same fixed spawn-key
+#: position — replaying a recorded stream under a new variant label can
+#: never perturb the environment or the standard policy streams.
+LEARNED_SPAWN_KEY: int = 0x1EA4
 
 
 def as_generator(
@@ -238,6 +265,19 @@ def policy_seed_sequence(
     namespace tags differ at a fixed spawn-key position.
     """
     return _tagged_sequence(_as_sequence(seed), POLICY_SPAWN_KEY, name)
+
+
+def learned_seed_sequence(
+    seed: int | None | np.random.SeedSequence, label: str
+) -> np.random.SeedSequence:
+    """The learned-evaluation variant stream ``label`` (v2 extension).
+
+    Disjoint from :func:`env_seed_sequence` and :func:`policy_seed_sequence`
+    for every pair of names — :data:`LEARNED_SPAWN_KEY` sits at the same
+    fixed spawn-key position — so a replayed learner variant draws from a
+    stream no live run ever touches.
+    """
+    return _tagged_sequence(_as_sequence(seed), LEARNED_SPAWN_KEY, label)
 
 
 def fleet_seed_sequence(
@@ -440,6 +480,25 @@ class RngFactory:
         key = f"policy:{name}"
         if key not in self._streams:
             self._streams[key] = np.random.default_rng(self.policy_sequence(name))
+        return self._streams[key]
+
+    def learned_sequence(self, label: str) -> np.random.SeedSequence:
+        """The :class:`~numpy.random.SeedSequence` of learned variant ``label``."""
+        key = f"learned:{label}"
+        if key not in self._sequences:
+            self._sequences[key] = _tagged_sequence(self._root, LEARNED_SPAWN_KEY, label)
+        return self._sequences[key]
+
+    def learned(self, label: str) -> np.random.Generator:
+        """The learned-evaluation variant stream ``label`` (v2 extension).
+
+        Disjoint from every env and policy stream for all label/name pairs —
+        the replay harness hands these to learner variants so hyperparameter
+        sweeps over one recorded stream never perturb the standard streams.
+        """
+        key = f"learned:{label}"
+        if key not in self._streams:
+            self._streams[key] = np.random.default_rng(self.learned_sequence(label))
         return self._streams[key]
 
     def spawn(self, n: int) -> list[np.random.Generator]:

@@ -1,0 +1,98 @@
+"""Checkpoint/resume for the learned tier through ``repro-checkpoint/v1``."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.env.network import NetworkConfig
+from repro.experiments.runner import ExperimentConfig
+from repro.learned import DQNPolicy, LinThompsonPolicy, LinUCBPolicy
+from repro.service import OnlineSession
+
+HORIZON = 24
+
+SERIES = (
+    "reward",
+    "expected_reward",
+    "completed",
+    "consumption",
+    "accepted",
+    "violation_qos",
+    "violation_resource",
+)
+
+LEARNED_SPECS = ("linucb(alpha=0.5)", "linthompson", "dqn(batch=8, buffer=64)")
+
+
+def assert_results_equal(a, b) -> None:
+    for name in SERIES:
+        np.testing.assert_array_equal(getattr(a, name), getattr(b, name), err_msg=name)
+
+
+@pytest.mark.parametrize("spec", LEARNED_SPECS)
+@pytest.mark.parametrize("k", [0, HORIZON // 2])
+def test_resume_is_bit_identical(spec, k, tmp_path):
+    """Checkpoint at slot k + restore ≡ an uninterrupted run, bitwise."""
+    cfg = ExperimentConfig.tiny(horizon=HORIZON)
+    baseline = OnlineSession(cfg, policy=spec)
+    baseline.run()
+
+    first = OnlineSession(cfg, policy=spec)
+    first.run(k)
+    path = first.save(tmp_path / "ck.bin")
+
+    resumed = OnlineSession.from_checkpoint(path)
+    assert resumed.t == k
+    assert resumed.policy_name == spec
+    resumed.run()
+
+    assert_results_equal(baseline.result(), resumed.result())
+    base_state = baseline.policy.checkpoint_state()
+    res_state = resumed.policy.checkpoint_state()
+    assert base_state.keys() == res_state.keys()
+    for key, value in base_state.items():
+        if isinstance(value, np.ndarray):
+            np.testing.assert_array_equal(value, res_state[key], err_msg=key)
+        else:
+            assert value == res_state[key], key
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: LinUCBPolicy(alpha=0.5),
+        lambda: LinThompsonPolicy(),
+        lambda: DQNPolicy(batch=4, buffer=32, hidden=8),
+    ],
+)
+def test_restore_shape_mismatch_fails(factory):
+    """A snapshot from a different network geometry is rejected, not mangled."""
+    rng = np.random.default_rng(0)
+    policy = factory()
+    policy.reset(NetworkConfig(num_scns=4, capacity=2, alpha=1.0, beta=3.0), 10, rng)
+    snapshot = policy.checkpoint_state()
+
+    other = factory()
+    other.reset(NetworkConfig(num_scns=6, capacity=2, alpha=1.0, beta=3.0), 10, rng)
+    with pytest.raises(ValueError, match="shape mismatch"):
+        other.restore_checkpoint_state(snapshot)
+
+
+def test_checkpoint_state_round_trips_in_place():
+    """restore(checkpoint()) reproduces the exact scorer state."""
+    rng = np.random.default_rng(7)
+    policy = DQNPolicy(batch=4, buffer=32, hidden=8)
+    network = NetworkConfig(num_scns=4, capacity=2, alpha=1.0, beta=3.0)
+    policy.reset(network, 10, rng)
+    policy.W1 += 0.5  # drift the online net away from the target copy
+    snapshot = policy.checkpoint_state()
+    assert snapshot["t"] == 0
+
+    other = DQNPolicy(batch=4, buffer=32, hidden=8)
+    other.reset(network, 10, np.random.default_rng(99))
+    other.restore_checkpoint_state(snapshot)
+    np.testing.assert_array_equal(other.W1, policy.W1)
+    np.testing.assert_array_equal(other.tW2, policy.tW2)
+    assert other.b2 == policy.b2
+    assert other.buf_fill == policy.buf_fill

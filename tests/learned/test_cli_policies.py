@@ -1,0 +1,71 @@
+"""The ``repro policies`` subcommand and registry specs on the run surface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestPoliciesList:
+    def test_lists_every_registered_policy(self, capsys):
+        import repro.policies as policies
+
+        assert main(["policies", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in policies.names():
+            assert name in out
+
+    def test_tag_filter(self, capsys):
+        assert main(["policies", "list", "--tag", "learned"]) == 0
+        out = capsys.readouterr().out
+        assert "linucb" in out and "dqn" in out
+        assert "LFSC " not in out
+
+    def test_unknown_tag_is_empty_not_error(self, capsys):
+        assert main(["policies", "list", "--tag", "nonesuch"]) == 0
+        assert "no policies registered" in capsys.readouterr().out
+
+
+class TestPoliciesDescribe:
+    def test_describe_prints_schema(self, capsys):
+        assert main(["policies", "describe", "dqn"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["name"] == "dqn"
+        assert info["defaults"]["target_every"] == 50
+
+    def test_unknown_name_fails_with_listing(self, capsys):
+        assert main(["policies", "describe", "nonesuch"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown policy name" in err and "LFSC" in err
+
+
+class TestRunWithSpecs:
+    def test_run_accepts_parameterized_spec(self, capsys):
+        rc = main(
+            [
+                "run",
+                "--horizon",
+                "15",
+                "--workers",
+                "1",
+                "--policies",
+                "Random",
+                "linucb(alpha=0.5)",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "linucb(alpha=0.5)" in out
+
+    def test_run_rejects_unknown_spec_before_simulating(self, capsys):
+        rc = main(["run", "--horizon", "15", "--policies", "nonesuch"])
+        assert rc == 2
+        assert "unknown policy name" in capsys.readouterr().err
+
+    def test_run_rejects_bad_parameter(self, capsys):
+        rc = main(["run", "--horizon", "15", "--policies", "linucb(gamma=1)"])
+        assert rc == 2
+        assert "no parameter" in capsys.readouterr().err

@@ -1,0 +1,212 @@
+"""The policy registry: specs, fail-closed resolution, and the legacy seam."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.policies as policies
+from repro.experiments import runner
+from repro.policies import (
+    PolicyDefinition,
+    PolicyError,
+    PolicySpec,
+    UnknownPolicyError,
+    parse_policy_spec,
+)
+
+
+class TestSpecParsing:
+    def test_bare_name(self):
+        spec = parse_policy_spec("LFSC")
+        assert spec == PolicySpec(name="LFSC")
+        assert str(spec) == "LFSC"
+
+    def test_parameterized_round_trip(self):
+        spec = parse_policy_spec("linucb(alpha=0.5, l2=2.0)")
+        assert spec.name == "linucb"
+        assert spec.param_dict() == {"alpha": 0.5, "l2": 2.0}
+        assert parse_policy_spec(str(spec)) == spec
+
+    def test_make_round_trip(self):
+        spec = PolicySpec.make("dqn", hidden=16, lr=0.1)
+        assert parse_policy_spec(str(spec)) == spec
+
+    def test_passthrough(self):
+        spec = PolicySpec(name="vUCB")
+        assert parse_policy_spec(spec) is spec
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "linucb(alpha=0.5",       # missing close paren
+            "linucb(0.5)",            # positional arg
+            "linucb(alpha=foo)",      # non-literal value
+            "linucb(alpha=0.5, alpha=1.0)",  # repeated parameter
+            "linucb(**kw)",           # ** expansion
+            "(alpha=1)",              # empty name
+            "bad name(x=1)",          # invalid name characters
+            "",                       # empty string
+        ],
+    )
+    def test_malformed_specs_fail_typed(self, bad):
+        with pytest.raises(PolicyError):
+            parse_policy_spec(bad)
+
+    def test_non_string_fails(self):
+        with pytest.raises(PolicyError, match="spec must be a string"):
+            parse_policy_spec(42)
+
+
+class TestResolution:
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(UnknownPolicyError, match="unknown policy name 'nope'"):
+            policies.resolve_policy("nope")
+        with pytest.raises(UnknownPolicyError, match="LFSC"):
+            policies.resolve_policy("nope")
+
+    def test_unknown_error_is_value_and_key_error(self):
+        with pytest.raises(ValueError):
+            policies.get("nope")
+        with pytest.raises(KeyError):
+            policies.get("nope")
+
+    def test_unknown_parameter(self):
+        with pytest.raises(PolicyError, match="no parameter"):
+            policies.resolve_policy("linucb(gamma=1.0)")
+
+    def test_parameter_type_mismatch(self):
+        with pytest.raises(PolicyError, match="expects"):
+            policies.resolve_policy("linucb(alpha='big')")
+
+    def test_bool_is_not_a_number(self):
+        with pytest.raises(PolicyError):
+            policies.resolve_policy("linucb(alpha=True)")
+
+    def test_defaults_overlay(self):
+        definition, params = policies.resolve_policy("linucb(alpha=2.5)")
+        assert definition.name == "linucb"
+        assert params["alpha"] == 2.5
+        assert params["l2"] == 1.0  # untouched default
+
+    def test_every_builtin_resolves(self):
+        for name in policies.names():
+            definition, params = policies.resolve_policy(name)
+            assert definition.name == name
+            assert params == dict(definition.defaults)
+
+
+class TestRegistration:
+    def test_duplicate_fails_without_replace(self):
+        with pytest.raises(PolicyError, match="already registered"):
+            policies.register_policy("LFSC", lambda cfg, truth, params: None)
+
+    def test_register_and_build_custom(self):
+        class Probe:
+            name = "probe-policy"
+
+            def __init__(self, knob):
+                self.knob = knob
+
+        try:
+            policies.register_policy(
+                "probe-policy",
+                lambda cfg, truth, params: Probe(params["knob"]),
+                params_schema={"knob": 3},
+                tags=("test",),
+            )
+            cfg = runner.ExperimentConfig.tiny(horizon=4)
+            built = policies.make_policy("probe-policy(knob=7)", cfg, truth=None)
+            assert isinstance(built, Probe) and built.knob == 7
+            assert "probe-policy" in [p.name for p in policies.list_policies(tag="test")]
+        finally:
+            policies._REGISTRY.pop("probe-policy", None)
+
+    def test_normalize_policy_arg_accepts_definition(self):
+        definition = PolicyDefinition(
+            name="probe-def", description="", builder=lambda cfg, truth, params: None
+        )
+        try:
+            assert policies.normalize_policy_arg(definition) == "probe-def"
+            # Same object again: fine.  A *different* definition of the same
+            # name: conflict.
+            assert policies.normalize_policy_arg(definition) == "probe-def"
+            clone = PolicyDefinition(
+                name="probe-def", description="x", builder=lambda cfg, truth, params: None
+            )
+            with pytest.raises(PolicyError, match="conflicts"):
+                policies.normalize_policy_arg(clone)
+        finally:
+            policies._REGISTRY.pop("probe-def", None)
+
+    def test_normalize_specs_canonicalizes(self):
+        out = policies.normalize_specs(["LFSC", "linucb(l2=2.0, alpha=0.5)"])
+        assert out == ("LFSC", "linucb(alpha=0.5, l2=2.0)")
+
+    def test_describe_json_safe(self):
+        import json
+
+        info = policies.describe("dqn")
+        json.dumps(info)
+        assert info["defaults"]["hidden"] == 32
+
+
+class TestLegacySeam:
+    """The runner's historical surface keeps working verbatim."""
+
+    def test_default_policies_re_export(self):
+        assert runner.DEFAULT_POLICIES is policies.DEFAULT_POLICIES
+        assert runner.DEFAULT_POLICIES == ("Oracle", "LFSC", "vUCB", "FML", "Random")
+
+    def test_runner_make_policy_unknown_message(self):
+        cfg = runner.ExperimentConfig.tiny(horizon=4)
+        with pytest.raises(ValueError, match="unknown policy"):
+            runner.make_policy("definitely-not-registered", cfg, truth=None)
+
+    @pytest.mark.parametrize(
+        "name,cls_path",
+        [
+            ("Oracle", "repro.baselines.oracle.OraclePolicy"),
+            ("Oracle-unconstrained", "repro.baselines.oracle.UnconstrainedOraclePolicy"),
+            ("LFSC", "repro.core.lfsc.LFSCPolicy"),
+            ("LFSC-adaptive", "repro.core.adaptive.AdaptiveLFSCPolicy"),
+            ("vUCB", "repro.baselines.vucb.VUCBPolicy"),
+            ("FML", "repro.baselines.fml.FMLPolicy"),
+            ("Random", "repro.baselines.random_policy.RandomPolicy"),
+            ("eps-greedy", "repro.baselines.extras.EpsilonGreedyPolicy"),
+            ("thompson", "repro.baselines.extras.ThompsonSamplingPolicy"),
+            ("linucb", "repro.learned.linucb.LinUCBPolicy"),
+            ("linthompson", "repro.learned.linucb.LinThompsonPolicy"),
+            ("dqn", "repro.learned.dqn.DQNPolicy"),
+        ],
+    )
+    def test_every_name_builds_expected_class(self, name, cls_path):
+        import importlib
+
+        module_name, _, cls_name = cls_path.rpartition(".")
+        cls = getattr(importlib.import_module(module_name), cls_name)
+        cfg = runner.ExperimentConfig.tiny(horizon=4)
+        truth = runner.build_truth(cfg)
+        built = runner.make_policy(name, cfg, truth)
+        assert isinstance(built, cls)
+
+    def test_registry_name_keys_rng_stream(self):
+        """Parameterized variants share the base name → same policy stream."""
+        cfg = runner.ExperimentConfig.tiny(horizon=4)
+        truth = runner.build_truth(cfg)
+        a = runner.make_policy("linucb(alpha=0.5)", cfg, truth)
+        b = runner.make_policy("linucb(alpha=2.0)", cfg, truth)
+        assert a.name == b.name == "linucb"
+
+    def test_legacy_chain_matches_registry_behaviour(self):
+        """Registry-built vUCB runs identically to the pre-registry default."""
+        from repro.baselines.vucb import VUCBPolicy
+
+        cfg = runner.ExperimentConfig.tiny(horizon=12)
+        sim = runner.build_simulation(cfg)
+        via_registry = sim.run(
+            runner.make_policy("vUCB", cfg, sim.truth), cfg.horizon
+        )
+        sim2 = runner.build_simulation(cfg)
+        direct = sim2.run(VUCBPolicy(cfg.partition), cfg.horizon)
+        np.testing.assert_array_equal(via_registry.reward, direct.reward)

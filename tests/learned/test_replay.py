@@ -1,0 +1,153 @@
+"""The replay-evaluation harness: record once, replay deterministically."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import ExperimentConfig, build_simulation, make_policy
+from repro.learned import (
+    ReplayError,
+    ReplayWorkload,
+    record_stream,
+    replay,
+    replay_grid,
+)
+
+HORIZON = 24
+
+
+@pytest.fixture(scope="module")
+def cfg() -> ExperimentConfig:
+    return ExperimentConfig.tiny(horizon=HORIZON)
+
+
+@pytest.fixture(scope="module")
+def stream(cfg):
+    return record_stream(cfg)
+
+
+class TestRecord:
+    def test_recorded_slots_carry_edges_and_cells(self, stream):
+        assert len(stream) == HORIZON
+        for slot in stream.slots:
+            assert slot.edges is not None
+            assert slot.truth_cells is not None
+            assert slot.edges.num_tasks == len(slot.tasks)
+
+    def test_record_is_deterministic(self, cfg, stream):
+        again = record_stream(cfg)
+        for a, b in zip(stream.slots, again.slots):
+            np.testing.assert_array_equal(a.tasks.contexts, b.tasks.contexts)
+            for ca, cb in zip(a.coverage, b.coverage):
+                np.testing.assert_array_equal(ca, cb)
+
+    def test_record_window_size_is_invisible(self, cfg, stream):
+        """Chunking the precompute differently cannot change the draws."""
+        other = record_stream(cfg, window=5)
+        for a, b in zip(stream.slots, other.slots):
+            np.testing.assert_array_equal(a.tasks.contexts, b.tasks.contexts)
+            np.testing.assert_array_equal(a.edges.key, b.edges.key)
+
+    def test_bad_horizon_fails(self, cfg):
+        with pytest.raises(ValueError):
+            record_stream(cfg, horizon=0)
+
+
+class TestReplay:
+    @pytest.mark.parametrize("spec", ["linucb", "linthompson", "dqn(batch=8, buffer=64)"])
+    def test_replay_equals_live_run(self, cfg, stream, spec):
+        """variant=None replay is bit-identical to a live simulation."""
+        sim = build_simulation(cfg)
+        live = sim.run(make_policy(spec, cfg, sim.truth), cfg.horizon)
+        replayed = replay(stream, spec)
+        np.testing.assert_array_equal(live.reward, replayed.reward)
+        np.testing.assert_array_equal(live.expected_reward, replayed.expected_reward)
+        np.testing.assert_array_equal(live.accepted, replayed.accepted)
+
+    def test_replay_is_deterministic(self, stream):
+        a = replay(stream, "dqn(batch=8, buffer=64)")
+        b = replay(stream, "dqn(batch=8, buffer=64)")
+        np.testing.assert_array_equal(a.reward, b.reward)
+
+    def test_replay_accepts_prebuilt_policy(self, cfg, stream):
+        policy = make_policy("linucb", cfg, build_simulation(cfg).truth)
+        a = replay(stream, policy)
+        b = replay(stream, "linucb")
+        np.testing.assert_array_equal(a.reward, b.reward)
+
+    def test_partial_horizon(self, stream):
+        short = replay(stream, "linucb", horizon=10)
+        full = replay(stream, "linucb")
+        np.testing.assert_array_equal(short.reward, full.reward[:10])
+
+    def test_horizon_beyond_recorded_fails(self, stream):
+        with pytest.raises(ReplayError, match="exceeds the recorded horizon"):
+            replay(stream, "linucb", horizon=HORIZON + 1)
+
+    def test_slot_out_of_range_fails(self, stream):
+        workload = ReplayWorkload(stream)
+        with pytest.raises(ReplayError, match="outside the recorded stream"):
+            workload.slot(HORIZON, np.random.default_rng(0))
+
+    def test_replay_workload_never_draws(self, stream):
+        workload = ReplayWorkload(stream)
+        rng = np.random.default_rng(123)
+        before = rng.bit_generator.state
+        workload.slot(0, rng)
+        assert rng.bit_generator.state == before
+
+
+class TestVariants:
+    def test_same_label_is_deterministic(self, stream):
+        a = replay(stream, "linthompson", variant="v0")
+        b = replay(stream, "linthompson", variant="v0")
+        np.testing.assert_array_equal(a.reward, b.reward)
+
+    def test_distinct_labels_get_distinct_streams(self, stream):
+        a = replay(stream, "linthompson", variant="v0")
+        b = replay(stream, "linthompson", variant="v1")
+        assert not np.array_equal(a.reward, b.reward)
+
+    def test_variant_differs_from_frozen_contract_stream(self, stream):
+        base = replay(stream, "linthompson")
+        variant = replay(stream, "linthompson", variant="linthompson")
+        assert not np.array_equal(base.reward, variant.reward)
+
+
+class TestGrid:
+    def test_grid_keys_are_canonical(self, stream):
+        out = replay_grid(stream, ["linucb(l2=2.0, alpha=0.5)", "Random"])
+        assert list(out) == ["linucb(alpha=0.5, l2=2.0)", "Random"]
+
+    def test_grid_matches_individual_replays(self, stream):
+        out = replay_grid(stream, ["linucb", "linthompson"])
+        solo = replay(stream, "linucb")
+        np.testing.assert_array_equal(out["linucb"].reward, solo.reward)
+
+    def test_duplicate_spec_fails(self, stream):
+        # Canonicalization catches re-ordered spellings of the same spec.
+        with pytest.raises(ReplayError, match="duplicate"):
+            replay_grid(
+                stream, ["linucb(l2=2.0, alpha=0.5)", "linucb(alpha=0.5, l2=2.0)"]
+            )
+
+    def test_variant_streams_decouple_specs(self, stream):
+        shared = replay_grid(stream, ["linthompson"])
+        independent = replay_grid(stream, ["linthompson"], variant_streams=True)
+        assert not np.array_equal(
+            shared["linthompson"].reward, independent["linthompson"].reward
+        )
+
+
+def test_non_windowable_workload_falls_back(monkeypatch):
+    """Recording still works when the workload refuses windowed generation."""
+    cfg = ExperimentConfig.tiny(horizon=8)
+    from repro.env.workload import SyntheticWorkload
+
+    monkeypatch.setattr(SyntheticWorkload, "windowable", False)
+    stream = record_stream(cfg)
+    assert len(stream) == 8
+    assert all(slot.edges is None for slot in stream.slots)
+    result = replay(stream, "linucb")
+    assert np.isfinite(result.total_reward)

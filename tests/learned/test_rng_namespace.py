@@ -1,0 +1,78 @@
+"""The LEARNED spawn-key namespace (stream contract v2 extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import (
+    ENV_SPAWN_KEY,
+    FLEET_SPAWN_KEY,
+    LEARNED_SPAWN_KEY,
+    POLICY_SPAWN_KEY,
+    REPLICATION_SPAWN_KEY,
+    RngFactory,
+    env_seed_sequence,
+    learned_seed_sequence,
+    policy_seed_sequence,
+    stream_token,
+)
+
+
+def test_tag_is_distinct_from_every_other_namespace():
+    tags = {
+        ENV_SPAWN_KEY,
+        POLICY_SPAWN_KEY,
+        FLEET_SPAWN_KEY,
+        REPLICATION_SPAWN_KEY,
+        LEARNED_SPAWN_KEY,
+    }
+    assert len(tags) == 5
+
+
+def test_spawn_key_structure():
+    ss = learned_seed_sequence(42, "linucb(alpha=0.5)")
+    assert ss.entropy == 42
+    key = tuple(ss.spawn_key)
+    assert key[0] == LEARNED_SPAWN_KEY
+    assert key[1:] == tuple("linucb(alpha=0.5)".encode("utf-8"))
+
+
+def test_disjoint_from_env_and_policy_for_same_name():
+    """No label can alias an env or policy stream of the same seed."""
+    for name in ("workload", "realizations", "LFSC", "linucb"):
+        tokens = {
+            stream_token(env_seed_sequence(0, name)),
+            stream_token(policy_seed_sequence(0, name)),
+            stream_token(learned_seed_sequence(0, name)),
+        }
+        assert len(tokens) == 3
+
+
+def test_pure_function_of_seed_and_label():
+    a = stream_token(learned_seed_sequence(5, "v0"))
+    b = stream_token(learned_seed_sequence(5, "v0"))
+    assert a == b
+    assert a != stream_token(learned_seed_sequence(5, "v1"))
+    assert a != stream_token(learned_seed_sequence(6, "v0"))
+
+
+def test_factory_caches_stream_objects():
+    fac = RngFactory(3)
+    assert fac.learned("v0") is fac.learned("v0")
+    assert fac.learned("v0") is not fac.learned("v1")
+
+
+def test_factory_matches_module_level_derivation():
+    fac = RngFactory(3)
+    direct = np.random.default_rng(learned_seed_sequence(3, "v0"))
+    np.testing.assert_array_equal(fac.learned("v0").random(8), direct.random(8))
+
+
+def test_replication_child_roots_do_not_alias():
+    """A factory rooted at a replication child keeps its own learned streams."""
+    from repro.utils.rng import replication_seed_sequence
+
+    child = replication_seed_sequence(0, 1)
+    a = stream_token(learned_seed_sequence(child, "v0"))
+    b = stream_token(learned_seed_sequence(0, "v0"))
+    assert a != b
